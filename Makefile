@@ -1,0 +1,22 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+reproduce:
+	python examples/reproduce_paper.py 16
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

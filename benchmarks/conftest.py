@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+configured scale (``REPRO_SCALE_DIV``, default 16 = 1/16 of paper size;
+``REPRO_FULL_SCALE=1`` for paper scale), prints the same rows the paper
+reports, asserts the paper's qualitative claims, and appends its records
+to ``benchmarks/results/<experiment>.json`` for EXPERIMENTS.md.
+
+Scheme x graph results are cached per session: Figs. 1, 6 and 7 share the
+same underlying runs.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.coloring.api import color_graph
+from repro.graph.generators.suite import SUITE_ORDER, default_scale_div, load_graph
+from repro.metrics.recorder import Recorder
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale_div() -> int:
+    return default_scale_div()
+
+
+@pytest.fixture(scope="session")
+def suite(scale_div):
+    """The six Table I graphs, generated once per session."""
+    return {name: load_graph(name, scale_div=scale_div) for name in SUITE_ORDER}
+
+
+@pytest.fixture(scope="session")
+def run_scheme(suite):
+    """Cached (graph, scheme, frozen-kwargs) -> ColoringResult runner."""
+
+    @functools.lru_cache(maxsize=None)
+    def _run(graph_name: str, scheme: str, kwargs: tuple = ()):
+        return color_graph(suite[graph_name], method=scheme, **dict(kwargs))
+
+    return _run
+
+
+@pytest.fixture()
+def recorder(request, scale_div):
+    """Per-test recorder that persists to benchmarks/results on teardown."""
+    rec = Recorder()
+    yield rec
+    if rec.records:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        rec.save_json(RESULTS_DIR / f"{name}.json")
+
+
+def print_banner(title: str, scale_div: int) -> None:
+    print(f"\n=== {title} (scale 1/{scale_div} of paper size) ===")

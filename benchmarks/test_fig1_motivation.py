@@ -1,0 +1,67 @@
+"""Fig. 1 — motivation: 3-step GM vs csrcolor against the sequential greedy.
+
+Paper claims reproduced in shape:
+  (a) csrcolor achieves speedup over sequential while 3-step GM is *slower*
+      than sequential on average;
+  (b) 3-step GM's coloring quality is near-sequential while csrcolor uses
+      several times more colors.
+"""
+
+from repro.metrics.speedup import geomean
+from repro.metrics.table import format_table
+
+from benchmarks.conftest import print_banner
+
+SCHEMES = ("3step-gm", "csrcolor")
+
+
+def _run_fig1(suite, run_scheme):
+    out = {}
+    for name in suite:
+        seq = run_scheme(name, "sequential")
+        row = {"seq_us": seq.total_time_us, "seq_colors": seq.num_colors}
+        for scheme in SCHEMES:
+            r = run_scheme(name, scheme)
+            row[scheme] = (seq.total_time_us / r.total_time_us, r.num_colors)
+        out[name] = row
+    return out
+
+
+def test_fig1(benchmark, suite, run_scheme, scale_div, recorder):
+    data = benchmark.pedantic(_run_fig1, args=(suite, run_scheme), rounds=1, iterations=1)
+
+    print_banner("Fig. 1: 3-step GM vs csrcolor", scale_div)
+    rows = [
+        [
+            name,
+            round(row["3step-gm"][0], 2),
+            round(row["csrcolor"][0], 2),
+            row["seq_colors"],
+            row["3step-gm"][1],
+            row["csrcolor"][1],
+        ]
+        for name, row in data.items()
+    ]
+    print(
+        format_table(
+            ["graph", "3stepGM speedup", "csrcolor speedup",
+             "seq colors", "3stepGM colors", "csrcolor colors"],
+            rows,
+        )
+    )
+    for name, row in data.items():
+        for scheme in SCHEMES:
+            recorder.add("fig1", name, scheme, "speedup", row[scheme][0])
+            recorder.add("fig1", name, scheme, "colors", row[scheme][1])
+
+    gm_speedups = [row["3step-gm"][0] for row in data.values()]
+    csr_speedups = [row["csrcolor"][0] for row in data.values()]
+
+    # (a) 3-step GM slower than sequential on average (paper: ~0.66x)...
+    assert geomean(gm_speedups) < 1.0
+    # ...while csrcolor is faster on average.
+    assert geomean(csr_speedups) > 1.0
+    # (b) 3-step GM colors near-sequential; csrcolor several times more.
+    for name, row in data.items():
+        assert row["3step-gm"][1] <= row["seq_colors"] + 4
+        assert row["csrcolor"][1] >= 3 * row["seq_colors"]

@@ -1,0 +1,55 @@
+"""Fig. 2 — the CSR storage format.
+
+Fig. 2 is the paper's illustration of the R/C arrays for a small example
+graph needing three colors.  This harness reconstructs the figure: it
+builds the example graph, prints its CSR arrays, and checks that the
+storage invariants the paper states hold for the whole suite (R has n+1
+entries, R[i] indexes vertex i's adjacency list in C, m entries total) —
+plus the figure's chromatic fact (exactly three colors suffice).
+"""
+
+import numpy as np
+
+from repro.coloring.dsatur import chromatic_number
+from repro.graph.builder import from_edges
+from repro.metrics.table import format_table
+
+from benchmarks.conftest import print_banner
+
+
+def _fig2_graph():
+    """A 5-vertex example with a triangle: needs exactly 3 colors."""
+    return from_edges(
+        np.array([0, 0, 1, 1, 2, 3]),
+        np.array([1, 2, 2, 3, 4, 4]),
+        num_vertices=5,
+        name="fig2-example",
+    )
+
+
+def test_fig2(benchmark, suite, scale_div, recorder):
+    graph = benchmark.pedantic(_fig2_graph, rounds=1, iterations=1)
+
+    print_banner("Fig. 2: CSR layout of the example graph", scale_div)
+    print(f"R (row offsets,  n+1 = {graph.row_offsets.size}): "
+          f"{graph.row_offsets.tolist()}")
+    print(f"C (column index, m   = {graph.col_indices.size}): "
+          f"{graph.col_indices.tolist()}")
+    rows = [
+        [v, int(graph.row_offsets[v]), int(graph.row_offsets[v + 1]),
+         " ".join(map(str, graph.neighbors(v).tolist()))]
+        for v in range(graph.num_vertices)
+    ]
+    print(format_table(["vertex", "R[v]", "R[v+1]", "adjacency"], rows))
+
+    # The figure's chromatic fact.
+    chi = chromatic_number(graph)
+    recorder.add("fig2", "example", "exact", "colors", chi)
+    assert chi == 3
+
+    # Storage invariants, checked on the example and the entire suite.
+    for g in [graph, *suite.values()]:
+        assert g.row_offsets.size == g.num_vertices + 1
+        assert g.row_offsets[0] == 0
+        assert int(g.row_offsets[-1]) == g.num_edges == g.col_indices.size
+        assert np.all(np.diff(g.row_offsets) >= 0)

@@ -1,0 +1,41 @@
+"""Fig. 6 — the number of colors used by each scheme on each graph.
+
+Paper claims reproduced in shape: the six speculative-greedy-derived
+schemes (sequential, 3-step GM, T-base, T-ldg, D-base, D-ldg) land within
+a few colors of each other, while csrcolor needs several times more
+(4.9x-23x in the paper).
+"""
+
+from repro.coloring.api import EVALUATED_SCHEMES
+from repro.metrics.table import format_table
+
+from benchmarks.conftest import print_banner
+
+
+def _run_fig6(suite, run_scheme):
+    return {
+        name: {scheme: run_scheme(name, scheme).num_colors for scheme in EVALUATED_SCHEMES}
+        for name in suite
+    }
+
+
+def test_fig6(benchmark, suite, run_scheme, scale_div, recorder):
+    data = benchmark.pedantic(_run_fig6, args=(suite, run_scheme), rounds=1, iterations=1)
+
+    print_banner("Fig. 6: number of colors per scheme", scale_div)
+    rows = [[name] + [row[s] for s in EVALUATED_SCHEMES] for name, row in data.items()]
+    print(format_table(["graph"] + list(EVALUATED_SCHEMES), rows))
+
+    for name, row in data.items():
+        for scheme, colors in row.items():
+            recorder.add("fig6", name, scheme, "colors", colors)
+
+    for name, row in data.items():
+        seq = row["sequential"]
+        sgr = [row[s] for s in EVALUATED_SCHEMES if s != "csrcolor"]
+        # All SGR-derived schemes within a small band of each other...
+        assert max(sgr) - min(sgr) <= max(4, int(0.5 * seq)), name
+        # ...while csrcolor uses several times more colors (paper: 4.9-23x).
+        ratio = row["csrcolor"] / seq
+        assert ratio >= 3.0, (name, ratio)
+        assert ratio <= 40.0, (name, ratio)

@@ -1,0 +1,47 @@
+"""Graph-size scaling (Section IV's discussion, extension experiment).
+
+The paper notes its schemes are sensitive to scale and sparsity ("with
+very large scale the kernel becomes extremely memory latency bound") and
+that GPU benefits need large inputs.  This sweep runs rmat-er at three
+sizes and checks the two ends of that story: GPU speedup over sequential
+grows with graph size (fixed costs amortize), and the kernel stays
+latency-bound throughout.
+"""
+
+from repro.coloring.api import color_graph
+from repro.graph.generators import load_graph
+from repro.metrics.table import format_table
+
+from benchmarks.conftest import print_banner
+
+SCALES = (64, 32, 16)  # divisors of paper size: 16k, 32k, 65k vertices
+
+
+def _run_scaling():
+    out = {}
+    for div in SCALES:
+        g = load_graph("rmat-er", scale_div=div)
+        seq = color_graph(g, method="sequential")
+        gpu = color_graph(g, method="data-ldg")
+        out[div] = (g.num_vertices, seq.total_time_us / gpu.total_time_us,
+                    gpu.profiles[0].bound)
+    return out
+
+
+def test_scaling(benchmark, scale_div, recorder):
+    data = benchmark.pedantic(_run_scaling, rounds=1, iterations=1)
+    print_banner("Scaling: data-ldg speedup vs graph size (rmat-er)", scale_div)
+    print(format_table(
+        ["scale", "vertices", "speedup vs seq", "round-0 bound"],
+        [[f"1/{div}", n, round(sp, 2), bound]
+         for div, (n, sp, bound) in data.items()],
+    ))
+    for div, (n, sp, bound) in data.items():
+        recorder.add("scaling", "rmat-er", f"div{div}", "speedup", sp, n=n)
+
+    speedups = [data[div][1] for div in SCALES]
+    # GPU advantage grows with input size (launch/PCIe overheads amortize,
+    # waves fill) ...
+    assert speedups == sorted(speedups)
+    # ... and the kernel is latency-bound at every size.
+    assert all(data[div][2] == "memory_latency" for div in SCALES)

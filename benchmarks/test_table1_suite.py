@@ -1,0 +1,72 @@
+"""Table I — the benchmark-graph suite and its degree statistics.
+
+Regenerates the paper's Table I from the synthetic stand-ins and checks
+that each graph lands in the paper's structural regime (scaled vertex
+count, average degree, degree-variance ordering).
+"""
+
+import pytest
+
+from repro.graph.generators.suite import SUITE
+from repro.graph.stats import compute_stats
+from repro.metrics.table import format_table
+
+from benchmarks.conftest import print_banner
+
+
+def _build_table(suite):
+    rows = []
+    stats = {}
+    for name, graph in suite.items():
+        s = compute_stats(graph)
+        stats[name] = s
+        paper = SUITE[name].paper
+        rows.append(
+            [
+                name,
+                s.num_vertices,
+                s.num_edges,
+                s.min_degree,
+                s.max_degree,
+                round(s.avg_degree, 2),
+                round(s.variance, 2),
+                "yes" if paper.spd else "no",
+                paper.application,
+            ]
+        )
+    return rows, stats
+
+
+def test_table1(benchmark, suite, scale_div, recorder):
+    rows, stats = benchmark.pedantic(
+        _build_table, args=(suite,), rounds=1, iterations=1
+    )
+    print_banner("Table I: suite of benchmark graphs", scale_div)
+    print(
+        format_table(
+            ["Graph", "No. vertices", "No. edges", "Min", "Max", "Avg", "Variance",
+             "s.p.d", "Application"],
+            rows,
+        )
+    )
+    for name, s in stats.items():
+        paper = SUITE[name].paper
+        recorder.add("table1", name, "generated", "avg_degree", s.avg_degree,
+                     paper=paper.avg_degree)
+        recorder.add("table1", name, "generated", "variance", s.variance,
+                     paper=paper.variance)
+        recorder.add("table1", name, "generated", "num_vertices", s.num_vertices,
+                     paper=paper.num_vertices)
+
+        # Scaled size tracks the paper's size ratios.
+        assert (
+            0.5 * paper.num_vertices / scale_div
+            <= s.num_vertices
+            <= 2.0 * paper.num_vertices / scale_div
+        )
+        # Average degree in regime.
+        assert abs(s.avg_degree - paper.avg_degree) <= 0.25 * paper.avg_degree + 1.0
+
+    # Variance ordering reproduces the paper's axis of graph structure.
+    assert stats["rmat-g"].variance > stats["rmat-er"].variance > stats["thermal2"].variance
+    assert stats["atmosmodd"].variance < 1.0

@@ -1,0 +1,71 @@
+"""Chromatic scheduling: run a data-graph computation without locks.
+
+The intro's HPCG motivation: a Gauss-Seidel-style smoother updates each
+vertex from its neighbors; executing one color class at a time makes the
+parallel schedule deterministic and race-free.  Fewer colors = fewer
+serial phases, which is why coloring *quality* (Fig. 6) matters, not just
+coloring speed.
+
+Run:  python examples/chromatic_scheduling.py
+"""
+
+import numpy as np
+
+from repro.apps.scheduling import ChromaticScheduler
+from repro.apps.sparse import MulticolorGaussSeidel, graph_laplacian
+from repro.graph.generators import load_graph
+from repro.metrics.table import format_table
+
+
+def main() -> None:
+    graph = load_graph("thermal2", scale_div=256)
+    print(f"data graph: {graph}\n")
+
+    rows = []
+    for method in ("sequential", "data-ldg", "csrcolor"):
+        sched = ChromaticScheduler(graph, method=method)
+        st = sched.stats()
+        rows.append(
+            [
+                method,
+                st.num_colors,
+                st.critical_path,
+                round(st.avg_parallelism, 1),
+                f"{st.parallel_efficiency:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["coloring", "colors", "serial phases/sweep", "avg parallelism",
+             "balance"],
+            rows,
+            title="Schedule quality by coloring scheme (more colors = less parallelism):",
+        )
+    )
+
+    # Drive a real solver through the schedule: multicolor Gauss-Seidel on
+    # the graph's Laplacian.
+    lap = graph_laplacian(graph, shift=1.0)
+    rng = np.random.default_rng(0)
+    x_true = rng.random(graph.num_vertices)
+    b = lap @ x_true
+
+    print("\nMulticolor Gauss-Seidel convergence:")
+    for method in ("sequential", "csrcolor"):
+        gs = MulticolorGaussSeidel(lap, method=method)
+        x, report = gs.solve(b, sweeps=100, tol=1e-10)
+        err = float(np.linalg.norm(x - x_true) / np.linalg.norm(x_true))
+        print(
+            f"  {method:10s}: {report.num_colors:3d} colors -> "
+            f"{report.parallel_phases_per_sweep:3d} phases/sweep, "
+            f"{report.iterations:3d} sweeps, rel.err {err:.2e}"
+        )
+    print(
+        "\nBoth converge identically per sweep (same math), but the csrcolor\n"
+        "schedule needs many more serial phases per sweep - the parallelism\n"
+        "cost of its color inflation."
+    )
+
+
+if __name__ == "__main__":
+    main()

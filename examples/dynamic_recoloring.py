@@ -1,0 +1,61 @@
+"""Incremental recoloring under graph mutation (morph workloads).
+
+A stream of edge insertions/deletions hits a colored graph; the dynamic
+maintainer repairs locally instead of recoloring from scratch.  Compares
+repair work and color quality against full recoloring.
+
+Run:  python examples/dynamic_recoloring.py
+"""
+
+import numpy as np
+
+from repro.coloring import DynamicColoring, greedy_colors_only
+from repro.graph.generators import erdos_renyi
+from repro.metrics.table import format_table
+
+
+def main() -> None:
+    g = erdos_renyi(2000, 6.0, seed=3)
+    dyn = DynamicColoring(g)
+    print(f"initial: {g} -> {dyn.num_colors} colors\n")
+
+    rng = np.random.default_rng(1)
+    inserts = deletes = repairs = 0
+    checkpoints = []
+    for step in range(1, 4001):
+        u, v = (int(x) for x in rng.integers(0, 2000, 2))
+        if u == v:
+            continue
+        if dyn.has_edge(u, v) and rng.random() < 0.4:
+            dyn.delete(u, v)
+            deletes += 1
+        elif not dyn.has_edge(u, v):
+            if dyn.insert(u, v) is not None:
+                repairs += 1
+            inserts += 1
+        if step % 1000 == 0:
+            snapshot = dyn.to_graph()
+            scratch = int(greedy_colors_only(snapshot).max())
+            checkpoints.append(
+                [step, inserts, deletes, repairs, dyn.num_colors, scratch]
+            )
+
+    dyn.validate()
+    print(
+        format_table(
+            ["edits", "inserts", "deletes", "repairs", "dynamic colors",
+             "from-scratch colors"],
+            checkpoints,
+            title="Coloring maintained across a random edit stream:",
+        )
+    )
+    print(
+        f"\nrepair rate: {repairs}/{inserts} inserts "
+        f"({repairs / max(inserts, 1):.1%}) needed any recoloring;\n"
+        "the dynamic coloring tracks the from-scratch count within a color "
+        "or two\nwhile touching only one vertex per conflicting insert."
+    )
+
+
+if __name__ == "__main__":
+    main()

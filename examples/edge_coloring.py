@@ -1,0 +1,60 @@
+"""Edge coloring via the line graph: scheduling pairwise exchanges.
+
+A round-based communication schedule: each edge is a message exchange
+that occupies both endpoints, so edges sharing a vertex cannot run in the
+same round.  Proper edge coloring = minimal-round-count schedule; greedy
+on the line graph gets within a factor of Vizing's Delta+1 optimum.
+
+Run:  python examples/edge_coloring.py
+"""
+
+import numpy as np
+
+from repro.coloring import color_graph
+from repro.graph import edge_coloring_from_line_colors, line_graph
+from repro.graph.generators import erdos_renyi, grid2d, random_regular
+from repro.metrics.table import format_table
+
+
+def main() -> None:
+    instances = {
+        "2D grid 20x20": grid2d(20, 20),
+        "random 8-regular": random_regular(300, 8, seed=1),
+        "ER avg-degree 6": erdos_renyi(300, 6.0, seed=2),
+    }
+    rows = []
+    for name, g in instances.items():
+        lg, edges = line_graph(g)
+        result = color_graph(lg, method="sequential")
+        edge_coloring_from_line_colors(g, edges, result.colors)  # verify
+        rows.append(
+            [
+                name,
+                g.num_undirected_edges,
+                g.max_degree,
+                g.max_degree + 1,  # Vizing upper bound on the optimum
+                result.num_colors,
+            ]
+        )
+    print(
+        format_table(
+            ["graph", "exchanges", "max degree", "Vizing bound (Delta+1)",
+             "rounds (greedy)"],
+            rows,
+            title="Communication rounds to schedule all pairwise exchanges:",
+        )
+    )
+
+    # Show one schedule explicitly for a tiny instance.
+    g = grid2d(3, 3)
+    lg, edges = line_graph(g)
+    colors = color_graph(lg, method="sequential").colors
+    print("\n3x3 grid schedule (round -> exchanges):")
+    for round_no in range(1, int(colors.max()) + 1):
+        batch = edges[colors == round_no]
+        pairs = ", ".join(f"{a}-{b}" for a, b in batch.tolist())
+        print(f"  round {round_no}: {pairs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Inspecting the simulated GPU: profiles, stalls, and the block-size sweep.
+
+Reproduces the paper's performance-analysis workflow (Figs. 3 and 8) on
+one graph, showing how to read KernelProfile objects — the simulated
+equivalent of nvprof output.
+
+Run:  python examples/gpu_profiling.py
+"""
+
+from repro import color_graph
+from repro.graph.generators import load_graph
+from repro.metrics.table import format_table
+
+
+def main() -> None:
+    graph = load_graph("rmat-er", scale_div=64)
+    print(f"input: {graph}\n")
+
+    # --- per-kernel profile of one run (Fig. 3 style) -------------------
+    result = color_graph(graph, method="data-ldg")
+    print(f"{result.summary()}\n")
+    rows = []
+    for p in result.profiles:
+        rows.append(
+            [
+                p.name,
+                round(p.time_us, 1),
+                p.bound,
+                f"{p.occupancy:.0%}",
+                f"{p.memory.ro_hit_rate:.0%}",
+                f"{p.memory.l2_hit_rate:.0%}",
+                f"{p.stalls['memory_dependency']:.0%}",
+                f"{p.simd_efficiency:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["kernel", "us", "bound", "occup", "RO hit", "L2 hit",
+             "mem-dep stalls", "SIMD eff"],
+            rows,
+            title="Per-kernel profiles (simulated nvprof):",
+        )
+    )
+
+    # --- block-size sweep (Fig. 8 style) --------------------------------
+    rows = []
+    for bs in (32, 64, 128, 256, 512):
+        r = color_graph(graph, method="data-base", block_size=bs)
+        occ = r.profiles[0].occupancy
+        rows.append([bs, round(r.total_time_us, 1), f"{occ:.0%}"])
+    print(
+        "\n"
+        + format_table(
+            ["block size", "simulated us", "round-0 occupancy"],
+            rows,
+            title="Thread-block-size sweep (Fig. 8):",
+        )
+    )
+    print("\n32-thread blocks cannot hide memory latency; >=512 oversaturate "
+          "registers.\n128 is the paper's (and this library's) default.")
+
+
+if __name__ == "__main__":
+    main()

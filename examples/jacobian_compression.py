@@ -1,0 +1,79 @@
+"""Sparse Jacobian compression via coloring (Curtis-Powell-Reid).
+
+The distance-2 / column-coloring application: estimate a sparse Jacobian
+with far fewer function evaluations than columns by perturbing groups of
+structurally orthogonal columns together.  Demonstrates exact recovery on
+a nonlinear reaction-diffusion-style system.
+
+Run:  python examples/jacobian_compression.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.apps.jacobian import (
+    column_intersection_graph,
+    compress_jacobian,
+    recover_jacobian,
+)
+from repro.coloring.distance2 import greedy_distance2
+from repro.graph.generators import grid2d
+from repro.metrics.table import format_table
+
+
+def reaction_diffusion_residual(x: np.ndarray, nx: int) -> np.ndarray:
+    """F(x) = -lap(x) + x^3 on an nx-by-nx grid (Dirichlet zero boundary)."""
+    u = x.reshape(nx, nx)
+    lap = -4.0 * u
+    lap[1:, :] += u[:-1, :]
+    lap[:-1, :] += u[1:, :]
+    lap[:, 1:] += u[:, :-1]
+    lap[:, :-1] += u[:, 1:]
+    return (-lap + u**3).ravel()
+
+
+def main() -> None:
+    nx = 24
+    n = nx * nx
+
+    # The Jacobian's sparsity pattern is the 5-point stencil + diagonal.
+    g = grid2d(nx, nx)
+    eye = sp.eye_array(n).tocsr()
+    pattern = sp.csr_array((g.to_scipy() + eye).astype(np.int8))
+
+    comp = compress_jacobian(pattern, method="sequential")
+    print(f"system: {n} unknowns, {pattern.nnz} Jacobian nonzeros")
+    print(f"column groups (colors): {comp.num_groups}  "
+          f"-> {comp.compression_ratio:.1f}x fewer function evaluations\n")
+
+    # Finite-difference probing: one F evaluation per color group.
+    rng = np.random.default_rng(0)
+    x0 = rng.random(n) * 0.1
+    f0 = reaction_diffusion_residual(x0, nx)
+    h = 1e-7
+    seed = comp.seed_matrix()
+    products = np.empty((n, comp.num_groups))
+    for grp in range(comp.num_groups):
+        products[:, grp] = (
+            reaction_diffusion_residual(x0 + h * seed[:, grp], nx) - f0
+        ) / h
+    J = recover_jacobian(products, pattern, comp)
+
+    # Check against the analytic Jacobian: -lap + 3x^2 I.
+    lap5 = -(g.to_scipy().astype(np.float64)) + 4.0 * eye
+    J_exact = lap5 + sp.diags_array(3.0 * x0**2)
+    err = abs(J - sp.csr_array(J_exact)).max()
+    print(f"max |J_fd - J_exact| = {err:.2e}  (finite-difference accuracy)")
+
+    # The same grouping via the library's distance-2 machinery.
+    d2 = greedy_distance2(g)
+    rows = [
+        ["column-intersection coloring", comp.num_groups],
+        ["distance-2 coloring of the grid", d2.num_colors],
+        ["columns (no compression)", n],
+    ]
+    print("\n" + format_table(["approach", "F evaluations"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""The full HPCG-style pipeline: color -> SGS preconditioner -> PCG.
+
+Shows the solver-side consequence of coloring quality: every color adds
+two serial phases to each preconditioner application, so csrcolor's
+inflated palette directly lengthens the critical path even though the
+numerics are identical.
+
+Run:  python examples/pcg_solver.py
+"""
+
+import numpy as np
+
+from repro.apps import ColoredSGSPreconditioner, graph_laplacian, pcg
+from repro.coloring import chromatic_number
+from repro.graph.generators import load_graph
+from repro.metrics.table import format_table
+
+
+def main() -> None:
+    g = load_graph("G3_circuit", scale_div=256)
+    lap = graph_laplacian(g, shift=0.02)
+    rng = np.random.default_rng(0)
+    x_true = rng.random(g.num_vertices)
+    b = lap @ x_true
+    print(f"system: {g.num_vertices} unknowns, {lap.nnz} nonzeros\n")
+
+    _, plain = pcg(lap, b, tol=1e-10, max_iterations=3000)
+    rows = [["(none)", 0, 0, plain.iterations]]
+    for method in ("sequential", "data-ldg", "csrcolor"):
+        M = ColoredSGSPreconditioner(lap, method=method)
+        _, report = pcg(lap, b, preconditioner=M, tol=1e-10, max_iterations=3000)
+        rows.append(
+            [method, M.num_colors, M.parallel_phases_per_apply, report.iterations]
+        )
+    print(
+        format_table(
+            ["preconditioner coloring", "colors", "serial phases/apply",
+             "PCG iterations"],
+            rows,
+            title="PCG with multicolor symmetric-GS preconditioning:",
+        )
+    )
+    print(
+        "\nAll colored preconditioners cut PCG iterations identically (the\n"
+        "math is the same GS), but the csrcolor schedule pays many more\n"
+        "serial phases per application - the solver-side cost of Fig. 6's\n"
+        "color inflation."
+    )
+
+
+if __name__ == "__main__":
+    main()

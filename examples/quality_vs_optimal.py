@@ -1,0 +1,68 @@
+"""Coloring quality against the true chromatic number.
+
+The paper compares schemes against each other; with the exact
+branch-and-bound oracle we can compare against the *optimum* on small
+graphs — quantifying how much headroom each heuristic leaves.
+
+Run:  python examples/quality_vs_optimal.py
+"""
+
+import numpy as np
+
+from repro.coloring import color_graph
+from repro.coloring.dsatur import chromatic_number, dsatur, max_clique_lower_bound
+from repro.graph.builder import from_networkx
+from repro.graph.generators import erdos_renyi, planted_partition, watts_strogatz
+from repro.metrics.table import format_table
+
+SCHEMES = ("sequential", "dsatur", "topo-base", "data-ldg", "csrcolor")
+
+
+def main() -> None:
+    import networkx as nx
+
+    instances = {
+        "petersen": from_networkx(nx.petersen_graph()),
+        "er-sparse": erdos_renyi(70, 4.0, seed=1),
+        "er-dense": erdos_renyi(45, 10.0, seed=2),
+        "small-world": watts_strogatz(60, 6, 0.2, seed=3),
+        "communities": planted_partition(60, 3, 0.5, 0.02, seed=4),
+    }
+
+    rows = []
+    for name, g in instances.items():
+        chi = chromatic_number(g)
+        lb = max_clique_lower_bound(g)
+        row = [name, lb, chi]
+        for scheme in SCHEMES:
+            row.append(color_graph(g, method=scheme).num_colors)
+        rows.append(row)
+
+    print(
+        format_table(
+            ["graph", "clique LB", "chi (exact)"] + list(SCHEMES),
+            rows,
+            title="Colors used vs the true chromatic number:",
+        )
+    )
+    print(
+        "\nDSATUR and the speculative-greedy family sit within a color or two\n"
+        "of optimal on these instances; csrcolor's multi-hash elections pay\n"
+        "an integer multiple - the Fig. 6 story, now against ground truth."
+    )
+
+    # Polish demonstration: iterated greedy recovers part of the gap.
+    from repro.coloring import iterated_greedy
+
+    g = instances["er-dense"]
+    gpu = color_graph(g, method="csrcolor")
+    polished = iterated_greedy(g, initial=gpu.colors, iterations=10)
+    print(
+        f"\niterated-greedy polish of csrcolor on er-dense: "
+        f"{gpu.num_colors} -> {polished.num_colors} colors "
+        f"(chi = {chromatic_number(g)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Register allocation via interference-graph coloring (Chaitin).
+
+Simulates a compiler back-end: a synthetic straight-line IR produces
+virtual-register live ranges; overlapping ranges interfere; coloring the
+interference graph assigns physical registers, spilling when pressure
+exceeds the register file.
+
+Run:  python examples/register_allocation.py
+"""
+
+import numpy as np
+
+from repro.apps.register_alloc import LiveInterval, allocate_registers, build_interference_graph
+from repro.metrics.table import format_table
+
+
+def synth_live_ranges(num_vregs: int, program_len: int, seed: int = 0) -> list[LiveInterval]:
+    """Random live ranges with a mix of short temporaries and long-lived values."""
+    rng = np.random.default_rng(seed)
+    intervals = []
+    for v in range(num_vregs):
+        start = int(rng.integers(0, program_len - 2))
+        if rng.random() < 0.8:  # short temporary
+            length = int(rng.integers(1, 8))
+        else:  # long-lived (loop-carried) value
+            length = int(rng.integers(20, program_len // 2))
+        intervals.append(LiveInterval(v, start, min(start + length, program_len)))
+    return intervals
+
+
+def main() -> None:
+    intervals = synth_live_ranges(num_vregs=400, program_len=300, seed=7)
+    graph = build_interference_graph(intervals)
+    print(f"interference graph: {graph}")
+    print(f"max register pressure (clique lower bound ~ max degree+1): "
+          f"<= {graph.max_degree + 1}\n")
+
+    rows = []
+    for k in (8, 12, 16, 24, 32):
+        res = allocate_registers(intervals, k, method="sequential")
+        rows.append([k, res.colors_used, res.num_spilled])
+    print(
+        format_table(
+            ["physical regs", "colors used", "spilled vregs"],
+            rows,
+            title="Allocation quality vs register-file size:",
+        )
+    )
+
+    res = allocate_registers(intervals, 16, method="sequential")
+    res.verify(graph)
+    print("\n16-register allocation verified: no interfering vregs share a register.")
+    usage = np.bincount(res.assignment[res.assignment >= 0])
+    print(f"register usage histogram: {usage.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro: reproduction of "High Performance Parallel Graph Coloring on
+GPGPUs" (Li et al., IPPS 2016).
+
+Speculative-greedy graph coloring in topology-driven and data-driven GPU
+formulations, executed functionally in NumPy and priced on a simulated
+Kepler-class GPGPU (see DESIGN.md for the hardware-substitution rationale).
+
+Quickstart::
+
+    from repro import color_graph, rmat_er
+    g = rmat_er(scale=14)
+    result = color_graph(g, method="data-ldg")
+    print(result.summary())
+"""
+
+from .coloring import (
+    EVALUATED_SCHEMES,
+    ColoringResult,
+    color_graph,
+)
+from .graph import CSRGraph, from_edges
+from .graph.generators import load_graph, load_suite, rmat_er, rmat_g, rmat_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "ColoringResult",
+    "EVALUATED_SCHEMES",
+    "__version__",
+    "color_graph",
+    "from_edges",
+    "load_graph",
+    "load_suite",
+    "rmat_er",
+    "rmat_g",
+    "rmat_graph",
+]

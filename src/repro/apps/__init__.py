@@ -1,0 +1,34 @@
+"""Applications of graph coloring (the paper's motivating use cases)."""
+
+from .frequency import AccessPointField, ChannelPlan, plan_channels
+from .register_alloc import (
+    AllocationResult,
+    LiveInterval,
+    allocate_registers,
+    build_interference_graph,
+)
+from .scheduling import ChromaticScheduler, ScheduleStats
+from .ilu import LevelScheduledILU, ilu0
+from .solver import ColoredSGSPreconditioner, PCGReport, pcg
+from .sparse import MulticolorGaussSeidel, SweepReport, graph_laplacian, triangular_levels
+
+__all__ = [
+    "AccessPointField",
+    "AllocationResult",
+    "ChannelPlan",
+    "ChromaticScheduler",
+    "ColoredSGSPreconditioner",
+    "PCGReport",
+    "LevelScheduledILU",
+    "LiveInterval",
+    "MulticolorGaussSeidel",
+    "ScheduleStats",
+    "SweepReport",
+    "allocate_registers",
+    "build_interference_graph",
+    "graph_laplacian",
+    "ilu0",
+    "pcg",
+    "plan_channels",
+    "triangular_levels",
+]

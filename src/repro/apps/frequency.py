@@ -1,0 +1,81 @@
+"""WLAN frequency (channel) assignment via coloring (Riihijarvi et al.).
+
+Access points within interference range must use different channels; the
+interference graph's coloring is a channel plan, and the color count is
+the spectrum demand.  Geometry is a random plane; the interference radius
+controls density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.spatial as spatial
+
+from ..coloring.api import color_graph
+from ..graph.builder import from_edges
+from ..graph.csr import CSRGraph
+
+__all__ = ["AccessPointField", "ChannelPlan", "plan_channels"]
+
+
+@dataclass(frozen=True)
+class AccessPointField:
+    """Random access points on the unit square with an interference radius."""
+
+    positions: np.ndarray  # (n, 2)
+    radius: float
+
+    @classmethod
+    def random(cls, n: int, radius: float, *, seed: int = 0) -> "AccessPointField":
+        if n < 1:
+            raise ValueError("need at least one access point")
+        if not 0 < radius < 1.5:
+            raise ValueError("radius must be in (0, 1.5)")
+        rng = np.random.default_rng(seed)
+        return cls(positions=rng.random((n, 2)), radius=radius)
+
+    def interference_graph(self) -> CSRGraph:
+        """Edge between APs closer than ``radius`` (KD-tree pair query)."""
+        tree = spatial.cKDTree(self.positions)
+        pairs = tree.query_pairs(self.radius, output_type="ndarray")
+        if pairs.size == 0:
+            u = v = np.empty(0, dtype=np.int64)
+        else:
+            u, v = pairs[:, 0].astype(np.int64), pairs[:, 1].astype(np.int64)
+        return from_edges(
+            u, v, num_vertices=self.positions.shape[0], name="wlan-interference"
+        )
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A channel assignment plus its quality metrics."""
+
+    channels: np.ndarray  # 0-based channel per AP
+    num_channels: int
+    max_cochannel_distance_violations: int
+
+    @property
+    def fits_80211(self) -> bool:
+        """Whether the plan fits the 3 non-overlapping 2.4 GHz channels."""
+        return self.num_channels <= 3
+
+
+def plan_channels(
+    field: AccessPointField, *, method: str = "sequential", **color_kwargs
+) -> ChannelPlan:
+    """Color the interference graph into channels and verify the plan."""
+    graph = field.interference_graph()
+    result = color_graph(graph, method=method, **color_kwargs)
+    channels = result.colors.astype(np.int64) - 1
+    # Verification: no interfering pair shares a channel.
+    u, v = graph.edge_endpoints()
+    keep = u < v
+    violations = int(np.count_nonzero(channels[u[keep]] == channels[v[keep]]))
+    return ChannelPlan(
+        channels=channels,
+        num_channels=result.num_colors,
+        max_cochannel_distance_violations=violations,
+    )

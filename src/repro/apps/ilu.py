@@ -1,0 +1,136 @@
+"""Incomplete-LU factorization with level-scheduled triangular solves.
+
+Naumov et al.'s csrcolor was built for exactly this pipeline (the paper's
+reference [7]): ILU(0) preconditioning needs sparse triangular solves
+whose row dependencies serialize execution; *level scheduling* (or
+coloring) exposes the parallelism.  This module provides:
+
+* :func:`ilu0` — numeric ILU(0) (no fill-in: the factors keep A's
+  sparsity pattern) in pure NumPy over CSR;
+* :class:`LevelScheduledILU` — applies ``(LU)^{-1}`` with both triangular
+  solves executed level by level (each level is one parallel batch);
+* integration with :func:`repro.apps.solver.pcg` as a preconditioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .sparse import triangular_levels
+
+__all__ = ["ilu0", "LevelScheduledILU"]
+
+
+def ilu0(matrix: sp.csr_array) -> tuple[sp.csr_array, sp.csr_array]:
+    """ILU(0) factorization: ``A ~ L @ U`` on A's own sparsity pattern.
+
+    Standard IKJ formulation over CSR; returns unit-lower-triangular ``L``
+    (diagonal ones stored) and upper-triangular ``U``.  Raises on a zero
+    pivot — no pivoting is performed, as usual for ILU(0).
+    """
+    A = sp.csr_array(matrix, copy=True).astype(np.float64)
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ValueError("matrix must be square")
+    indptr, indices, data = A.indptr, A.indices, A.data
+    # Work on a row-sorted copy (builder output is sorted, user input may not be).
+    diag_pos = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        row = slice(indptr[i], indptr[i + 1])
+        order = np.argsort(indices[row])
+        indices[row] = indices[row][order]
+        data[row] = data[row][order]
+        hits = np.flatnonzero(indices[row] == i)
+        if hits.size:
+            diag_pos[i] = indptr[i] + hits[0]
+    if np.any(diag_pos < 0):
+        raise ValueError("ILU(0) requires a full diagonal")
+
+    col_index_of = {}
+    for i in range(n):
+        row_cols = indices[indptr[i] : indptr[i + 1]]
+        col_index_of[i] = {int(c): indptr[i] + k for k, c in enumerate(row_cols)}
+
+    for i in range(n):
+        row_start, row_end = indptr[i], indptr[i + 1]
+        for kk in range(row_start, row_end):
+            k = int(indices[kk])
+            if k >= i:
+                break
+            pivot = data[diag_pos[k]]
+            if pivot == 0.0:
+                raise ZeroDivisionError(f"zero pivot at row {k}")
+            lik = data[kk] / pivot
+            data[kk] = lik
+            # subtract lik * U[k, j] for the j > k entries of row i that
+            # also exist in row k (no fill-in is ever created).  Row
+            # indices are sorted, so everything after kk satisfies j > k.
+            krow = col_index_of[k]
+            for jj in range(kk + 1, row_end):
+                pos = krow.get(int(indices[jj]))
+                if pos is not None:
+                    data[jj] -= lik * data[pos]
+
+    lower = sp.csr_array(sp.tril(
+        sp.csr_array((data, indices, indptr), shape=(n, n)), k=-1, format="csr"
+    ))
+    lower = sp.csr_array(lower + sp.eye_array(n).tocsr())
+    upper = sp.csr_array(sp.triu(
+        sp.csr_array((data, indices, indptr), shape=(n, n)), k=0, format="csr"
+    ))
+    return lower, upper
+
+
+@dataclass
+class LevelScheduledILU:
+    """Applies ``(LU)^{-1}`` with level-parallel triangular sweeps."""
+
+    lower: sp.csr_array
+    upper: sp.csr_array
+
+    def __post_init__(self) -> None:
+        self.lower = sp.csr_array(self.lower)
+        self.upper = sp.csr_array(self.upper)
+        self._l_levels = triangular_levels(self.lower)
+        # U's dependency DAG is the mirrored problem: row i depends on j > i.
+        n = self.upper.shape[0]
+        flip = np.arange(n)[::-1]
+        mirrored = sp.csr_array(self.upper[flip][:, flip])
+        self._u_levels = [flip[lv] for lv in triangular_levels(sp.csr_array(sp.tril(mirrored, format="csr")))]
+        self._u_diag = self.upper.diagonal()
+
+    @classmethod
+    def from_matrix(cls, matrix: sp.csr_array) -> "LevelScheduledILU":
+        lower, upper = ilu0(matrix)
+        return cls(lower=lower, upper=upper)
+
+    @property
+    def num_levels(self) -> tuple[int, int]:
+        """(forward, backward) level counts — the serial phases per apply."""
+        return len(self._l_levels), len(self._u_levels)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Solve ``L U z = r`` level by level."""
+        # Forward: L y = r (unit diagonal).
+        y = np.zeros_like(r, dtype=np.float64)
+        for level in self._l_levels:
+            rows = self.lower[level]
+            y[level] = r[level] - (rows @ y - y[level])  # exclude unit diag term
+        # Backward: U z = y.
+        z = np.zeros_like(r, dtype=np.float64)
+        for level in self._u_levels:
+            rows = self.upper[level]
+            z[level] = (y[level] - (rows @ z - self._u_diag[level] * z[level])) / self._u_diag[level]
+        return z
+
+    # PCG-compatible alias plus metadata the solver reports.
+    @property
+    def num_colors(self) -> int:
+        return sum(self.num_levels)
+
+    @property
+    def parallel_phases_per_apply(self) -> int:
+        return sum(self.num_levels)

@@ -1,0 +1,113 @@
+"""Coloring-preconditioned conjugate gradients (the HPCG pipeline).
+
+The end-to-end payoff of the paper's motivating application: a symmetric
+Gauss-Seidel preconditioner needs a sequential triangular sweep — unless
+the matrix is colored, in which case each sweep is ``num_colors`` fully
+parallel phases.  This module assembles the whole pipeline:
+
+    color the pattern -> multicolor symmetric GS preconditioner -> PCG
+
+and reports both numerical convergence and the parallelism structure the
+coloring bought.  Fewer colors = shorter critical path per preconditioner
+application, which is why Fig. 6's quality axis matters to solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .sparse import MulticolorGaussSeidel
+
+__all__ = ["PCGReport", "pcg", "ColoredSGSPreconditioner"]
+
+
+@dataclass(frozen=True)
+class PCGReport:
+    """Convergence record of a PCG solve."""
+
+    iterations: int
+    residual_norms: tuple[float, ...]
+    converged: bool
+    preconditioner_colors: int
+    parallel_phases_per_apply: int
+
+
+class ColoredSGSPreconditioner:
+    """Symmetric Gauss-Seidel preconditioner executed by color classes.
+
+    One application performs a forward sweep (classes in ascending color
+    order) and a backward sweep (descending) — the standard SGS
+    preconditioner, with every phase batch-parallel thanks to the
+    coloring.  SGS of an SPD matrix is SPD, so PCG theory applies.
+    """
+
+    def __init__(self, matrix: sp.csr_array, *, method: str = "sequential", **color_kwargs):
+        self._gs = MulticolorGaussSeidel(matrix, method=method, **color_kwargs)
+        self.matrix = self._gs.matrix
+        self.diag = self._gs.diag
+        self.num_colors = self._gs.coloring.num_colors
+        self.classes = self._gs.classes
+
+    @property
+    def parallel_phases_per_apply(self) -> int:
+        return 2 * len(self.classes)  # forward + backward sweep
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """z = M^{-1} r via one symmetric multicolor GS sweep on Az = r."""
+        z = np.zeros_like(r)
+        for cls in self.classes:  # forward
+            rows = self.matrix[cls]
+            z[cls] += (r[cls] - rows @ z) / self.diag[cls]
+        for cls in reversed(self.classes):  # backward
+            rows = self.matrix[cls]
+            z[cls] += (r[cls] - rows @ z) / self.diag[cls]
+        return z
+
+
+def pcg(
+    matrix: sp.csr_array,
+    b: np.ndarray,
+    *,
+    preconditioner: ColoredSGSPreconditioner | None = None,
+    tol: float = 1e-8,
+    max_iterations: int = 500,
+) -> tuple[np.ndarray, PCGReport]:
+    """Preconditioned conjugate gradients on an SPD system."""
+    matrix = sp.csr_array(matrix)
+    n = matrix.shape[0]
+    if b.shape != (n,):
+        raise ValueError("right-hand side shape mismatch")
+    M = preconditioner
+    x = np.zeros(n)
+    r = b - matrix @ x
+    z = M.apply(r) if M else r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    norms = [float(np.linalg.norm(r))]
+    b_norm = max(norms[0], 1e-300)
+    it = 0
+    for it in range(1, max_iterations + 1):
+        Ap = matrix @ p
+        pAp = float(p @ Ap)
+        if pAp <= 0:
+            raise np.linalg.LinAlgError("matrix is not positive definite")
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        norms.append(float(np.linalg.norm(r)))
+        if norms[-1] <= tol * b_norm:
+            break
+        z = M.apply(r) if M else r.copy()
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return x, PCGReport(
+        iterations=it,
+        residual_norms=tuple(norms),
+        converged=norms[-1] <= tol * b_norm,
+        preconditioner_colors=M.num_colors if M else 0,
+        parallel_phases_per_apply=M.parallel_phases_per_apply if M else 0,
+    )

@@ -1,0 +1,146 @@
+"""Coloring-accelerated sparse linear algebra (HPCG / ILU motivation).
+
+The paper's introduction motivates coloring with two sparse-solver uses:
+
+* **Multicolor Gauss–Seidel** (the HPCG smoother): a GS sweep has a serial
+  dependency chain along the matrix order, but reordering by color classes
+  turns it into ``num_colors`` fully parallel batched updates per sweep —
+  the fewer the colors, the shorter the critical path.
+* **Level scheduling for incomplete-LU triangular solves** (Naumov et
+  al.'s csrcolor application): coloring the DAG of the triangular factor
+  groups rows into parallel levels.
+
+Both are implemented on NumPy/SciPy with the color schedule doing the
+parallel-structure work, so examples can show coloring quality translating
+directly into solver parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..coloring.api import color_graph
+from ..graph.builder import from_scipy
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "graph_laplacian",
+    "MulticolorGaussSeidel",
+    "SweepReport",
+    "triangular_levels",
+]
+
+
+def graph_laplacian(graph: CSRGraph, *, shift: float = 1e-3) -> sp.csr_array:
+    """SPD Laplacian ``L = D - A + shift*I`` of an undirected graph.
+
+    The standard model problem for smoother experiments: its sparsity
+    pattern *is* the graph, so coloring the graph colors the matrix.
+    """
+    a = graph.to_scipy().astype(np.float64)
+    degs = np.asarray(a.sum(axis=1)).ravel()
+    lap = sp.diags_array(degs + shift) - a
+    return sp.csr_array(lap)
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Convergence record of a multicolor GS run."""
+
+    iterations: int
+    residual_norms: tuple[float, ...]
+    num_colors: int
+    parallel_phases_per_sweep: int
+
+    @property
+    def converged(self) -> bool:
+        return self.residual_norms[-1] < self.residual_norms[0]
+
+
+class MulticolorGaussSeidel:
+    """Gauss–Seidel smoother executed one color class at a time.
+
+    Within a class no two rows couple (coloring property), so the class
+    update is one dense vectorized operation — the parallel phase a GPU
+    would run as a single kernel.  Mathematically this is GS in the
+    color-permuted order, so it inherits GS convergence on SPD systems.
+    """
+
+    def __init__(
+        self,
+        matrix: sp.csr_array,
+        *,
+        method: str = "sequential",
+        **color_kwargs,
+    ) -> None:
+        matrix = sp.csr_array(matrix)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        diag = matrix.diagonal()
+        if np.any(diag == 0):
+            raise ValueError("matrix must have a nonzero diagonal")
+        self.matrix = matrix
+        self.diag = diag
+        graph = from_scipy(matrix, name="gs-pattern")
+        # Remove the diagonal's self-loops for coloring purposes.
+        self.graph = graph
+        self.coloring = color_graph(self.graph, method=method, **color_kwargs)
+        colors = self.coloring.colors
+        order = np.argsort(colors, kind="stable")
+        bounds = np.searchsorted(colors[order], np.arange(1, colors.max() + 2))
+        self.classes = [
+            order[lo:hi] for lo, hi in zip(np.r_[0, bounds[:-1]], bounds) if hi > lo
+        ]
+
+    def sweep(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """One multicolor GS sweep, in place."""
+        for cls in self.classes:
+            # x_c = (b_c - offdiag_row(c) . x) / d_c ; rows within a class
+            # are mutually independent so the batched form is exact GS.
+            rows = self.matrix[cls]
+            x[cls] += (b[cls] - rows @ x) / self.diag[cls]
+        return x
+
+    def solve(
+        self, b: np.ndarray, *, sweeps: int = 50, tol: float = 1e-8
+    ) -> tuple[np.ndarray, SweepReport]:
+        """Iterate sweeps until the residual drops below ``tol``."""
+        x = np.zeros_like(b, dtype=np.float64)
+        norms = [float(np.linalg.norm(b - self.matrix @ x))]
+        it = 0
+        for it in range(1, sweeps + 1):
+            self.sweep(x, b)
+            norms.append(float(np.linalg.norm(b - self.matrix @ x)))
+            if norms[-1] <= tol * max(norms[0], 1e-300):
+                break
+        return x, SweepReport(
+            iterations=it,
+            residual_norms=tuple(norms),
+            num_colors=self.coloring.num_colors,
+            parallel_phases_per_sweep=len(self.classes),
+        )
+
+
+def triangular_levels(lower: sp.csr_array) -> list[np.ndarray]:
+    """Level schedule for a sparse lower-triangular solve.
+
+    Row ``i`` depends on every row ``j < i`` with ``L[i, j] != 0``; levels
+    are the longest-path depths of that DAG.  All rows in one level solve
+    in parallel — the structure csrcolor was built to expose for ILU.
+    """
+    lower = sp.csr_array(lower)
+    n = lower.shape[0]
+    indptr, indices = lower.indptr, lower.indices
+    level = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        deps = indices[indptr[i] : indptr[i + 1]]
+        deps = deps[deps < i]
+        if deps.size:
+            level[i] = int(level[deps].max()) + 1
+    out = []
+    for lv in range(int(level.max()) + 1 if n else 0):
+        out.append(np.flatnonzero(level == lv).astype(np.int64))
+    return out

@@ -1,0 +1,242 @@
+"""Command-line interface: ``repro-color`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-color color    --graph rmat-er --method data-ldg
+    repro-color compare  --graph thermal2
+    repro-color suite                       # Table I
+    repro-color generate --graph rmat-g --out g.npz
+    repro-color sweep    --graph rmat-er --method data-base
+
+``--graph`` accepts a suite name (Table I), a ``.npz`` cache, a ``.mtx``
+MatrixMarket file, or an edge-list path — so the real SuiteSparse inputs
+drop in directly when available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .coloring.api import EVALUATED_SCHEMES, METHODS, color_graph
+from .graph.csr import CSRGraph
+from .graph.generators.suite import SUITE, load_graph
+from .graph.stats import compute_stats
+from .metrics.table import format_table
+
+__all__ = ["main", "resolve_graph"]
+
+
+def resolve_graph(spec: str, *, scale_div: int | None = None) -> CSRGraph:
+    """Turn a ``--graph`` argument into a :class:`CSRGraph`."""
+    if spec in SUITE:
+        return load_graph(spec, scale_div=scale_div)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(
+            f"unknown graph {spec!r}: not a suite name ({', '.join(SUITE)}) "
+            f"and no such file"
+        )
+    if path.suffix == ".npz":
+        from .graph.io.binary import load_npz
+
+        return load_npz(path)
+    if path.suffix in (".mtx", ".gz"):
+        from .graph.io.matrix_market import read_matrix_market
+
+        return read_matrix_market(path)
+    from .graph.io.edgelist import read_edgelist
+
+    return read_edgelist(path)
+
+
+def _cmd_color(args) -> int:
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    kwargs = {}
+    if args.method not in ("sequential", "gm", "jp", "jp-lf", "balanced-greedy"):
+        kwargs["block_size"] = args.block_size  # CPU schemes take no launch config
+    result = color_graph(graph, method=args.method, **kwargs)
+    print(result.summary())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    rows = []
+    baseline = None
+    for scheme in EVALUATED_SCHEMES:
+        result = color_graph(graph, method=scheme)
+        if scheme == "sequential":
+            baseline = result.total_time_us
+        rows.append(
+            [
+                scheme,
+                result.num_colors,
+                result.iterations,
+                round(result.total_time_us, 1),
+                round(baseline / result.total_time_us, 2) if baseline else 1.0,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "colors", "iters", "sim_us", "speedup"],
+            rows,
+            title=f"{graph.name}: n={graph.num_vertices} m={graph.num_edges}",
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    rows = []
+    for name, entry in SUITE.items():
+        g = load_graph(name, scale_div=args.scale_div)
+        s = compute_stats(g)
+        p = entry.paper
+        rows.append(
+            [
+                name,
+                s.num_vertices,
+                s.num_edges,
+                s.min_degree,
+                s.max_degree,
+                round(s.avg_degree, 2),
+                round(s.variance, 2),
+                f"{p.avg_degree:.2f}/{p.variance:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["graph", "n", "m", "min", "max", "avg", "var", "paper avg/var"],
+            rows,
+            title="Table I (generated stand-ins vs paper degree stats)",
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .graph.io.binary import save_npz
+
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    save_npz(graph, args.out)
+    print(f"wrote {graph} -> {args.out}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    rows = []
+    for bs in (32, 64, 128, 256, 512):
+        result = color_graph(graph, method=args.method, block_size=bs)
+        rows.append([bs, round(result.total_time_us, 1), result.num_colors])
+    print(
+        format_table(
+            ["block_size", "sim_us", "colors"],
+            rows,
+            title=f"Fig. 8 sweep: {args.method} on {graph.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .coloring.base import ColoringError, load_result
+
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    result = load_result(args.colors)
+    try:
+        result.validate(graph)
+    except ColoringError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(
+        f"OK: {result.scheme} coloring of {graph.name} is proper and complete "
+        f"({result.num_colors} colors)"
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .gpusim.device import Device
+    from .gpusim.profiler import profile_report, timeline_report
+
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    if args.method in ("sequential", "gm", "jp", "jp-lf", "balanced-greedy",
+                       "iterated-greedy", "dsatur"):
+        print(f"{args.method} launches no simulated kernels (CPU scheme)")
+        return 0
+    device = Device()
+    result = color_graph(graph, method=args.method, device=device)
+    print(result.summary() + "\n")
+    print(profile_report(result.profiles, top=args.top))
+    print()
+    print(timeline_report(device))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-color",
+        description="Speculative-greedy GPU graph coloring (IPPS'16 reproduction)",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale-div",
+        type=int,
+        default=None,
+        help="downscale divisor for suite graphs (default: REPRO_SCALE_DIV or 16)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("color", parents=[common], help="color one graph with one scheme")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--method", default="data-ldg", choices=sorted(METHODS))
+    p.add_argument("--block-size", type=int, default=128)
+    p.set_defaults(fn=_cmd_color)
+
+    p = sub.add_parser("compare", parents=[common], help="run all evaluated schemes on one graph")
+    p.add_argument("--graph", required=True)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("suite", parents=[common], help="print Table I for the generated suite")
+    p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("generate", parents=[common], help="generate a suite graph and save .npz")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("sweep", parents=[common], help="block-size sweep (Fig. 8)")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--method", default="data-base", choices=sorted(METHODS))
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "verify", parents=[common],
+        help="check a saved coloring (.npz from save_result) against a graph",
+    )
+    p.add_argument("--graph", required=True)
+    p.add_argument("--colors", required=True, help=".npz written by save_result")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "profile", parents=[common],
+        help="nvprof-style per-kernel profile of one scheme (Fig. 3 data)",
+    )
+    p.add_argument("--graph", required=True)
+    p.add_argument("--method", default="data-ldg", choices=sorted(METHODS))
+    p.add_argument("--top", type=int, default=None, help="show only the N slowest kernels")
+    p.set_defaults(fn=_cmd_profile)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

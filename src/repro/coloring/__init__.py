@@ -1,0 +1,54 @@
+"""Graph-coloring algorithms: the paper's schemes and their baselines."""
+
+from .api import EVALUATED_SCHEMES, METHODS, color_graph
+from .balance import balanced_greedy, rebalance_colors
+from .base import ColoringError, ColoringResult, color_class_sizes, count_conflicts
+from .csrcolor import color_csrcolor
+from .datadriven import color_data_driven
+from .dsatur import chromatic_number, dsatur, max_clique_lower_bound
+from .distance2 import (
+    color_distance2_gpu,
+    count_d2_conflicts,
+    greedy_distance2,
+    validate_distance2,
+)
+from .dynamic import DynamicColoring
+from .gm import color_gm
+from .iterated import iterated_greedy
+from .grosset import color_three_step_gm
+from .jp import color_jp, color_jp_gpu, color_jp_lf
+from .ordering import ORDERINGS
+from .sequential import greedy_colors_only, greedy_sequential
+from .topo import color_topology_driven
+
+__all__ = [
+    "EVALUATED_SCHEMES",
+    "METHODS",
+    "ORDERINGS",
+    "ColoringError",
+    "ColoringResult",
+    "DynamicColoring",
+    "balanced_greedy",
+    "color_class_sizes",
+    "color_csrcolor",
+    "color_data_driven",
+    "color_distance2_gpu",
+    "dsatur",
+    "color_gm",
+    "color_graph",
+    "color_jp",
+    "color_jp_gpu",
+    "color_jp_lf",
+    "color_three_step_gm",
+    "color_topology_driven",
+    "chromatic_number",
+    "count_conflicts",
+    "count_d2_conflicts",
+    "greedy_colors_only",
+    "greedy_distance2",
+    "greedy_sequential",
+    "iterated_greedy",
+    "max_clique_lower_bound",
+    "rebalance_colors",
+    "validate_distance2",
+]

@@ -1,0 +1,86 @@
+"""Color-balancing heuristics (extension; Gjertsen et al.'s PDR/PLF family).
+
+When colors schedule parallel work, a giant color class is a straggler.
+Two balancers are provided:
+
+* :func:`balanced_greedy` — color with *least-used permissible color*
+  instead of smallest (PLF-style): balances on the fly, may use a few more
+  colors than plain greedy.
+* :func:`rebalance_colors` — post-pass (PDR-style): vertices in
+  over-populated classes move to the smallest-population permissible class,
+  never increasing the color count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import COLOR_DTYPE, ColoringResult, color_class_sizes
+
+__all__ = ["balanced_greedy", "rebalance_colors"]
+
+
+def balanced_greedy(graph: CSRGraph, *, seed: int = 0) -> ColoringResult:
+    """Greedy coloring choosing the least-populated permissible color."""
+    n = graph.num_vertices
+    colors = np.zeros(n, dtype=COLOR_DTYPE)
+    max_colors = graph.max_degree + 2
+    class_size = np.zeros(max_colors + 1, dtype=np.int64)
+    class_size[0] = np.iinfo(np.int64).max  # color 0 is never chosen
+    R, C = graph.row_offsets, graph.col_indices
+    forbidden = np.zeros(max_colors + 1, dtype=np.int64)
+    forbidden[:] = -1
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    for v in order:
+        v = int(v)
+        nbr = colors[C[R[v] : R[v + 1]]]
+        forbidden[nbr] = v
+        # Permissible colors among 1..deg+1; pick the emptiest.
+        limit = (R[v + 1] - R[v]) + 2
+        cand = np.flatnonzero(forbidden[1:limit] != v) + 1
+        c = int(cand[np.argmin(class_size[cand])])
+        colors[v] = c
+        class_size[c] += 1
+    return ColoringResult(colors=colors, scheme="balanced-greedy", iterations=1)
+
+
+def rebalance_colors(
+    graph: CSRGraph, colors: np.ndarray, *, max_passes: int = 3
+) -> np.ndarray:
+    """Shrink over-populated color classes without adding colors.
+
+    Each pass visits vertices of classes larger than the mean and moves
+    them to the least-populated permissible existing class.  Monotone:
+    a move strictly improves the size spread, so passes terminate.
+    """
+    colors = np.array(colors, dtype=COLOR_DTYPE, copy=True)
+    if colors.size == 0:
+        return colors
+    num_colors = int(colors.max())
+    if num_colors <= 1:
+        return colors
+    R, C = graph.row_offsets, graph.col_indices
+    for _ in range(max_passes):
+        sizes = np.bincount(colors, minlength=num_colors + 1).astype(np.int64)
+        mean = sizes[1:].mean()
+        heavy = np.flatnonzero(sizes > mean)
+        heavy_vertices = np.flatnonzero(np.isin(colors, heavy))
+        moved = 0
+        for v in heavy_vertices:
+            v = int(v)
+            cur = colors[v]
+            nbr = set(colors[C[R[v] : R[v + 1]]].tolist())
+            best, best_size = cur, sizes[cur]
+            for c in range(1, num_colors + 1):
+                if c != cur and c not in nbr and sizes[c] + 1 < best_size:
+                    best, best_size = c, sizes[c]
+            if best != cur:
+                sizes[cur] -= 1
+                sizes[best] += 1
+                colors[v] = best
+                moved += 1
+        if moved == 0:
+            break
+    return colors

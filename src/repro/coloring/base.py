@@ -1,0 +1,156 @@
+"""Common result types and verification for all coloring schemes.
+
+Colors are 1-based ``int32``; 0 means *uncolored*.  Every scheme returns a
+:class:`ColoringResult` whose :meth:`validate` proves properness — the test
+suite calls it on every scheme x graph combination, because speculative
+algorithms are exactly the kind that can silently leave conflicts behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["ColoringError", "ColoringResult", "count_conflicts", "color_class_sizes", "save_result", "load_result"]
+
+COLOR_DTYPE = np.int32
+
+
+class ColoringError(RuntimeError):
+    """Raised when a produced coloring fails verification."""
+
+
+def count_conflicts(graph: CSRGraph, colors: np.ndarray) -> int:
+    """Number of undirected edges whose endpoints share a (positive) color."""
+    u, v = graph.edge_endpoints()
+    keep = u < v
+    u, v = u[keep], v[keep]
+    same = (colors[u] == colors[v]) & (colors[u] > 0)
+    return int(same.sum())
+
+
+def color_class_sizes(colors: np.ndarray) -> np.ndarray:
+    """``sizes[c-1]`` = number of vertices with color ``c`` (1-based input)."""
+    colors = np.asarray(colors)
+    pos = colors[colors > 0]
+    if pos.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(pos, minlength=int(pos.max()) + 1)[1:]
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of one coloring run.
+
+    Attributes
+    ----------
+    colors:
+        Per-vertex colors, 1-based; verified complete by :meth:`validate`.
+    scheme:
+        Scheme identifier (``sequential``, ``topo-base``, ``csrcolor``, ...).
+    iterations:
+        Outer (bulk-synchronous) rounds until convergence.
+    gpu_time_us / cpu_time_us / transfer_time_us:
+        Simulated time components; ``total_time_us`` is their sum and is
+        what the paper's speedup figures compare.
+    num_kernel_launches:
+        Kernel launches issued (each also carries fixed launch overhead).
+    profiles:
+        Per-launch :class:`~repro.gpusim.timing.KernelProfile` objects, for
+        the Fig. 3-style analyses.
+    """
+
+    colors: np.ndarray
+    scheme: str
+    iterations: int = 0
+    gpu_time_us: float = 0.0
+    cpu_time_us: float = 0.0
+    transfer_time_us: float = 0.0
+    num_kernel_launches: int = 0
+    profiles: list = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_colors(self) -> int:
+        """Number of distinct colors used."""
+        return int(self.colors.max()) if self.colors.size else 0
+
+    @property
+    def total_time_us(self) -> float:
+        return self.gpu_time_us + self.cpu_time_us + self.transfer_time_us
+
+    def validate(self, graph: CSRGraph) -> None:
+        """Raise :class:`ColoringError` unless complete and proper."""
+        if self.colors.shape != (graph.num_vertices,):
+            raise ColoringError(
+                f"{self.scheme}: color array has shape {self.colors.shape}, "
+                f"expected ({graph.num_vertices},)"
+            )
+        uncolored = int((self.colors <= 0).sum())
+        if uncolored:
+            raise ColoringError(f"{self.scheme}: {uncolored} vertices left uncolored")
+        conflicts = count_conflicts(graph, self.colors)
+        if conflicts:
+            raise ColoringError(f"{self.scheme}: {conflicts} conflicting edges remain")
+
+    def balance(self) -> float:
+        """Color-class balance: max class size over mean class size (>= 1).
+
+        1.0 is perfectly balanced; large values mean a few huge classes —
+        relevant when colors schedule parallel work (a straggler class
+        serializes the computation it gates).
+        """
+        sizes = color_class_sizes(self.colors)
+        if sizes.size == 0:
+            return 1.0
+        return float(sizes.max() / sizes.mean())
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.scheme}: {self.num_colors} colors, "
+            f"{self.iterations} iterations, "
+            f"{self.total_time_us:.1f} us simulated "
+            f"(gpu {self.gpu_time_us:.1f} + cpu {self.cpu_time_us:.1f} "
+            f"+ pcie {self.transfer_time_us:.1f}), "
+            f"{self.num_kernel_launches} launches"
+        )
+
+
+def save_result(result: "ColoringResult", path) -> None:
+    """Persist a coloring result (colors + metadata) as ``.npz``.
+
+    Profiles are summarized, not serialized — the colors, counts and
+    timings are what experiments need to be reproducible.
+    """
+    from pathlib import Path
+
+    np.savez_compressed(
+        Path(path),
+        colors=result.colors,
+        scheme=np.array(result.scheme),
+        iterations=np.array(result.iterations),
+        gpu_time_us=np.array(result.gpu_time_us),
+        cpu_time_us=np.array(result.cpu_time_us),
+        transfer_time_us=np.array(result.transfer_time_us),
+        num_kernel_launches=np.array(result.num_kernel_launches),
+    )
+
+
+def load_result(path) -> "ColoringResult":
+    """Load a result previously written by :func:`save_result`."""
+    from pathlib import Path
+
+    with np.load(Path(path), allow_pickle=False) as data:
+        return ColoringResult(
+            colors=data["colors"].astype(COLOR_DTYPE),
+            scheme=str(data["scheme"]),
+            iterations=int(data["iterations"]),
+            gpu_time_us=float(data["gpu_time_us"]),
+            cpu_time_us=float(data["cpu_time_us"]),
+            transfer_time_us=float(data["transfer_time_us"]),
+            num_kernel_launches=int(data["num_kernel_launches"]),
+        )

@@ -1,0 +1,153 @@
+"""DSATUR (Brélaz 1979) and an exact branch-and-bound chromatic solver.
+
+DSATUR is the canonical sequential quality heuristic: always color the
+vertex with the highest *saturation* (distinct neighbor colors), breaking
+ties by degree.  It is exactly optimal on bipartite graphs and usually
+beats first-fit by a color or two — a stronger quality bar than Alg. 1
+for judging the parallel schemes.
+
+:func:`chromatic_number` turns DSATUR into an exact solver by
+branch-and-bound over the same vertex order (the standard DSATUR-based
+exact algorithm): at each step the chosen vertex tries every feasible
+existing color plus one new color, pruning when the palette reaches the
+incumbent.  Exponential worst case — intended for the small oracle graphs
+the test suite checks quality against, guarded by a node budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import COLOR_DTYPE, ColoringResult
+
+__all__ = ["dsatur", "chromatic_number", "max_clique_lower_bound"]
+
+
+def dsatur(graph: CSRGraph) -> ColoringResult:
+    """Brélaz's saturation-degree greedy coloring."""
+    n = graph.num_vertices
+    colors = np.zeros(n, dtype=COLOR_DTYPE)
+    if n == 0:
+        return ColoringResult(colors=colors, scheme="dsatur", iterations=1)
+    R, C = graph.row_offsets, graph.col_indices
+    degs = graph.degrees.astype(np.int64)
+    # neighbor_colors[v] tracks the distinct colors adjacent to v.
+    neighbor_colors: list[set[int]] = [set() for _ in range(n)]
+    saturation = np.zeros(n, dtype=np.int64)
+    uncolored = np.ones(n, dtype=bool)
+    for _ in range(n):
+        # Highest saturation, ties by degree, then by id (deterministic).
+        sat_view = np.where(uncolored, saturation, -1)
+        best_sat = sat_view.max()
+        cand = np.flatnonzero(sat_view == best_sat)
+        v = int(cand[np.argmax(degs[cand])])
+        used = neighbor_colors[v]
+        c = 1
+        while c in used:
+            c += 1
+        colors[v] = c
+        uncolored[v] = False
+        for w in C[R[v] : R[v + 1]]:
+            w = int(w)
+            if uncolored[w] and c not in neighbor_colors[w]:
+                neighbor_colors[w].add(c)
+                saturation[w] += 1
+    return ColoringResult(colors=colors, scheme="dsatur", iterations=1)
+
+
+def max_clique_lower_bound(graph: CSRGraph, *, tries: int = 32, seed: int = 0) -> int:
+    """Greedy clique heuristic: a lower bound on the chromatic number.
+
+    Repeatedly grows a clique from a random high-degree seed; returns the
+    largest found.  Not exact (max clique is NP-hard) but a valid bound.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    if graph.num_edges == 0:
+        return 1
+    rng = np.random.default_rng(seed)
+    adj_sets = [frozenset(graph.neighbors(v).tolist()) for v in range(n)]
+    order_by_degree = np.argsort(-graph.degrees)
+    best = 1
+    for t in range(tries):
+        seed_v = int(order_by_degree[t % n] if t < n else rng.integers(0, n))
+        clique = [seed_v]
+        cand = set(adj_sets[seed_v])
+        while cand:
+            # extend by the candidate with most connections into cand
+            v = max(cand, key=lambda x: len(cand & adj_sets[x]))
+            clique.append(v)
+            cand &= adj_sets[v]
+        best = max(best, len(clique))
+    return best
+
+
+class _BudgetExceeded(Exception):
+    pass
+
+
+def chromatic_number(
+    graph: CSRGraph, *, node_budget: int = 200_000
+) -> int:
+    """Exact chromatic number by DSATUR branch-and-bound.
+
+    Raises ``RuntimeError`` if the search tree exceeds ``node_budget``
+    nodes — this is an oracle for small graphs, not a production solver.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    if graph.num_edges == 0:
+        return 1
+    adj: list[np.ndarray] = [graph.neighbors(v).astype(np.int64) for v in range(n)]
+    colors = np.zeros(n, dtype=np.int64)
+    lower = max_clique_lower_bound(graph)
+    upper = int(dsatur(graph).num_colors)
+    if lower == upper:
+        return lower
+    best = upper
+    nodes = 0
+
+    def select_vertex() -> int:
+        # DSATUR selection among uncolored vertices.
+        best_v, best_key = -1, (-1, -1)
+        for v in range(n):
+            if colors[v]:
+                continue
+            sat = len({int(colors[w]) for w in adj[v] if colors[w]})
+            key = (sat, int(adj[v].size))
+            if key > best_key:
+                best_key, best_v = key, v
+        return best_v
+
+    def search(num_used: int, colored: int) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise _BudgetExceeded
+        if num_used >= best:
+            return
+        if colored == n:
+            best = num_used
+            return
+        v = select_vertex()
+        forbidden = {int(colors[w]) for w in adj[v] if colors[w]}
+        for c in range(1, min(num_used + 1, best - 1) + 1):
+            if c in forbidden:
+                continue
+            colors[v] = c
+            search(max(num_used, c), colored + 1)
+            colors[v] = 0
+            if best == lower:
+                return  # already optimal
+
+    try:
+        search(0, 0)
+    except _BudgetExceeded as exc:
+        raise RuntimeError(
+            f"chromatic_number: node budget {node_budget} exceeded "
+            f"(bounds were [{lower}, {best}])"
+        ) from exc
+    return best

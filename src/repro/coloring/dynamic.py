@@ -1,0 +1,154 @@
+"""Incremental coloring maintenance under graph mutation (extension).
+
+Morph workloads (Nasre et al.'s other irregular-algorithm class) mutate
+the graph while computing on it; recoloring from scratch per edit wastes
+the existing coloring.  :class:`DynamicColoring` maintains a proper
+coloring across edge insertions/deletions and vertex additions with
+local repair:
+
+* **insert(u, v)**: if the endpoints clash, the endpoint with the smaller
+  saturated neighborhood recolors to its mex; colors only grow when the
+  neighborhood truly forces it.
+* **delete(u, v)**: never breaks properness; optionally *improves* the
+  endpoints greedily (they may now fit a smaller color).
+* **add_vertex()**: appends an isolated vertex with color 1.
+
+The adjacency is held in per-vertex sorted arrays (amortized O(deg) per
+edit); :meth:`to_graph` exports a CSRGraph snapshot for the static
+algorithms and verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.builder import from_edges
+from ..graph.csr import CSRGraph
+from .base import COLOR_DTYPE, ColoringError
+
+__all__ = ["DynamicColoring"]
+
+
+class DynamicColoring:
+    """A proper coloring maintained across graph edits."""
+
+    def __init__(self, graph: CSRGraph | None = None, colors: np.ndarray | None = None):
+        if graph is None:
+            self._adj: list[np.ndarray] = []
+            self._colors: list[int] = []
+        else:
+            self._adj = [graph.neighbors(v).astype(np.int64).copy()
+                         for v in range(graph.num_vertices)]
+            if colors is None:
+                from .sequential import greedy_colors_only
+
+                colors = greedy_colors_only(graph)
+            colors = np.asarray(colors)
+            if colors.shape != (graph.num_vertices,):
+                raise ValueError("colors must have one entry per vertex")
+            self._colors = [int(c) for c in colors]
+            self._check_proper()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_colors(self) -> int:
+        return max(self._colors, default=0)
+
+    def color_of(self, v: int) -> int:
+        return self._colors[v]
+
+    def colors(self) -> np.ndarray:
+        return np.asarray(self._colors, dtype=COLOR_DTYPE)
+
+    def degree(self, v: int) -> int:
+        return int(self._adj[v].size)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_ids(u, v)
+        idx = np.searchsorted(self._adj[u], v)
+        return idx < self._adj[u].size and self._adj[u][idx] == v
+
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Append an isolated vertex; returns its id."""
+        self._adj.append(np.empty(0, dtype=np.int64))
+        self._colors.append(1)
+        return len(self._adj) - 1
+
+    def insert(self, u: int, v: int) -> int | None:
+        """Insert edge (u, v); returns the recolored endpoint, if any."""
+        self._check_ids(u, v)
+        if u == v:
+            raise ValueError("self-loops are not colorable")
+        if self.has_edge(u, v):
+            return None
+        self._adj[u] = np.insert(self._adj[u], np.searchsorted(self._adj[u], v), v)
+        self._adj[v] = np.insert(self._adj[v], np.searchsorted(self._adj[v], u), u)
+        if self._colors[u] != self._colors[v]:
+            return None
+        # Repair: recolor the endpoint whose neighborhood leaves the
+        # smallest mex (ties toward the lower degree — cheaper rescan).
+        cand = min((u, v), key=lambda x: (self._mex(x), self.degree(x)))
+        self._colors[cand] = self._mex(cand)
+        return cand
+
+    def delete(self, u: int, v: int, *, improve: bool = True) -> None:
+        """Remove edge (u, v); optionally shrink the endpoints' colors."""
+        self._check_ids(u, v)
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u}, {v}) not present")
+        self._adj[u] = np.delete(self._adj[u], np.searchsorted(self._adj[u], v))
+        self._adj[v] = np.delete(self._adj[v], np.searchsorted(self._adj[v], u))
+        if improve:
+            for x in (u, v):
+                m = self._mex(x)
+                if m < self._colors[x]:
+                    self._colors[x] = m
+
+    # ------------------------------------------------------------------
+    def _mex(self, v: int) -> int:
+        used = set(self._colors[int(w)] for w in self._adj[v])
+        c = 1
+        while c in used:
+            c += 1
+        return c
+
+    def _check_ids(self, *ids: int) -> None:
+        for x in ids:
+            if not 0 <= x < len(self._adj):
+                raise IndexError(f"vertex {x} out of range")
+
+    def _check_proper(self) -> None:
+        for v, nbrs in enumerate(self._adj):
+            for w in nbrs:
+                if self._colors[v] == self._colors[int(w)]:
+                    raise ColoringError(
+                        f"input coloring is improper at edge ({v}, {int(w)})"
+                    )
+
+    # ------------------------------------------------------------------
+    def to_graph(self, *, name: str = "dynamic") -> CSRGraph:
+        """Snapshot the current topology as an immutable CSRGraph."""
+        us, vs = [], []
+        for v, nbrs in enumerate(self._adj):
+            if nbrs.size:
+                us.append(np.full(nbrs.size, v, dtype=np.int64))
+                vs.append(nbrs)
+        if us:
+            u = np.concatenate(us)
+            w = np.concatenate(vs)
+        else:
+            u = w = np.empty(0, dtype=np.int64)
+        return from_edges(
+            u, w, num_vertices=len(self._adj), symmetrize=False, name=name
+        )
+
+    def validate(self) -> None:
+        """Raise unless the maintained coloring is proper and complete."""
+        if any(c <= 0 for c in self._colors):
+            raise ColoringError("uncolored vertex in dynamic coloring")
+        self._check_proper()

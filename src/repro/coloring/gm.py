@@ -1,0 +1,112 @@
+"""Algorithm 2: the Gebremedhin–Manne speculative scheme (CPU-parallel form).
+
+This is the multicore ancestor of the paper's GPU schemes (Çatalyürek et
+al.'s OpenMP formulation): color everything speculatively in parallel,
+detect conflicts, re-run on the conflicted remainder.  It doubles as the
+algorithmic reference the GPU variants are validated against — same
+rounds, same tie-break — and, with ``cores`` set, as the priced
+OpenMP-on-Xeon baseline of the Background-section comparison.
+
+The "parallel for" is modelled as a bulk-synchronous step over the cores:
+within a round every vertex reads the round-entry snapshot of the color
+array, which is the worst case for conflicts (real CPUs interleave and
+see fresher values; convergence differs by at most a round or two).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpusim.model import MulticoreCPU
+from ..graph.csr import CSRGraph
+from .base import COLOR_DTYPE, ColoringResult
+from .kernels import detect_conflicts, expand_segments, speculative_color_step
+
+__all__ = ["color_gm"]
+
+_MAX_ITERATIONS = 10_000
+_INSTR_PER_EDGE = 5
+_INSTR_PER_VERTEX = 14
+
+
+def _sequential_on_view(
+    graph: CSRGraph, view: np.ndarray, chunk: np.ndarray
+) -> np.ndarray:
+    """One core's share: sequential greedy over ``chunk`` against ``view``.
+
+    ``view`` holds the round-entry snapshot plus this core's own commits —
+    exactly what an OpenMP thread sees while its siblings run.
+    """
+    R, C = graph.row_offsets, graph.col_indices
+    color_mask = np.full(graph.max_degree + 2, -1, dtype=np.int64)
+    out = np.empty(chunk.size, dtype=COLOR_DTYPE)
+    for i, v in enumerate(chunk):
+        v = int(v)
+        color_mask[view[C[R[v] : R[v + 1]]]] = v
+        c = 1
+        while color_mask[c] == v:
+            c += 1
+        view[v] = c
+        out[i] = c
+    return out
+
+
+def color_gm(graph: CSRGraph, *, cores: int | None = None) -> ColoringResult:
+    """Run the GM speculation loop.
+
+    Parameters
+    ----------
+    cores:
+        If given, run with the OpenMP execution model — each core colors a
+        contiguous chunk of the worklist *sequentially* (its own commits
+        are visible to itself; siblings see the round-entry snapshot), so
+        conflicts only arise across chunk boundaries — and price the run
+        on a simulated ``cores``-way Xeon.  Without ``cores``, run the
+        bulk-synchronous full-snapshot reference (worst-case conflicts, no
+        timing) used by the validation suite.
+    """
+    n = graph.num_vertices
+    colors = np.zeros(n, dtype=COLOR_DTYPE)
+    work = np.arange(n, dtype=np.int64)
+    cpu = MulticoreCPU(cores=cores) if cores else None
+    iterations = 0
+    while work.size:
+        if iterations >= _MAX_ITERATIONS:
+            raise RuntimeError("GM coloring failed to converge")
+        if cores:
+            snapshot = colors.copy()
+            chunks = np.array_split(work, cores)
+            fresh: list[np.ndarray] = []
+            for chunk in chunks:
+                view = snapshot.copy()
+                fresh.append(_sequential_on_view(graph, view, chunk))
+            for chunk, vals in zip(chunks, fresh):
+                colors[chunk] = vals
+            _charge_round(cpu, graph, work, f"gm-color-{iterations}")
+        else:
+            colors[work] = speculative_color_step(graph, colors, work)
+        conflicted = detect_conflicts(graph, colors, work)
+        if cpu is not None:
+            _charge_round(cpu, graph, work, f"gm-conflict-{iterations}")
+        work = conflicted
+        iterations += 1
+    return ColoringResult(
+        colors=colors,
+        scheme=f"gm-{cores}core" if cores else "gm",
+        iterations=iterations,
+        cpu_time_us=cpu.total_time_us() if cpu else 0.0,
+        extra={"cores": cores},
+    )
+
+
+def _charge_round(cpu: MulticoreCPU, graph: CSRGraph, work: np.ndarray, name: str) -> None:
+    """Price one parallel region: the work set's neighbor-color gathers."""
+    _, _, edge_idx = expand_segments(graph, work)
+    addresses = graph.col_indices[edge_idx].astype(np.int64) * 4
+    m_work = int(edge_idx.size)
+    cpu.run_parallel(
+        name,
+        instructions=_INSTR_PER_VERTEX * int(work.size) + _INSTR_PER_EDGE * m_work,
+        addresses=addresses,
+        sequential_bytes=work.size * 12,  # R bounds + worklist entries
+    )

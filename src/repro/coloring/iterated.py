@@ -1,0 +1,90 @@
+"""Iterated greedy recoloring (Culberson) — quality extension.
+
+Culberson's observation: re-running greedy with any order in which each
+existing color class appears as a contiguous block can never increase the
+color count, and reordering the classes (largest-first, reverse, random)
+often decreases it.  A few iterations typically shave 1-3 colors off a
+first-fit coloring at sequential-greedy cost per pass — a cheap quality
+booster for any scheme in this library, including the GPU ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import COLOR_DTYPE, ColoringResult, color_class_sizes
+from .sequential import greedy_colors_only
+
+__all__ = ["iterated_greedy"]
+
+_CLASS_ORDERS = ("reverse", "largest-first", "smallest-first", "random")
+
+
+def _class_block_order(
+    colors: np.ndarray, strategy: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Vertex order grouping each color class contiguously."""
+    num_colors = int(colors.max())
+    sizes = color_class_sizes(colors)
+    classes = np.arange(1, num_colors + 1)
+    if strategy == "reverse":
+        class_order = classes[::-1]
+    elif strategy == "largest-first":
+        class_order = classes[np.argsort(-sizes, kind="stable")]
+    elif strategy == "smallest-first":
+        class_order = classes[np.argsort(sizes, kind="stable")]
+    elif strategy == "random":
+        class_order = rng.permutation(classes)
+    else:
+        raise ValueError(f"unknown class order {strategy!r}")
+    rank = np.empty(num_colors + 1, dtype=np.int64)
+    rank[class_order] = np.arange(num_colors)
+    return np.argsort(rank[colors], kind="stable").astype(np.int64)
+
+
+def iterated_greedy(
+    graph: CSRGraph,
+    *,
+    initial: np.ndarray | None = None,
+    iterations: int = 8,
+    seed: int = 0,
+) -> ColoringResult:
+    """Refine a coloring by repeated class-blocked greedy passes.
+
+    Parameters
+    ----------
+    initial:
+        Starting coloring (defaults to first-fit greedy).  Any proper
+        coloring works — feed a GPU scheme's result to polish it.
+    iterations:
+        Recoloring passes; strategies rotate reverse -> largest ->
+        smallest -> random.
+
+    The color count is non-increasing across passes (Culberson's
+    invariant), so the result is always at least as good as the input.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    rng = np.random.default_rng(seed)
+    colors = (
+        np.array(initial, dtype=COLOR_DTYPE, copy=True)
+        if initial is not None
+        else greedy_colors_only(graph)
+    )
+    if colors.shape != (graph.num_vertices,):
+        raise ValueError("initial coloring must have one entry per vertex")
+    history = [int(colors.max()) if colors.size else 0]
+    for it in range(iterations):
+        strategy = _CLASS_ORDERS[it % len(_CLASS_ORDERS)]
+        order = _class_block_order(colors, strategy, rng)
+        colors = greedy_colors_only(graph, order)
+        history.append(int(colors.max()))
+        if history[-1] <= 2:  # cannot do better than bipartite
+            break
+    return ColoringResult(
+        colors=colors,
+        scheme="iterated-greedy",
+        iterations=len(history) - 1,
+        extra={"color_history": history},
+    )

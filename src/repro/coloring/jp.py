@@ -1,0 +1,196 @@
+"""Algorithm 3: Jones–Plassmann maximal-independent-set coloring.
+
+Luby-style: every remaining vertex draws a random priority; local maxima
+form an independent set, which takes the round's color.  No conflicts by
+construction, but one color per round and the expected round count grows
+with the chromatic structure — the quality/speed trade the paper's
+Section II contrasts with speculation.
+
+Variants:
+
+* ``color_jp`` — classic JP with random priorities (one color per round).
+* ``color_jp_lf`` — the PLF refinement (Gjertsen et al.): priority =
+  (degree, random tiebreak), which consistently saves colors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import COLOR_DTYPE, ColoringResult
+from .kernels import expand_segments
+
+__all__ = ["color_jp", "color_jp_gpu", "color_jp_lf", "local_maxima"]
+
+_MAX_ITERATIONS = 100_000
+
+
+def local_maxima(
+    graph: CSRGraph, active_ids: np.ndarray, priorities: np.ndarray
+) -> np.ndarray:
+    """Active vertices whose priority beats all *active* neighbors'.
+
+    Ties break toward the larger vertex id, making the independent set
+    deterministic even with colliding priorities.  ``priorities`` is
+    indexed by vertex id; inactive neighbors do not compete.
+    """
+    active_ids = np.asarray(active_ids, dtype=np.int64)
+    active_mask = np.zeros(graph.num_vertices, dtype=bool)
+    active_mask[active_ids] = True
+    seg, _, edge_idx = expand_segments(graph, active_ids)
+    w = graph.col_indices[edge_idx].astype(np.int64)
+    v = active_ids[seg]
+    competing = active_mask[w]
+    pv, pw = priorities[v], priorities[w]
+    beaten = competing & ((pw > pv) | ((pw == pv) & (w > v)))
+    wins = np.ones(active_ids.size, dtype=bool)
+    wins[seg[beaten]] = False
+    return active_ids[wins]
+
+
+def _jp_loop(graph: CSRGraph, priority_fn, scheme: str, *, use_mex: bool) -> ColoringResult:
+    """Shared MIS-peeling loop.
+
+    ``use_mex=False`` is the paper's Alg. 3 verbatim: the whole round's
+    independent set takes the round number as its color.  ``use_mex=True``
+    is the Jones–Plassmann heuristic proper: each elected vertex takes the
+    smallest color its already-colored neighbors permit, which reuses old
+    colors and matches greedy quality far more closely.
+    """
+    from .kernels import speculative_color_step
+
+    n = graph.num_vertices
+    colors = np.zeros(n, dtype=COLOR_DTYPE)
+    work = np.arange(n, dtype=np.int64)
+    rounds = 0
+    while work.size:
+        rounds += 1
+        if rounds >= _MAX_ITERATIONS:
+            raise RuntimeError("JP coloring failed to converge")
+        priorities = priority_fn(work, rounds)
+        mis = local_maxima(graph, work, priorities)
+        if use_mex:
+            # mis is independent, so the speculative step is conflict-free.
+            colors[mis] = speculative_color_step(graph, colors, mis)
+        else:
+            colors[mis] = rounds
+        keep = colors[work] == 0
+        work = work[keep]
+    return ColoringResult(colors=colors, scheme=scheme, iterations=rounds)
+
+
+def color_jp(graph: CSRGraph, *, seed: int = 0, use_mex: bool = False) -> ColoringResult:
+    """The paper's Alg. 3: random priorities, round number as color.
+
+    Pass ``use_mex=True`` for the original JP heuristic's smallest-
+    available-color assignment.
+    """
+    n = graph.num_vertices
+    base_rng = np.random.default_rng(seed)
+
+    def priority_fn(work: np.ndarray, round_no: int) -> np.ndarray:
+        pr = np.zeros(n, dtype=np.float64)
+        pr[work] = base_rng.random(work.size)
+        return pr
+
+    return _jp_loop(graph, priority_fn, "jp-mex" if use_mex else "jp", use_mex=use_mex)
+
+
+def color_jp_lf(graph: CSRGraph, *, seed: int = 0) -> ColoringResult:
+    """PLF (Gjertsen et al.): largest-degree-first priorities, random
+    tie-breaking, smallest-available-color assignment."""
+    n = graph.num_vertices
+    rng = np.random.default_rng(seed)
+    tiebreak = rng.random(n)
+    static_priority = graph.degrees.astype(np.float64) + tiebreak
+
+    def priority_fn(work: np.ndarray, round_no: int) -> np.ndarray:
+        return static_priority
+
+    return _jp_loop(graph, priority_fn, "jp-lf", use_mex=True)
+
+
+def color_jp_gpu(
+    graph,
+    *,
+    block_size: int = 128,
+    seed: int = 0,
+    device=None,
+):
+    """Alg. 3 priced on the simulated device (extension).
+
+    The historical GPU baseline multi-hash csrcolor was designed to beat:
+    every round launches (1) a priority kernel writing a fresh random
+    number per remaining vertex and (2) an MIS kernel comparing each
+    remaining vertex against its neighbors' priorities — one color per
+    round, so the launch count equals the color count.  Its slowness
+    relative to csrcolor (which extracts 2N sets per round) is the reason
+    multi-hash exists.
+    """
+    import numpy as np
+
+    from ..gpusim.config import LaunchConfig
+    from ..gpusim.device import Device
+    from .kernels import expand_segments, upload_graph
+
+    device = device or Device()
+    launch = LaunchConfig(block_size=block_size)
+    n = graph.num_vertices
+    bufs = upload_graph(device, graph)
+    colors = bufs.colors.data
+    r_buf = device.alloc(n, np.float32, name="priorities")
+    rng = np.random.default_rng(seed)
+    all_ids = np.arange(n, dtype=np.int64)
+
+    active = all_ids
+    color = 0
+    profiles = []
+    while active.size:
+        color += 1
+        if color > n + 1:
+            raise RuntimeError("JP-GPU failed to converge")
+        # --- priority kernel: one store per remaining vertex -------------
+        tb = device.builder(n, launch, name=f"jp-rand-{color}")
+        priorities = np.zeros(n)
+        priorities[active] = rng.random(active.size)
+        tb.store(active, r_buf.addr(active))
+        tb.instructions(active, 8)  # RNG state update
+        tb.uniform_overhead(2)
+        tb.activate(active.size)
+        profiles.append(device.commit(tb))
+
+        # --- MIS kernel: compare against active neighbors ----------------
+        tb = device.builder(n, launch, name=f"jp-mis-{color}")
+        seg, step, edge_idx = expand_segments(graph, active)
+        t_of_edge = active[seg]
+        tb.load(active, bufs.R.addr(active))
+        tb.load(active, bufs.R.addr(active + 1))
+        tb.load(t_of_edge, bufs.C.addr(edge_idx), step=step)
+        w = graph.col_indices[edge_idx].astype(np.int64)
+        tb.load(t_of_edge, r_buf.addr(w), step=step)
+        tb.load(t_of_edge, bufs.colors.addr(w), step=step)  # active check
+        mis = local_maxima(graph, active, priorities)
+        if mis.size:
+            tb.store(mis, bufs.colors.addr(mis))
+        trips = graph.degrees[active].astype(np.int64)
+        tb.instructions(active, trips * 5 + 10)
+        tb.uniform_overhead(3)
+        tb.activate(active.size)
+        profiles.append(device.commit(tb))
+
+        colors[mis] = color
+        device.dtoh(4)
+        active = active[colors[active] == 0]
+
+    return ColoringResult(
+        colors=colors.astype(COLOR_DTYPE, copy=True),
+        scheme="jp-gpu",
+        iterations=color,
+        gpu_time_us=device.timeline.kernel_time_us()
+        + device.timeline.launch_overhead_us(device.config),
+        transfer_time_us=device.timeline.transfer_time_us(),
+        num_kernel_launches=device.timeline.num_launches(),
+        profiles=profiles,
+        extra={"block_size": block_size},
+    )

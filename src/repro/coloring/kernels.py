@@ -1,0 +1,462 @@
+"""Shared kernel machinery for the GPU coloring schemes.
+
+Two halves:
+
+* **Functional** — vectorized NumPy implementations of the two
+  bulk-synchronous steps every speculative-greedy variant runs:
+  :func:`speculative_color_step` (Alg. 4/5 lines 4-10: each active vertex
+  takes the smallest color not used by any neighbor, reading the *round
+  snapshot* of the color array) and :func:`detect_conflicts`
+  (lines 12-18: un-color / re-enqueue the smaller endpoint of every
+  monochromatic edge).
+* **Trace charging** — :func:`charge_color_kernel` /
+  :func:`charge_conflict_kernel` record what the SIMT hardware does for
+  those steps: the ``R``/``C``/``color`` load streams (with or without
+  ``__ldg``), the per-edge loop instructions, and the result stores.
+
+Snapshot semantics note: real CUDA execution interleaves reads and writes
+within a kernel, so some conflicts the snapshot model predicts are resolved
+"for free" on hardware.  Snapshot is the worst case and the standard BSP
+reading of the pseudocode; iteration counts are within one round of
+hardware behavior either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.device import DeviceArray
+from ..gpusim.trace import TraceBuilder
+from ..graph.csr import CSRGraph
+from .base import COLOR_DTYPE
+
+__all__ = [
+    "GraphBuffers",
+    "upload_graph",
+    "expand_segments",
+    "min_excluded_colors",
+    "speculative_color_step",
+    "speculative_color_waved",
+    "resident_thread_capacity",
+    "detect_conflicts",
+    "charge_color_kernel",
+    "charge_conflict_kernel",
+    "charge_color_kernel_lb",
+    "warp_lb_layout",
+    "WarpLBLayout",
+    "race_window_threads",
+]
+
+
+def resident_thread_capacity(device, launch) -> int:
+    """Concurrent-thread capacity of the device for one launch config
+    (SMs x occupancy-limited resident blocks x block size)."""
+    from ..gpusim.occupancy import compute_occupancy
+
+    occ = compute_occupancy(device.config, launch)
+    return device.config.num_sms * occ.blocks_per_sm * launch.block_size
+
+
+def race_window_threads(device, launch) -> int:
+    """How many threads truly race (read each other's stale state).
+
+    Races are modeled at *warp* granularity: a warp's 32 lanes execute in
+    SIMT lockstep, so every lane's neighbor-color gather completes before
+    any lane's color store — two adjacent vertices in one warp always read
+    each other's stale state.  Threads in different warps (even of the
+    same block) are skewed by scheduling quanta and divergent memory
+    stalls measured in hundreds of cycles, so cross-warp read-write
+    overlap is rare.  Warp granularity reproduces the observed behavior of
+    speculative GPU coloring: conflicts are rare on randomly-ordered
+    graphs but substantial on meshes whose natural vertex order places
+    path neighbors in the same warp — the regime where the paper's own
+    Fig. 7 shows topology-driven losing to the worklist-based scheme.
+    """
+    return device.config.warp_size
+
+# Dynamic-instruction estimates (per the CUDA kernels these model):
+# neighbor-loop body = index arithmetic + two loads' address math + mask
+# stamp; vertex overhead = bounds loads, mask scan, color store, flags.
+_INSTR_PER_EDGE = 6
+_INSTR_PER_VERTEX = 14
+_INSTR_IDLE_THREAD = 3  # colored check + exit
+
+
+@dataclass(frozen=True)
+class GraphBuffers:
+    """Device-resident CSR arrays plus the color/state arrays."""
+
+    R: DeviceArray
+    C: DeviceArray
+    colors: DeviceArray
+    aux: DeviceArray  # colored flags (topo) or worklist shadow (data-driven)
+
+
+def upload_graph(device, graph: CSRGraph, *, charge_transfer: bool = False) -> GraphBuffers:
+    """Place the CSR arrays and color state on the device.
+
+    The initial upload is excluded from timing by default, matching the
+    paper ("the I/O part is excluded from the evaluation"); 3-step GM's
+    *intermediate* transfers are charged explicitly by that scheme.
+    """
+    if charge_transfer:
+        R = device.upload(graph.row_offsets.astype(np.int32), name="R")
+        C = device.upload(graph.col_indices, name="C")
+    else:
+        R = device.register(graph.row_offsets.astype(np.int32), name="R")
+        C = device.register(graph.col_indices, name="C")
+    colors = device.alloc(graph.num_vertices, COLOR_DTYPE, name="colors", fill=0)
+    aux = device.alloc(graph.num_vertices, np.int8, name="aux", fill=0)
+    return GraphBuffers(R=R, C=C, colors=colors, aux=aux)
+
+
+def expand_segments(graph: CSRGraph, vertex_ids: np.ndarray):
+    """Flatten the adjacency lists of ``vertex_ids``.
+
+    Returns ``(seg, step, edge_idx)``: for every adjacency entry of every
+    listed vertex, the position of its owner within ``vertex_ids``, its
+    trip index inside the owner's neighbor loop, and its index into ``C``.
+    All downstream gather streams derive from these three arrays.
+    """
+    vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+    lens = graph.degrees[vertex_ids].astype(np.int64)
+    starts = graph.row_offsets[vertex_ids].astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        z = np.empty(0, dtype=np.int64)
+        return z, z, z
+    seg = np.repeat(np.arange(vertex_ids.size, dtype=np.int64), lens)
+    step = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(lens) - lens, lens)
+    edge_idx = starts[seg] + step
+    return seg, step, edge_idx
+
+
+def min_excluded_colors(
+    seg_ids: np.ndarray, nbr_colors: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Smallest positive color absent from each segment's neighbor colors.
+
+    Exact vectorized *mex*: after per-segment dedup and sort, an entry with
+    color ``rank+1`` proves colors ``1..rank+1`` are all present (the
+    entries below it are distinct positive integers smaller than it), so
+    ``mex = (length of the consecutive prefix) + 1`` — one bincount.
+    """
+    if num_segments == 0:
+        return np.zeros(0, dtype=COLOR_DTYPE)
+    mask = nbr_colors > 0
+    s = seg_ids[mask]
+    c = nbr_colors[mask].astype(np.int64)
+    if s.size == 0:
+        return np.ones(num_segments, dtype=COLOR_DTYPE)
+    base = int(c.max()) + 2
+    key = np.unique(s * base + c)
+    s2 = key // base
+    c2 = key % base
+    seg_start = np.searchsorted(s2, np.arange(num_segments, dtype=np.int64))
+    rank = np.arange(key.size, dtype=np.int64) - seg_start[s2]
+    ok = c2 == rank + 1
+    prefix = np.bincount(s2[ok], minlength=num_segments)
+    return (prefix + 1).astype(COLOR_DTYPE)
+
+
+def speculative_color_step(
+    graph: CSRGraph, colors: np.ndarray, active_ids: np.ndarray
+) -> np.ndarray:
+    """One parallel coloring round: colors for ``active_ids`` (snapshot read).
+
+    Returns the new color per active vertex; the caller commits them after
+    (conceptually) the kernel-wide write, i.e. ``colors`` is not mutated.
+    This is the worst-case full-snapshot semantics; the schemes use
+    :func:`speculative_color_waved`, which models wave-granular visibility.
+    """
+    active_ids = np.asarray(active_ids, dtype=np.int64)
+    seg, _, edge_idx = expand_segments(graph, active_ids)
+    nbr_colors = colors[graph.col_indices[edge_idx]]
+    return min_excluded_colors(seg, nbr_colors, active_ids.size)
+
+
+def speculative_color_waved(
+    graph: CSRGraph,
+    colors: np.ndarray,
+    active_ids: np.ndarray,
+    resident_threads: int,
+    thread_ids: np.ndarray | None = None,
+) -> np.ndarray:
+    """Coloring round with wave-granular write visibility.
+
+    A kernel's blocks execute in occupancy-sized *waves*: a wave's threads
+    race with each other (they read the wave-entry snapshot), but a later
+    wave sees everything earlier waves committed.  Full-snapshot semantics
+    would predict far more conflicts than hardware exhibits — two vertices
+    can only race if their kernel executions actually overlap in time.
+
+    ``resident_threads`` is the device's concurrent-thread capacity for
+    this launch (SMs x resident blocks x block size).  ``thread_ids`` maps
+    each active vertex to its grid thread (defaults to its position, the
+    data-driven compact mapping; topology-driven passes the vertex ids so
+    waves cover thread *ranges* including idle lanes).  Mutates ``colors``
+    for the processed vertices and returns their new values.
+    """
+    active_ids = np.asarray(active_ids, dtype=np.int64)
+    if resident_threads < 1:
+        raise ValueError("resident_threads must be positive")
+    out = np.empty(active_ids.size, dtype=COLOR_DTYPE)
+    if thread_ids is None:
+        bounds = list(range(0, active_ids.size, resident_threads)) + [active_ids.size]
+    else:
+        thread_ids = np.asarray(thread_ids, dtype=np.int64)
+        if np.any(np.diff(thread_ids) < 0):
+            raise ValueError("thread_ids must be sorted")
+        last_wave = int(thread_ids[-1]) // resident_threads if thread_ids.size else 0
+        edges = np.arange(1, last_wave + 1, dtype=np.int64) * resident_threads
+        bounds = [0, *np.searchsorted(thread_ids, edges).tolist(), active_ids.size]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi <= lo:
+            continue
+        chunk = active_ids[lo:hi]
+        fresh = speculative_color_step(graph, colors, chunk)
+        colors[chunk] = fresh
+        out[lo:hi] = fresh
+    return out
+
+
+def detect_conflicts(
+    graph: CSRGraph, colors: np.ndarray, scope_ids: np.ndarray
+) -> np.ndarray:
+    """Vertices in ``scope_ids`` that lose a color conflict.
+
+    Implements the pseudocode's tie-break: of a monochromatic edge
+    ``(v, w)``, the *smaller id* is un-colored (``v < w`` keeps ``w``).
+    Returns the conflicted subset of ``scope_ids`` (original ids).
+    """
+    scope_ids = np.asarray(scope_ids, dtype=np.int64)
+    seg, _, edge_idx = expand_segments(graph, scope_ids)
+    if edge_idx.size == 0:
+        return np.empty(0, dtype=np.int64)
+    v = scope_ids[seg]
+    w = graph.col_indices[edge_idx].astype(np.int64)
+    clash = (colors[v] == colors[w]) & (colors[v] > 0) & (v < w)
+    loser = np.zeros(scope_ids.size, dtype=bool)
+    loser[seg[clash]] = True
+    return scope_ids[loser]
+
+
+# ----------------------------------------------------------------------
+# Trace charging
+# ----------------------------------------------------------------------
+def charge_color_kernel(
+    builder: TraceBuilder,
+    graph: CSRGraph,
+    bufs: GraphBuffers,
+    active_ids: np.ndarray,
+    thread_ids: np.ndarray,
+    *,
+    use_ldg: bool,
+    idle_threads: int = 0,
+) -> None:
+    """Record the memory/instruction behavior of one coloring kernel.
+
+    ``active_ids``/``thread_ids`` are parallel: the vertex each working
+    thread owns.  Topology-driven passes ``thread_ids == active_ids`` (one
+    thread per vertex, most idle); data-driven passes compact thread ids.
+    """
+    active_ids = np.asarray(active_ids, dtype=np.int64)
+    thread_ids = np.asarray(thread_ids, dtype=np.int64)
+    seg, step, edge_idx = expand_segments(graph, active_ids)
+    t_of_edge = thread_ids[seg]
+
+    # Row bounds: R[v] and R[v+1] — one coalesced-ish load pair per thread.
+    builder.load(thread_ids, bufs.R.addr(active_ids), ldg=use_ldg)
+    builder.load(thread_ids, bufs.R.addr(active_ids + 1), ldg=use_ldg)
+    # Neighbor loop: C[e] then color[C[e]], one trip per edge.
+    builder.load(t_of_edge, bufs.C.addr(edge_idx), ldg=use_ldg, step=step)
+    builder.load(
+        t_of_edge,
+        bufs.colors.addr(graph.col_indices[edge_idx]),
+        ldg=False,  # the color array mutates during the algorithm: no __ldg
+        step=step,
+    )
+    # Result store.
+    builder.store(thread_ids, bufs.colors.addr(active_ids))
+
+    # Instructions: per-edge loop body on working lanes (SIMT lockstep:
+    # the warp pays its max trip count), per-vertex overhead, and the
+    # colored-check on idle lanes (topology-driven).
+    if thread_ids.size:
+        trips = graph.degrees[active_ids].astype(np.int64)
+        builder.instructions(thread_ids, trips * _INSTR_PER_EDGE, note="edge-loop")
+        builder.instructions(thread_ids, _INSTR_PER_VERTEX)
+    if idle_threads:
+        builder.uniform_overhead(_INSTR_IDLE_THREAD)
+    builder.activate(thread_ids.size)
+
+
+def charge_conflict_kernel(
+    builder: TraceBuilder,
+    graph: CSRGraph,
+    bufs: GraphBuffers,
+    scope_ids: np.ndarray,
+    thread_ids: np.ndarray,
+    conflicted_mask: np.ndarray,
+    *,
+    use_ldg: bool,
+    idle_threads: int = 0,
+) -> None:
+    """Record the conflict-detection kernel's behavior.
+
+    ``conflicted_mask`` marks which scope vertices lost; losers write their
+    state (un-color flag or worklist push is charged by the caller).
+    """
+    scope_ids = np.asarray(scope_ids, dtype=np.int64)
+    thread_ids = np.asarray(thread_ids, dtype=np.int64)
+    seg, step, edge_idx = expand_segments(graph, scope_ids)
+    t_of_edge = thread_ids[seg]
+
+    builder.load(thread_ids, bufs.R.addr(scope_ids), ldg=use_ldg)
+    builder.load(thread_ids, bufs.R.addr(scope_ids + 1), ldg=use_ldg)
+    builder.load(thread_ids, bufs.colors.addr(scope_ids))  # own color
+    builder.load(t_of_edge, bufs.C.addr(edge_idx), ldg=use_ldg, step=step)
+    builder.load(
+        t_of_edge, bufs.colors.addr(graph.col_indices[edge_idx]), step=step
+    )
+    losers = thread_ids[np.asarray(conflicted_mask, dtype=bool)]
+    if losers.size:
+        builder.store(losers, bufs.aux.addr(scope_ids[conflicted_mask]))
+
+    if thread_ids.size:
+        trips = graph.degrees[scope_ids].astype(np.int64)
+        builder.instructions(thread_ids, trips * (_INSTR_PER_EDGE - 2), note="edge-loop")
+        builder.instructions(thread_ids, _INSTR_PER_VERTEX - 4)
+    if idle_threads:
+        builder.uniform_overhead(_INSTR_IDLE_THREAD)
+    builder.activate(thread_ids.size)
+
+
+# ----------------------------------------------------------------------
+# Load-balanced (warp-centric) mapping — extension addressing the paper's
+# future-work note that the proposed schemes degrade on skewed/sparse
+# graphs.  Vertices with degree >= warp_size are processed edge-parallel
+# by a whole warp (Merrill-style CTA/warp/thread load balancing, here at
+# warp granularity): lanes stride the adjacency list, so (a) a warp's trip
+# count drops from max-degree to ceil(degree/32), removing intra-warp
+# imbalance, and (b) the C-array loads become coalesced (consecutive
+# edges -> consecutive addresses).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WarpLBLayout:
+    """Thread layout for the hybrid thread/warp-parallel mapping."""
+
+    num_threads: int
+    light_ids: np.ndarray  # vertices mapped one-per-thread (packed first)
+    heavy_ids: np.ndarray  # vertices mapped one-per-warp (aligned after)
+    heavy_base: int  # first thread id of the heavy region
+
+
+def warp_lb_layout(
+    graph: CSRGraph, active_ids: np.ndarray, warp_size: int = 32
+) -> WarpLBLayout:
+    """Split active vertices into thread-parallel and warp-parallel sets."""
+    active_ids = np.asarray(active_ids, dtype=np.int64)
+    degs = graph.degrees[active_ids]
+    heavy = degs >= warp_size
+    light_ids = active_ids[~heavy]
+    heavy_ids = active_ids[heavy]
+    heavy_base = -(-int(light_ids.size) // warp_size) * warp_size  # align
+    num_threads = max(1, heavy_base + int(heavy_ids.size) * warp_size)
+    return WarpLBLayout(
+        num_threads=num_threads,
+        light_ids=light_ids,
+        heavy_ids=heavy_ids,
+        heavy_base=heavy_base,
+    )
+
+
+def charge_color_kernel_lb(
+    builder: TraceBuilder,
+    graph: CSRGraph,
+    bufs: GraphBuffers,
+    layout: WarpLBLayout,
+    *,
+    use_ldg: bool,
+) -> None:
+    """Record the load-balanced coloring kernel's behavior."""
+    warp = builder.device.warp_size
+
+    # --- light vertices: classic one-thread-per-vertex mapping ----------
+    if layout.light_ids.size:
+        threads = np.arange(layout.light_ids.size, dtype=np.int64)
+        charge_color_kernel(
+            builder, graph, bufs, layout.light_ids, threads, use_ldg=use_ldg
+        )
+
+    # --- heavy vertices: one warp each, lanes stride the adjacency ------
+    if layout.heavy_ids.size:
+        seg, step, edge_idx = expand_segments(graph, layout.heavy_ids)
+        lane = step % warp
+        trip = step // warp
+        t_of_edge = layout.heavy_base + seg * warp + lane
+        warp_threads = layout.heavy_base + np.arange(
+            layout.heavy_ids.size, dtype=np.int64
+        ) * warp
+
+        builder.load(warp_threads, bufs.R.addr(layout.heavy_ids), ldg=use_ldg)
+        builder.load(warp_threads, bufs.R.addr(layout.heavy_ids + 1), ldg=use_ldg)
+        # Strided row walk: lanes hit consecutive C entries -> coalesced.
+        builder.load(t_of_edge, bufs.C.addr(edge_idx), ldg=use_ldg, step=trip)
+        builder.load(
+            t_of_edge, bufs.colors.addr(graph.col_indices[edge_idx]), step=trip
+        )
+        builder.store(warp_threads, bufs.colors.addr(layout.heavy_ids))
+
+        # Instructions: the warp pays ceil(deg/32) trips plus a warp-level
+        # mex reduction (ballot/shuffle merge of the forbidden sets).
+        trips = -(-graph.degrees[layout.heavy_ids].astype(np.int64) // warp)
+        builder.instructions(warp_threads, trips * _INSTR_PER_EDGE + _INSTR_PER_VERTEX + 12)
+        builder.activate(int(layout.heavy_ids.size) * warp)
+
+
+# ----------------------------------------------------------------------
+# Edge-parallel conflict detection — extension.  The vertex-parallel
+# conflict kernel inherits the coloring kernel's imbalance (a hub's thread
+# scans its whole row).  Mapping one thread per *directed edge* instead
+# makes the conflict pass perfectly balanced regardless of the degree
+# distribution, at the cost of reading an explicit edge-source array
+# (CSR alone cannot tell a thread which row its edge belongs to).
+# ----------------------------------------------------------------------
+
+
+def charge_conflict_kernel_edges(
+    builder: TraceBuilder,
+    graph: CSRGraph,
+    bufs: GraphBuffers,
+    src_buf: DeviceArray,
+    scope_mask: np.ndarray,
+    conflicted: np.ndarray,
+    *,
+    use_ldg: bool,
+) -> None:
+    """Record an edge-parallel conflict pass over the whole edge list.
+
+    ``src_buf`` holds the per-edge source vertex (COO row array, built once
+    at upload time).  Every thread loads its edge's endpoints and their
+    colors — all four streams are either fully coalesced (src, C) or
+    gathers (colors) with one trip per thread, so warp trip counts are
+    uniform by construction.
+    """
+    m = graph.num_edges
+    threads = np.arange(m, dtype=np.int64)
+    src = src_buf.data.astype(np.int64)
+    dst = graph.col_indices.astype(np.int64)
+    builder.load(threads, src_buf.addr(threads), ldg=use_ldg)
+    builder.load(threads, bufs.C.addr(threads), ldg=use_ldg)
+    builder.load(threads, bufs.colors.addr(src))
+    builder.load(threads, bufs.colors.addr(dst))
+    losers = np.flatnonzero(np.isin(src, conflicted))
+    if losers.size:
+        builder.store(losers, bufs.aux.addr(src[losers]))
+    builder.instructions(threads, 6)
+    builder.activate(int(scope_mask.sum()) if scope_mask.size else m)

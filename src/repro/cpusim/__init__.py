@@ -1,0 +1,5 @@
+"""Sequential and multicore CPU cost models (Xeon E5-2670 class)."""
+
+from .model import CPU, CPUEvent, MulticoreCPU
+
+__all__ = ["CPU", "CPUEvent", "MulticoreCPU"]

@@ -1,0 +1,47 @@
+"""Simulated Kepler-class GPGPU: SIMT traces, cache hierarchy, timing model.
+
+This package is the stand-in for the paper's NVIDIA K20c + CUDA 7.0
+testbed (see DESIGN.md).  Kernels run functionally in NumPy and are priced
+by a bottleneck/latency timing model driven by their real memory traces.
+"""
+
+from .cache import CacheConfig, SetAssociativeCache, analytic_hits, reuse_distance_hits
+from .config import (CPUConfig, DeviceConfig, KEPLER_K20C, KEPLER_K40,
+                     KEPLER_SMALL, LaunchConfig, XEON_E5_2670)
+from .device import Device, DeviceArray, Timeline, TransferEvent
+from .occupancy import Occupancy, compute_occupancy
+from .profiler import RunSummary, profile_report, summarize_profiles, timeline_report
+from .timing import KernelProfile, MemoryStats, price_kernel
+from .trace import AccessKind, ComputeStats, KernelTrace, MemoryTrace, TraceBuilder
+
+__all__ = [
+    "AccessKind",
+    "CPUConfig",
+    "CacheConfig",
+    "ComputeStats",
+    "Device",
+    "DeviceArray",
+    "DeviceConfig",
+    "KEPLER_K20C",
+    "KEPLER_K40",
+    "KEPLER_SMALL",
+    "KernelProfile",
+    "KernelTrace",
+    "LaunchConfig",
+    "MemoryStats",
+    "MemoryTrace",
+    "Occupancy",
+    "RunSummary",
+    "SetAssociativeCache",
+    "Timeline",
+    "TraceBuilder",
+    "TransferEvent",
+    "XEON_E5_2670",
+    "analytic_hits",
+    "compute_occupancy",
+    "price_kernel",
+    "profile_report",
+    "summarize_profiles",
+    "timeline_report",
+    "reuse_distance_hits",
+]

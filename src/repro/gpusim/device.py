@@ -1,0 +1,214 @@
+"""The simulated device: memory allocation, kernel launches, host transfers.
+
+Algorithms use the device like a thin CUDA runtime:
+
+* :meth:`Device.alloc` / :meth:`Device.upload` give :class:`DeviceArray`
+  objects — NumPy arrays with a stable simulated *byte address*, so the
+  cache model sees realistic address layout and reuse across kernels.
+* :meth:`Device.builder` starts a kernel launch; the algorithm performs its
+  functional work with NumPy, records memory/instruction events on the
+  builder, and :meth:`Device.commit` prices the launch and appends it to
+  the timeline.
+* :meth:`Device.htod` / :meth:`Device.dtoh` charge PCIe transfer time —
+  this is the cost that sinks the 3-step GM baseline, which round-trips the
+  graph's conflicts through the host every outer iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .config import DeviceConfig, KEPLER_K20C, LaunchConfig
+from .occupancy import compute_occupancy
+from .timing import KernelProfile, price_kernel
+from .trace import TraceBuilder
+
+__all__ = ["DeviceArray", "TransferEvent", "Timeline", "Device"]
+
+_ALIGNMENT = 256  # CUDA malloc alignment
+
+
+@dataclass
+class DeviceArray:
+    """A device-resident array: NumPy values plus a simulated base address."""
+
+    data: np.ndarray
+    base: int
+    name: str = "buf"
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def addr(self, indices: np.ndarray | int | None = None) -> np.ndarray:
+        """Byte address(es) of the given element indices (all, if None)."""
+        if indices is None:
+            indices = np.arange(self.data.size, dtype=np.int64)
+        return self.base + np.asarray(indices, dtype=np.int64) * self.itemsize
+
+    def __len__(self) -> int:
+        return self.data.size
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One PCIe transfer (host<->device)."""
+
+    direction: str  # 'htod' | 'dtoh'
+    nbytes: int
+    time_us: float
+
+
+@dataclass
+class Timeline:
+    """Ordered record of everything the device did."""
+
+    events: list = field(default_factory=list)
+
+    def add(self, event) -> None:
+        self.events.append(event)
+
+    def kernels(self) -> Iterator[KernelProfile]:
+        return (e for e in self.events if isinstance(e, KernelProfile))
+
+    def transfers(self) -> Iterator[TransferEvent]:
+        return (e for e in self.events if isinstance(e, TransferEvent))
+
+    def kernel_time_us(self) -> float:
+        return sum(k.time_us for k in self.kernels())
+
+    def transfer_time_us(self) -> float:
+        return sum(t.time_us for t in self.transfers())
+
+    def launch_overhead_us(self, device: DeviceConfig) -> float:
+        return sum(1 for _ in self.kernels()) * device.kernel_launch_overhead_us
+
+    def total_time_us(self, device: DeviceConfig) -> float:
+        """End-to-end simulated time including per-launch overheads."""
+        return (
+            self.kernel_time_us()
+            + self.transfer_time_us()
+            + self.launch_overhead_us(device)
+        )
+
+    def num_launches(self) -> int:
+        return sum(1 for _ in self.kernels())
+
+
+class Device:
+    """A simulated Kepler-class GPU instance.
+
+    Parameters
+    ----------
+    config:
+        Microarchitecture; defaults to the paper's K20c.
+    cache_model:
+        ``'reuse_distance'`` (default), ``'exact'`` or ``'analytic'`` —
+        forwarded to the timing model.
+    seed:
+        Seed for the stochastic parts of cache extrapolation.
+    """
+
+    def __init__(
+        self,
+        config: DeviceConfig = KEPLER_K20C,
+        *,
+        cache_model: str = "reuse_distance",
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.cache_model = cache_model
+        self.seed = seed
+        self.timeline = Timeline()
+        self._next_addr = _ALIGNMENT
+        self._launch_counter = 0
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    def alloc(self, shape, dtype, *, name: str = "buf", fill=None) -> DeviceArray:
+        """Allocate a device array (optionally filled with a constant)."""
+        arr = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            arr.fill(fill)
+        return self._register(arr, name)
+
+    def upload(self, host_array: np.ndarray, *, name: str = "buf") -> DeviceArray:
+        """Copy a host array to the device, charging PCIe time."""
+        arr = np.array(host_array, copy=True)
+        buf = self._register(arr, name)
+        self.htod(arr.nbytes)
+        return buf
+
+    def register(self, host_array: np.ndarray, *, name: str = "buf") -> DeviceArray:
+        """Place an array on the device *without* charging PCIe time.
+
+        Use for data assumed resident before timing starts (the paper
+        excludes the one-time input transfer from all schemes' timings).
+        """
+        return self._register(np.array(host_array, copy=True), name)
+
+    def _register(self, arr: np.ndarray, name: str) -> DeviceArray:
+        base = self._next_addr
+        self._next_addr += (arr.nbytes + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+        return DeviceArray(data=arr, base=base, name=name)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def _transfer(self, direction: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        time_us = self.config.pcie_latency_us + nbytes / (
+            self.config.pcie_bandwidth_gbs * 1e3
+        )
+        self.timeline.add(TransferEvent(direction, nbytes, time_us))
+
+    def htod(self, nbytes: int) -> None:
+        """Host-to-device transfer of ``nbytes``."""
+        self._transfer("htod", nbytes)
+
+    def dtoh(self, nbytes: int) -> None:
+        """Device-to-host transfer of ``nbytes``."""
+        self._transfer("dtoh", nbytes)
+
+    # ------------------------------------------------------------------
+    # Kernel launches
+    # ------------------------------------------------------------------
+    def builder(
+        self, num_threads: int, launch: LaunchConfig | None = None, *, name: str = "kernel"
+    ) -> TraceBuilder:
+        """Begin recording a kernel launch over ``num_threads`` threads."""
+        launch = launch or LaunchConfig()
+        tb = TraceBuilder(self.config, launch, num_threads, name=name)
+        tb.set_residency(compute_occupancy(self.config, launch).blocks_per_sm)
+        return tb
+
+    def commit(self, builder: TraceBuilder) -> KernelProfile:
+        """Price the recorded launch and append it to the timeline."""
+        trace = builder.build()
+        profile = price_kernel(
+            trace,
+            self.config,
+            cache_model=self.cache_model,
+            seed=self.seed + self._launch_counter,
+        )
+        self._launch_counter += 1
+        self.timeline.add(profile)
+        return profile
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear the timeline (memory addresses keep advancing)."""
+        self.timeline = Timeline()
+        self._launch_counter = 0
+
+    def total_time_us(self) -> float:
+        return self.timeline.total_time_us(self.config)

@@ -1,0 +1,70 @@
+"""CUDA occupancy calculation for the simulated device.
+
+Occupancy — concurrently resident warps per SM relative to the maximum —
+determines how much memory latency warp interleaving can hide, which is the
+mechanism behind the paper's Fig. 8 block-size sweep (32-thread blocks leave
+SMs starved; ≥512-thread blocks hit resource saturation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DeviceConfig, LaunchConfig
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one launch."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    limiting_factor: str  # which resource capped residency
+
+    @property
+    def active_warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+    def fraction(self, device: DeviceConfig) -> float:
+        """Achieved occupancy as a fraction of the device maximum."""
+        return self.active_warps_per_sm / device.max_warps_per_sm
+
+
+def compute_occupancy(device: DeviceConfig, launch: LaunchConfig) -> Occupancy:
+    """Resident blocks per SM under the four classic hardware limits.
+
+    Mirrors NVIDIA's occupancy calculator: thread, block-slot, register and
+    shared-memory limits each cap residency; the tightest one wins.  Warp
+    allocation granularity is approximated at warp level (register
+    allocation granularity differences across Kepler SKUs are below the
+    model's resolution).
+    """
+    if launch.block_size > device.max_threads_per_block:
+        raise ValueError(
+            f"block size {launch.block_size} exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    warps_per_block = -(-launch.block_size // device.warp_size)
+
+    limits: dict[str, int] = {}
+    limits["threads"] = device.max_threads_per_sm // launch.block_size
+    limits["blocks"] = device.max_blocks_per_sm
+    regs_per_block = launch.regs_per_thread * launch.block_size
+    limits["registers"] = (
+        device.registers_per_sm // regs_per_block if regs_per_block else device.max_blocks_per_sm
+    )
+    limits["shared_memory"] = (
+        device.shared_mem_per_sm // launch.shared_mem_per_block
+        if launch.shared_mem_per_block
+        else device.max_blocks_per_sm
+    )
+
+    limiting = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiting])
+    if blocks == 0:
+        raise ValueError(
+            f"launch {launch} cannot fit on {device.name}: {limiting} exhausted"
+        )
+    return Occupancy(blocks_per_sm=blocks, warps_per_block=warps_per_block, limiting_factor=limiting)

@@ -1,0 +1,133 @@
+"""Profiler-style reporting over kernel profiles (nvprof for the simulator).
+
+The timing model produces one :class:`~repro.gpusim.timing.KernelProfile`
+per launch; this module aggregates and renders them the way the paper's
+Fig. 3 analysis consumed nvprof output: per-kernel tables, whole-run
+summaries, and stall-reason aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.table import format_table
+from .config import DeviceConfig
+from .device import Device, Timeline
+from .timing import KernelProfile
+
+__all__ = ["RunSummary", "summarize_profiles", "profile_report", "timeline_report"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate statistics over a set of kernel launches."""
+
+    num_launches: int
+    total_time_us: float
+    total_transactions: int
+    total_dram_bytes: int
+    avg_occupancy: float
+    avg_simd_efficiency: float
+    avg_compute_utilization: float
+    avg_bandwidth_utilization: float
+    stalls: dict[str, float]  # time-weighted stall shares
+    bound_histogram: dict[str, int]
+
+    @property
+    def dominant_bound(self) -> str:
+        return max(self.bound_histogram, key=self.bound_histogram.get)
+
+
+def summarize_profiles(profiles: list[KernelProfile]) -> RunSummary:
+    """Time-weighted aggregation of per-launch profiles."""
+    if not profiles:
+        raise ValueError("no profiles to summarize")
+    weights = np.array([p.time_us for p in profiles], dtype=np.float64)
+    weights = weights / weights.sum() if weights.sum() else weights
+    stall_keys = profiles[0].stalls.keys()
+    stalls = {
+        k: float(sum(w * p.stalls[k] for w, p in zip(weights, profiles)))
+        for k in stall_keys
+    }
+    bounds: dict[str, int] = {}
+    for p in profiles:
+        bounds[p.bound] = bounds.get(p.bound, 0) + 1
+    return RunSummary(
+        num_launches=len(profiles),
+        total_time_us=float(sum(p.time_us for p in profiles)),
+        total_transactions=int(sum(p.memory.transactions for p in profiles)),
+        total_dram_bytes=int(sum(p.memory.dram_bytes for p in profiles)),
+        avg_occupancy=float(sum(w * p.occupancy for w, p in zip(weights, profiles))),
+        avg_simd_efficiency=float(
+            sum(w * p.simd_efficiency for w, p in zip(weights, profiles))
+        ),
+        avg_compute_utilization=float(
+            sum(w * p.compute_utilization for w, p in zip(weights, profiles))
+        ),
+        avg_bandwidth_utilization=float(
+            sum(w * p.bandwidth_utilization for w, p in zip(weights, profiles))
+        ),
+        stalls=stalls,
+        bound_histogram=bounds,
+    )
+
+
+def profile_report(profiles: list[KernelProfile], *, top: int | None = None) -> str:
+    """Render an nvprof-like per-kernel table plus the aggregate summary."""
+    if not profiles:
+        return "(no kernel launches)"
+    ordered = sorted(profiles, key=lambda p: -p.time_us)
+    if top is not None:
+        ordered = ordered[:top]
+    rows = [
+        [
+            p.name,
+            round(p.time_us, 1),
+            p.bound,
+            f"{p.occupancy:.0%}",
+            f"{p.memory.l2_hit_rate:.0%}",
+            f"{p.memory.ro_hit_rate:.0%}",
+            round(p.memory.dram_bytes / 1e6, 2),
+            f"{p.stalls['memory_dependency']:.0%}",
+        ]
+        for p in ordered
+    ]
+    table = format_table(
+        ["kernel", "us", "bound", "occup", "L2 hit", "RO hit", "DRAM MB",
+         "mem-dep"],
+        rows,
+    )
+    s = summarize_profiles(profiles)
+    summary = (
+        f"\n{s.num_launches} launches, {s.total_time_us:.1f} us total, "
+        f"{s.total_dram_bytes / 1e6:.1f} MB DRAM traffic\n"
+        f"time-weighted: occupancy {s.avg_occupancy:.0%}, "
+        f"SIMD efficiency {s.avg_simd_efficiency:.0%}, "
+        f"compute {s.avg_compute_utilization:.0%} / "
+        f"bandwidth {s.avg_bandwidth_utilization:.0%} of peak\n"
+        f"dominant bound: {s.dominant_bound}; "
+        f"top stall: {max(s.stalls, key=s.stalls.get)} "
+        f"({s.stalls[max(s.stalls, key=s.stalls.get)]:.0%})"
+    )
+    return table + summary
+
+
+def timeline_report(device: Device) -> str:
+    """Whole-device accounting: kernels, transfers, launch overheads."""
+    tl: Timeline = device.timeline
+    cfg: DeviceConfig = device.config
+    kernel_us = tl.kernel_time_us()
+    xfer_us = tl.transfer_time_us()
+    launch_us = tl.launch_overhead_us(cfg)
+    total = tl.total_time_us(cfg)
+    rows = [
+        ["kernel execution", round(kernel_us, 1), f"{kernel_us / total:.0%}" if total else "-"],
+        ["PCIe transfers", round(xfer_us, 1), f"{xfer_us / total:.0%}" if total else "-"],
+        ["launch overheads", round(launch_us, 1), f"{launch_us / total:.0%}" if total else "-"],
+        ["total", round(total, 1), "100%"],
+    ]
+    return format_table(
+        ["component", "us", "share"], rows, title=f"device timeline ({cfg.name}):"
+    )

@@ -1,0 +1,325 @@
+"""Kernel execution traces: SIMT instruction and memory-transaction streams.
+
+A simulated kernel does two things: it computes its *functional* result with
+vectorized NumPy, and it records *what the hardware would have done* — one
+record per warp-level memory transaction plus dynamic instruction counts —
+into a :class:`KernelTrace` via :class:`TraceBuilder`.  The timing model
+(:mod:`repro.gpusim.timing`) then prices the trace.
+
+The builder performs the two SIMT-specific transformations:
+
+* **Lockstep execution**: threads in a warp executing a data-dependent loop
+  (the ``for w in adj(v)`` loop of every coloring kernel) advance together;
+  the warp issues ``max`` over its threads' trip counts iterations, with
+  inactive lanes masked off.  This is where intra-warp load imbalance comes
+  from.
+* **Coalescing**: the up-to-32 per-thread addresses of one warp instruction
+  collapse into one transaction per distinct 128-byte line touched
+  (Kepler's global-memory transaction granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import DeviceConfig, LaunchConfig
+
+__all__ = ["AccessKind", "MemoryTrace", "ComputeStats", "KernelTrace", "TraceBuilder"]
+
+
+class AccessKind:
+    """Transaction type codes stored in :attr:`MemoryTrace.kind`."""
+
+    LOAD = 0  # normal global load (__ld): L2 -> DRAM path
+    LDG = 1  # read-only cache load (__ldg): RO cache -> L2 -> DRAM path
+    STORE = 2  # global store (write-back through L2)
+    ATOMIC = 3  # read-modify-write at the L2 atomic units
+
+    NAMES = {LOAD: "load", LDG: "ldg", STORE: "store", ATOMIC: "atomic"}
+
+
+@dataclass
+class MemoryTrace:
+    """Columnar stream of warp-level memory transactions.
+
+    All arrays share one length.  ``wave``/``step``/``warp`` approximate
+    issue order: blocks launch in occupancy-sized waves, and within a wave
+    resident warps interleave step by step.
+    """
+
+    kind: np.ndarray  # uint8 AccessKind codes
+    line_id: np.ndarray  # int64 global cache-line ids
+    sm_id: np.ndarray  # int32 SM executing the issuing block
+    warp_id: np.ndarray  # int64 device-wide warp index
+    wave: np.ndarray  # int32 launch wave of the issuing block
+    step: np.ndarray  # int64 issue-order key within the wave
+
+    def __len__(self) -> int:
+        return self.kind.size
+
+    def issue_order(self) -> np.ndarray:
+        """Indices sorting transactions into approximate service order.
+
+        Warp-major within a wave: a warp's own accesses stay consecutive.
+        Lockstep (step-major) interleaving would be wrong — resident warps
+        stall independently, so a warp's step ``k+1`` request reaches L2 a
+        few hundred cycles after its step ``k``, during which the device
+        services only ~10^3 other transactions, far fewer than a full
+        wave-wide step.  Warp-major keeps each warp's short-range reuse
+        (its own CSR row) adjacent while still interleaving warps at the
+        wave granularity the resident set dictates.
+        """
+        if len(self) == 0:
+            return np.empty(0, dtype=np.int64)
+        # Single packed-key argsort is ~3x faster than a 3-array lexsort.
+        max_step = int(self.step.max()) + 1
+        max_warp = int(self.warp_id.max()) + 1
+        max_wave = int(self.wave.max()) + 1
+        if max_wave * max_warp * max_step < (1 << 62):
+            key = (
+                self.wave.astype(np.int64) * max_warp + self.warp_id
+            ) * max_step + self.step
+            return np.argsort(key, kind="stable")
+        return np.lexsort((self.step, self.warp_id, self.wave))  # pragma: no cover
+
+    def select(self, mask: np.ndarray) -> "MemoryTrace":
+        return MemoryTrace(
+            self.kind[mask], self.line_id[mask], self.sm_id[mask],
+            self.warp_id[mask], self.wave[mask], self.step[mask],
+        )
+
+    @staticmethod
+    def concatenate(traces: list["MemoryTrace"]) -> "MemoryTrace":
+        if not traces:
+            return MemoryTrace(*(np.empty(0, dtype=d) for d in
+                                 (np.uint8, np.int64, np.int32, np.int64, np.int32, np.int64)))
+        return MemoryTrace(
+            np.concatenate([t.kind for t in traces]),
+            np.concatenate([t.line_id for t in traces]),
+            np.concatenate([t.sm_id for t in traces]),
+            np.concatenate([t.warp_id for t in traces]),
+            np.concatenate([t.wave for t in traces]),
+            np.concatenate([t.step for t in traces]),
+        )
+
+
+@dataclass
+class ComputeStats:
+    """Dynamic instruction accounting for one kernel launch."""
+
+    warp_instructions: int = 0  # SIMT issue slots consumed (warp granularity)
+    thread_instructions: int = 0  # useful per-lane work (work-efficiency metric)
+    barriers: int = 0  # __syncthreads() executions (per block)
+    num_threads: int = 0  # launched threads (grid coverage)
+    active_threads: int = 0  # threads that did real work
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Average fraction of lanes doing useful work per issued instruction."""
+        cap = self.warp_instructions * 32
+        return self.thread_instructions / cap if cap else 0.0
+
+
+@dataclass
+class KernelTrace:
+    """Everything the timing model needs about one kernel launch."""
+
+    name: str
+    memory: MemoryTrace
+    compute: ComputeStats
+    num_blocks: int
+    launch: LaunchConfig
+    atomic_addresses: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+class TraceBuilder:
+    """Accumulates SIMT memory/instruction events for one kernel launch.
+
+    Parameters
+    ----------
+    device, launch:
+        Hardware and launch configuration (thread->warp->block->SM mapping).
+    num_threads:
+        Size of the launch domain.  Thread ``t`` of the grid handles item
+        ``t`` (topology-driven kernels pass ``num_vertices``; data-driven
+        kernels pass the worklist length).
+    name:
+        Kernel name for profiling output.
+    """
+
+    _LINE_SHIFT_CACHE: dict[int, int] = {}
+
+    def __init__(
+        self,
+        device: DeviceConfig,
+        launch: LaunchConfig,
+        num_threads: int,
+        name: str = "kernel",
+    ) -> None:
+        self.device = device
+        self.launch = launch
+        self.num_threads = int(num_threads)
+        self.name = name
+        self.num_blocks = launch.grid_size(self.num_threads)
+        self._line_shift = int(device.cache_line_bytes).bit_length() - 1
+        self._streams: list[MemoryTrace] = []
+        self._atomic_addrs: list[np.ndarray] = []
+        self._compute = ComputeStats(num_threads=self.num_threads)
+        self._seq = 0  # per-call sequence distinguishing issue slots
+        # Resident blocks per SM for wave computation is filled by Device at
+        # launch time via set_residency; default assumes full residency.
+        self._blocks_per_wave = device.num_sms
+
+    def set_residency(self, blocks_per_sm: int) -> None:
+        """Record occupancy so wave boundaries match resident block count."""
+        self._blocks_per_wave = max(1, blocks_per_sm) * self.device.num_sms
+
+    # ------------------------------------------------------------------
+    # Thread geometry helpers
+    # ------------------------------------------------------------------
+    def _geometry(self, thread_ids: np.ndarray):
+        block = thread_ids // self.launch.block_size
+        warp = thread_ids // self.device.warp_size
+        sm = (block % self.device.num_sms).astype(np.int32)
+        wave = (block // self._blocks_per_wave).astype(np.int32)
+        return block, warp, sm, wave
+
+    # ------------------------------------------------------------------
+    # Memory events
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        kind: int,
+        thread_ids: np.ndarray,
+        addresses: np.ndarray,
+        *,
+        step: np.ndarray | int = 0,
+    ) -> None:
+        """Record one memory instruction per (thread, step) pair.
+
+        ``thread_ids``, ``addresses`` (byte addresses) and ``step`` (loop
+        trip index, scalar or array) are parallel arrays; the builder
+        coalesces same-(warp, step) accesses into line transactions.
+        """
+        thread_ids = np.asarray(thread_ids, dtype=np.int64)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if thread_ids.shape != addresses.shape:
+            raise ValueError("thread_ids and addresses must be parallel arrays")
+        if thread_ids.size == 0:
+            self._seq += 1
+            return
+        if np.any(thread_ids >= self.num_threads) or np.any(thread_ids < 0):
+            raise ValueError("thread id outside launch domain")
+        step_arr = np.broadcast_to(np.asarray(step, dtype=np.int64), thread_ids.shape)
+
+        _, warp, sm, wave = self._geometry(thread_ids)
+        line = addresses >> self._line_shift
+
+        # Coalesce: one transaction per unique (warp, step, line), found by
+        # a single packed-key unique (faster than a 3-array lexsort; the
+        # factors fit int64 at any simulated footprint).
+        max_line = int(line.max()) + 1
+        max_step = int(step_arr.max()) + 1
+        max_warp = int(warp.max()) + 1
+        if max_warp * max_step * max_line < (1 << 62):
+            key = (warp * max_step + step_arr) * max_line + line
+            _, sel = np.unique(key, return_index=True)
+        else:  # pragma: no cover - would need a >4 EB address space
+            order = np.lexsort((line, step_arr, warp))
+            w_s, s_s, l_s = warp[order], step_arr[order], line[order]
+            first = np.empty(order.size, dtype=bool)
+            first[0] = True
+            first[1:] = (
+                (w_s[1:] != w_s[:-1]) | (s_s[1:] != s_s[:-1]) | (l_s[1:] != l_s[:-1])
+            )
+            sel = order[first]
+
+        seq_step = step_arr[sel] * 1024 + (self._seq % 1024)
+        self._streams.append(
+            MemoryTrace(
+                kind=np.full(sel.size, kind, dtype=np.uint8),
+                line_id=line[sel],
+                sm_id=sm[sel],
+                warp_id=warp[sel],
+                wave=wave[sel],
+                step=seq_step,
+            )
+        )
+        if kind == AccessKind.ATOMIC:
+            self._atomic_addrs.append(addresses)
+        self._seq += 1
+
+    def load(self, thread_ids, addresses, *, ldg: bool = False, step=0) -> None:
+        """Global load; ``ldg=True`` routes through the read-only cache."""
+        self.access(AccessKind.LDG if ldg else AccessKind.LOAD, thread_ids, addresses, step=step)
+
+    def store(self, thread_ids, addresses, *, step=0) -> None:
+        self.access(AccessKind.STORE, thread_ids, addresses, step=step)
+
+    def atomic(self, thread_ids, addresses, *, step=0) -> None:
+        """Atomic read-modify-write (contention priced per address)."""
+        self.access(AccessKind.ATOMIC, thread_ids, addresses, step=step)
+
+    # ------------------------------------------------------------------
+    # Instruction accounting
+    # ------------------------------------------------------------------
+    def instructions(
+        self,
+        thread_ids: np.ndarray,
+        per_thread: np.ndarray | int,
+        *,
+        note: str | None = None,
+    ) -> None:
+        """Charge arithmetic/control instructions to the issuing warps.
+
+        ``per_thread`` may be scalar (uniform cost) or an array parallel to
+        ``thread_ids`` (data-dependent trip counts).  SIMT lockstep means a
+        warp issues ``max`` over its lanes; useful work is the per-lane sum.
+        """
+        thread_ids = np.asarray(thread_ids, dtype=np.int64)
+        if thread_ids.size == 0:
+            return
+        counts = np.broadcast_to(
+            np.asarray(per_thread, dtype=np.int64), thread_ids.shape
+        )
+        warp = thread_ids // self.device.warp_size
+        nwarps = int(warp.max()) + 1
+        warp_max = np.zeros(nwarps, dtype=np.int64)
+        np.maximum.at(warp_max, warp, counts)
+        self._compute.warp_instructions += int(warp_max.sum())
+        self._compute.thread_instructions += int(counts.sum())
+
+    def activate(self, num_active: int) -> None:
+        """Record how many launched threads had real work this launch."""
+        self._compute.active_threads += int(num_active)
+
+    def barrier(self, times: int = 1) -> None:
+        """Record ``__syncthreads()`` executions (one per block each)."""
+        self._compute.barriers += int(times) * self.num_blocks
+
+    def uniform_overhead(self, per_thread_instr: int) -> None:
+        """Fixed prologue/epilogue cost every launched thread pays."""
+        warps = -(-self.num_threads // self.device.warp_size)
+        self._compute.warp_instructions += warps * int(per_thread_instr)
+        self._compute.thread_instructions += self.num_threads * int(per_thread_instr)
+
+    # ------------------------------------------------------------------
+    def build(self) -> KernelTrace:
+        """Finalize into an immutable :class:`KernelTrace`."""
+        atomic_addrs = (
+            np.concatenate(self._atomic_addrs)
+            if self._atomic_addrs
+            else np.empty(0, dtype=np.int64)
+        )
+        return KernelTrace(
+            name=self.name,
+            memory=MemoryTrace.concatenate(self._streams),
+            compute=self._compute,
+            num_blocks=self.num_blocks,
+            launch=self.launch,
+            atomic_addresses=atomic_addrs,
+        )

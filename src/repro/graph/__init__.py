@@ -1,0 +1,58 @@
+"""Graph substrate: CSR storage, builders, generators, I/O, statistics."""
+
+from .builder import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    from_scipy,
+    mycielski_graph,
+    path_graph,
+    star_graph,
+)
+from .csr import CSRGraph
+from .partition import Partition, block_partition, boundary_vertices
+from .line_graph import edge_coloring_from_line_colors, edge_list, line_graph
+from .relabel import bandwidth, bfs_order, rcm_order, relabel
+from .traversal import (
+    connected_components,
+    core_numbers,
+    degeneracy,
+    is_connected,
+    num_connected_components,
+)
+from .stats import GraphStats, compute_stats, degree_histogram
+
+__all__ = [
+    "CSRGraph",
+    "GraphStats",
+    "Partition",
+    "bandwidth",
+    "bfs_order",
+    "block_partition",
+    "boundary_vertices",
+    "complete_graph",
+    "compute_stats",
+    "connected_components",
+    "core_numbers",
+    "cycle_graph",
+    "degeneracy",
+    "edge_coloring_from_line_colors",
+    "edge_list",
+    "degree_histogram",
+    "empty_graph",
+    "from_adjacency",
+    "from_edges",
+    "from_networkx",
+    "from_scipy",
+    "is_connected",
+    "line_graph",
+    "mycielski_graph",
+    "num_connected_components",
+    "path_graph",
+    "rcm_order",
+    "relabel",
+    "star_graph",
+]

@@ -1,0 +1,211 @@
+"""Constructing :class:`~repro.graph.csr.CSRGraph` instances.
+
+All construction funnels through :func:`from_edges`, which performs the
+normalization the coloring kernels rely on: optional symmetrization,
+self-loop removal, duplicate-edge removal, and CSR assembly — all with
+vectorized NumPy (sort + bincount), never per-edge Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+
+__all__ = [
+    "from_edges",
+    "from_adjacency",
+    "from_scipy",
+    "from_networkx",
+    "empty_graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "mycielski_graph",
+]
+
+
+def from_edges(
+    u: np.ndarray | Sequence[int],
+    v: np.ndarray | Sequence[int],
+    num_vertices: int | None = None,
+    *,
+    symmetrize: bool = True,
+    remove_self_loops: bool = True,
+    dedup: bool = True,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a CSR graph from parallel endpoint arrays.
+
+    Parameters
+    ----------
+    u, v:
+        Endpoint arrays of equal length; each pair is one edge.
+    num_vertices:
+        Explicit vertex count (isolated trailing vertices are otherwise
+        impossible to represent).  Defaults to ``max(endpoint) + 1``.
+    symmetrize:
+        Add the reverse of every edge so the result is undirected.
+    remove_self_loops:
+        Drop ``(x, x)`` edges — a self-loop makes proper coloring impossible.
+    dedup:
+        Collapse repeated edges (multi-edges carry no information for
+        coloring but inflate simulated memory traffic).
+    """
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if u.shape != v.shape:
+        raise ValueError("endpoint arrays must have equal length")
+    if num_vertices is None:
+        num_vertices = int(max(u.max(initial=-1), v.max(initial=-1)) + 1)
+    if u.size and (min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= num_vertices):
+        raise ValueError("edge endpoint out of range")
+
+    if remove_self_loops:
+        keep = u != v
+        u, v = u[keep], v[keep]
+    if symmetrize:
+        u, v = np.concatenate([u, v]), np.concatenate([v, u])
+
+    # Sort by (source, target); this both groups adjacency lists and makes
+    # duplicates adjacent for O(m) dedup.
+    keys = u * num_vertices + v
+    order = np.argsort(keys, kind="stable")
+    u, v, keys = u[order], v[order], keys[order]
+    if dedup and keys.size:
+        uniq = np.empty(keys.size, dtype=bool)
+        uniq[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=uniq[1:])
+        u, v = u[uniq], v[uniq]
+
+    counts = np.bincount(u, minlength=num_vertices)
+    R = np.zeros(num_vertices + 1, dtype=OFFSET_DTYPE)
+    np.cumsum(counts, out=R[1:])
+    return CSRGraph(R, v.astype(VERTEX_DTYPE), name=name)
+
+
+def from_adjacency(adj: Sequence[Iterable[int]], *, name: str = "graph") -> CSRGraph:
+    """Build from a list-of-neighbor-lists (small graphs / tests)."""
+    u: list[int] = []
+    v: list[int] = []
+    for i, nbrs in enumerate(adj):
+        for j in nbrs:
+            u.append(i)
+            v.append(int(j))
+    return from_edges(
+        np.asarray(u, dtype=np.int64),
+        np.asarray(v, dtype=np.int64),
+        num_vertices=len(adj),
+        symmetrize=True,
+        name=name,
+    )
+
+
+def from_scipy(mat, *, name: str = "graph", symmetrize: bool = True) -> CSRGraph:
+    """Build from any SciPy sparse matrix (pattern only; values ignored).
+
+    This mirrors how the paper treats SuiteSparse matrices: a nonzero at
+    (i, j) is the edge (i, j); nonsymmetric matrices are symmetrized, which
+    is the standard structural interpretation for coloring.
+    """
+    import scipy.sparse as sp
+
+    coo = sp.coo_array(mat)
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    return from_edges(
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        num_vertices=coo.shape[0],
+        symmetrize=symmetrize,
+        name=name,
+    )
+
+
+def from_networkx(g, *, name: str | None = None) -> CSRGraph:
+    """Build from a ``networkx.Graph``; nodes must be ``0..n-1`` integers."""
+    n = g.number_of_nodes()
+    if set(g.nodes) != set(range(n)):
+        mapping = {node: i for i, node in enumerate(g.nodes)}
+        edges = [(mapping[a], mapping[b]) for a, b in g.edges]
+    else:
+        edges = list(g.edges)
+    if edges:
+        arr = np.asarray(edges, dtype=np.int64)
+        u, v = arr[:, 0], arr[:, 1]
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    return from_edges(u, v, num_vertices=n, symmetrize=True, name=name or "nx-graph")
+
+
+# ----------------------------------------------------------------------
+# Tiny canonical graphs used pervasively by tests and examples
+# ----------------------------------------------------------------------
+def empty_graph(n: int, *, name: str = "empty") -> CSRGraph:
+    """``n`` isolated vertices."""
+    return CSRGraph(np.zeros(n + 1, dtype=OFFSET_DTYPE), np.empty(0, dtype=VERTEX_DTYPE), name=name)
+
+
+def complete_graph(n: int, *, name: str | None = None) -> CSRGraph:
+    """K_n; chromatic number exactly ``n``."""
+    i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    keep = i != j
+    return from_edges(
+        i[keep].ravel(), j[keep].ravel(), num_vertices=n,
+        symmetrize=False, name=name or f"K{n}",
+    )
+
+
+def cycle_graph(n: int, *, name: str | None = None) -> CSRGraph:
+    """C_n; chromatic number 2 (even n) or 3 (odd n)."""
+    if n < 3:
+        raise ValueError("cycle graph needs at least 3 vertices")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return from_edges(u, v, num_vertices=n, name=name or f"C{n}")
+
+
+def path_graph(n: int, *, name: str | None = None) -> CSRGraph:
+    """P_n; chromatic number 2 for n >= 2."""
+    u = np.arange(n - 1, dtype=np.int64)
+    return from_edges(u, u + 1, num_vertices=n, name=name or f"P{n}")
+
+
+def star_graph(n_leaves: int, *, name: str | None = None) -> CSRGraph:
+    """Hub vertex 0 connected to ``n_leaves`` leaves; chromatic number 2."""
+    v = np.arange(1, n_leaves + 1, dtype=np.int64)
+    u = np.zeros_like(v)
+    return from_edges(u, v, num_vertices=n_leaves + 1, name=name or f"S{n_leaves}")
+
+
+def mycielski_graph(k: int, *, name: str | None = None) -> CSRGraph:
+    """The Mycielskian hierarchy: triangle-free graphs with chromatic
+    number exactly ``k``.
+
+    ``M_2`` is an edge, ``M_3`` is C5, ``M_4`` is the Grötzsch graph...
+    Each step doubles-plus-one the vertex count while keeping the graph
+    triangle-free — the classical witness that chromatic number is not
+    bounded by clique number, and a sharp stress test for heuristics
+    (greedy orderings can do arbitrarily badly on these).
+    """
+    if k < 2:
+        raise ValueError("Mycielski hierarchy starts at k=2 (a single edge)")
+    # M_2: one edge.
+    edges = [(0, 1)]
+    n = 2
+    for _ in range(k - 2):
+        # vertices 0..n-1 (originals), n..2n-1 (shadows), 2n (apex)
+        new_edges = list(edges)
+        for u, v in edges:
+            new_edges.append((u + n, v))  # shadow(u) - v
+            new_edges.append((u, v + n))  # u - shadow(v)
+        apex = 2 * n
+        for i in range(n):
+            new_edges.append((i + n, apex))
+        edges = new_edges
+        n = 2 * n + 1
+    arr = np.asarray(edges, dtype=np.int64)
+    return from_edges(arr[:, 0], arr[:, 1], num_vertices=n, name=name or f"M{k}")

@@ -1,0 +1,241 @@
+"""Compressed sparse row (CSR) graph storage.
+
+This is the substrate every algorithm in this package operates on.  The
+representation follows Fig. 2 of the paper: a *row-offsets* array ``R`` of
+``n + 1`` integers and a *column-indices* array ``C`` of ``m`` integers, where
+``C[R[v]:R[v+1]]`` is the adjacency list of vertex ``v``.  Graphs are stored
+in the order they are defined; no reordering/preprocessing is performed (the
+paper explicitly does none either).
+
+The class is deliberately a thin, immutable view over two NumPy arrays so
+that the simulated GPU kernels can reason about the *addresses* of the data
+(base pointers + strides) as well as the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+#: Integer dtype used for vertex ids and row offsets throughout the package.
+#: 32-bit matches what CUDA graph codes (and the paper) use and halves memory
+#: traffic compared to the NumPy default int64 — which matters because the
+#: simulated memory system charges per byte.
+VERTEX_DTYPE = np.int32
+OFFSET_DTYPE = np.int64  # row offsets can exceed 2^31 for large graphs
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected (symmetric) graph in CSR format.
+
+    Parameters
+    ----------
+    row_offsets:
+        Array ``R`` of shape ``(n + 1,)``; ``R[0] == 0`` and ``R[n] == m``.
+    col_indices:
+        Array ``C`` of shape ``(m,)`` holding neighbor vertex ids.
+    name:
+        Optional human-readable name used by reports and benchmarks.
+
+    Notes
+    -----
+    Directed inputs must be symmetrized first (see
+    :func:`repro.graph.builder.from_edges` with ``symmetrize=True``); vertex
+    coloring is defined on undirected graphs and both the conflict-detection
+    kernels and the sequential baseline rely on every edge being visible from
+    both endpoints.
+    """
+
+    row_offsets: np.ndarray
+    col_indices: np.ndarray
+    name: str = field(default="graph", compare=False)
+
+    def __post_init__(self) -> None:
+        R = np.ascontiguousarray(self.row_offsets, dtype=OFFSET_DTYPE)
+        C = np.ascontiguousarray(self.col_indices, dtype=VERTEX_DTYPE)
+        object.__setattr__(self, "row_offsets", R)
+        object.__setattr__(self, "col_indices", C)
+        if R.ndim != 1 or C.ndim != 1:
+            raise ValueError("row_offsets and col_indices must be 1-D arrays")
+        if R.size == 0:
+            raise ValueError("row_offsets must have at least one entry")
+        if R[0] != 0:
+            raise ValueError("row_offsets[0] must be 0")
+        if R[-1] != C.size:
+            raise ValueError(
+                f"row_offsets[-1] ({R[-1]}) must equal len(col_indices) ({C.size})"
+            )
+        if np.any(np.diff(R) < 0):
+            raise ValueError("row_offsets must be non-decreasing")
+        if C.size and (C.min() < 0 or C.max() >= self.num_vertices):
+            raise ValueError("col_indices contains out-of-range vertex ids")
+        # Freeze the buffers: algorithms receive shared views and must never
+        # mutate the topology in place.
+        R.setflags(write=False)
+        C.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return int(self.row_offsets.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *directed* adjacency entries ``m`` (2x undirected edges)."""
+        return int(self.col_indices.size)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Number of undirected edges, self-loops counted once."""
+        u, v = self.edge_endpoints()
+        loops = int(np.count_nonzero(u == v))
+        return (self.num_edges - loops) // 2 + loops
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (== degree for symmetric graphs)."""
+        return np.diff(self.row_offsets).astype(VERTEX_DTYPE)
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree; 0 for an empty graph."""
+        d = self.degrees
+        return int(d.max()) if d.size else 0
+
+    @property
+    def min_degree(self) -> int:
+        d = self.degrees
+        return int(d.min()) if d.size else 0
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / self.num_vertices if self.num_vertices else 0.0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only adjacency list of vertex ``v``."""
+        lo, hi = self.row_offsets[v], self.row_offsets[v + 1]
+        return self.col_indices[lo:hi]
+
+    def degree(self, v: int) -> int:
+        return int(self.row_offsets[v + 1] - self.row_offsets[v])
+
+    # ------------------------------------------------------------------
+    # Edge views
+    # ------------------------------------------------------------------
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every adjacency entry, aligned with ``col_indices``.
+
+        Vectorized expansion of the CSR structure: entry ``e`` of the result
+        is the vertex whose adjacency list contains ``col_indices[e]``.
+        """
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self.degrees
+        )
+
+    def edge_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(sources, targets)`` arrays of all directed adjacency entries."""
+        return self.edge_sources(), self.col_indices
+
+    def iter_vertices(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+    def is_symmetric(self) -> bool:
+        """True iff for every edge (u, v) the reverse edge (v, u) exists."""
+        u, v = self.edge_endpoints()
+        fwd = np.stack([u.astype(np.int64), v.astype(np.int64)], axis=1)
+        rev = np.stack([v.astype(np.int64), u.astype(np.int64)], axis=1)
+        fwd_keys = np.sort(fwd[:, 0] * self.num_vertices + fwd[:, 1])
+        rev_keys = np.sort(rev[:, 0] * self.num_vertices + rev[:, 1])
+        return bool(np.array_equal(fwd_keys, rev_keys))
+
+    def has_self_loops(self) -> bool:
+        u, v = self.edge_endpoints()
+        return bool(np.any(u == v))
+
+    def has_duplicate_edges(self) -> bool:
+        """True if some adjacency list contains a vertex twice."""
+        u, v = self.edge_endpoints()
+        keys = u.astype(np.int64) * self.num_vertices + v.astype(np.int64)
+        return keys.size != np.unique(keys).size
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the graph is simple and symmetric.
+
+        Coloring kernels assume a simple symmetric graph: self-loops make
+        every coloring improper by definition and duplicate entries waste
+        simulated memory bandwidth without changing results.
+        """
+        if self.has_self_loops():
+            raise ValueError(f"graph {self.name!r} contains self-loops")
+        if self.has_duplicate_edges():
+            raise ValueError(f"graph {self.name!r} contains duplicate edges")
+        if not self.is_symmetric():
+            raise ValueError(f"graph {self.name!r} is not symmetric")
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_scipy(self):
+        """Convert to a ``scipy.sparse.csr_array`` with unit weights."""
+        import scipy.sparse as sp
+
+        data = np.ones(self.num_edges, dtype=np.int8)
+        return sp.csr_array(
+            (data, self.col_indices, self.row_offsets),
+            shape=(self.num_vertices, self.num_vertices),
+        )
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (test/diagnostic use only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_vertices))
+        u, v = self.edge_endpoints()
+        keep = u < v
+        g.add_edges_from(zip(u[keep].tolist(), v[keep].tolist()))
+        return g
+
+    def subgraph_mask(self, mask: np.ndarray) -> "CSRGraph":
+        """Induced subgraph on vertices where ``mask`` is True.
+
+        Vertices are renumbered to ``0..k-1`` preserving relative order.
+        Used by the progressively-shrinking-graph view of MIS-based methods
+        and by the partitioner's per-partition coloring.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_vertices,):
+            raise ValueError("mask must have one entry per vertex")
+        new_id = np.cumsum(mask, dtype=np.int64) - 1
+        u, v = self.edge_endpoints()
+        keep = mask[u] & mask[v]
+        nu, nv = new_id[u[keep]], new_id[v[keep]]
+        k = int(mask.sum())
+        order = np.lexsort((nv, nu))
+        nu, nv = nu[order], nv[order]
+        counts = np.bincount(nu, minlength=k)
+        R = np.zeros(k + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=R[1:])
+        return CSRGraph(R, nv.astype(VERTEX_DTYPE), name=f"{self.name}[sub]")
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Bytes occupied by the CSR arrays (what the device must stream)."""
+        return self.row_offsets.nbytes + self.col_indices.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"m={self.num_edges}, avg_deg={self.avg_degree:.2f})"
+        )

@@ -1,0 +1,39 @@
+"""Graph generators: R-MAT, random families, meshes, and the paper suite."""
+
+from .degree_sequence import DegreeSpec, configuration_model, graph_from_degree_spec
+from .mesh import grid2d, grid2d_with_diagonals, grid3d, triangular_mesh
+from .random_graphs import (
+    barabasi_albert,
+    erdos_renyi,
+    planted_partition,
+    random_bipartite,
+    random_regular,
+    watts_strogatz,
+)
+from .rmat import RMATParams, rmat_er, rmat_g, rmat_graph
+from .suite import SUITE, SUITE_ORDER, default_scale_div, load_graph, load_suite
+
+__all__ = [
+    "SUITE",
+    "SUITE_ORDER",
+    "DegreeSpec",
+    "RMATParams",
+    "barabasi_albert",
+    "configuration_model",
+    "default_scale_div",
+    "erdos_renyi",
+    "graph_from_degree_spec",
+    "grid2d",
+    "grid2d_with_diagonals",
+    "grid3d",
+    "load_graph",
+    "load_suite",
+    "planted_partition",
+    "random_bipartite",
+    "random_regular",
+    "rmat_er",
+    "rmat_g",
+    "rmat_graph",
+    "triangular_mesh",
+    "watts_strogatz",
+]

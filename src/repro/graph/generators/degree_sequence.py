@@ -1,0 +1,89 @@
+"""Configuration-model generation from a prescribed degree distribution.
+
+Used by the benchmark suite to synthesize stand-ins whose degree statistics
+(min/max/mean/variance) match a published SuiteSparse matrix when no
+structured-mesh family fits (e.g. Hamrle3's circuit netlist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..builder import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["DegreeSpec", "sample_degrees", "configuration_model", "graph_from_degree_spec"]
+
+
+@dataclass(frozen=True)
+class DegreeSpec:
+    """Target degree statistics for a synthesized graph."""
+
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    variance: float
+
+    def __post_init__(self) -> None:
+        if self.min_degree < 0 or self.max_degree < self.min_degree:
+            raise ValueError("need 0 <= min_degree <= max_degree")
+        if not (self.min_degree <= self.mean_degree <= self.max_degree):
+            raise ValueError("mean_degree must lie within [min, max]")
+        if self.variance < 0:
+            raise ValueError("variance must be non-negative")
+
+
+def sample_degrees(spec: DegreeSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``n`` degrees matching ``spec`` approximately.
+
+    Strategy: a gamma distribution has free mean/variance; shift it to the
+    min degree, clip to [min, max], and round.  Clipping shrinks the
+    variance slightly, which is acceptable — suite tests only assert
+    order-of-magnitude agreement (the paper's experiments depend on the
+    *regime* of the degree distribution, not its third decimal).
+    """
+    lo, hi = spec.min_degree, spec.max_degree
+    mean = spec.mean_degree - lo
+    var = max(spec.variance, 1e-9)
+    if mean <= 0:  # everything sits at the min degree
+        degs = np.full(n, lo, dtype=np.int64)
+    else:
+        shape = mean * mean / var
+        scale = var / mean
+        raw = rng.gamma(shape, scale, size=n) + lo
+        degs = np.clip(np.rint(raw), lo, hi).astype(np.int64)
+    # Nudge the sum even so the stub pairing below is well defined.
+    if degs.sum() % 2:
+        idx = int(rng.integers(0, n))
+        degs[idx] += 1 if degs[idx] < hi else -1
+    return degs
+
+
+def configuration_model(
+    degrees: np.ndarray, *, seed: int = 0, name: str = "config-model"
+) -> CSRGraph:
+    """Pair half-edge stubs uniformly at random (self-loops/dupes dropped).
+
+    The realized degrees are therefore a lower bound on the requested ones;
+    for sparse graphs the deficit is O(d^2/n) per vertex and negligible at
+    the scales the suite uses.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.sum() % 2:
+        raise ValueError("degree sum must be even")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(degrees.size, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    u, v = stubs[0::2], stubs[1::2]
+    return from_edges(u, v, num_vertices=degrees.size, name=name)
+
+
+def graph_from_degree_spec(
+    spec: DegreeSpec, n: int, *, seed: int = 0, name: str = "spec-graph"
+) -> CSRGraph:
+    """Sample a degree sequence from ``spec`` and realize it."""
+    rng = np.random.default_rng(seed)
+    degs = sample_degrees(spec, n, rng)
+    return configuration_model(degs, seed=seed + 1, name=name)

@@ -1,0 +1,115 @@
+"""Structured-mesh graph generators.
+
+These supply the *structural families* behind the paper's SuiteSparse
+inputs: finite-difference/finite-element discretizations (thermal2,
+atmosmodd) and grid-like circuit netlists (G3_circuit).  See
+``generators/suite.py`` for the calibrated stand-ins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..builder import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["grid2d", "grid3d", "triangular_mesh", "grid2d_with_diagonals"]
+
+
+def _grid_ids(shape: tuple[int, ...]) -> np.ndarray:
+    return np.arange(int(np.prod(shape)), dtype=np.int64).reshape(shape)
+
+
+def grid2d(nx: int, ny: int, *, periodic: bool = False, name: str | None = None) -> CSRGraph:
+    """5-point-stencil 2D grid (degree 4 interior; 2–3 on the boundary).
+
+    ``periodic=True`` wraps both dimensions into a torus (4-regular).
+    """
+    ids = _grid_ids((nx, ny))
+    us, vs = [], []
+    # Horizontal edges.
+    if periodic and nx > 2:
+        us.append(ids.ravel())
+        vs.append(np.roll(ids, -1, axis=0).ravel())
+    else:
+        us.append(ids[:-1, :].ravel())
+        vs.append(ids[1:, :].ravel())
+    # Vertical edges.
+    if periodic and ny > 2:
+        us.append(ids.ravel())
+        vs.append(np.roll(ids, -1, axis=1).ravel())
+    else:
+        us.append(ids[:, :-1].ravel())
+        vs.append(ids[:, 1:].ravel())
+    return from_edges(
+        np.concatenate(us), np.concatenate(vs), num_vertices=nx * ny,
+        name=name or f"grid2d-{nx}x{ny}",
+    )
+
+
+def grid3d(
+    nx: int, ny: int, nz: int, *, periodic: bool = False, name: str | None = None
+) -> CSRGraph:
+    """7-point-stencil 3D grid (degree 6 interior), the atmosmodd family."""
+    ids = _grid_ids((nx, ny, nz))
+    us, vs = [], []
+    for axis, extent in enumerate((nx, ny, nz)):
+        if periodic and extent > 2:
+            us.append(ids.ravel())
+            vs.append(np.roll(ids, -1, axis=axis).ravel())
+        else:
+            sl_lo = [slice(None)] * 3
+            sl_hi = [slice(None)] * 3
+            sl_lo[axis] = slice(None, -1)
+            sl_hi[axis] = slice(1, None)
+            us.append(ids[tuple(sl_lo)].ravel())
+            vs.append(ids[tuple(sl_hi)].ravel())
+    return from_edges(
+        np.concatenate(us), np.concatenate(vs), num_vertices=nx * ny * nz,
+        name=name or f"grid3d-{nx}x{ny}x{nz}",
+    )
+
+
+def triangular_mesh(nx: int, ny: int, *, name: str | None = None) -> CSRGraph:
+    """2D triangulated grid: 5-point stencil plus one diagonal per cell.
+
+    Interior degree 6, like a structured FEM triangulation — the thermal2
+    family (unstructured thermal FEM, average degree ≈ 7).
+    """
+    ids = _grid_ids((nx, ny))
+    us = [ids[:-1, :].ravel(), ids[:, :-1].ravel(), ids[:-1, :-1].ravel()]
+    vs = [ids[1:, :].ravel(), ids[:, 1:].ravel(), ids[1:, 1:].ravel()]
+    return from_edges(
+        np.concatenate(us), np.concatenate(vs), num_vertices=nx * ny,
+        name=name or f"trimesh-{nx}x{ny}",
+    )
+
+
+def grid2d_with_diagonals(
+    nx: int,
+    ny: int,
+    diag_fraction: float,
+    *,
+    seed: int = 0,
+    name: str | None = None,
+) -> CSRGraph:
+    """2D grid where a random fraction of cells gains one diagonal edge.
+
+    Produces the narrow degree band (2..6, mean between 4 and 5) of
+    grid-like circuit netlists such as G3_circuit.
+    """
+    if not 0.0 <= diag_fraction <= 1.0:
+        raise ValueError("diag_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    ids = _grid_ids((nx, ny))
+    us = [ids[:-1, :].ravel(), ids[:, :-1].ravel()]
+    vs = [ids[1:, :].ravel(), ids[:, 1:].ravel()]
+    cell_u = ids[:-1, :-1].ravel()
+    cell_v = ids[1:, 1:].ravel()
+    pick = rng.random(cell_u.size) < diag_fraction
+    us.append(cell_u[pick])
+    vs.append(cell_v[pick])
+    return from_edges(
+        np.concatenate(us), np.concatenate(vs), num_vertices=nx * ny,
+        name=name or f"grid2d-diag-{nx}x{ny}",
+    )

@@ -1,0 +1,145 @@
+"""Classic random-graph families used by tests and ablation benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..builder import from_edges
+from ..csr import CSRGraph
+
+__all__ = [
+    "erdos_renyi",
+    "random_regular",
+    "barabasi_albert",
+    "random_bipartite",
+    "watts_strogatz",
+    "planted_partition",
+]
+
+
+def erdos_renyi(n: int, avg_degree: float, *, seed: int = 0, name: str | None = None) -> CSRGraph:
+    """G(n, m)-style Erdős–Rényi graph with expected average degree.
+
+    Samples ``n * avg_degree / 2`` endpoint pairs uniformly; duplicates and
+    self-loops are dropped so the realized degree is marginally lower.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    m = int(round(n * avg_degree / 2))
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    v = rng.integers(0, n, size=m, dtype=np.int64)
+    return from_edges(u, v, num_vertices=n, name=name or f"er-n{n}")
+
+
+def random_regular(n: int, d: int, *, seed: int = 0, name: str | None = None) -> CSRGraph:
+    """Approximately d-regular graph via the configuration model.
+
+    Pairs up ``n*d`` half-edge stubs after a random shuffle; self-loops and
+    multi-edges from the pairing are removed, so vertices end up with degree
+    ``d`` minus a small deficit.  Exactness is not needed by any experiment —
+    low degree *variance* is what matters (it mimics mesh-like inputs).
+    """
+    if (n * d) % 2:
+        raise ValueError("n * d must be even")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    rng.shuffle(stubs)
+    u, v = stubs[0::2], stubs[1::2]
+    return from_edges(u, v, num_vertices=n, name=name or f"reg-n{n}-d{d}")
+
+
+def barabasi_albert(n: int, m_attach: int, *, seed: int = 0, name: str | None = None) -> CSRGraph:
+    """Preferential-attachment (scale-free) graph.
+
+    Vectorized repeated-nodes trick: each new vertex attaches to ``m_attach``
+    endpoints sampled from the running endpoint list (which is
+    degree-proportional by construction).  A Python loop over vertices
+    remains, but each step is O(m_attach); used only at test scales.
+    """
+    if m_attach < 1 or n <= m_attach:
+        raise ValueError("need n > m_attach >= 1")
+    rng = np.random.default_rng(seed)
+    # Seed clique among the first m_attach + 1 vertices.
+    seed_n = m_attach + 1
+    su, sv = np.triu_indices(seed_n, k=1)
+    endpoints = list(np.concatenate([su, sv]))
+    us: list[np.ndarray] = [su.astype(np.int64)]
+    vs: list[np.ndarray] = [sv.astype(np.int64)]
+    pool = np.array(endpoints, dtype=np.int64)
+    for w in range(seed_n, n):
+        targets = np.unique(pool[rng.integers(0, pool.size, size=m_attach * 3)])[:m_attach]
+        if targets.size < m_attach:  # pad with uniform picks if unlucky
+            extra = rng.integers(0, w, size=m_attach - targets.size)
+            targets = np.unique(np.concatenate([targets, extra]))
+        src = np.full(targets.size, w, dtype=np.int64)
+        us.append(src)
+        vs.append(targets.astype(np.int64))
+        pool = np.concatenate([pool, src, targets])
+    return from_edges(
+        np.concatenate(us), np.concatenate(vs), num_vertices=n,
+        name=name or f"ba-n{n}-m{m_attach}",
+    )
+
+
+def random_bipartite(
+    n_left: int, n_right: int, avg_degree: float, *, seed: int = 0, name: str | None = None
+) -> CSRGraph:
+    """Random bipartite graph — 2-colorable, so a sharp quality oracle."""
+    rng = np.random.default_rng(seed)
+    m = int(round((n_left + n_right) * avg_degree / 2))
+    u = rng.integers(0, n_left, size=m, dtype=np.int64)
+    v = rng.integers(n_left, n_left + n_right, size=m, dtype=np.int64)
+    return from_edges(u, v, num_vertices=n_left + n_right, name=name or "bipartite")
+
+
+def watts_strogatz(
+    n: int, k: int, p_rewire: float, *, seed: int = 0, name: str | None = None
+) -> CSRGraph:
+    """Small-world ring lattice with random rewiring."""
+    if k % 2 or k < 2:
+        raise ValueError("k must be even and >= 2")
+    rng = np.random.default_rng(seed)
+    u = np.repeat(np.arange(n, dtype=np.int64), k // 2)
+    shifts = np.tile(np.arange(1, k // 2 + 1, dtype=np.int64), n)
+    v = (u + shifts) % n
+    rewire = rng.random(u.size) < p_rewire
+    v = np.where(rewire, rng.integers(0, n, size=u.size, dtype=np.int64), v)
+    return from_edges(u, v, num_vertices=n, name=name or f"ws-n{n}-k{k}")
+
+
+def planted_partition(
+    n: int, blocks: int, p_in: float, p_out: float, *, seed: int = 0, name: str | None = None
+) -> CSRGraph:
+    """Stochastic block model with equal-size blocks (community structure).
+
+    Expected-edge-count sampling: draws Binomial(n_pairs, p) edge counts per
+    block pair and samples endpoints uniformly inside the pair, which is
+    O(edges) rather than O(n^2).
+    """
+    rng = np.random.default_rng(seed)
+    size = n // blocks
+    if size < 1:
+        raise ValueError("more blocks than vertices")
+    us, vs = [], []
+    for bi in range(blocks):
+        lo_i = bi * size
+        hi_i = n if bi == blocks - 1 else lo_i + size
+        ni = hi_i - lo_i
+        for bj in range(bi, blocks):
+            lo_j = bj * size
+            hi_j = n if bj == blocks - 1 else lo_j + size
+            nj = hi_j - lo_j
+            pairs = ni * (ni - 1) // 2 if bi == bj else ni * nj
+            p = p_in if bi == bj else p_out
+            cnt = rng.binomial(pairs, min(p, 1.0))
+            if cnt == 0:
+                continue
+            us.append(rng.integers(lo_i, hi_i, size=cnt, dtype=np.int64))
+            vs.append(rng.integers(lo_j, hi_j, size=cnt, dtype=np.int64))
+    if not us:
+        us, vs = [np.empty(0, dtype=np.int64)], [np.empty(0, dtype=np.int64)]
+    return from_edges(
+        np.concatenate(us), np.concatenate(vs), num_vertices=n,
+        name=name or f"sbm-n{n}-b{blocks}",
+    )

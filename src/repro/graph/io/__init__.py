@@ -1,0 +1,16 @@
+"""Graph I/O: MatrixMarket (SuiteSparse), edge lists, binary caches."""
+
+from .binary import cached, load_npz, save_npz
+from .edgelist import read_edgelist, write_edgelist
+from .matrix_market import MatrixMarketError, read_matrix_market, write_matrix_market
+
+__all__ = [
+    "MatrixMarketError",
+    "cached",
+    "load_npz",
+    "read_edgelist",
+    "read_matrix_market",
+    "save_npz",
+    "write_edgelist",
+    "write_matrix_market",
+]

@@ -1,0 +1,50 @@
+"""Fast binary graph caching via NumPy ``.npz`` archives.
+
+Benchmarks regenerate the suite frequently; caching the CSR arrays makes
+repeat runs start in milliseconds instead of re-running generators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..csr import CSRGraph
+
+__all__ = ["save_npz", "load_npz", "cached"]
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Serialize CSR arrays plus name/version metadata."""
+    np.savez_compressed(
+        Path(path),
+        row_offsets=graph.row_offsets,
+        col_indices=graph.col_indices,
+        name=np.array(graph.name),
+        version=np.array(_FORMAT_VERSION),
+    )
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported graph file version {version}")
+        return CSRGraph(
+            data["row_offsets"], data["col_indices"], name=str(data["name"])
+        )
+
+
+def cached(path: str | Path, build, *args, **kwargs) -> CSRGraph:
+    """Load ``path`` if it exists, else ``build(*args, **kwargs)`` and save."""
+    path = Path(path)
+    if path.exists():
+        return load_npz(path)
+    graph = build(*args, **kwargs)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_npz(graph, path)
+    return graph

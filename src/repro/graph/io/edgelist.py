@@ -1,0 +1,38 @@
+"""Whitespace-separated edge-list I/O (SNAP-style ``u v`` per line)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..builder import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def read_edgelist(
+    path: str | Path,
+    *,
+    comments: str = "#",
+    num_vertices: int | None = None,
+    name: str | None = None,
+) -> CSRGraph:
+    """Read a two-column edge list; ``comments``-prefixed lines are skipped."""
+    path = Path(path)
+    data = np.loadtxt(path, dtype=np.int64, comments=comments, usecols=(0, 1), ndmin=2)
+    if data.size == 0:
+        u = v = np.empty(0, dtype=np.int64)
+    else:
+        u, v = data[:, 0], data[:, 1]
+    return from_edges(u, v, num_vertices=num_vertices, name=name or path.stem)
+
+
+def write_edgelist(graph: CSRGraph, path: str | Path) -> None:
+    """Write each undirected edge once as ``u v`` with ``u < v``."""
+    u, v = graph.edge_endpoints()
+    keep = u < v
+    with open(Path(path), "w", encoding="ascii") as fh:
+        fh.write(f"# {graph.name}: {graph.num_vertices} vertices\n")
+        np.savetxt(fh, np.stack([u[keep], v[keep]], axis=1), fmt="%d")

@@ -1,0 +1,87 @@
+"""Line-graph construction — vertex coloring of L(G) is edge coloring of G.
+
+Edge coloring (no two edges sharing an endpoint get one color) schedules
+*pairwise exchanges*: matchings in communication rounds, link scheduling
+in wireless networks.  Vizing's theorem bounds the edge chromatic number
+by ``max_degree + 1``; greedy on the line graph guarantees
+``2*max_degree - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import from_edges
+from .csr import CSRGraph
+
+__all__ = ["line_graph", "edge_list", "edge_coloring_from_line_colors"]
+
+
+def edge_list(graph: CSRGraph) -> np.ndarray:
+    """Canonical undirected edge list: shape (m_undirected, 2), u < v rows."""
+    u, v = graph.edge_endpoints()
+    keep = u < v
+    return np.stack([u[keep], v[keep]], axis=1).astype(np.int64)
+
+
+def line_graph(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Build L(G): one vertex per undirected edge, adjacency = shared endpoint.
+
+    Returns ``(L, edges)`` where ``edges[i]`` is the endpoint pair of L's
+    vertex ``i``.  Construction is per-endpoint pairing: the edges incident
+    to one vertex form a clique in L(G); cliques are emitted vectorized.
+    """
+    edges = edge_list(graph)
+    m = edges.shape[0]
+    if m == 0:
+        return (
+            from_edges(np.empty(0), np.empty(0), num_vertices=0, name="L(empty)"),
+            edges,
+        )
+    # edge-id incidence per endpoint
+    endpoint = np.concatenate([edges[:, 0], edges[:, 1]])
+    eid = np.concatenate([np.arange(m), np.arange(m)])
+    order = np.argsort(endpoint, kind="stable")
+    endpoint, eid = endpoint[order], eid[order]
+    counts = np.bincount(endpoint, minlength=graph.num_vertices)
+    us, vs = [], []
+    start = 0
+    for c in counts:
+        if c > 1:
+            ids = eid[start : start + c]
+            i, j = np.triu_indices(c, k=1)
+            us.append(ids[i])
+            vs.append(ids[j])
+        start += c
+    if us:
+        u = np.concatenate(us)
+        v = np.concatenate(vs)
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    lg = from_edges(u, v, num_vertices=m, name=f"L({graph.name})")
+    return lg, edges
+
+
+def edge_coloring_from_line_colors(
+    graph: CSRGraph, edges: np.ndarray, line_colors: np.ndarray
+) -> None:
+    """Verify that vertex colors of L(G) form a proper edge coloring of G.
+
+    Raises ``AssertionError`` if two incident edges share a color.
+    """
+    m = edges.shape[0]
+    if m == 0:
+        return
+    # Incidence is per endpoint regardless of which column holds it:
+    # flatten both endpoint columns into one (vertex, edge-color) stream.
+    endpoint = np.concatenate([edges[:, 0], edges[:, 1]])
+    color = np.concatenate([line_colors, line_colors])
+    order = np.argsort(endpoint, kind="stable")
+    ep, col = endpoint[order], color[order]
+    start = 0
+    for v, count in zip(*np.unique(ep, return_counts=True)):
+        group = col[start : start + count]
+        assert np.unique(group).size == group.size, (
+            f"vertex {int(v)} has two incident edges with one color"
+        )
+        start += count

@@ -1,0 +1,106 @@
+"""Traversal and decomposition utilities: components, k-cores, degeneracy.
+
+The degeneracy (maximum core number) is the theory behind the
+smallest-last ordering's guarantee — greedy over SL order uses at most
+``degeneracy + 1`` colors — so exposing it lets users predict and verify
+coloring quality.  Components matter operationally: every algorithm here
+handles disconnected graphs, and these helpers make that testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "connected_components",
+    "num_connected_components",
+    "core_numbers",
+    "degeneracy",
+    "is_connected",
+]
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component id (0-based, in order of discovery) for every vertex."""
+    n = graph.num_vertices
+    comp = np.full(n, -1, dtype=np.int64)
+    R, C = graph.row_offsets, graph.col_indices
+    current = 0
+    for seed in range(n):
+        if comp[seed] >= 0:
+            continue
+        queue = deque([seed])
+        comp[seed] = current
+        while queue:
+            v = queue.popleft()
+            for w in C[R[v] : R[v + 1]]:
+                w = int(w)
+                if comp[w] < 0:
+                    comp[w] = current
+                    queue.append(w)
+        current += 1
+    return comp
+
+
+def num_connected_components(graph: CSRGraph) -> int:
+    if graph.num_vertices == 0:
+        return 0
+    return int(connected_components(graph).max()) + 1
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    return num_connected_components(graph) <= 1
+
+
+def core_numbers(graph: CSRGraph) -> np.ndarray:
+    """Core number of every vertex (Matula–Beck peeling, O(n + m)).
+
+    Vertex ``v`` has core number ``k`` if it belongs to a maximal subgraph
+    of minimum degree ``k`` but not ``k + 1``.
+    """
+    n = graph.num_vertices
+    degs = graph.degrees.astype(np.int64).copy()
+    core = np.zeros(n, dtype=np.int64)
+    removed = np.zeros(n, dtype=bool)
+    max_deg = int(degs.max()) if n else 0
+    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[degs[v]].append(v)
+    R, C = graph.row_offsets, graph.col_indices
+    cursor = 0
+    current_core = 0
+    for _ in range(n):
+        while cursor <= max_deg:
+            bucket = buckets[cursor]
+            while bucket:
+                v = bucket[-1]
+                if removed[v] or degs[v] != cursor:
+                    bucket.pop()
+                else:
+                    break
+            if bucket:
+                break
+            cursor += 1
+        v = buckets[cursor].pop()
+        removed[v] = True
+        current_core = max(current_core, cursor)
+        core[v] = current_core
+        for w in C[R[v] : R[v + 1]]:
+            w = int(w)
+            if not removed[w] and degs[w] > cursor:
+                degs[w] -= 1
+                buckets[degs[w]].append(w)
+                if degs[w] < cursor:
+                    cursor = degs[w]
+    return core
+
+
+def degeneracy(graph: CSRGraph) -> int:
+    """Maximum core number; greedy over SL order uses <= degeneracy + 1."""
+    if graph.num_vertices == 0:
+        return 0
+    return int(core_numbers(graph).max())

@@ -1,0 +1,15 @@
+"""Experiment metrics: records, tables, speedup math."""
+
+from .recorder import ExperimentRecord, Recorder
+from .speedup import geomean, normalize_to_baseline, speedup
+from .table import format_float, format_table
+
+__all__ = [
+    "ExperimentRecord",
+    "Recorder",
+    "format_float",
+    "format_table",
+    "geomean",
+    "normalize_to_baseline",
+    "speedup",
+]

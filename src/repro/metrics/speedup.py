@@ -1,0 +1,33 @@
+"""Speedup arithmetic shared by figures 1 and 7."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["speedup", "geomean", "normalize_to_baseline"]
+
+
+def speedup(baseline_time: float, time: float) -> float:
+    """``baseline / time``; the paper's y-axis for Figs. 1 and 7."""
+    if time <= 0:
+        raise ValueError("time must be positive")
+    return baseline_time / time
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean — the right average for speedup ratios."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize_to_baseline(times: dict[str, float], baseline: str) -> dict[str, float]:
+    """Per-scheme speedups relative to ``times[baseline]``."""
+    if baseline not in times:
+        raise KeyError(f"baseline {baseline!r} missing from {sorted(times)}")
+    base = times[baseline]
+    return {k: speedup(base, v) for k, v in times.items()}

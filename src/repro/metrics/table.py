@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print the same rows the paper's tables/figures report; this
+module owns the formatting so every harness emits consistent output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 2) -> str:
+    """Compact numeric formatting (ints stay ints; floats get ``digits``)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+    digits: int = 2,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Column widths adapt to content; numeric cells are right-aligned,
+    text cells left-aligned (decided per column by its first data cell).
+    """
+    str_rows = [[format_float(c, digits) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(ncols)
+    ]
+    numeric = [
+        bool(str_rows) and _is_numeric(str_rows[0][i]) for i in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(
+            c.rjust(widths[i]) if numeric[i] else c.ljust(widths[i])
+            for i, c in enumerate(cells)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("x%"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,33 @@
+"""Bulk-synchronous GPU algorithmic primitives (scan, reduce, compaction)."""
+
+from .compact import charge_compaction, compact_indices
+from .hashing import DEFAULT_NUM_HASHES, hash_family, murmur3_finalize, splitmix64
+from .reduce import block_reduce_cost, count_nonzero, device_reduce
+from .scan import (
+    BlockScanCost,
+    blelloch_cost,
+    exclusive_scan,
+    hillis_steele_cost,
+    inclusive_scan,
+    segmented_exclusive_scan,
+)
+from .worklist import DoubleBufferedWorklist
+
+__all__ = [
+    "BlockScanCost",
+    "DEFAULT_NUM_HASHES",
+    "DoubleBufferedWorklist",
+    "blelloch_cost",
+    "block_reduce_cost",
+    "charge_compaction",
+    "compact_indices",
+    "count_nonzero",
+    "device_reduce",
+    "exclusive_scan",
+    "hash_family",
+    "hillis_steele_cost",
+    "inclusive_scan",
+    "murmur3_finalize",
+    "segmented_exclusive_scan",
+    "splitmix64",
+]

@@ -1,0 +1,86 @@
+"""Stream compaction: gather the indices of set flags into a dense array.
+
+This is the building block of the data-driven scheme's conflict kernel
+(Alg. 5 lines 11-18): every thread decides whether its vertex re-enters the
+worklist, and the set of survivors must land densely in the out worklist.
+Two strategies exist, matching the paper's atomic-reduction discussion:
+
+* ``atomic`` — each surviving thread performs ``atomicAdd(tail, 1)`` and
+  writes at the returned slot.  Simple, but every push serializes on one
+  counter address (one atomic unit services them all).
+* ``scan``  — per-block prefix sum computes local offsets; one
+  ``atomicAdd`` per *block* reserves a contiguous range (Fig. 5).
+
+Both produce identical contents; ``scan`` additionally preserves input
+order within and across blocks (the atomic variant's order is
+scheduling-dependent, which we model by keeping index order — order never
+affects correctness, only determinism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scan import blelloch_cost, exclusive_scan
+
+__all__ = ["compact_indices", "charge_compaction"]
+
+
+def compact_indices(flags: np.ndarray) -> np.ndarray:
+    """Indices ``i`` with ``flags[i]`` true, in increasing order."""
+    return np.flatnonzero(np.asarray(flags)).astype(np.int64)
+
+
+def charge_compaction(
+    builder,
+    flags: np.ndarray,
+    out_array,
+    tail_counter,
+    *,
+    use_scan: bool,
+    thread_ids: np.ndarray | None = None,
+) -> np.ndarray:
+    """Record the cost of compacting ``flags`` into ``out_array``.
+
+    Parameters
+    ----------
+    builder:
+        The :class:`~repro.gpusim.trace.TraceBuilder` of the running kernel.
+    flags:
+        Per-thread predicate (parallel to the launch domain unless
+        ``thread_ids`` maps them explicitly).
+    out_array, tail_counter:
+        Device arrays receiving the compacted indices / the global tail.
+    use_scan:
+        Choose the prefix-sum strategy over per-push atomics.
+
+    Returns the compacted index array (functional result).
+    """
+    flags = np.asarray(flags, dtype=bool)
+    selected = np.flatnonzero(flags).astype(np.int64)
+    if thread_ids is None:
+        thread_ids = np.arange(flags.size, dtype=np.int64)
+    sel_threads = thread_ids[selected]
+
+    if use_scan:
+        # Block-local Blelloch scan in shared memory: charged to every
+        # launched thread (all participate in the scan regardless of flag).
+        cost = blelloch_cost(builder.launch.block_size)
+        builder.uniform_overhead(cost.instructions_per_thread)
+        builder.barrier(cost.barriers)
+        # One atomic per block that has at least one surviving element.
+        blocks_with_items = np.unique(sel_threads // builder.launch.block_size)
+        if blocks_with_items.size:
+            rep_threads = blocks_with_items * builder.launch.block_size
+            builder.atomic(rep_threads, np.full(rep_threads.size, tail_counter.base))
+        # Scatter offsets are exact: scan guarantees dense placement.
+        offsets = exclusive_scan(flags.astype(np.int64))[selected]
+    else:
+        # One global atomic per surviving thread, all on one counter line.
+        if sel_threads.size:
+            builder.atomic(sel_threads, np.full(sel_threads.size, tail_counter.base))
+        offsets = np.arange(selected.size, dtype=np.int64)
+
+    if selected.size:
+        builder.store(sel_threads, out_array.addr(offsets))
+    return selected

@@ -1,0 +1,50 @@
+"""Parallel reductions with block-tree cost descriptors."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockReduceCost", "block_reduce_cost", "device_reduce", "count_nonzero"]
+
+
+@dataclass(frozen=True)
+class BlockReduceCost:
+    """Per-block dynamic cost of one shared-memory tree reduction."""
+
+    instructions_per_thread: int
+    barriers: int
+    shared_mem_bytes: int
+
+
+def block_reduce_cost(block_size: int, *, elem_bytes: int = 4) -> BlockReduceCost:
+    """Tree reduction: log2(n) halving steps, barrier between each."""
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    levels = max(1, math.ceil(math.log2(block_size)))
+    return BlockReduceCost(
+        instructions_per_thread=2 * levels,
+        barriers=levels,
+        shared_mem_bytes=block_size * elem_bytes,
+    )
+
+
+def device_reduce(values: np.ndarray, op: str = "sum"):
+    """Functional device-wide reduction (sum/max/min/any)."""
+    values = np.asarray(values)
+    if op == "sum":
+        return values.sum()
+    if op == "max":
+        return values.max()
+    if op == "min":
+        return values.min()
+    if op == "any":
+        return bool(values.any())
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+def count_nonzero(values: np.ndarray) -> int:
+    """Device-wide population count (used for worklist sizes)."""
+    return int(np.count_nonzero(np.asarray(values)))

@@ -1,0 +1,111 @@
+"""Parallel prefix sum (scan) — the primitive behind atomic-free worklists.
+
+Merrill et al. (and the paper, Section III.C) replace one global atomic per
+worklist push with a block-level prefix sum over per-thread item counts:
+threads learn their scatter offsets locally (shared memory), and only one
+``atomicAdd`` per *block* reserves space in the global queue.
+
+Two classic algorithms are provided, both functionally (NumPy) and as cost
+descriptors the kernel instrumentation charges:
+
+* Blelloch's work-efficient scan: 2·(n−1) adds in 2·log2(n) sweeps.
+* Hillis–Steele (inclusive) scan: n·log2(n) adds in log2(n) steps — fewer
+  barriers, more work; what CUB uses within a warp where lockstep makes
+  barriers free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "exclusive_scan",
+    "inclusive_scan",
+    "segmented_exclusive_scan",
+    "BlockScanCost",
+    "blelloch_cost",
+    "hillis_steele_cost",
+]
+
+
+def exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum; ``out[i] = sum(values[:i])``, ``out[0] = 0``."""
+    values = np.asarray(values)
+    out = np.empty(values.size, dtype=np.int64)
+    if values.size:
+        out[0] = 0
+        np.cumsum(values[:-1], out=out[1:])
+    return out
+
+
+def inclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum; ``out[i] = sum(values[:i+1])``."""
+    return np.cumsum(np.asarray(values), dtype=np.int64)
+
+
+def segmented_exclusive_scan(values: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+    """Exclusive scan restarting at every segment boundary.
+
+    ``segment_ids`` must be non-decreasing.  Used to compute per-block
+    scatter offsets for all blocks at once (each block is a segment).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    segment_ids = np.asarray(segment_ids)
+    if values.shape != segment_ids.shape:
+        raise ValueError("values and segment_ids must be parallel")
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(np.diff(segment_ids) < 0):
+        raise ValueError("segment_ids must be non-decreasing")
+    total = exclusive_scan(values)
+    # Subtract each segment's running total at its first element.
+    first = np.empty(values.size, dtype=bool)
+    first[0] = True
+    first[1:] = segment_ids[1:] != segment_ids[:-1]
+    seg_base = np.where(first, total, 0)
+    np.maximum.accumulate(seg_base, out=seg_base)
+    return total - seg_base
+
+
+@dataclass(frozen=True)
+class BlockScanCost:
+    """Per-block dynamic cost of one shared-memory scan of ``block_size``."""
+
+    instructions_per_thread: int
+    barriers: int
+    shared_mem_bytes: int
+
+
+def blelloch_cost(block_size: int, *, elem_bytes: int = 4) -> BlockScanCost:
+    """Cost of a CUB-style block scan (warp shuffles + smem partials).
+
+    CUB's BlockScan does a register-level warp scan (log2(32) = 5 shuffle
+    steps, no memory traffic), writes one partial per warp to shared
+    memory, scans the partials with the first warp, and broadcasts — two
+    barriers total, ~3 instructions per shuffle step plus fixed overhead.
+    A naive 2·log2(n)-sweep Blelloch over shared memory would be several
+    times costlier; CUB is what the paper links against.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    warp_levels = 5  # log2(warp_size)
+    return BlockScanCost(
+        instructions_per_thread=3 * warp_levels + 8,
+        barriers=2,
+        shared_mem_bytes=max(1, block_size // 32) * elem_bytes,
+    )
+
+
+def hillis_steele_cost(block_size: int, *, elem_bytes: int = 4) -> BlockScanCost:
+    """Cost of a step-efficient (Hillis–Steele) block scan."""
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    levels = max(1, math.ceil(math.log2(block_size)))
+    return BlockScanCost(
+        instructions_per_thread=3 * levels,
+        barriers=levels,
+        shared_mem_bytes=2 * block_size * elem_bytes,  # double buffer
+    )

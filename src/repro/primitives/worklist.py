@@ -1,0 +1,75 @@
+"""Double-buffered device worklist (Alg. 5's ``swap(W_in, W_out)``).
+
+Nasre et al.'s double-buffering trick: keep two queues and swap the
+*pointers* between iterations instead of copying elements.  The swap is
+free; only the tail-counter reset costs a (tiny) kernel or memset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.device import Device, DeviceArray
+
+__all__ = ["DoubleBufferedWorklist"]
+
+
+class DoubleBufferedWorklist:
+    """A pair of device queues referenced through swappable handles."""
+
+    def __init__(self, device: Device, capacity: int, *, name: str = "worklist") -> None:
+        if capacity < 1:
+            raise ValueError("worklist capacity must be positive")
+        self.capacity = capacity
+        self._in = device.alloc(capacity, np.int32, name=f"{name}_a", fill=0)
+        self._out = device.alloc(capacity, np.int32, name=f"{name}_b", fill=0)
+        self.tail_in = device.alloc(1, np.int32, name=f"{name}_tail_a", fill=0)
+        self.tail_out = device.alloc(1, np.int32, name=f"{name}_tail_b", fill=0)
+        self._size_in = 0
+        self._size_out = 0
+
+    # -- host-side management ------------------------------------------
+    def initialize(self, items: np.ndarray) -> None:
+        """Fill the *in* queue (e.g. all vertices before the first round)."""
+        items = np.asarray(items, dtype=np.int32)
+        if items.size > self.capacity:
+            raise ValueError("worklist overflow")
+        self._in.data[: items.size] = items
+        self._size_in = int(items.size)
+        self.tail_in.data[0] = items.size
+
+    @property
+    def in_buffer(self) -> DeviceArray:
+        return self._in
+
+    @property
+    def out_buffer(self) -> DeviceArray:
+        return self._out
+
+    @property
+    def size(self) -> int:
+        """Number of items pending in the *in* queue."""
+        return self._size_in
+
+    def items(self) -> np.ndarray:
+        """Contents of the *in* queue."""
+        return self._in.data[: self._size_in].astype(np.int64)
+
+    def publish(self, items: np.ndarray) -> None:
+        """Record the functional contents pushed to the *out* queue."""
+        items = np.asarray(items, dtype=np.int32)
+        if items.size > self.capacity:
+            raise ValueError("worklist overflow")
+        self._out.data[: items.size] = items
+        self._size_out = int(items.size)
+        self.tail_out.data[0] = items.size
+
+    def swap(self) -> None:
+        """Exchange the queue handles — pointer swap, zero data movement."""
+        self._in, self._out = self._out, self._in
+        self.tail_in, self.tail_out = self.tail_out, self.tail_in
+        self._size_in, self._size_out = self._size_out, 0
+        self.tail_out.data[0] = 0
+
+    def __len__(self) -> int:
+        return self._size_in

@@ -1,0 +1,117 @@
+"""Applications: register allocation and WLAN channel planning."""
+
+import numpy as np
+import pytest
+
+from repro.apps.frequency import AccessPointField, plan_channels
+from repro.apps.register_alloc import (
+    LiveInterval,
+    allocate_registers,
+    build_interference_graph,
+)
+
+
+# ---------------------------------------------------------- register alloc
+def test_live_interval_validation():
+    with pytest.raises(ValueError, match="empty"):
+        LiveInterval(0, 5, 5)
+
+
+def test_interval_overlap():
+    a = LiveInterval(0, 0, 10)
+    b = LiveInterval(1, 9, 12)
+    c = LiveInterval(2, 10, 12)
+    assert a.overlaps(b) and not a.overlaps(c)
+
+
+def test_interference_graph_matches_brute_force():
+    rng = np.random.default_rng(4)
+    starts = rng.integers(0, 50, 40)
+    ivs = [LiveInterval(i, int(s), int(s) + int(rng.integers(1, 15))) for i, s in enumerate(starts)]
+    g = build_interference_graph(ivs)
+    u, v = g.edge_endpoints()
+    got = {(min(a, b), max(a, b)) for a, b in zip(u.tolist(), v.tolist())}
+    want = {
+        (i, j)
+        for i in range(40)
+        for j in range(i + 1, 40)
+        if ivs[i].overlaps(ivs[j])
+    }
+    assert got == want
+
+
+def test_interference_vregs_must_be_dense():
+    with pytest.raises(ValueError, match="0..n-1"):
+        build_interference_graph([LiveInterval(5, 0, 2)])
+
+
+def test_interference_empty():
+    g = build_interference_graph([])
+    assert g.num_vertices == 0
+
+
+def test_allocation_no_spill_when_enough_registers():
+    ivs = [LiveInterval(i, i, i + 2) for i in range(10)]  # chain overlap
+    res = allocate_registers(ivs, 4)
+    assert res.num_spilled == 0
+    assert res.colors_used <= 2  # only adjacent intervals interfere
+
+
+def test_allocation_spills_when_pressure_exceeds():
+    # 6 fully-overlapping intervals into 3 registers -> 3 spills
+    ivs = [LiveInterval(i, 0, 10) for i in range(6)]
+    res = allocate_registers(ivs, 3)
+    assert res.num_spilled == 3
+    assert res.colors_used <= 3
+    assert (res.assignment >= 0).sum() == 3
+
+
+def test_allocation_verifies_no_shared_register():
+    rng = np.random.default_rng(7)
+    ivs = [LiveInterval(i, int(s), int(s) + 8) for i, s in enumerate(rng.integers(0, 60, 50))]
+    res = allocate_registers(ivs, 5)
+    res.verify(build_interference_graph(ivs))  # raises on violation
+
+
+def test_allocation_needs_a_register():
+    with pytest.raises(ValueError):
+        allocate_registers([LiveInterval(0, 0, 1)], 0)
+
+
+def test_spilled_marked_minus_one():
+    ivs = [LiveInterval(i, 0, 10) for i in range(4)]
+    res = allocate_registers(ivs, 2)
+    assert np.all(res.assignment[res.spilled] == -1)
+
+
+# ------------------------------------------------------------- frequencies
+def test_field_validation():
+    with pytest.raises(ValueError):
+        AccessPointField.random(0, 0.1)
+    with pytest.raises(ValueError):
+        AccessPointField.random(10, 2.0)
+
+
+def test_interference_graph_radius():
+    pts = np.array([[0.0, 0.0], [0.05, 0.0], [0.9, 0.9]])
+    field = AccessPointField(positions=pts, radius=0.1)
+    g = field.interference_graph()
+    assert g.num_undirected_edges == 1  # only the close pair
+
+
+def test_plan_has_no_violations():
+    field = AccessPointField.random(300, 0.07, seed=2)
+    plan = plan_channels(field)
+    assert plan.max_cochannel_distance_violations == 0
+    assert plan.num_channels >= 1
+
+
+def test_sparser_field_needs_fewer_channels():
+    dense = plan_channels(AccessPointField.random(300, 0.12, seed=3))
+    sparse = plan_channels(AccessPointField.random(300, 0.03, seed=3))
+    assert sparse.num_channels <= dense.num_channels
+
+
+def test_fits_80211_flag():
+    lone = plan_channels(AccessPointField.random(5, 0.01, seed=1))
+    assert lone.fits_80211

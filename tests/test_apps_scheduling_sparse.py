@@ -1,0 +1,175 @@
+"""Applications: chromatic scheduling and coloring-driven sparse solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.scheduling import ChromaticScheduler
+from repro.apps.sparse import (
+    MulticolorGaussSeidel,
+    graph_laplacian,
+    triangular_levels,
+)
+from repro.graph.builder import cycle_graph, path_graph
+from repro.graph.generators import grid2d
+
+
+# -------------------------------------------------------------- scheduling
+def test_classes_are_independent_sets(small_er):
+    sch = ChromaticScheduler(small_er, method="sequential")
+    u, v = small_er.edge_endpoints()
+    for cls in sch.color_classes:
+        members = set(cls.tolist())
+        assert not any(
+            a in members and b in members for a, b in zip(u.tolist(), v.tolist())
+        )
+
+
+def test_classes_partition_vertices(small_er):
+    sch = ChromaticScheduler(small_er, method="sequential")
+    allv = np.concatenate(sch.color_classes)
+    assert np.array_equal(np.sort(allv), np.arange(small_er.num_vertices))
+
+
+def test_sweep_sees_earlier_classes():
+    """Within a sweep, later classes read earlier classes' fresh values."""
+    g = path_graph(6)
+    sch = ChromaticScheduler(g, method="sequential")
+    state = np.zeros(6)
+
+    def update(cls, st, gr):
+        # each vertex becomes 1 + max over neighbors
+        out = np.empty(cls.size)
+        for i, v in enumerate(cls):
+            out[i] = st[gr.neighbors(v)].max(initial=0.0) + 1
+        return out
+
+    sch.sweep(state, update)
+    # Gauss-Seidel propagation: at least one vertex saw a fresh value > 1
+    assert state.max() >= 2
+
+
+def test_sweep_rejects_bad_state(c6):
+    sch = ChromaticScheduler(c6, method="sequential")
+    with pytest.raises(ValueError, match="one entry per vertex"):
+        sch.sweep(np.zeros(3), lambda c, s, g: s[c])
+
+
+def test_stats(small_mesh):
+    sch = ChromaticScheduler(small_mesh, method="sequential")
+    st = sch.stats()
+    assert st.num_colors == sch.coloring.num_colors
+    assert st.critical_path == st.num_colors
+    assert 0 < st.parallel_efficiency <= 1.0
+    assert st.avg_parallelism == pytest.approx(
+        small_mesh.num_vertices / st.num_colors
+    )
+
+
+def test_scheduler_accepts_existing_coloring(c6):
+    from repro.coloring import color_graph
+
+    res = color_graph(c6, method="sequential")
+    sch = ChromaticScheduler(c6, coloring=res)
+    assert sch.coloring is res
+
+
+def test_run_multiple_sweeps(c6):
+    sch = ChromaticScheduler(c6, method="sequential")
+    state = np.zeros(6)
+    sch.run(state, lambda cls, st, gr: st[cls] + 1.0, sweeps=5)
+    assert np.all(state == 5.0)
+
+
+# ------------------------------------------------------------------ sparse
+def test_laplacian_spd(small_mesh):
+    lap = graph_laplacian(small_mesh, shift=0.1)
+    x = np.random.default_rng(0).random(small_mesh.num_vertices)
+    assert x @ (lap @ x) > 0
+    assert (lap != lap.T).nnz == 0
+
+
+def test_multicolor_gs_converges_to_solution():
+    g = grid2d(12, 12)
+    lap = graph_laplacian(g, shift=1.0)
+    rng = np.random.default_rng(1)
+    x_true = rng.random(g.num_vertices)
+    b = lap @ x_true
+    gs = MulticolorGaussSeidel(lap, method="sequential")
+    x, report = gs.solve(b, sweeps=500, tol=1e-12)
+    assert report.converged
+    assert np.allclose(x, x_true, atol=1e-4)
+
+
+def test_gs_phases_equal_colors():
+    g = grid2d(8, 8)
+    gs = MulticolorGaussSeidel(graph_laplacian(g, shift=1.0), method="sequential")
+    _, report = gs.solve(np.ones(64), sweeps=5)
+    assert report.parallel_phases_per_sweep == report.num_colors == 2
+
+
+def test_gs_classes_row_independent():
+    g = cycle_graph(10)
+    gs = MulticolorGaussSeidel(graph_laplacian(g, shift=1.0), method="sequential")
+    u, v = gs.graph.edge_endpoints()
+    for cls in gs.classes:
+        members = set(cls.tolist())
+        assert not any(a in members and b in members for a, b in zip(u, v))
+
+
+def test_gs_rejects_zero_diagonal():
+    mat = sp.csr_array(np.array([[0.0, 1.0], [1.0, 2.0]]))
+    with pytest.raises(ValueError, match="diagonal"):
+        MulticolorGaussSeidel(mat)
+
+
+def test_gs_rejects_rectangular():
+    with pytest.raises(ValueError, match="square"):
+        MulticolorGaussSeidel(sp.csr_array(np.ones((2, 3))))
+
+
+def test_gs_residual_decreases_on_spd():
+    """GS on SPD contracts the A-norm of the error; the residual 2-norm may
+    wiggle locally but must fall decisively over windows of sweeps."""
+    g = grid2d(10, 10)
+    lap = graph_laplacian(g, shift=0.5)
+    gs = MulticolorGaussSeidel(lap, method="sequential")
+    _, report = gs.solve(np.ones(100), sweeps=30)
+    norms = report.residual_norms
+    assert norms[-1] < 0.1 * norms[0]
+    assert all(norms[i + 5] < norms[i] for i in range(0, len(norms) - 5, 5))
+
+
+# -------------------------------------------------------- triangular levels
+def test_triangular_levels_respect_dependencies():
+    # chain: row i depends on i-1 -> n levels
+    n = 5
+    dense = np.tril(np.ones((n, n)))
+    levels = triangular_levels(sp.csr_array(dense))
+    assert len(levels) == n
+
+
+def test_triangular_levels_diagonal_is_one_level():
+    n = 6
+    levels = triangular_levels(sp.csr_array(sp.eye_array(n).tocsr()))
+    assert len(levels) == 1
+    assert levels[0].size == n
+
+
+def test_triangular_levels_cover_all_rows():
+    g = grid2d(6, 6)
+    lap = graph_laplacian(g, shift=1.0)
+    lower = sp.csr_array(sp.tril(lap, format="csr"))
+    levels = triangular_levels(lower)
+    allrows = np.concatenate(levels)
+    assert np.array_equal(np.sort(allrows), np.arange(36))
+    # every dependency goes to a strictly earlier level
+    level_of = np.empty(36, dtype=int)
+    for i, lv in enumerate(levels):
+        level_of[lv] = i
+    indptr, indices = lower.indptr, lower.indices
+    for i in range(36):
+        deps = indices[indptr[i] : indptr[i + 1]]
+        deps = deps[deps < i]
+        if deps.size:
+            assert level_of[deps].max() < level_of[i]

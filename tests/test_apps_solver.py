@@ -1,0 +1,85 @@
+"""Coloring-preconditioned PCG (the HPCG-style pipeline)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.solver import ColoredSGSPreconditioner, pcg
+from repro.apps.sparse import graph_laplacian
+from repro.graph.generators import grid2d, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    g = grid2d(25, 25)
+    lap = graph_laplacian(g, shift=0.05)
+    rng = np.random.default_rng(1)
+    x_true = rng.random(g.num_vertices)
+    return lap, x_true, lap @ x_true
+
+
+def test_plain_cg_converges(spd_system):
+    lap, x_true, b = spd_system
+    x, report = pcg(lap, b, tol=1e-10, max_iterations=2000)
+    assert report.converged
+    assert np.allclose(x, x_true, atol=1e-6)
+    assert report.preconditioner_colors == 0
+
+
+def test_preconditioner_cuts_iterations(spd_system):
+    lap, x_true, b = spd_system
+    _, plain = pcg(lap, b, tol=1e-10, max_iterations=2000)
+    M = ColoredSGSPreconditioner(lap, method="sequential")
+    x, pre = pcg(lap, b, preconditioner=M, tol=1e-10, max_iterations=2000)
+    assert pre.converged
+    assert pre.iterations < plain.iterations
+    assert np.allclose(x, x_true, atol=1e-6)
+
+
+def test_phases_track_color_count(spd_system):
+    lap, _, _ = spd_system
+    M = ColoredSGSPreconditioner(lap, method="sequential")
+    assert M.parallel_phases_per_apply == 2 * M.num_colors
+    # csrcolor's inflated coloring means a longer critical path per apply
+    M_csr = ColoredSGSPreconditioner(lap, method="csrcolor")
+    assert M_csr.parallel_phases_per_apply > M.parallel_phases_per_apply
+
+
+def test_preconditioner_apply_is_spd_like(spd_system):
+    """x' M^{-1} x > 0 for x != 0 (needed for PCG validity)."""
+    lap, _, _ = spd_system
+    M = ColoredSGSPreconditioner(lap, method="sequential")
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        x = rng.standard_normal(lap.shape[0])
+        assert x @ M.apply(x) > 0
+
+
+def test_residuals_monotone_enough(spd_system):
+    lap, _, b = spd_system
+    M = ColoredSGSPreconditioner(lap, method="sequential")
+    _, report = pcg(lap, b, preconditioner=M, tol=1e-12, max_iterations=300)
+    norms = report.residual_norms
+    assert norms[-1] < 1e-6 * norms[0]
+
+
+def test_pcg_validates_shape(spd_system):
+    lap, _, _ = spd_system
+    with pytest.raises(ValueError, match="shape"):
+        pcg(lap, np.ones(3))
+
+
+def test_pcg_rejects_indefinite():
+    mat = sp.csr_array(np.array([[1.0, 2.0], [2.0, 1.0]]))  # indefinite
+    with pytest.raises(np.linalg.LinAlgError):
+        pcg(mat, np.array([1.0, -1.0]), max_iterations=10)
+
+
+def test_pipeline_on_irregular_graph():
+    g = erdos_renyi(400, 6.0, seed=9)
+    lap = graph_laplacian(g, shift=0.5)
+    b = np.ones(400)
+    M = ColoredSGSPreconditioner(lap, method="data-base")
+    x, report = pcg(lap, b, preconditioner=M, tol=1e-10)
+    assert report.converged
+    assert np.allclose(lap @ x, b, atol=1e-6)

@@ -1,0 +1,88 @@
+"""Property-based invariants of graph construction and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_edges
+from repro.graph.relabel import bandwidth, relabel
+
+
+@st.composite
+def edge_lists(draw, max_n=30, max_m=80):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    u = np.array(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)),
+                 dtype=np.int64)
+    v = np.array(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)),
+                 dtype=np.int64)
+    return n, u, v
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=edge_lists())
+def test_from_edges_always_simple_symmetric(data):
+    n, u, v = data
+    g = from_edges(u, v, num_vertices=n)
+    g.validate()  # no loops, no dupes, symmetric
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=edge_lists())
+def test_from_edges_idempotent(data):
+    """Rebuilding from a built graph's own edges reproduces it exactly."""
+    n, u, v = data
+    g = from_edges(u, v, num_vertices=n)
+    eu, ev = g.edge_endpoints()
+    g2 = from_edges(
+        eu.astype(np.int64), ev.astype(np.int64), num_vertices=n, symmetrize=False
+    )
+    assert np.array_equal(g2.row_offsets, g.row_offsets)
+    assert np.array_equal(g2.col_indices, g.col_indices)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=edge_lists())
+def test_edge_count_bounds(data):
+    n, u, v = data
+    g = from_edges(u, v, num_vertices=n)
+    proper = (u != v).sum()
+    assert g.num_undirected_edges <= proper  # dedup only removes
+    assert g.num_edges % 2 == 0  # symmetric: every edge counted twice
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=edge_lists(), seed=st.integers(0, 20))
+def test_relabel_involution(data, seed):
+    """Relabeling by a permutation and then by its inverse is identity."""
+    n, u, v = data
+    g = from_edges(u, v, num_vertices=n)
+    perm = np.random.default_rng(seed).permutation(n)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[np.arange(n)] = perm  # relabel(relabel(g, perm), argsort-trick)
+    once = relabel(g, perm)
+    # order[i] becomes vertex i; applying new_id mapping twice with the
+    # matching permutation restores the original adjacency structure.
+    new_id = np.empty(n, dtype=np.int64)
+    new_id[perm] = np.arange(n)
+    back = relabel(once, new_id)
+    assert np.array_equal(back.row_offsets, g.row_offsets)
+    assert np.array_equal(back.col_indices, g.col_indices)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=edge_lists())
+def test_degree_sum_equals_edges(data):
+    n, u, v = data
+    g = from_edges(u, v, num_vertices=n)
+    assert int(g.degrees.sum()) == g.num_edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=edge_lists(), seed=st.integers(0, 20))
+def test_relabel_preserves_bandwidth_upper_bound(data, seed):
+    n, u, v = data
+    g = from_edges(u, v, num_vertices=n)
+    perm = np.random.default_rng(seed).permutation(n)
+    assert bandwidth(relabel(g, perm)) <= n - 1

@@ -1,0 +1,84 @@
+"""ColoringResult, verification, and quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.base import (
+    ColoringError,
+    ColoringResult,
+    color_class_sizes,
+    count_conflicts,
+)
+from repro.graph.builder import complete_graph, cycle_graph
+
+
+def test_count_conflicts_zero_on_proper(c6):
+    colors = np.array([1, 2, 1, 2, 1, 2], dtype=np.int32)
+    assert count_conflicts(c6, colors) == 0
+
+
+def test_count_conflicts_counts_undirected_edges_once(c6):
+    colors = np.ones(6, dtype=np.int32)
+    assert count_conflicts(c6, colors) == 6  # every cycle edge clashes
+
+
+def test_uncolored_vertices_never_conflict(c6):
+    assert count_conflicts(c6, np.zeros(6, dtype=np.int32)) == 0
+
+
+def test_color_class_sizes():
+    sizes = color_class_sizes(np.array([1, 1, 2, 3, 3, 3]))
+    assert list(sizes) == [2, 1, 3]
+    assert color_class_sizes(np.array([0, 0])).size == 0
+
+
+def test_validate_rejects_uncolored(c6):
+    res = ColoringResult(colors=np.zeros(6, dtype=np.int32), scheme="t")
+    with pytest.raises(ColoringError, match="uncolored"):
+        res.validate(c6)
+
+
+def test_validate_rejects_conflicts(c6):
+    res = ColoringResult(colors=np.ones(6, dtype=np.int32), scheme="t")
+    with pytest.raises(ColoringError, match="conflicting"):
+        res.validate(c6)
+
+
+def test_validate_rejects_wrong_shape(c6):
+    res = ColoringResult(colors=np.ones(3, dtype=np.int32), scheme="t")
+    with pytest.raises(ColoringError, match="shape"):
+        res.validate(c6)
+
+
+def test_num_colors_and_total_time():
+    res = ColoringResult(
+        colors=np.array([1, 3, 2], dtype=np.int32),
+        scheme="t",
+        gpu_time_us=10.0,
+        cpu_time_us=5.0,
+        transfer_time_us=2.5,
+    )
+    assert res.num_colors == 3
+    assert res.total_time_us == 17.5
+
+
+def test_balance_metric():
+    balanced = ColoringResult(colors=np.array([1, 2, 1, 2], dtype=np.int32), scheme="t")
+    assert balanced.balance() == pytest.approx(1.0)
+    skewed = ColoringResult(colors=np.array([1, 1, 1, 2], dtype=np.int32), scheme="t")
+    assert skewed.balance() == pytest.approx(1.5)
+
+
+def test_summary_mentions_scheme_and_colors():
+    res = ColoringResult(colors=np.array([1, 2], dtype=np.int32), scheme="myscheme")
+    s = res.summary()
+    assert "myscheme" in s and "2 colors" in s
+
+
+def test_validate_passes_known_proper():
+    k4 = complete_graph(4)
+    res = ColoringResult(colors=np.array([1, 2, 3, 4], dtype=np.int32), scheme="t")
+    res.validate(k4)
+    c5 = cycle_graph(5)
+    res = ColoringResult(colors=np.array([1, 2, 1, 2, 3], dtype=np.int32), scheme="t")
+    res.validate(c5)

@@ -1,0 +1,187 @@
+"""Scheme-specific behavior: topo (Alg. 4), data-driven (Alg. 5), csrcolor,
+3-step GM — the structure of their kernel launches and cost knobs."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.csrcolor import color_csrcolor, multi_hash_round
+from repro.coloring.datadriven import color_data_driven
+from repro.coloring.grosset import color_three_step_gm
+from repro.coloring.topo import color_topology_driven
+from repro.gpusim.device import Device
+
+
+# ----------------------------------------------------------- topology-driven
+def test_topo_two_kernels_per_round(small_er):
+    res = color_topology_driven(small_er)
+    rounds_with_work = res.iterations - 1  # final round colors nothing
+    assert res.num_kernel_launches == 2 * rounds_with_work
+
+
+def test_topo_conflict_scope_equivalent_colors(small_er):
+    a = color_topology_driven(small_er, conflict_scope="all")
+    b = color_topology_driven(small_er, conflict_scope="active")
+    assert np.array_equal(a.colors, b.colors)
+
+
+def test_topo_active_scope_cheaper(small_er):
+    full = color_topology_driven(small_er, conflict_scope="all")
+    active = color_topology_driven(small_er, conflict_scope="active")
+    if full.iterations > 2:  # needs a re-color round for the scan gap to show
+        assert active.gpu_time_us < full.gpu_time_us
+
+
+def test_topo_conflict_scope_validated(small_er):
+    with pytest.raises(ValueError):
+        color_topology_driven(small_er, conflict_scope="some")
+
+
+def test_topo_ldg_not_slower(small_er):
+    base = color_topology_driven(small_er, use_ldg=False)
+    ldg = color_topology_driven(small_er, use_ldg=True)
+    assert ldg.gpu_time_us <= base.gpu_time_us * 1.02
+    assert np.array_equal(base.colors, ldg.colors)  # functional behavior same
+
+
+def test_topo_reuses_device(small_er):
+    dev = Device()
+    color_topology_driven(small_er, device=dev)
+    assert dev.timeline.num_launches() > 0
+
+
+def test_topo_profiles_attached(small_er):
+    res = color_topology_driven(small_er)
+    assert len(res.profiles) == res.num_kernel_launches
+    assert all(p.block_size == 128 for p in res.profiles)
+
+
+def test_topo_isolated_graph(isolated):
+    res = color_topology_driven(isolated)
+    res.validate(isolated)
+    assert res.iterations == 2  # one coloring round + empty terminating round
+
+
+# -------------------------------------------------------------- data-driven
+def test_data_worklist_shrinks(small_er):
+    res = color_data_driven(small_er)
+    # kernel names record per-round launches; worklist must strictly shrink
+    color_kernels = [p for p in res.profiles if "color" in p.name]
+    sizes = [p.num_blocks for p in color_kernels]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_data_strategies_same_colors(small_er):
+    scan = color_data_driven(small_er, worklist_strategy="scan")
+    atomic = color_data_driven(small_er, worklist_strategy="atomic")
+    assert np.array_equal(scan.colors, atomic.colors)
+
+
+def test_data_scan_strategy_fewer_atomic_cycles(small_mesh):
+    """Fig. 5's point: prefix-sum compaction beats one-atomic-per-push."""
+    scan = color_data_driven(small_mesh, worklist_strategy="scan")
+    atomic = color_data_driven(small_mesh, worklist_strategy="atomic")
+    scan_atomic_cycles = sum(p.terms["atomic"] for p in scan.profiles)
+    atomic_atomic_cycles = sum(p.terms["atomic"] for p in atomic.profiles)
+    assert atomic_atomic_cycles > scan_atomic_cycles
+
+
+def test_data_strategy_validated(small_er):
+    with pytest.raises(ValueError):
+        color_data_driven(small_er, worklist_strategy="magic")
+
+
+def test_data_vs_topo_same_iteration_structure(small_er):
+    """Both schemes resolve the same conflicts; rounds differ by at most 1
+    (topo counts a final empty round)."""
+    topo = color_topology_driven(small_er)
+    data = color_data_driven(small_er)
+    assert abs(topo.iterations - data.iterations) <= 1
+
+
+def test_data_block_size_recorded(small_er):
+    res = color_data_driven(small_er, block_size=256)
+    assert res.extra["block_size"] == 256
+    assert all(p.block_size == 256 for p in res.profiles)
+
+
+# ------------------------------------------------------------------ csrcolor
+def test_csrcolor_dense_renumbering(small_er):
+    res = color_csrcolor(small_er)
+    used = np.unique(res.colors)
+    assert np.array_equal(used, np.arange(1, used.size + 1))
+
+
+def test_csrcolor_hash_count_tradeoff(small_er):
+    few = color_csrcolor(small_er, num_hashes=1)
+    many = color_csrcolor(small_er, num_hashes=8)
+    assert many.iterations < few.iterations  # more sets per round converge faster
+
+
+def test_csrcolor_compare_all_burns_more_colors(small_er):
+    all_cmp = color_csrcolor(small_er, compare_all=True)
+    active_cmp = color_csrcolor(small_er, compare_all=False)
+    assert all_cmp.num_colors > active_cmp.num_colors
+
+
+def test_csrcolor_validates_hash_count(small_er):
+    with pytest.raises(ValueError):
+        color_csrcolor(small_er, num_hashes=0)
+
+
+def test_multi_hash_round_is_independent_set(small_er):
+    winners, slots = multi_hash_round(small_er, np.arange(small_er.num_vertices), 2, 7)
+    in_set = {}
+    for v, s in zip(winners.tolist(), slots.tolist()):
+        in_set.setdefault(s, set()).add(v)
+    u, w = small_er.edge_endpoints()
+    for s, members in in_set.items():
+        for a, b in zip(u.tolist(), w.tolist()):
+            assert not (a in members and b in members), f"slot {s} not independent"
+
+
+def test_multi_hash_round_no_winners_possible():
+    from repro.graph.builder import complete_graph
+
+    g = complete_graph(6)
+    winners, slots = multi_hash_round(g, np.arange(6), 1, 3)
+    # K6: exactly one max and one min winner for the single hash
+    assert winners.size == 2
+    assert sorted(slots.tolist()) == [0, 1]
+
+
+# ------------------------------------------------------------------ 3-step GM
+def test_grosset_extra_metadata(small_er):
+    res = color_three_step_gm(small_er, partition_size=64)
+    assert res.extra["num_partitions"] == -(-small_er.num_vertices // 64)
+    assert 0.0 <= res.extra["boundary_fraction"] <= 1.0
+    assert res.extra["cpu_resolved"] >= 0
+
+
+def test_grosset_cpu_time_positive_when_conflicts(small_er):
+    res = color_three_step_gm(small_er, partition_size=32)
+    if res.extra["cpu_resolved"]:
+        assert res.cpu_time_us > 0
+
+
+def test_grosset_transfers_charged(small_er):
+    res = color_three_step_gm(small_er)
+    # at minimum: colors + flags DtoH at the end
+    assert res.transfer_time_us > 0
+
+
+def test_grosset_single_partition_no_cross_conflicts(small_er):
+    res = color_three_step_gm(small_er, partition_size=small_er.num_vertices)
+    assert res.extra["boundary_fraction"] == 0.0
+    assert res.extra["cpu_resolved"] == 0
+
+
+def test_grosset_partition_size_validated(small_er):
+    with pytest.raises(ValueError):
+        color_three_step_gm(small_er, partition_size=0)
+
+
+def test_grosset_quality_stays_greedy_like(small_mesh):
+    from repro.coloring.sequential import greedy_colors_only
+
+    res = color_three_step_gm(small_mesh)
+    assert res.num_colors <= greedy_colors_only(small_mesh).max() + 3

@@ -1,0 +1,108 @@
+"""Cross-scheme correctness matrix: every scheme, every graph regime.
+
+Speculative algorithms fail by leaving conflicts or uncolored vertices, so
+the core guarantee — validate() passes — is asserted for the full scheme x
+graph product, plus exact chromatic numbers on oracle graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring.api import METHODS, color_graph
+from repro.coloring.sequential import greedy_colors_only
+from tests.conftest import GRAPH_FIXTURES
+
+ALL_SCHEMES = sorted(set(METHODS) - {"balanced-greedy"}) + ["balanced-greedy"]
+
+
+@pytest.mark.parametrize("any_graph", GRAPH_FIXTURES, indirect=True)
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_every_scheme_proper_on_every_regime(any_graph, scheme):
+    result = color_graph(any_graph, method=scheme)  # validate=True raises on bugs
+    assert result.num_colors >= 1
+    assert result.colors.min() >= 1
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_complete_graph_needs_n_colors(scheme, k5):
+    assert color_graph(k5, method=scheme).num_colors == 5
+
+
+def test_sequential_two_colors_even_cycle(c6):
+    assert color_graph(c6, method="sequential").num_colors == 2
+
+
+@pytest.mark.parametrize(
+    "scheme", ["gm", "topo-base", "data-base", "3step-gm"]
+)
+def test_speculative_family_near_two_colors_even_cycle(scheme, c6):
+    """Speculation may burn one extra color resolving same-round races
+    (the 'slight difference' the paper notes under Fig. 6) but no more."""
+    assert color_graph(c6, method=scheme).num_colors <= 3
+
+
+@pytest.mark.parametrize(
+    "scheme", ["sequential", "gm", "topo-base", "data-base", "3step-gm", "jp", "csrcolor"]
+)
+def test_odd_cycle_needs_three(scheme, c7):
+    assert color_graph(c7, method=scheme).num_colors >= 3
+
+
+@pytest.mark.parametrize("scheme", ["topo-base", "data-base", "topo-ldg", "data-ldg"])
+def test_sgr_color_counts_near_sequential(scheme, small_er):
+    """Fig. 6's claim: speculative schemes stay close to greedy quality."""
+    seq = greedy_colors_only(small_er).max()
+    got = color_graph(small_er, method=scheme).num_colors
+    assert got <= seq + 3
+
+
+def test_csrcolor_many_more_colors(small_er):
+    """Fig. 6's other claim: the MIS scheme inflates the color count."""
+    seq = greedy_colors_only(small_er).max()
+    csr = color_graph(small_er, method="csrcolor").num_colors
+    assert csr >= 3 * seq
+
+
+@pytest.mark.parametrize("scheme", ["topo-base", "data-base", "csrcolor", "3step-gm"])
+def test_schemes_deterministic(scheme, small_er):
+    a = color_graph(small_er, method=scheme)
+    b = color_graph(small_er, method=scheme)
+    assert np.array_equal(a.colors, b.colors)
+    assert a.total_time_us == b.total_time_us
+
+
+def test_degree_plus_one_bound_all_greedy_family(small_rmat):
+    bound = small_rmat.max_degree + 1
+    for scheme in ("sequential", "gm", "topo-base", "data-base", "3step-gm"):
+        assert color_graph(small_rmat, method=scheme).num_colors <= bound
+
+
+def test_unknown_method_rejected(c6):
+    with pytest.raises(ValueError, match="unknown method"):
+        color_graph(c6, method="quantum")
+
+
+def test_validate_flag_skips_check(c6):
+    res = color_graph(c6, method="sequential", validate=False)
+    assert res.num_colors == 2
+
+
+def test_scheme_names_match_paper_legend():
+    from repro.coloring.api import EVALUATED_SCHEMES
+
+    assert EVALUATED_SCHEMES == (
+        "sequential",
+        "3step-gm",
+        "topo-base",
+        "topo-ldg",
+        "data-base",
+        "data-ldg",
+        "csrcolor",
+    )
+
+
+def test_kwargs_forwarded(small_er):
+    res = color_graph(small_er, method="data-base", block_size=64)
+    assert res.extra["block_size"] == 64
+    res = color_graph(small_er, method="csrcolor", num_hashes=2)
+    assert res.extra["num_hashes"] == 2

@@ -1,0 +1,59 @@
+"""Sequential-CPU cost model."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim.model import CPU
+from repro.gpusim.config import CPUConfig
+
+
+def test_compute_bound_stretch():
+    cpu = CPU()
+    e = cpu.run("calc", instructions=1_000_000)
+    assert e.cycles == pytest.approx(1_000_000 / cpu.config.ipc)
+    assert e.accesses == 0
+
+
+def test_memory_bound_stretch():
+    cpu = CPU(config=CPUConfig(ipc=100.0))  # make compute free
+    rng = np.random.default_rng(0)
+    # gather over a footprint far beyond LLC -> DRAM latencies dominate
+    addrs = rng.integers(0, 1 << 32, size=20_000) * 64
+    e = cpu.run("gather", instructions=1, addresses=addrs)
+    assert e.dram_accesses > 0.9 * 20_000
+    assert e.cycles == pytest.approx(
+        e.dram_accesses * cpu.config.dram_latency / cpu.config.mlp, rel=0.1
+    )
+
+
+def test_small_footprint_hits_l2():
+    cpu = CPU()
+    addrs = np.tile(np.arange(100) * 64, 50)
+    e = cpu.run("hot", instructions=1, addresses=addrs)
+    assert e.l2_hits > 0.9 * (addrs.size - 100)
+    assert e.dram_accesses <= 100
+
+
+def test_streaming_bytes_charged():
+    cpu = CPU()
+    e = cpu.run("stream", instructions=0, sequential_bytes=64 * 1000)
+    assert e.cycles == pytest.approx(2000.0)
+
+
+def test_timeline_accumulates():
+    cpu = CPU()
+    cpu.run("a", instructions=260_000)
+    cpu.run("b", instructions=260_000)
+    assert cpu.total_time_us() == pytest.approx(2 * 260_000 / cpu.config.ipc / 2600)
+    cpu.reset()
+    assert cpu.total_time_us() == 0.0
+
+
+def test_max_of_compute_and_memory():
+    """The OoO model overlaps memory with compute, it does not add them."""
+    cpu = CPU()
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, 1 << 30, size=5000) * 64
+    mem_only = cpu.run("m", instructions=1, addresses=addrs).cycles
+    both = cpu.run("b", instructions=100, addresses=addrs).cycles
+    assert both == pytest.approx(mem_only, rel=0.01)

@@ -1,0 +1,86 @@
+"""csrcolor's fraction fast path and edge-parallel conflict detection."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import color_graph
+from repro.coloring.csrcolor import color_csrcolor
+from repro.coloring.topo import color_topology_driven
+
+
+# ------------------------------------------------------------- fraction
+def test_fraction_validated(small_er):
+    with pytest.raises(ValueError):
+        color_csrcolor(small_er, fraction=0.0)
+    with pytest.raises(ValueError):
+        color_csrcolor(small_er, fraction=1.5)
+
+
+def test_fraction_full_is_default(small_er):
+    a = color_csrcolor(small_er)
+    b = color_csrcolor(small_er, fraction=1.0)
+    assert np.array_equal(a.colors, b.colors)
+
+
+def test_fraction_result_still_proper(small_rmat):
+    for frac in (0.95, 0.8, 0.5):
+        r = color_csrcolor(small_rmat, fraction=frac)
+        r.validate(small_rmat)
+
+
+def test_fraction_trades_colors_for_rounds(small_rmat):
+    full = color_csrcolor(small_rmat, fraction=1.0)
+    part = color_csrcolor(small_rmat, fraction=0.8)
+    assert part.iterations < full.iterations
+    assert part.num_colors >= full.num_colors
+
+
+def test_fraction_recorded(small_er):
+    r = color_csrcolor(small_er, fraction=0.9)
+    assert r.extra["fraction"] == 0.9
+
+
+# ------------------------------------------------- edge-parallel conflicts
+def test_edge_conflicts_same_result(small_er, small_mesh):
+    for g in (small_er, small_mesh):
+        vertex = color_topology_driven(g, conflict_parallelism="vertex")
+        edge = color_topology_driven(g, conflict_parallelism="edge")
+        assert np.array_equal(vertex.colors, edge.colors)
+
+
+def test_edge_conflicts_validated(small_er):
+    with pytest.raises(ValueError, match="vertex.*or.*edge"):
+        color_topology_driven(small_er, conflict_parallelism="diagonal")
+    with pytest.raises(ValueError, match="scope"):
+        color_topology_driven(
+            small_er, conflict_parallelism="edge", conflict_scope="active"
+        )
+
+
+def test_edge_conflicts_balanced_on_hubs():
+    """One thread per edge: the conflict pass's SIMD efficiency must not
+    collapse on a hub-heavy graph the way the vertex mapping's does."""
+    from repro.graph.generators import rmat_graph
+    from repro.graph.generators.rmat import G_PARAMS
+
+    g = rmat_graph(11, 10.0, G_PARAMS, seed=8)
+    vertex = color_topology_driven(g, conflict_parallelism="vertex")
+    edge = color_topology_driven(g, conflict_parallelism="edge")
+    v_conf = [p for p in vertex.profiles if "conflict" in p.name][0]
+    e_conf = [p for p in edge.profiles if "conflict" in p.name][0]
+    assert e_conf.simd_efficiency > v_conf.simd_efficiency
+
+
+def test_edge_conflicts_faster_on_skew():
+    from repro.graph.generators import rmat_graph
+    from repro.graph.generators.rmat import G_PARAMS
+
+    g = rmat_graph(12, 10.0, G_PARAMS, seed=9)
+    vertex = color_topology_driven(g, conflict_parallelism="vertex")
+    edge = color_topology_driven(g, conflict_parallelism="edge")
+    assert edge.total_time_us < vertex.total_time_us * 1.05
+
+
+def test_edge_conflicts_via_api(small_er):
+    r = color_graph(small_er, method="topo-base", conflict_parallelism="edge")
+    assert r.extra["conflict_parallelism"] == "edge"

@@ -1,0 +1,128 @@
+"""DSATUR heuristic and the exact chromatic-number oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import color_graph, greedy_colors_only
+from repro.coloring.dsatur import chromatic_number, dsatur, max_clique_lower_bound
+from repro.graph.builder import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    from_networkx,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi, random_bipartite
+
+
+# ------------------------------------------------------------------ dsatur
+def test_dsatur_known_graphs():
+    assert dsatur(complete_graph(7)).num_colors == 7
+    assert dsatur(cycle_graph(8)).num_colors == 2
+    assert dsatur(cycle_graph(9)).num_colors == 3
+    assert dsatur(star_graph(10)).num_colors == 2
+    assert dsatur(path_graph(10)).num_colors == 2
+
+
+def test_dsatur_exact_on_bipartite(small_bipartite):
+    """Brélaz's theorem: DSATUR colors bipartite graphs optimally."""
+    res = dsatur(small_bipartite)
+    res.validate(small_bipartite)
+    assert res.num_colors == 2
+
+
+def test_dsatur_proper_on_random(small_er, small_rmat):
+    for g in (small_er, small_rmat):
+        dsatur(g).validate(g)
+
+
+def test_dsatur_not_worse_than_first_fit(small_er):
+    assert dsatur(small_er).num_colors <= int(greedy_colors_only(small_er).max())
+
+
+def test_dsatur_empty_and_isolated(isolated):
+    res = dsatur(isolated)
+    res.validate(isolated)
+    assert res.num_colors == 1
+    assert dsatur(empty_graph(0)).num_colors == 0
+
+
+def test_dsatur_via_api(c6):
+    assert color_graph(c6, method="dsatur").num_colors == 2
+
+
+# ----------------------------------------------------------- clique bound
+def test_clique_bound_known():
+    assert max_clique_lower_bound(complete_graph(8)) == 8
+    assert max_clique_lower_bound(cycle_graph(9)) == 2
+    assert max_clique_lower_bound(empty_graph(5)) == 1
+    assert max_clique_lower_bound(empty_graph(0)) == 0
+
+
+def test_clique_bound_is_valid_lower_bound(small_er):
+    assert max_clique_lower_bound(small_er) <= dsatur(small_er).num_colors
+
+
+# ----------------------------------------------------------------- exact
+def test_chromatic_number_known():
+    assert chromatic_number(complete_graph(5)) == 5
+    assert chromatic_number(cycle_graph(6)) == 2
+    assert chromatic_number(cycle_graph(7)) == 3
+    assert chromatic_number(path_graph(4)) == 2
+    assert chromatic_number(empty_graph(3)) == 1
+    assert chromatic_number(empty_graph(0)) == 0
+
+
+def test_chromatic_number_petersen():
+    import networkx as nx
+
+    assert chromatic_number(from_networkx(nx.petersen_graph())) == 3
+
+
+def test_chromatic_number_wheel():
+    """Odd wheel W_n needs 4 colors; even wheel needs 3."""
+    def wheel(k):
+        u = list(range(1, k + 1)) + list(range(1, k + 1))
+        v = [0] * k + [i % k + 1 for i in range(1, k + 1)]
+        return from_edges(np.array(u), np.array(v), num_vertices=k + 1)
+
+    assert chromatic_number(wheel(5)) == 4
+    assert chromatic_number(wheel(6)) == 3
+
+
+def test_chromatic_budget_guard():
+    # A hard-ish instance with a tiny budget must fail loudly, not hang.
+    g = erdos_renyi(60, 12.0, seed=3)
+    with pytest.raises(RuntimeError, match="budget"):
+        chromatic_number(g, node_budget=5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 12), p=st.floats(0.1, 0.7), seed=st.integers(0, 50))
+def test_exact_brackets_all_heuristics(n, p, seed):
+    """chi <= every heuristic's count, and clique bound <= chi."""
+    rng = np.random.default_rng(seed)
+    m = int(p * n * (n - 1) / 2)
+    g = from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), num_vertices=n
+    )
+    chi = chromatic_number(g)
+    assert max_clique_lower_bound(g) <= chi
+    assert chi <= dsatur(g).num_colors
+    assert chi <= int(greedy_colors_only(g).max())
+    for scheme in ("topo-base", "csrcolor"):
+        assert chi <= color_graph(g, method=scheme).num_colors
+
+
+def test_parallel_schemes_near_optimal_on_oracle():
+    """On small oracle graphs the SGR schemes stay within 2 of chi —
+    quantifying Fig. 6's quality claim against the true optimum."""
+    g = erdos_renyi(50, 5.0, seed=7)
+    chi = chromatic_number(g)
+    for scheme in ("sequential", "topo-base", "data-base", "3step-gm"):
+        got = color_graph(g, method=scheme).num_colors
+        assert got <= chi + 2, (scheme, got, chi)

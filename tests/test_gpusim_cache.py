@@ -1,0 +1,146 @@
+"""Cache models: exact LRU reference, vectorized approximation, analytic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.cache import (
+    CacheConfig,
+    SetAssociativeCache,
+    analytic_hits,
+    reuse_distance_hits,
+)
+
+
+# ------------------------------------------------------------- exact LRU
+def test_cache_config_validation():
+    with pytest.raises(ValueError, match="whole number"):
+        CacheConfig(size_bytes=1000, line_bytes=128)
+    with pytest.raises(ValueError, match="divide evenly"):
+        CacheConfig(size_bytes=3 * 128, line_bytes=128, ways=2)
+
+
+def test_exact_lru_hit_after_touch():
+    c = SetAssociativeCache(CacheConfig(4 * 128, 128, ways=4))
+    assert not c.access(1)
+    assert c.access(1)
+    assert c.hit_rate == 0.5
+
+
+def test_exact_lru_eviction_order():
+    c = SetAssociativeCache(CacheConfig(2 * 128, 128, ways=2))
+    c.access(0)
+    c.access(2)  # same set (2 sets? no: 2 lines/2 ways = 1 set)
+    c.access(4)  # evicts 0 (LRU)
+    assert not c.access(0)
+    assert c.access(4)
+
+
+def test_exact_lru_touch_refreshes_recency():
+    c = SetAssociativeCache(CacheConfig(2 * 128, 128, ways=2))
+    c.access(0)
+    c.access(1)
+    c.access(0)  # refresh 0
+    c.access(2)  # evicts 1, not 0
+    assert c.access(0)
+    assert not c.access(1)
+
+
+def test_exact_set_mapping():
+    cfg = CacheConfig(4 * 128, 128, ways=1)  # 4 direct-mapped sets
+    c = SetAssociativeCache(cfg)
+    c.access(0)
+    c.access(4)  # same set as 0 -> evicts
+    assert not c.access(0)
+
+
+def test_run_returns_mask():
+    c = SetAssociativeCache(CacheConfig(8 * 128, 128, ways=8))
+    mask = c.run(np.array([1, 2, 1, 2]))
+    assert list(mask) == [False, False, True, True]
+
+
+# ------------------------------------------------- reuse-distance approx
+def test_reuse_distance_empty_and_zero_capacity():
+    assert reuse_distance_hits(np.array([], dtype=np.int64), 10).size == 0
+    assert not reuse_distance_hits(np.array([1, 1, 1]), 0).any()
+
+
+def test_reuse_distance_compulsory_misses():
+    hits = reuse_distance_hits(np.arange(100), 1000)
+    assert not hits.any()
+
+
+def test_reuse_distance_fits_capacity_all_reuses_hit():
+    stream = np.tile(np.arange(16), 10)
+    hits = reuse_distance_hits(stream, 64)
+    assert hits.sum() == stream.size - 16
+
+
+def test_reuse_distance_thrashing_misses():
+    # 1000 distinct lines cycled: capacity 10 -> reuse distance 1000 >> cap
+    stream = np.tile(np.arange(1000), 3)
+    hits = reuse_distance_hits(stream, 10)
+    assert hits.mean() < 0.05
+
+
+def test_reuse_distance_short_range_hits_long_range_misses():
+    # pairs (x, x) back to back always hit; far reuses of the same line miss
+    base = np.arange(5000)
+    stream = np.repeat(base, 2)  # immediate reuse
+    hits = reuse_distance_hits(stream, 32)
+    assert hits.sum() == 5000  # every second access hits
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 63), min_size=10, max_size=400),
+    st.sampled_from([8, 16, 64]),
+)
+def test_reuse_distance_tracks_exact_lru(stream, capacity):
+    """The approximation's hit count stays within a coarse band of a
+    fully-associative LRU of the same capacity (property, not equality —
+    it is an expected-stack-distance model)."""
+    stream = np.asarray(stream, dtype=np.int64)
+    exact = SetAssociativeCache(
+        CacheConfig(capacity * 128, 128, ways=capacity)  # fully associative
+    ).run(stream)
+    approx = reuse_distance_hits(stream, capacity)
+    # compulsory misses agree exactly
+    first = np.zeros(stream.size, dtype=bool)
+    seen = set()
+    for i, x in enumerate(stream.tolist()):
+        first[i] = x not in seen
+        seen.add(x)
+    assert not approx[first].any()
+    assert abs(int(exact.sum()) - int(approx.sum())) <= max(4, 0.3 * stream.size)
+
+
+def test_reuse_distance_exact_match_when_fits():
+    """When the working set fits, both models agree exactly."""
+    rng = np.random.default_rng(0)
+    stream = rng.integers(0, 30, size=500)
+    exact = SetAssociativeCache(CacheConfig(64 * 128, 128, ways=64)).run(stream)
+    approx = reuse_distance_hits(stream, 64)
+    assert np.array_equal(exact, approx)
+
+
+# ----------------------------------------------------------------- analytic
+def test_analytic_edge_cases():
+    assert analytic_hits(0, 0, 10) == 0
+    assert analytic_hits(100, 0, 10) == 0
+
+
+def test_analytic_fits_capacity():
+    assert analytic_hits(1000, 50, 100) == 950
+
+
+def test_analytic_steady_state_ratio():
+    # footprint 200, capacity 100 -> half the reuses hit
+    assert analytic_hits(1200, 200, 100) == 500
+
+
+def test_analytic_monotone_in_capacity():
+    vals = [analytic_hits(10_000, 1000, c) for c in (10, 100, 500, 1000, 2000)]
+    assert vals == sorted(vals)

@@ -1,0 +1,116 @@
+"""Device configuration and the occupancy calculator."""
+
+import pytest
+
+from repro.gpusim.config import CPUConfig, DeviceConfig, KEPLER_K20C, LaunchConfig
+from repro.gpusim.occupancy import compute_occupancy
+
+
+# ------------------------------------------------------------------ config
+def test_k20c_preset_shape():
+    d = KEPLER_K20C
+    assert d.num_sms == 13
+    assert d.warp_size == 32
+    assert d.max_warps_per_sm == 64
+    assert d.readonly_cache_lines == 48 * 1024 // 128
+    assert d.l2_cache_lines == 1280 * 1024 // 128
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="power of two"):
+        DeviceConfig(cache_line_bytes=100)
+    with pytest.raises(ValueError, match="positive"):
+        DeviceConfig(num_sms=0)
+    with pytest.raises(ValueError, match="whole number of lines"):
+        DeviceConfig(l2_cache_bytes=1000)
+
+
+def test_with_override():
+    d = KEPLER_K20C.with_(num_sms=8)
+    assert d.num_sms == 8
+    assert KEPLER_K20C.num_sms == 13  # original untouched
+
+
+def test_derived_rates():
+    d = KEPLER_K20C
+    assert d.dram_bytes_per_cycle == pytest.approx(208.0 / 0.706)
+    assert d.cycles_per_us == pytest.approx(706.0)
+
+
+def test_launch_validation():
+    with pytest.raises(ValueError):
+        LaunchConfig(block_size=0)
+    with pytest.raises(ValueError):
+        LaunchConfig(regs_per_thread=-1)
+
+
+def test_grid_size_rounding():
+    lc = LaunchConfig(block_size=128)
+    assert lc.grid_size(1) == 1
+    assert lc.grid_size(128) == 1
+    assert lc.grid_size(129) == 2
+    assert lc.grid_size(0) == 1  # at least one block launches
+
+
+def test_cpu_config_lines():
+    c = CPUConfig()
+    assert c.llc_cache_lines == 20 * 1024 * 1024 // 64
+
+
+# --------------------------------------------------------------- occupancy
+def test_thread_limit():
+    occ = compute_occupancy(KEPLER_K20C, LaunchConfig(block_size=1024, regs_per_thread=16))
+    assert occ.blocks_per_sm == 2  # 2048 threads / 1024
+    assert occ.limiting_factor == "threads"
+
+
+def test_block_slot_limit():
+    occ = compute_occupancy(KEPLER_K20C, LaunchConfig(block_size=32, regs_per_thread=16))
+    assert occ.blocks_per_sm == 16
+    assert occ.limiting_factor == "blocks"
+    assert occ.active_warps_per_sm == 16
+
+
+def test_register_limit():
+    occ = compute_occupancy(KEPLER_K20C, LaunchConfig(block_size=256, regs_per_thread=64))
+    # 65536 / (64*256) = 4 blocks
+    assert occ.blocks_per_sm == 4
+    assert occ.limiting_factor == "registers"
+
+
+def test_shared_memory_limit():
+    occ = compute_occupancy(
+        KEPLER_K20C,
+        LaunchConfig(block_size=64, regs_per_thread=16, shared_mem_per_block=24 * 1024),
+    )
+    assert occ.blocks_per_sm == 2
+    assert occ.limiting_factor == "shared_memory"
+
+
+def test_default_kernel_peaks_mid_blocks():
+    """With the realistic 44-reg default, occupancy peaks at 128 threads
+    and declines at 512+ — the resource-saturation mechanism of Fig. 8."""
+    warps = {
+        bs: compute_occupancy(KEPLER_K20C, LaunchConfig(block_size=bs)).active_warps_per_sm
+        for bs in (32, 64, 128, 256, 512)
+    }
+    assert warps[32] < warps[64] <= warps[128]
+    assert warps[512] < warps[128]
+
+
+def test_block_too_large():
+    with pytest.raises(ValueError, match="exceeds device limit"):
+        compute_occupancy(KEPLER_K20C, LaunchConfig(block_size=2048))
+
+
+def test_kernel_cannot_fit():
+    with pytest.raises(ValueError, match="cannot fit"):
+        compute_occupancy(
+            KEPLER_K20C,
+            LaunchConfig(block_size=1024, shared_mem_per_block=64 * 1024),
+        )
+
+
+def test_occupancy_fraction():
+    occ = compute_occupancy(KEPLER_K20C, LaunchConfig(block_size=128, regs_per_thread=16))
+    assert 0.0 < occ.fraction(KEPLER_K20C) <= 1.0

@@ -1,0 +1,97 @@
+"""Profiler reports and device presets / scaling behavior."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import color_graph
+from repro.gpusim import (
+    Device,
+    KEPLER_K20C,
+    KEPLER_K40,
+    KEPLER_SMALL,
+    profile_report,
+    summarize_profiles,
+    timeline_report,
+)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    from repro.graph.generators import erdos_renyi
+
+    # Large enough to fill every preset's resident capacity (the scaling
+    # assertions are meaningless for grids smaller than the device).
+    g = erdos_renyi(40_000, 8.0, seed=4)
+    device = Device()
+    result = color_graph(g, method="data-ldg", device=device)
+    return g, device, result
+
+
+# ----------------------------------------------------------------- summary
+def test_summary_aggregates(run_result):
+    _, _, result = run_result
+    s = summarize_profiles(result.profiles)
+    assert s.num_launches == len(result.profiles)
+    assert s.total_time_us == pytest.approx(sum(p.time_us for p in result.profiles))
+    assert 0 < s.avg_occupancy <= 1
+    assert 0 <= s.avg_simd_efficiency <= 1
+    assert sum(s.stalls.values()) == pytest.approx(1.0)
+    assert s.dominant_bound in s.bound_histogram
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_profiles([])
+
+
+def test_profile_report_renders(run_result):
+    _, _, result = run_result
+    text = profile_report(result.profiles)
+    assert "data-color-0" in text
+    assert "dominant bound" in text
+    assert "launches" in text
+
+
+def test_profile_report_top_filter(run_result):
+    _, _, result = run_result
+    text = profile_report(result.profiles, top=1)
+    # only one kernel row: header + separator + 1 row + summary lines
+    kernel_rows = [l for l in text.splitlines() if l.startswith("data-")]
+    assert len(kernel_rows) == 1
+
+
+def test_profile_report_no_profiles():
+    assert "no kernel launches" in profile_report([])
+
+
+def test_timeline_report(run_result):
+    _, device, _ = run_result
+    text = timeline_report(device)
+    assert "kernel execution" in text
+    assert "PCIe transfers" in text
+    assert "K20c" in text
+
+
+# ----------------------------------------------------------------- presets
+def test_presets_are_distinct():
+    assert KEPLER_K40.num_sms > KEPLER_K20C.num_sms > KEPLER_SMALL.num_sms
+    assert KEPLER_K40.dram_bandwidth_gbs > KEPLER_SMALL.dram_bandwidth_gbs
+
+
+def test_bigger_device_never_slower(run_result):
+    g, _, k20_result = run_result
+    small = color_graph(g, method="data-ldg", device=Device(KEPLER_SMALL))
+    big = color_graph(g, method="data-ldg", device=Device(KEPLER_K40))
+    assert small.total_time_us > k20_result.total_time_us
+    assert big.total_time_us <= k20_result.total_time_us * 1.02
+    # functional results do not depend on the device model
+    assert np.array_equal(small.colors, big.colors)
+
+
+def test_scaling_is_sublinear(run_result):
+    """Latency-bound kernels cannot scale linearly with SM count."""
+    g, _, _ = run_result
+    small = color_graph(g, method="data-ldg", device=Device(KEPLER_SMALL))
+    big = color_graph(g, method="data-ldg", device=Device(KEPLER_K40))
+    sm_ratio = KEPLER_K40.num_sms / KEPLER_SMALL.num_sms
+    assert small.total_time_us / big.total_time_us < sm_ratio * 1.5

@@ -1,0 +1,184 @@
+"""Timing model invariants and the Device runtime."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.config import KEPLER_K20C, LaunchConfig
+from repro.gpusim.device import Device
+from repro.gpusim.timing import price_kernel
+from repro.gpusim.trace import TraceBuilder
+
+
+def make_trace(
+    num_threads=4096,
+    block_size=128,
+    lines_per_thread=4,
+    ldg=False,
+    atomics_same_line=0,
+    seed=0,
+    footprint_lines=1 << 24,
+):
+    """Synthetic kernel: each thread gathers ``lines_per_thread`` random lines."""
+    rng = np.random.default_rng(seed)
+    tb = TraceBuilder(KEPLER_K20C, LaunchConfig(block_size=block_size), num_threads)
+    threads = np.arange(num_threads, dtype=np.int64)
+    for step in range(lines_per_thread):
+        addrs = rng.integers(0, footprint_lines, size=num_threads) * 128
+        tb.load(threads, addrs, ldg=ldg, step=step)
+    tb.instructions(threads, 10)
+    if atomics_same_line:
+        tb.atomic(threads[:atomics_same_line], np.zeros(atomics_same_line, dtype=np.int64))
+    return tb.build()
+
+
+def test_profile_basics():
+    p = price_kernel(make_trace(), KEPLER_K20C)
+    assert p.cycles > 0
+    assert p.time_us == pytest.approx(p.cycles / KEPLER_K20C.cycles_per_us)
+    assert p.bound in ("compute", "memory_latency", "memory_bandwidth", "atomic")
+    assert 0 <= p.occupancy <= 1.0
+
+
+def test_stalls_sum_to_one():
+    p = price_kernel(make_trace(), KEPLER_K20C)
+    assert sum(p.stalls.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in p.stalls.values())
+
+
+def test_gather_kernel_is_latency_bound():
+    """Random-gather kernels with modest residency are the Fig. 3 regime:
+    too few in-flight warps to hide latency, too little traffic to saturate
+    DRAM bandwidth."""
+    p = price_kernel(make_trace(num_threads=1024), KEPLER_K20C)
+    assert p.bound == "memory_latency"
+    assert p.stalls["memory_dependency"] > 0.5
+    assert p.compute_utilization < 0.6
+    assert p.bandwidth_utilization < 0.6
+
+
+def test_small_block_size_slower():
+    """Fig. 8's left edge: 32-thread blocks cap residency at 16 warps/SM
+    (block-slot limit), so a full grid cannot hide latency."""
+    slow = price_kernel(
+        make_trace(num_threads=65536, block_size=32, footprint_lines=1 << 13),
+        KEPLER_K20C,
+    )
+    fast = price_kernel(
+        make_trace(num_threads=65536, block_size=128, footprint_lines=1 << 13),
+        KEPLER_K20C,
+    )
+    assert slow.cycles > 1.5 * fast.cycles
+
+
+def test_ldg_never_slower():
+    base = price_kernel(make_trace(ldg=False, lines_per_thread=2, seed=3), KEPLER_K20C)
+    ldg = price_kernel(make_trace(ldg=True, lines_per_thread=2, seed=3), KEPLER_K20C)
+    assert ldg.cycles <= base.cycles * 1.01
+
+
+def test_ldg_hit_rate_tracked():
+    # re-reading the same small footprint: RO cache should score hits
+    tb = TraceBuilder(KEPLER_K20C, LaunchConfig(), 1024)
+    threads = np.arange(1024, dtype=np.int64)
+    for step in range(4):
+        tb.load(threads, (threads % 64) * 128, ldg=True, step=step)
+    p = price_kernel(tb.build(), KEPLER_K20C)
+    assert p.memory.ro_hit_rate > 0.4
+
+
+def test_hot_atomic_serializes():
+    quiet = price_kernel(make_trace(atomics_same_line=0), KEPLER_K20C)
+    hot = price_kernel(make_trace(atomics_same_line=4096), KEPLER_K20C)
+    assert hot.terms["atomic"] > quiet.terms["atomic"]
+    assert hot.terms["atomic"] >= 4096 * KEPLER_K20C.atomic_op_cycles
+
+
+def test_more_work_more_cycles():
+    small = price_kernel(make_trace(lines_per_thread=2), KEPLER_K20C)
+    big = price_kernel(make_trace(lines_per_thread=8), KEPLER_K20C)
+    assert big.cycles > small.cycles
+
+
+def test_cache_model_choices_agree_roughly():
+    trace = make_trace(num_threads=2048)
+    times = {
+        m: price_kernel(trace, KEPLER_K20C, cache_model=m).cycles
+        for m in ("reuse_distance", "exact", "analytic")
+    }
+    base = times["reuse_distance"]
+    for m, t in times.items():
+        assert 0.3 * base <= t <= 3.0 * base, (m, times)
+
+
+def test_empty_trace_prices():
+    tb = TraceBuilder(KEPLER_K20C, LaunchConfig(), 64)
+    tb.uniform_overhead(2)
+    p = price_kernel(tb.build(), KEPLER_K20C)
+    assert p.cycles > 0
+    assert p.memory.transactions == 0
+
+
+# ----------------------------------------------------------------- device
+def test_device_alloc_addresses_disjoint():
+    dev = Device()
+    a = dev.alloc(100, np.int32, name="a")
+    b = dev.alloc(100, np.int32, name="b")
+    assert a.base % 256 == 0 and b.base % 256 == 0
+    assert b.base >= a.base + a.nbytes
+
+
+def test_device_array_addr():
+    dev = Device()
+    a = dev.alloc(10, np.int64)
+    assert list(a.addr(np.array([0, 2]))) == [a.base, a.base + 16]
+    assert a.addr().size == 10
+    assert len(a) == 10
+
+
+def test_upload_charges_transfer():
+    dev = Device()
+    dev.upload(np.zeros(1000, dtype=np.float64))
+    assert dev.timeline.transfer_time_us() > KEPLER_K20C.pcie_latency_us
+
+
+def test_register_does_not_charge():
+    dev = Device()
+    dev.register(np.zeros(1000))
+    assert dev.timeline.transfer_time_us() == 0.0
+
+
+def test_transfer_math():
+    dev = Device()
+    dev.dtoh(6_000_000)  # 6 MB at 6 GB/s = 1000us + 10us latency
+    (t,) = list(dev.timeline.transfers())
+    assert t.time_us == pytest.approx(1010.0)
+    with pytest.raises(ValueError):
+        dev.htod(-1)
+
+
+def test_commit_appends_profile_and_overhead():
+    dev = Device()
+    tb = dev.builder(256, name="k")
+    tb.uniform_overhead(5)
+    profile = dev.commit(tb)
+    assert profile.name == "k"
+    assert dev.timeline.num_launches() == 1
+    total = dev.total_time_us()
+    assert total == pytest.approx(
+        profile.time_us + KEPLER_K20C.kernel_launch_overhead_us
+    )
+
+
+def test_device_reset():
+    dev = Device()
+    dev.dtoh(4)
+    dev.reset()
+    assert dev.total_time_us() == 0.0
+
+
+def test_upload_copies_data():
+    dev = Device()
+    host = np.arange(5)
+    buf = dev.upload(host)
+    host[0] = 99
+    assert buf.data[0] == 0

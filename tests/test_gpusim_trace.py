@@ -1,0 +1,151 @@
+"""TraceBuilder: coalescing, SIMT geometry, instruction accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.config import KEPLER_K20C, LaunchConfig
+from repro.gpusim.trace import AccessKind, MemoryTrace, TraceBuilder
+
+
+def builder(num_threads=256, block_size=128):
+    return TraceBuilder(KEPLER_K20C, LaunchConfig(block_size=block_size), num_threads)
+
+
+def test_fully_coalesced_warp_is_one_transaction():
+    tb = builder()
+    threads = np.arange(32)
+    addrs = threads * 4  # 32 consecutive int32s = one 128B line
+    tb.load(threads, addrs)
+    trace = tb.build()
+    assert len(trace.memory) == 1
+    assert trace.memory.kind[0] == AccessKind.LOAD
+
+
+def test_fully_scattered_warp_is_32_transactions():
+    tb = builder()
+    threads = np.arange(32)
+    tb.load(threads, threads * 4096)  # each on its own line
+    assert len(tb.build().memory) == 32
+
+
+def test_two_warps_do_not_coalesce_together():
+    tb = builder()
+    threads = np.arange(64)
+    tb.load(threads, np.zeros(64, dtype=np.int64))  # same line, two warps
+    assert len(tb.build().memory) == 2
+
+
+def test_steps_do_not_coalesce():
+    tb = builder()
+    threads = np.zeros(2, dtype=np.int64)
+    tb.access(AccessKind.LOAD, threads, np.zeros(2, dtype=np.int64), step=np.array([0, 1]))
+    assert len(tb.build().memory) == 2
+
+
+def test_separate_calls_do_not_coalesce():
+    tb = builder()
+    t = np.arange(4)
+    tb.load(t, t * 4)
+    tb.load(t, t * 4)  # second instruction touching the same line
+    assert len(tb.build().memory) == 2
+
+
+def test_geometry_mapping():
+    tb = builder(num_threads=512, block_size=128)
+    threads = np.array([0, 127, 128, 511])
+    tb.load(threads, threads * 4096)
+    m = tb.build().memory
+    order = np.argsort(m.line_id)
+    # blocks: 0,0,1,3 -> SMs 0,0,1,3
+    assert list(m.sm_id[order]) == [0, 0, 1, 3]
+    assert list(m.warp_id[order]) == [0, 3, 4, 15]
+
+
+def test_thread_out_of_domain_rejected():
+    tb = builder(num_threads=8)
+    with pytest.raises(ValueError, match="outside launch domain"):
+        tb.load(np.array([9]), np.array([0]))
+
+
+def test_mismatched_arrays_rejected():
+    tb = builder()
+    with pytest.raises(ValueError, match="parallel arrays"):
+        tb.load(np.array([0, 1]), np.array([0]))
+
+
+def test_empty_access_is_noop():
+    tb = builder()
+    tb.load(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    assert len(tb.build().memory) == 0
+
+
+def test_atomic_records_addresses():
+    tb = builder()
+    tb.atomic(np.arange(4), np.full(4, 256))
+    trace = tb.build()
+    assert trace.atomic_addresses.size == 4
+    assert np.all(trace.memory.kind == AccessKind.ATOMIC)
+
+
+def test_instructions_simt_max():
+    tb = builder()
+    threads = np.arange(32)
+    counts = np.zeros(32, dtype=np.int64)
+    counts[7] = 100  # one straggler lane
+    tb.instructions(threads, counts)
+    stats = tb.build().compute
+    assert stats.warp_instructions == 100  # warp pays its max
+    assert stats.thread_instructions == 100
+
+
+def test_instructions_two_warps_sum_of_maxes():
+    tb = builder()
+    threads = np.array([0, 32])
+    tb.instructions(threads, np.array([10, 20]))
+    assert tb.build().compute.warp_instructions == 30
+
+
+def test_simd_efficiency():
+    tb = builder()
+    tb.instructions(np.arange(32), np.full(32, 4))  # perfectly uniform
+    assert tb.build().compute.simd_efficiency == pytest.approx(1.0)
+
+
+def test_uniform_overhead_counts_all_warps():
+    tb = builder(num_threads=256, block_size=128)
+    tb.uniform_overhead(3)
+    stats = tb.build().compute
+    assert stats.warp_instructions == 8 * 3  # 256/32 warps
+    assert stats.thread_instructions == 256 * 3
+
+
+def test_barrier_counts_per_block():
+    tb = builder(num_threads=256, block_size=128)  # 2 blocks
+    tb.barrier(3)
+    assert tb.build().compute.barriers == 6
+
+
+def test_issue_order_warp_major():
+    """A warp's accesses stay consecutive across steps in issue order."""
+    tb = builder(num_threads=64, block_size=64)
+    t = np.arange(64)
+    tb.access(AccessKind.LOAD, t, t * 4096, step=0)
+    tb.access(AccessKind.LOAD, t, (t + 100) * 4096, step=1)
+    m = tb.build().memory
+    order = m.issue_order()
+    warps_in_order = m.warp_id[order]
+    # warp 0's two instructions come before warp 1's first
+    first_w1 = int(np.argmax(warps_in_order == 1))
+    assert np.all(warps_in_order[:first_w1] == 0)
+
+
+def test_memory_trace_concat_and_select():
+    tb = builder()
+    tb.load(np.arange(4), np.arange(4) * 4096)
+    m = tb.build().memory
+    both = MemoryTrace.concatenate([m, m])
+    assert len(both) == 2 * len(m)
+    sel = both.select(both.kind == AccessKind.LOAD)
+    assert len(sel) == len(both)
+    empty = MemoryTrace.concatenate([])
+    assert len(empty) == 0 and empty.issue_order().size == 0

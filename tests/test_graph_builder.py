@@ -1,0 +1,134 @@
+"""from_edges normalization and the canonical small-graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    from_scipy,
+    path_graph,
+    star_graph,
+)
+
+
+def test_symmetrize_adds_reverse_edges():
+    g = from_edges([0, 1], [1, 2], num_vertices=3)
+    assert np.array_equal(g.neighbors(1), [0, 2])
+    assert g.is_symmetric()
+
+
+def test_no_symmetrize_keeps_direction():
+    g = from_edges([0], [1], num_vertices=2, symmetrize=False)
+    assert g.degree(0) == 1
+    assert g.degree(1) == 0
+
+
+def test_self_loops_removed_by_default():
+    g = from_edges([0, 1, 2], [0, 2, 1], num_vertices=3)
+    assert not g.has_self_loops()
+    assert g.num_undirected_edges == 1
+
+
+def test_self_loops_kept_when_requested():
+    g = from_edges([0], [0], num_vertices=1, remove_self_loops=False, symmetrize=False)
+    assert g.has_self_loops()
+
+
+def test_dedup_collapses_multi_edges():
+    g = from_edges([0, 0, 0], [1, 1, 1], num_vertices=2)
+    assert g.num_undirected_edges == 1
+    g2 = from_edges([0, 0], [1, 1], num_vertices=2, dedup=False, symmetrize=False)
+    assert g2.num_edges == 2
+
+
+def test_isolated_trailing_vertices_preserved():
+    g = from_edges([0], [1], num_vertices=10)
+    assert g.num_vertices == 10
+    assert g.degree(9) == 0
+
+
+def test_num_vertices_inferred():
+    g = from_edges([0, 7], [3, 2])
+    assert g.num_vertices == 8
+
+
+def test_endpoint_validation():
+    with pytest.raises(ValueError, match="out of range"):
+        from_edges([0], [5], num_vertices=3)
+    with pytest.raises(ValueError, match="equal length"):
+        from_edges([0, 1], [1])
+
+
+def test_adjacency_lists_sorted():
+    g = from_edges([5, 5, 5], [9, 2, 7], num_vertices=10)
+    assert np.array_equal(g.neighbors(5), [2, 7, 9])
+
+
+def test_from_adjacency():
+    g = from_adjacency([[1, 2], [0], [0]])
+    assert g.num_undirected_edges == 2
+    assert g.is_symmetric()
+
+
+def test_from_scipy_pattern_only():
+    import scipy.sparse as sp
+
+    mat = sp.csr_array(np.array([[0.0, 2.5, 0], [0, 0, -1], [0, 0, 0]]))
+    g = from_scipy(mat)
+    assert g.num_undirected_edges == 2
+    assert g.is_symmetric()
+
+
+def test_from_scipy_rejects_rectangular():
+    import scipy.sparse as sp
+
+    with pytest.raises(ValueError, match="square"):
+        from_scipy(sp.csr_array(np.ones((2, 3))))
+
+
+def test_from_networkx_relabels():
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    csr = from_networkx(g)
+    assert csr.num_vertices == 3
+    assert csr.num_undirected_edges == 2
+
+
+def test_empty_graph():
+    g = empty_graph(5)
+    assert g.num_vertices == 5 and g.num_edges == 0
+
+
+def test_complete_graph_edges():
+    assert complete_graph(6).num_undirected_edges == 15
+
+
+def test_cycle_graph_small_rejected():
+    with pytest.raises(ValueError):
+        cycle_graph(2)
+
+
+def test_path_graph_degrees():
+    g = path_graph(5)
+    assert g.degree(0) == 1 and g.degree(2) == 2 and g.degree(4) == 1
+
+
+def test_star_graph_hub():
+    g = star_graph(7)
+    assert g.degree(0) == 7
+    assert all(g.degree(v) == 1 for v in range(1, 8))
+
+
+def test_large_vertex_ids_no_overflow():
+    # key packing uses u * n + v; make sure big ids survive
+    n = 2_000_000
+    g = from_edges([n - 2], [n - 1], num_vertices=n)
+    assert g.degree(n - 1) == 1

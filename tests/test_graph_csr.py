@@ -1,0 +1,146 @@
+"""CSRGraph storage invariants and structural predicates."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import complete_graph, cycle_graph, from_edges
+from repro.graph.csr import CSRGraph
+
+
+def test_basic_counts(k5):
+    assert k5.num_vertices == 5
+    assert k5.num_edges == 20  # directed adjacency entries
+    assert k5.num_undirected_edges == 10
+    assert k5.avg_degree == 4.0
+    assert k5.max_degree == 4
+    assert k5.min_degree == 4
+
+
+def test_degrees_match_offsets(small_er):
+    degs = small_er.degrees
+    assert degs.sum() == small_er.num_edges
+    assert np.array_equal(degs, np.diff(small_er.row_offsets))
+
+
+def test_neighbors_sorted_and_valid(small_er):
+    for v in (0, 1, small_er.num_vertices - 1):
+        nbrs = small_er.neighbors(v)
+        assert np.all(np.diff(nbrs) > 0), "builder sorts and dedups adjacency"
+        assert nbrs.size == small_er.degree(v)
+        assert v not in nbrs
+
+
+def test_arrays_are_frozen(k5):
+    with pytest.raises((ValueError, RuntimeError)):
+        k5.col_indices[0] = 3
+    with pytest.raises((ValueError, RuntimeError)):
+        k5.row_offsets[0] = 1
+
+
+def test_rejects_bad_offsets():
+    with pytest.raises(ValueError, match="must be 0"):
+        CSRGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+    with pytest.raises(ValueError, match="non-decreasing"):
+        CSRGraph(np.array([0, 3, 2, 4]), np.arange(4, dtype=np.int32) % 3)
+    with pytest.raises(ValueError, match="must equal"):
+        CSRGraph(np.array([0, 2]), np.array([0, 0, 0], dtype=np.int32))
+
+
+def test_rejects_out_of_range_targets():
+    with pytest.raises(ValueError, match="out-of-range"):
+        CSRGraph(np.array([0, 1]), np.array([5], dtype=np.int32))
+    with pytest.raises(ValueError, match="out-of-range"):
+        CSRGraph(np.array([0, 1]), np.array([-1], dtype=np.int32))
+
+
+def test_rejects_empty_offsets():
+    with pytest.raises(ValueError, match="at least one"):
+        CSRGraph(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32))
+
+
+def test_edge_sources_expand_csr(c6):
+    src = c6.edge_sources()
+    assert src.size == c6.num_edges
+    # each cycle vertex owns exactly two adjacency entries
+    assert np.array_equal(np.bincount(src), np.full(6, 2))
+
+
+def test_is_symmetric_detects_asymmetry():
+    g = CSRGraph(np.array([0, 1, 1]), np.array([1], dtype=np.int32))
+    assert not g.is_symmetric()
+    sym = from_edges([0], [1], num_vertices=2)
+    assert sym.is_symmetric()
+
+
+def test_self_loop_and_duplicate_detection():
+    loop = CSRGraph(np.array([0, 1]), np.array([0], dtype=np.int32))
+    assert loop.has_self_loops()
+    with pytest.raises(ValueError, match="self-loops"):
+        loop.validate()
+    dup = CSRGraph(np.array([0, 2, 3]), np.array([1, 1, 0], dtype=np.int32))
+    assert dup.has_duplicate_edges()
+    with pytest.raises(ValueError, match="duplicate"):
+        dup.validate()
+
+
+def test_validate_passes_clean_graph(small_er):
+    small_er.validate()
+
+
+def test_to_scipy_roundtrip(small_er):
+    mat = small_er.to_scipy()
+    assert mat.shape == (small_er.num_vertices,) * 2
+    assert mat.nnz == small_er.num_edges
+    assert (mat != mat.T).nnz == 0  # symmetric
+
+
+def test_to_networkx(c6):
+    nx_graph = c6.to_networkx()
+    assert nx_graph.number_of_nodes() == 6
+    assert nx_graph.number_of_edges() == 6
+
+
+def test_subgraph_mask_induced(k5):
+    sub = k5.subgraph_mask(np.array([True, True, True, False, False]))
+    assert sub.num_vertices == 3
+    assert sub.num_undirected_edges == 3  # K3
+
+
+def test_subgraph_mask_renumbers(c6):
+    sub = c6.subgraph_mask(np.array([True, False, True, True, False, True]))
+    # surviving edges of C6 among {0,2,3,5}: (2,3) and (5,0)
+    assert sub.num_vertices == 4
+    assert sub.num_undirected_edges == 2
+
+
+def test_subgraph_mask_shape_check(c6):
+    with pytest.raises(ValueError, match="one entry per vertex"):
+        c6.subgraph_mask(np.array([True, False]))
+
+
+def test_memory_bytes(k5):
+    assert k5.memory_bytes() == k5.row_offsets.nbytes + k5.col_indices.nbytes
+
+
+def test_empty_graph_properties(isolated):
+    assert isolated.num_vertices == 12
+    assert isolated.num_edges == 0
+    assert isolated.max_degree == 0
+    assert isolated.avg_degree == 0.0
+    isolated.validate()
+
+
+def test_repr_contains_name(small_er):
+    assert "er-n500" in repr(small_er)
+
+
+def test_complete_graph_chromatic_structure():
+    k8 = complete_graph(8)
+    assert k8.num_undirected_edges == 28
+    assert k8.min_degree == k8.max_degree == 7
+
+
+def test_cycle_parity():
+    even, odd = cycle_graph(8), cycle_graph(9)
+    assert even.num_undirected_edges == 8
+    assert odd.num_undirected_edges == 9

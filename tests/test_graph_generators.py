@@ -1,0 +1,191 @@
+"""Generator families: parameter validation, determinism, degree regimes."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    DegreeSpec,
+    barabasi_albert,
+    configuration_model,
+    erdos_renyi,
+    graph_from_degree_spec,
+    grid2d,
+    grid2d_with_diagonals,
+    grid3d,
+    planted_partition,
+    random_bipartite,
+    random_regular,
+    rmat_graph,
+    triangular_mesh,
+    watts_strogatz,
+)
+from repro.graph.generators.degree_sequence import sample_degrees
+from repro.graph.generators.rmat import ER_PARAMS, G_PARAMS, RMATParams
+from repro.graph.stats import compute_stats
+
+
+# ---------------------------------------------------------------- R-MAT
+def test_rmat_params_validation():
+    with pytest.raises(ValueError, match="sum to 1"):
+        RMATParams(0.5, 0.5, 0.5, 0.5)
+    with pytest.raises(ValueError, match="non-negative"):
+        RMATParams(-0.1, 0.5, 0.3, 0.3)
+
+
+def test_rmat_deterministic():
+    a = rmat_graph(8, 4.0, seed=42)
+    b = rmat_graph(8, 4.0, seed=42)
+    assert np.array_equal(a.col_indices, b.col_indices)
+    c = rmat_graph(8, 4.0, seed=43)
+    assert not np.array_equal(a.col_indices, c.col_indices)
+
+
+def test_rmat_size():
+    g = rmat_graph(10, 8.0, seed=1)
+    assert g.num_vertices == 1024
+    # dedup/self-loop removal trims a few percent of 2 * n * ef entries
+    assert 0.8 * 2 * 1024 * 8 <= g.num_edges <= 2 * 1024 * 8
+
+
+def test_rmat_skew_raises_variance():
+    er = rmat_graph(11, 8.0, ER_PARAMS, seed=2)
+    sk = rmat_graph(11, 8.0, G_PARAMS, seed=2)
+    assert compute_stats(sk).variance > 3 * compute_stats(er).variance
+
+
+def test_rmat_scale_bounds():
+    with pytest.raises(ValueError):
+        rmat_graph(0, 4.0)
+    with pytest.raises(ValueError):
+        rmat_graph(31, 4.0)
+
+
+# ------------------------------------------------------------- random
+def test_erdos_renyi_degree_target():
+    g = erdos_renyi(2000, 10.0, seed=0)
+    assert 8.5 <= g.avg_degree <= 10.5
+
+
+def test_erdos_renyi_validates_n():
+    with pytest.raises(ValueError):
+        erdos_renyi(0, 4.0)
+
+
+def test_random_regular_low_variance():
+    g = random_regular(1000, 8, seed=0)
+    s = compute_stats(g)
+    assert s.variance < 1.0
+    assert s.max_degree <= 8
+
+
+def test_random_regular_parity_check():
+    with pytest.raises(ValueError, match="even"):
+        random_regular(5, 3)
+
+
+def test_barabasi_albert_heavy_tail():
+    g = barabasi_albert(800, 3, seed=0)
+    s = compute_stats(g)
+    assert s.max_degree > 5 * s.avg_degree
+
+
+def test_barabasi_albert_validation():
+    with pytest.raises(ValueError):
+        barabasi_albert(3, 3)
+
+
+def test_bipartite_structure():
+    g = random_bipartite(50, 70, 4.0, seed=1)
+    u, v = g.edge_endpoints()
+    # every edge crosses the partition boundary at 50
+    assert np.all((u < 50) != (v < 50))
+
+
+def test_watts_strogatz_shapes():
+    g = watts_strogatz(200, 4, 0.1, seed=0)
+    assert g.num_vertices == 200
+    assert 2.5 <= g.avg_degree <= 4.5
+    with pytest.raises(ValueError, match="even"):
+        watts_strogatz(100, 3, 0.1)
+
+
+def test_planted_partition_density_contrast():
+    g = planted_partition(300, 3, 0.2, 0.005, seed=0)
+    blocks = np.arange(300) // 100
+    u, v = g.edge_endpoints()
+    same = (blocks[u] == blocks[v]).mean()
+    assert same > 0.7  # intra-block edges dominate
+
+
+def test_planted_partition_too_many_blocks():
+    with pytest.raises(ValueError):
+        planted_partition(3, 10, 0.5, 0.1)
+
+
+# --------------------------------------------------------------- mesh
+def test_grid2d_degrees():
+    g = grid2d(5, 7)
+    degs = g.degrees
+    assert degs.min() == 2 and degs.max() == 4
+    assert g.num_undirected_edges == 4 * 7 + 5 * 6
+
+
+def test_grid2d_periodic_regular():
+    g = grid2d(6, 6, periodic=True)
+    assert g.min_degree == g.max_degree == 4
+
+
+def test_grid3d_degrees():
+    g = grid3d(4, 4, 4)
+    assert g.max_degree == 6
+    assert g.min_degree == 3  # corners
+
+
+def test_grid3d_periodic_regular():
+    g = grid3d(4, 4, 4, periodic=True)
+    assert g.min_degree == g.max_degree == 6
+
+
+def test_triangular_mesh_interior_degree():
+    g = triangular_mesh(10, 10)
+    assert g.max_degree == 6
+
+
+def test_grid2d_with_diagonals_fraction():
+    g0 = grid2d_with_diagonals(20, 20, 0.0, seed=1)
+    g1 = grid2d_with_diagonals(20, 20, 1.0, seed=1)
+    assert g1.num_undirected_edges - g0.num_undirected_edges == 19 * 19
+    with pytest.raises(ValueError):
+        grid2d_with_diagonals(4, 4, 1.5)
+
+
+# ----------------------------------------------------- degree sequence
+def test_degree_spec_validation():
+    with pytest.raises(ValueError):
+        DegreeSpec(5, 3, 4.0, 1.0)
+    with pytest.raises(ValueError):
+        DegreeSpec(1, 10, 20.0, 1.0)
+    with pytest.raises(ValueError):
+        DegreeSpec(1, 10, 5.0, -1.0)
+
+
+def test_sample_degrees_respects_bounds():
+    spec = DegreeSpec(4, 15, 7.6, 7.2)
+    rng = np.random.default_rng(0)
+    degs = sample_degrees(spec, 5000, rng)
+    assert degs.min() >= 4 and degs.max() <= 15
+    assert abs(degs.mean() - 7.6) < 0.5
+    assert degs.sum() % 2 == 0
+
+
+def test_configuration_model_realizes_most_degrees():
+    spec = DegreeSpec(4, 15, 7.6, 7.2)
+    g = graph_from_degree_spec(spec, 3000, seed=1)
+    s = compute_stats(g)
+    assert abs(s.avg_degree - 7.6) < 0.8  # small dedup deficit allowed
+    g.validate()
+
+
+def test_configuration_model_odd_sum_rejected():
+    with pytest.raises(ValueError, match="even"):
+        configuration_model(np.array([1, 1, 1]))

@@ -1,0 +1,145 @@
+"""Graph I/O: MatrixMarket, edge lists, binary caches."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.generators import erdos_renyi
+from repro.graph.io.binary import cached, load_npz, save_npz
+from repro.graph.io.edgelist import read_edgelist, write_edgelist
+from repro.graph.io.matrix_market import (
+    MatrixMarketError,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+@pytest.fixture
+def sample():
+    return erdos_renyi(120, 5.0, seed=3, name="io-sample")
+
+
+# ------------------------------------------------------------- MatrixMarket
+def test_mtx_roundtrip(sample, tmp_path):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(sample, path)
+    back = read_matrix_market(path)
+    assert back.num_vertices == sample.num_vertices
+    assert np.array_equal(back.row_offsets, sample.row_offsets)
+    assert np.array_equal(back.col_indices, sample.col_indices)
+
+
+def test_mtx_reads_general_real(tmp_path):
+    path = tmp_path / "g.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 3 3\n"
+        "1 2 0.5\n"
+        "2 3 -1.0\n"
+        "3 1 2.25\n"
+    )
+    g = read_matrix_market(path)
+    assert g.num_vertices == 3
+    assert g.num_undirected_edges == 3
+    assert g.is_symmetric()
+
+
+def test_mtx_drops_diagonal(tmp_path):
+    path = tmp_path / "g.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 1\n3 1\n"
+    )
+    g = read_matrix_market(path)
+    assert not g.has_self_loops()
+    assert g.num_undirected_edges == 1
+
+
+def test_mtx_gzip(tmp_path, sample):
+    plain = tmp_path / "g.mtx"
+    write_matrix_market(sample, plain)
+    gz = tmp_path / "g.mtx.gz"
+    gz.write_bytes(gzip.compress(plain.read_bytes()))
+    back = read_matrix_market(gz)
+    assert back.num_edges == sample.num_edges
+
+
+@pytest.mark.parametrize(
+    "header,err",
+    [
+        ("nonsense\n1 1 0\n", "header"),
+        ("%%MatrixMarket matrix array real general\n1 1 0\n", "coordinate"),
+        ("%%MatrixMarket matrix coordinate real lower\n1 1 0\n", "symmetry"),
+        ("%%MatrixMarket matrix coordinate blob general\n1 1 0\n", "field"),
+        ("%%MatrixMarket matrix coordinate real general\n2 3 0\n", "square"),
+        ("%%MatrixMarket matrix coordinate real general\nx y z\n", "size line"),
+    ],
+)
+def test_mtx_malformed(tmp_path, header, err):
+    path = tmp_path / "bad.mtx"
+    path.write_text(header)
+    with pytest.raises(MatrixMarketError, match=err):
+        read_matrix_market(path)
+
+
+def test_mtx_truncated_entries(tmp_path):
+    path = tmp_path / "short.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n2 3\n"
+    )
+    with pytest.raises(MatrixMarketError, match="expected 5"):
+        read_matrix_market(path)
+
+
+# --------------------------------------------------------------- edge list
+def test_edgelist_roundtrip(sample, tmp_path):
+    path = tmp_path / "g.el"
+    write_edgelist(sample, path)
+    back = read_edgelist(path, num_vertices=sample.num_vertices)
+    assert np.array_equal(back.col_indices, sample.col_indices)
+
+
+def test_edgelist_comments(tmp_path):
+    path = tmp_path / "g.el"
+    path.write_text("# header\n0 1\n1 2\n")
+    g = read_edgelist(path)
+    assert g.num_undirected_edges == 2
+
+
+# -------------------------------------------------------------- binary npz
+def test_npz_roundtrip(sample, tmp_path):
+    path = tmp_path / "g.npz"
+    save_npz(sample, path)
+    back = load_npz(path)
+    assert back.name == "io-sample"
+    assert np.array_equal(back.col_indices, sample.col_indices)
+
+
+def test_npz_version_check(sample, tmp_path):
+    path = tmp_path / "g.npz"
+    np.savez(
+        path,
+        row_offsets=sample.row_offsets,
+        col_indices=sample.col_indices,
+        name=np.array("x"),
+        version=np.array(99),
+    )
+    with pytest.raises(ValueError, match="version"):
+        load_npz(path)
+
+
+def test_cached_builds_once(tmp_path):
+    calls = []
+
+    def build():
+        calls.append(1)
+        return from_edges([0], [1], num_vertices=2, name="cached")
+
+    path = tmp_path / "sub" / "c.npz"
+    g1 = cached(path, build)
+    g2 = cached(path, build)
+    assert len(calls) == 1
+    assert g1.num_edges == g2.num_edges
+    assert path.exists()

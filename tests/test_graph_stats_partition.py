@@ -1,0 +1,100 @@
+"""Degree statistics (Table I machinery) and partitioning for 3-step GM."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import complete_graph, empty_graph, from_edges
+from repro.graph.generators import erdos_renyi, grid2d
+from repro.graph.partition import Partition, block_partition, boundary_vertices
+from repro.graph.stats import compute_stats, degree_histogram, table1_row
+
+
+# ------------------------------------------------------------------ stats
+def test_stats_known_graph():
+    s = compute_stats(complete_graph(6))
+    assert s.num_vertices == 6
+    assert s.num_edges == 30
+    assert s.min_degree == s.max_degree == 5
+    assert s.avg_degree == 5.0
+    assert s.variance == 0.0
+
+
+def test_stats_empty():
+    s = compute_stats(empty_graph(0))
+    assert s.num_vertices == 0 and s.avg_degree == 0.0
+
+
+def test_degree_histogram_sums_to_n():
+    g = erdos_renyi(300, 6.0, seed=1)
+    hist = degree_histogram(g)
+    assert hist.sum() == g.num_vertices
+    assert hist.size == g.max_degree + 1
+
+
+def test_table1_row_format():
+    row = table1_row(complete_graph(4), spd=True, application="Test")
+    assert "K4" in row and "yes" in row and "Test" in row
+
+
+def test_stats_as_row_rounding():
+    s = compute_stats(erdos_renyi(100, 5.0, seed=0))
+    row = s.as_row()
+    assert isinstance(row[5], float) and row[5] == round(s.avg_degree, 2)
+
+
+# -------------------------------------------------------------- partition
+def test_block_partition_sizes():
+    g = erdos_renyi(100, 4.0, seed=0)
+    p = block_partition(g, 7)
+    assert p.num_parts == 7
+    assert p.sizes().sum() == 100
+    assert p.sizes().max() - p.sizes().min() <= 1
+
+
+def test_block_partition_contiguous():
+    g = erdos_renyi(50, 4.0, seed=0)
+    p = block_partition(g, 5)
+    assert np.all(np.diff(p.assignment) >= 0)
+
+
+def test_partition_members():
+    g = erdos_renyi(20, 3.0, seed=0)
+    p = block_partition(g, 4)
+    members = np.concatenate([p.members(i) for i in range(4)])
+    assert np.array_equal(np.sort(members), np.arange(20))
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError, match=">= 1"):
+        block_partition(erdos_renyi(10, 2.0), 0)
+    with pytest.raises(ValueError, match=">= num_parts"):
+        Partition(np.array([0, 5], dtype=np.int32), 2)
+
+
+def test_boundary_vertices_grid():
+    # 4x4 grid split into two 8-vertex halves: the middle rows touch.
+    g = grid2d(4, 4)
+    p = block_partition(g, 2)
+    boundary = boundary_vertices(g, p)
+    # vertices 4..7 (end of part 0) and 8..11 (start of part 1) are boundary
+    assert boundary[4:12].all()
+    assert not boundary[0:4].any()
+
+
+def test_boundary_single_partition_empty():
+    g = erdos_renyi(40, 4.0, seed=2)
+    p = block_partition(g, 1)
+    assert not boundary_vertices(g, p).any()
+
+
+def test_boundary_complete_graph_all():
+    g = complete_graph(10)
+    p = block_partition(g, 5)
+    assert boundary_vertices(g, p).all()
+
+
+def test_boundary_isolated_vertices_not_boundary():
+    g = from_edges([0], [1], num_vertices=4)
+    p = Partition(np.array([0, 1, 0, 1], dtype=np.int32), 2)
+    b = boundary_vertices(g, p)
+    assert b[0] and b[1] and not b[2] and not b[3]

@@ -1,0 +1,108 @@
+"""The Table I benchmark suite: calibration against paper statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators.suite import (
+    SUITE,
+    SUITE_ORDER,
+    default_scale_div,
+    load_graph,
+    load_suite,
+)
+from repro.graph.stats import compute_stats
+
+SMALL = 64  # fast scale for tests
+
+
+def test_suite_order_matches_paper():
+    assert SUITE_ORDER == (
+        "rmat-er",
+        "rmat-g",
+        "thermal2",
+        "atmosmodd",
+        "Hamrle3",
+        "G3_circuit",
+    )
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown suite graph"):
+        load_graph("does-not-exist")
+
+
+@pytest.mark.parametrize("name", SUITE_ORDER)
+def test_graphs_are_simple_and_symmetric(name):
+    load_graph(name, scale_div=SMALL).validate()
+
+
+@pytest.mark.parametrize("name", SUITE_ORDER)
+def test_scaled_vertex_counts_proportional(name):
+    g = load_graph(name, scale_div=SMALL)
+    target = SUITE[name].paper.num_vertices / SMALL
+    assert 0.5 * target <= g.num_vertices <= 2.0 * target
+
+
+@pytest.mark.parametrize("name", SUITE_ORDER)
+def test_avg_degree_tracks_paper(name):
+    g = load_graph(name, scale_div=SMALL)
+    s = compute_stats(g)
+    paper = SUITE[name].paper
+    assert abs(s.avg_degree - paper.avg_degree) <= 0.25 * paper.avg_degree + 1.0
+
+
+def test_variance_regimes_ordered_like_paper():
+    """rmat-g >> rmat-er >> meshes: the suite's variance axis."""
+    stats = {n: compute_stats(load_graph(n, scale_div=SMALL)) for n in SUITE_ORDER}
+    assert stats["rmat-g"].variance > 5 * stats["rmat-er"].variance
+    assert stats["rmat-er"].variance > stats["thermal2"].variance
+    assert stats["atmosmodd"].variance < 1.0
+    assert stats["G3_circuit"].variance < 1.5
+
+
+def test_determinism():
+    a = load_graph("Hamrle3", scale_div=SMALL, seed=9)
+    b = load_graph("Hamrle3", scale_div=SMALL, seed=9)
+    assert np.array_equal(a.col_indices, b.col_indices)
+
+
+def test_load_suite_subset():
+    graphs = load_suite(("thermal2", "rmat-er"), scale_div=SMALL)
+    assert [g.name for g in graphs] == ["thermal2", "rmat-er"]
+
+
+def test_default_scale_div_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_SCALE_DIV", raising=False)
+    assert default_scale_div() == 16
+    monkeypatch.setenv("REPRO_SCALE_DIV", "8")
+    assert default_scale_div() == 8
+    monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+    assert default_scale_div() == 1
+
+
+def test_bad_scale_div_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE_DIV", "0")
+    with pytest.raises(ValueError):
+        default_scale_div()
+
+
+def test_atmosmodd_not_bipartite():
+    """The stand-in must carry odd cycles or greedy trivially 2-colors it."""
+    from repro.coloring.sequential import greedy_colors_only
+
+    g = load_graph("atmosmodd", scale_div=SMALL)
+    assert greedy_colors_only(g).max() >= 3
+
+
+def test_cache_dir_roundtrip(tmp_path, monkeypatch):
+    """REPRO_CACHE_DIR caches generated graphs on disk."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    a = load_graph("Hamrle3", scale_div=256)
+    files = list(tmp_path.glob("*.npz"))
+    assert len(files) == 1
+    b = load_graph("Hamrle3", scale_div=256)  # served from cache
+    assert np.array_equal(a.col_indices, b.col_indices)
+    # different scale gets its own cache entry
+    load_graph("Hamrle3", scale_div=128)
+    assert len(list(tmp_path.glob("*.npz"))) == 2

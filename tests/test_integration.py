@@ -1,0 +1,93 @@
+"""End-to-end integration flows across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import color_graph, load_graph
+from repro.apps.scheduling import ChromaticScheduler
+from repro.coloring import iterated_greedy, rebalance_colors
+from repro.coloring.base import count_conflicts
+from repro.graph import relabel
+from repro.graph.io.binary import load_npz, save_npz
+from repro.graph.io.matrix_market import read_matrix_market, write_matrix_market
+
+
+def test_generate_save_load_color_roundtrip(tmp_path):
+    """Suite generation -> npz cache -> reload -> GPU coloring -> verify."""
+    g = load_graph("Hamrle3", scale_div=256)
+    path = tmp_path / "h3.npz"
+    save_npz(g, path)
+    back = load_npz(path)
+    result = color_graph(back, method="data-ldg")
+    result.validate(g)  # same topology: cross-validates against original
+
+
+def test_mtx_export_reimport_cross_scheme(tmp_path):
+    """MatrixMarket round trip preserves every scheme's color count."""
+    g = load_graph("G3_circuit", scale_div=256)
+    path = tmp_path / "g3.mtx"
+    write_matrix_market(g, path)
+    back = read_matrix_market(path)
+    for scheme in ("sequential", "topo-base", "csrcolor"):
+        a = color_graph(g, method=scheme)
+        b = color_graph(back, method=scheme)
+        assert a.num_colors == b.num_colors
+
+
+def test_gpu_color_then_polish_then_schedule():
+    """GPU scheme -> iterated-greedy polish -> chromatic schedule -> run."""
+    g = load_graph("thermal2", scale_div=256)
+    gpu = color_graph(g, method="data-base")
+    polished = iterated_greedy(g, initial=gpu.colors, iterations=4)
+    assert polished.num_colors <= gpu.num_colors
+    sched = ChromaticScheduler(g, coloring=polished)
+    state = np.zeros(g.num_vertices)
+    sched.run(state, lambda cls, st, gr: st[cls] + 1.0, sweeps=3)
+    assert np.all(state == 3.0)
+
+
+def test_relabel_color_rebalance_pipeline():
+    """Relabel for locality -> color -> map back -> rebalance -> verify."""
+    g = load_graph("rmat-er", scale_div=256)
+    rng = np.random.default_rng(5)
+    perm = rng.permutation(g.num_vertices)
+    relabeled = relabel(g, perm)
+    result = color_graph(relabeled, method="data-ldg")
+    colors_orig = np.empty_like(result.colors)
+    colors_orig[perm] = result.colors
+    assert count_conflicts(g, colors_orig) == 0
+    balanced = rebalance_colors(g, colors_orig, max_passes=2)
+    assert count_conflicts(g, balanced) == 0
+    assert balanced.max() <= colors_orig.max()
+
+
+def test_shared_device_accumulates_across_runs():
+    """One simulated device serving several colorings keeps a coherent
+    timeline (multi-kernel applications reuse contexts the same way)."""
+    from repro.gpusim import Device
+
+    g = load_graph("atmosmodd", scale_div=256)
+    device = Device()
+    r1 = color_graph(g, method="topo-base", device=device)
+    launches_after_first = device.timeline.num_launches()
+    r2 = color_graph(g, method="data-base", device=device)
+    assert device.timeline.num_launches() > launches_after_first
+    assert r1.num_colors >= 1 and r2.num_colors >= 1
+
+
+def test_cli_matches_library(capsys):
+    """The CLI's compare output reflects the same library computations."""
+    from repro.cli import main
+
+    assert main(["compare", "--graph", "rmat-er", "--scale-div", "256"]) == 0
+    out = capsys.readouterr().out
+    lib = color_graph(load_graph("rmat-er", scale_div=256), method="sequential")
+    assert f" {lib.num_colors} " in out.replace("sequential", " ")
+
+
+def test_full_scale_switch(monkeypatch):
+    """REPRO_FULL_SCALE reaches the generators through every layer."""
+    monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+    from repro.graph.generators.suite import default_scale_div
+
+    assert default_scale_div() == 1

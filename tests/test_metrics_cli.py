@@ -1,0 +1,169 @@
+"""Metrics utilities and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, resolve_graph
+from repro.metrics.recorder import Recorder
+from repro.metrics.speedup import geomean, normalize_to_baseline, speedup
+from repro.metrics.table import format_float, format_table
+
+
+# ------------------------------------------------------------------- table
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+    lines = out.splitlines()
+    assert "name" in lines[0] and "value" in lines[0]
+    assert "-" in lines[1]
+    assert len(lines) == 4
+
+
+def test_format_table_title_and_digits():
+    out = format_table(["x"], [[3.14159]], title="T", digits=3)
+    assert out.startswith("T\n")
+    assert "3.142" in out
+
+
+def test_format_table_row_length_check():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_float():
+    assert format_float(True) == "yes"
+    assert format_float(3) == "3"
+    assert format_float(3.14159) == "3.14"
+    assert format_float("x") == "x"
+
+
+# ---------------------------------------------------------------- recorder
+def test_recorder_filtering():
+    r = Recorder()
+    r.add("fig7", "g1", "topo", "speedup", 2.0)
+    r.add("fig7", "g1", "data", "speedup", 3.0)
+    r.add("fig6", "g1", "topo", "colors", 12)
+    assert len(r.values(experiment="fig7")) == 2
+    assert r.values(scheme="data")[0].value == 3.0
+    assert r.values(metric="colors")[0].experiment == "fig6"
+
+
+def test_recorder_pivot():
+    r = Recorder()
+    r.add("fig7", "g1", "topo", "speedup", 2.0)
+    r.add("fig7", "g2", "topo", "speedup", 1.5)
+    out = r.pivot("speedup", experiment="fig7")
+    assert "g1" in out and "g2" in out and "topo" in out
+
+
+def test_recorder_json_roundtrip(tmp_path):
+    r = Recorder()
+    r.add("fig1", "g", "s", "m", 1.25, note="x")
+    path = tmp_path / "rec.json"
+    r.save_json(path)
+    back = Recorder.load_json(path)
+    assert back.records == r.records
+
+
+# ----------------------------------------------------------------- speedup
+def test_speedup_math():
+    assert speedup(10.0, 5.0) == 2.0
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def test_normalize_to_baseline():
+    out = normalize_to_baseline({"seq": 10.0, "gpu": 2.0}, "seq")
+    assert out["gpu"] == 5.0 and out["seq"] == 1.0
+    with pytest.raises(KeyError):
+        normalize_to_baseline({"a": 1.0}, "b")
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_color(capsys):
+    assert main(["color", "--graph", "rmat-er", "--scale-div", "256",
+                 "--method", "sequential"]) == 0
+    assert "sequential" in capsys.readouterr().out
+
+
+def test_cli_compare(capsys):
+    assert main(["compare", "--graph", "G3_circuit", "--scale-div", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "csrcolor" in out and "speedup" in out
+
+
+def test_cli_suite(capsys):
+    assert main(["suite", "--scale-div", "256"]) == 0
+    out = capsys.readouterr().out
+    for name in ("rmat-er", "thermal2", "Hamrle3"):
+        assert name in out
+
+
+def test_cli_sweep(capsys):
+    assert main(["sweep", "--graph", "rmat-er", "--scale-div", "256",
+                 "--method", "data-base"]) == 0
+    assert "block_size" in capsys.readouterr().out
+
+
+def test_cli_generate_and_reload(tmp_path, capsys):
+    out_path = tmp_path / "g.npz"
+    assert main(["generate", "--graph", "rmat-er", "--scale-div", "256",
+                 "--out", str(out_path)]) == 0
+    g = resolve_graph(str(out_path))
+    assert g.num_vertices == 4096
+
+
+def test_resolve_graph_errors():
+    with pytest.raises(SystemExit, match="unknown graph"):
+        resolve_graph("no-such-thing")
+
+
+def test_resolve_graph_mtx(tmp_path):
+    from repro.graph.generators import erdos_renyi
+    from repro.graph.io.matrix_market import write_matrix_market
+
+    g = erdos_renyi(50, 4.0, seed=1)
+    p = tmp_path / "g.mtx"
+    write_matrix_market(g, p)
+    back = resolve_graph(str(p))
+    assert back.num_vertices == 50
+
+
+def test_resolve_graph_edgelist(tmp_path):
+    p = tmp_path / "g.el"
+    p.write_text("0 1\n1 2\n")
+    assert resolve_graph(str(p)).num_undirected_edges == 2
+
+
+def test_cli_profile(capsys):
+    assert main(["profile", "--graph", "rmat-er", "--scale-div", "256",
+                 "--method", "data-ldg", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "dominant bound" in out and "device timeline" in out
+
+
+def test_cli_profile_cpu_scheme(capsys):
+    assert main(["profile", "--graph", "rmat-er", "--scale-div", "256",
+                 "--method", "sequential"]) == 0
+    assert "no simulated kernels" in capsys.readouterr().out
+
+
+def test_cli_verify_roundtrip(tmp_path, capsys):
+    from repro.coloring import color_graph
+    from repro.coloring.base import save_result
+    from repro.graph.generators import load_graph
+
+    g = load_graph("G3_circuit", scale_div=256)
+    res = color_graph(g, method="sequential")
+    path = tmp_path / "colors.npz"
+    save_result(res, path)
+    assert main(["verify", "--graph", "G3_circuit", "--scale-div", "256",
+                 "--colors", str(path)]) == 0
+    assert "OK" in capsys.readouterr().out

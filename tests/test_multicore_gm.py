@@ -1,0 +1,71 @@
+"""Multicore (OpenMP-model) GM pricing."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.gm import color_gm
+from repro.cpusim.model import MulticoreCPU
+
+
+def test_multicore_validates_params():
+    with pytest.raises(ValueError):
+        MulticoreCPU(cores=0)
+    with pytest.raises(ValueError):
+        MulticoreCPU(parallel_efficiency=0.0)
+    with pytest.raises(ValueError):
+        MulticoreCPU(parallel_efficiency=1.5)
+
+
+def test_multicore_region_cheaper_with_more_cores():
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 28, size=50_000) * 64
+    t = {}
+    for cores in (1, 4, 16):
+        cpu = MulticoreCPU(cores=cores)
+        cpu.run_parallel("r", instructions=1_000_000, addresses=addrs)
+        t[cores] = cpu.total_time_us()
+    assert t[1] > t[4] > t[16]
+    # sublinear: efficiency and barriers keep 16 cores under 16x
+    assert t[1] / t[16] < 16
+
+
+def test_gm_priced_only_with_cores(small_er):
+    ref = color_gm(small_er)
+    assert ref.cpu_time_us == 0.0
+    priced = color_gm(small_er, cores=4)
+    assert priced.cpu_time_us > 0.0
+    assert priced.scheme == "gm-4core"
+
+
+def test_gm_openmp_model_proper(small_er, small_mesh):
+    for g in (small_er, small_mesh):
+        for cores in (1, 3, 8):
+            color_gm(g, cores=cores).validate(g)
+
+
+def test_gm_single_core_is_sequential_semantics(small_er):
+    """One chunk, sequential commits: no conflicts, one round."""
+    r = color_gm(small_er, cores=1)
+    assert r.iterations == 1
+    from repro.coloring.sequential import greedy_colors_only
+
+    assert np.array_equal(r.colors, greedy_colors_only(small_er))
+
+
+def test_gm_more_cores_faster_at_scale():
+    """Parallelism wins once the work dwarfs barrier overheads (on a tiny
+    graph the extra rounds + barriers make more cores *slower* — also
+    correct, and covered by the priced-run tests above)."""
+    from repro.graph.generators import erdos_renyi
+
+    g = erdos_renyi(20_000, 10.0, seed=6)
+    t1 = color_gm(g, cores=1).total_time_us
+    t8 = color_gm(g, cores=8).total_time_us
+    assert t8 < t1
+
+
+def test_gm_conflicts_only_cross_chunk(small_er):
+    """With the OpenMP model, round-1 conflicts stay a small fraction."""
+    r = color_gm(small_er, cores=8)
+    assert r.iterations <= 10
+    assert r.num_colors <= small_er.max_degree + 1

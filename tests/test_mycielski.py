@@ -1,0 +1,56 @@
+"""Mycielski graphs: triangle-free, unbounded chromatic number."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import color_graph
+from repro.coloring.dsatur import chromatic_number, max_clique_lower_bound
+from repro.graph import mycielski_graph
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_chromatic_number_is_k(k):
+    assert chromatic_number(mycielski_graph(k)) == k
+
+
+def test_m3_is_c5():
+    g = mycielski_graph(3)
+    assert g.num_vertices == 5
+    assert g.num_undirected_edges == 5
+    assert np.all(g.degrees == 2)
+
+
+def test_m4_is_grotzsch():
+    g = mycielski_graph(4)
+    assert g.num_vertices == 11
+    assert g.num_undirected_edges == 20
+
+
+@pytest.mark.parametrize("k", [3, 4, 5])
+def test_triangle_free(k):
+    """Clique number stays 2 while chi grows — the Mycielski point."""
+    g = mycielski_graph(k)
+    # no triangle: for every edge (u,v), adj(u) and adj(v) are disjoint
+    for v in range(g.num_vertices):
+        nbrs = set(g.neighbors(v).tolist())
+        for w in g.neighbors(v):
+            assert not (nbrs & set(g.neighbors(int(w)).tolist())), (k, v, int(w))
+    assert max_clique_lower_bound(g) == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        mycielski_graph(1)
+
+
+@pytest.mark.parametrize("scheme", ["sequential", "dsatur", "topo-base", "data-base"])
+def test_heuristics_proper_on_mycielski(scheme):
+    g = mycielski_graph(5)
+    result = color_graph(g, method=scheme)  # validates
+    assert result.num_colors >= 5  # cannot beat chi
+
+
+def test_clique_bound_gap_demonstrated():
+    """The clique lower bound is provably loose here (gap k - 2)."""
+    g = mycielski_graph(5)
+    assert chromatic_number(g) - max_clique_lower_bound(g) == 3

@@ -1,0 +1,212 @@
+"""GPU primitives: scans, reductions, compaction, worklists, hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.device import Device
+from repro.primitives.compact import charge_compaction, compact_indices
+from repro.primitives.hashing import hash_family, murmur3_finalize, splitmix64
+from repro.primitives.reduce import block_reduce_cost, count_nonzero, device_reduce
+from repro.primitives.scan import (
+    blelloch_cost,
+    exclusive_scan,
+    hillis_steele_cost,
+    inclusive_scan,
+    segmented_exclusive_scan,
+)
+from repro.primitives.worklist import DoubleBufferedWorklist
+
+
+# -------------------------------------------------------------------- scan
+def test_exclusive_scan_basic():
+    assert list(exclusive_scan(np.array([3, 1, 7, 0, 4, 1, 6, 3]))) == [
+        0, 3, 4, 11, 11, 15, 16, 22,
+    ]
+
+
+def test_exclusive_scan_empty():
+    assert exclusive_scan(np.array([])).size == 0
+
+
+def test_inclusive_scan():
+    assert list(inclusive_scan(np.array([1, 2, 3]))) == [1, 3, 6]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 100), max_size=200))
+def test_exclusive_scan_matches_cumsum(values):
+    arr = np.asarray(values, dtype=np.int64)
+    out = exclusive_scan(arr)
+    expected = np.concatenate([[0], np.cumsum(arr)[:-1]]) if arr.size else out
+    assert np.array_equal(out, expected)
+
+
+def test_segmented_scan_restarts():
+    vals = np.array([1, 2, 3, 4, 5])
+    segs = np.array([0, 0, 1, 1, 1])
+    assert list(segmented_exclusive_scan(vals, segs)) == [0, 1, 0, 3, 7]
+
+
+def test_segmented_scan_validation():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        segmented_exclusive_scan(np.array([1, 2]), np.array([1, 0]))
+    with pytest.raises(ValueError, match="parallel"):
+        segmented_exclusive_scan(np.array([1]), np.array([0, 0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 20)), min_size=1, max_size=100))
+def test_segmented_scan_property(pairs):
+    pairs.sort(key=lambda p: p[0])
+    segs = np.array([p[0] for p in pairs])
+    vals = np.array([p[1] for p in pairs])
+    out = segmented_exclusive_scan(vals, segs)
+    # brute force
+    expected = np.zeros(len(pairs), dtype=np.int64)
+    for i in range(1, len(pairs)):
+        expected[i] = expected[i - 1] + vals[i - 1] if segs[i] == segs[i - 1] else 0
+    assert np.array_equal(out, expected)
+
+
+def test_scan_costs_shape():
+    b = blelloch_cost(128)
+    h = hillis_steele_cost(128)
+    assert b.barriers == 2  # CUB warp-shuffle hybrid
+    assert h.barriers == 7  # log2(128) steps
+    assert b.instructions_per_thread > 0
+    with pytest.raises(ValueError):
+        blelloch_cost(0)
+    with pytest.raises(ValueError):
+        hillis_steele_cost(-1)
+
+
+# ------------------------------------------------------------------ reduce
+def test_device_reduce_ops():
+    v = np.array([3, -1, 7, 2])
+    assert device_reduce(v, "sum") == 11
+    assert device_reduce(v, "max") == 7
+    assert device_reduce(v, "min") == -1
+    assert device_reduce(v, "any") is True
+    with pytest.raises(ValueError):
+        device_reduce(v, "mean")
+
+
+def test_count_nonzero():
+    assert count_nonzero(np.array([0, 1, 0, 2])) == 2
+
+
+def test_block_reduce_cost():
+    c = block_reduce_cost(256)
+    assert c.barriers == 8
+    with pytest.raises(ValueError):
+        block_reduce_cost(0)
+
+
+# ----------------------------------------------------------------- compact
+def test_compact_indices():
+    flags = np.array([True, False, True, True, False])
+    assert list(compact_indices(flags)) == [0, 2, 3]
+
+
+@pytest.mark.parametrize("use_scan", [True, False])
+def test_charge_compaction_functional(use_scan):
+    dev = Device()
+    tb = dev.builder(256, name="compact")
+    out = dev.alloc(256, np.int32)
+    tail = dev.alloc(1, np.int32, fill=0)
+    rng = np.random.default_rng(0)
+    flags = rng.random(256) < 0.3
+    selected = charge_compaction(tb, flags, out, tail, use_scan=use_scan)
+    assert np.array_equal(selected, np.flatnonzero(flags))
+    trace = tb.build()
+    if use_scan:
+        # one atomic per non-empty block (2 blocks of 128)
+        assert trace.atomic_addresses.size <= 2
+    else:
+        assert trace.atomic_addresses.size == int(flags.sum())
+
+
+def test_atomic_strategy_costs_more_atomics():
+    dev = Device()
+    flags = np.ones(512, dtype=bool)
+    out = dev.alloc(512, np.int32)
+    tail = dev.alloc(1, np.int32, fill=0)
+    tb_scan = dev.builder(512)
+    charge_compaction(tb_scan, flags, out, tail, use_scan=True)
+    tb_atomic = dev.builder(512)
+    charge_compaction(tb_atomic, flags, out, tail, use_scan=False)
+    assert (
+        tb_atomic.build().atomic_addresses.size
+        > 10 * tb_scan.build().atomic_addresses.size
+    )
+
+
+# ---------------------------------------------------------------- worklist
+def test_worklist_lifecycle():
+    dev = Device()
+    wl = DoubleBufferedWorklist(dev, capacity=16)
+    wl.initialize(np.array([3, 5, 7]))
+    assert len(wl) == 3
+    assert list(wl.items()) == [3, 5, 7]
+    wl.publish(np.array([5]))
+    wl.swap()
+    assert list(wl.items()) == [5]
+    wl.publish(np.empty(0, dtype=np.int64))
+    wl.swap()
+    assert len(wl) == 0
+
+
+def test_worklist_swap_is_pointer_swap():
+    dev = Device()
+    wl = DoubleBufferedWorklist(dev, capacity=8)
+    wl.initialize(np.array([1]))
+    in_before, out_before = wl.in_buffer, wl.out_buffer
+    wl.swap()
+    assert wl.in_buffer is out_before
+    assert wl.out_buffer is in_before
+
+
+def test_worklist_overflow():
+    dev = Device()
+    wl = DoubleBufferedWorklist(dev, capacity=2)
+    with pytest.raises(ValueError, match="overflow"):
+        wl.initialize(np.array([1, 2, 3]))
+    with pytest.raises(ValueError, match="overflow"):
+        wl.publish(np.array([1, 2, 3]))
+    with pytest.raises(ValueError, match="positive"):
+        DoubleBufferedWorklist(dev, capacity=0)
+
+
+# ----------------------------------------------------------------- hashing
+def test_murmur_deterministic_and_seed_sensitive():
+    x = np.arange(100, dtype=np.uint32)
+    a = murmur3_finalize(x, seed=1)
+    b = murmur3_finalize(x, seed=1)
+    c = murmur3_finalize(x, seed=2)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_murmur_avalanche_quality():
+    """Consecutive inputs should produce ~uniform high-bit distribution."""
+    h = murmur3_finalize(np.arange(10_000, dtype=np.uint32))
+    top_bit = (h >> 31).astype(np.float64)
+    assert 0.45 < top_bit.mean() < 0.55
+
+
+def test_splitmix64_mixes():
+    h = splitmix64(np.arange(1000, dtype=np.uint64))
+    assert np.unique(h).size == 1000
+
+
+def test_hash_family_shape_and_independence():
+    fam = hash_family(np.arange(500), 4, seed=3)
+    assert fam.shape == (4, 500)
+    # rows must differ (independent orderings)
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.array_equal(fam[i], fam[j])
+    with pytest.raises(ValueError):
+        hash_family(np.arange(5), 0)

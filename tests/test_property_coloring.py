@@ -1,0 +1,102 @@
+"""Property-based invariants over hypothesis-generated graphs.
+
+These are the deep guarantees of the library: on arbitrary simple graphs,
+every scheme terminates with a proper, complete coloring within the
+greedy bound, and the structural helpers agree with brute force.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.api import color_graph
+from repro.coloring.base import count_conflicts
+from repro.coloring.kernels import detect_conflicts, speculative_color_waved
+from repro.coloring.sequential import greedy_colors_only
+from repro.graph.builder import from_edges
+
+
+@st.composite
+def graphs(draw, max_n=40, max_m=120):
+    """Arbitrary simple symmetric graphs, including edge cases."""
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    u = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    v = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    return from_edges(
+        u.astype(np.int64) if m else np.empty(0, dtype=np.int64),
+        v.astype(np.int64) if m else np.empty(0, dtype=np.int64),
+        num_vertices=n,
+        name="hyp",
+    )
+
+
+SCHEMES = ["sequential", "gm", "jp", "topo-base", "data-base", "csrcolor", "3step-gm"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs())
+def test_scheme_proper_complete_bounded(scheme, graph):
+    result = color_graph(graph, method=scheme)  # validates internally
+    if scheme not in ("jp", "csrcolor"):
+        # greedy-family bound: max degree + 1 (+ slack for speculation races)
+        assert result.num_colors <= graph.max_degree + 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs())
+def test_sequential_greedy_bound_exact(graph):
+    colors = greedy_colors_only(graph)
+    assert count_conflicts(graph, colors) == 0
+    assert colors.max() <= graph.max_degree + 1
+    assert colors.min() >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs(), window=st.sampled_from([1, 2, 8, 64]))
+def test_waved_coloring_conflicts_only_within_window(graph, window):
+    """After one waved pass, all surviving conflicts are window-internal."""
+    colors = np.zeros(graph.num_vertices, dtype=np.int32)
+    active = np.arange(graph.num_vertices, dtype=np.int64)
+    speculative_color_waved(graph, colors, active, window)
+    losers = detect_conflicts(graph, colors, active)
+    # every conflicting edge joins two vertices of the same window chunk
+    u, v = graph.edge_endpoints()
+    clash = (colors[u] == colors[v]) & (u < v)
+    assert np.all(u[clash] // window == v[clash] // window)
+    # and window=1 is exactly sequential: never any conflict
+    if window == 1:
+        assert losers.size == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs(max_n=25, max_m=60))
+def test_speculation_matches_greedy_quality_band(graph):
+    """Parallel speculation stays within a small band of greedy quality."""
+    seq = int(greedy_colors_only(graph).max())
+    topo = color_graph(graph, method="topo-base").num_colors
+    assert topo <= seq + 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs(max_n=30))
+def test_csrcolor_color_classes_independent(graph):
+    result = color_graph(graph, method="csrcolor")
+    u, v = graph.edge_endpoints()
+    assert not np.any((result.colors[u] == result.colors[v]) & (u < v))
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=graphs(max_n=30, max_m=80))
+def test_gm_and_topo_agree_with_each_other(graph):
+    """Alg. 2 and Alg. 4 share semantics; both must satisfy the same
+    invariants (not necessarily identical colors — visibility differs)."""
+    gm = color_graph(graph, method="gm")
+    topo = color_graph(graph, method="topo-base")
+    assert abs(gm.num_colors - topo.num_colors) <= 3

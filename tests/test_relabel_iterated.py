@@ -1,0 +1,123 @@
+"""Relabeling (BFS/RCM) and Culberson iterated-greedy extensions."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import color_graph, count_conflicts, iterated_greedy
+from repro.coloring.sequential import greedy_colors_only
+from repro.graph import bandwidth, bfs_order, rcm_order, relabel
+from repro.graph.builder import complete_graph, cycle_graph, path_graph
+from repro.graph.generators import erdos_renyi, grid2d
+
+
+# ----------------------------------------------------------------- relabel
+def test_bfs_order_is_permutation(small_er):
+    order = bfs_order(small_er)
+    assert np.array_equal(np.sort(order), np.arange(small_er.num_vertices))
+
+
+def test_bfs_order_visits_components():
+    from repro.graph.builder import from_edges
+
+    # two disjoint triangles
+    g = from_edges([0, 0, 1, 3, 3, 4], [1, 2, 2, 4, 5, 5], num_vertices=6)
+    order = bfs_order(g)
+    assert np.array_equal(np.sort(order), np.arange(6))
+    first_three = set(order[:3].tolist())
+    assert first_three in ({0, 1, 2}, {3, 4, 5})  # one whole component first
+
+
+def test_bfs_neighbors_are_near():
+    g = path_graph(100)
+    order = bfs_order(g, start=0)
+    assert np.array_equal(order, np.arange(100))  # path BFS = natural order
+
+
+def test_rcm_reduces_bandwidth_of_shuffled_grid():
+    g = grid2d(20, 20)
+    rng = np.random.default_rng(1)
+    shuffled = relabel(g, rng.permutation(g.num_vertices))
+    assert bandwidth(shuffled) > bandwidth(g)
+    recovered = relabel(shuffled, rcm_order(shuffled))
+    assert bandwidth(recovered) < 0.1 * bandwidth(shuffled)
+
+
+def test_relabel_preserves_structure(small_er):
+    rng = np.random.default_rng(2)
+    perm = rng.permutation(small_er.num_vertices)
+    new = relabel(small_er, perm)
+    assert new.num_edges == small_er.num_edges
+    assert sorted(new.degrees.tolist()) == sorted(small_er.degrees.tolist())
+    new.validate()
+
+
+def test_relabel_color_mapping(small_er):
+    """colors_new[new_id[v]] is a proper coloring of the original graph."""
+    perm = np.random.default_rng(3).permutation(small_er.num_vertices)
+    new = relabel(small_er, perm)
+    result = color_graph(new, method="sequential")
+    colors_old = np.empty_like(result.colors)
+    colors_old[perm] = result.colors  # order[i] became vertex i
+    assert count_conflicts(small_er, colors_old) == 0
+
+
+def test_relabel_rejects_non_permutation(c6):
+    with pytest.raises(ValueError, match="permutation"):
+        relabel(c6, np.array([0, 1, 2, 3, 4, 4]))
+
+
+def test_bandwidth_values():
+    assert bandwidth(path_graph(10)) == 1
+    assert bandwidth(cycle_graph(10)) == 9
+    from repro.graph.builder import empty_graph
+
+    assert bandwidth(empty_graph(5)) == 0
+
+
+# --------------------------------------------------------- iterated greedy
+def test_iterated_greedy_never_worse(small_er):
+    base = int(greedy_colors_only(small_er).max())
+    result = iterated_greedy(small_er, iterations=6)
+    result.validate(small_er)
+    assert result.num_colors <= base
+
+
+def test_iterated_greedy_monotone_history(small_rmat):
+    result = iterated_greedy(small_rmat, iterations=10)
+    hist = result.extra["color_history"]
+    assert all(b <= a for a, b in zip(hist, hist[1:]))
+
+
+def test_iterated_greedy_improves_bad_start():
+    """A deliberately wasteful proper coloring collapses to near-optimal."""
+    g = cycle_graph(30)
+    bad = np.arange(1, 31, dtype=np.int32)  # 30 distinct colors, proper
+    result = iterated_greedy(g, initial=bad, iterations=6)
+    result.validate(g)
+    assert result.num_colors <= 3
+
+
+def test_iterated_greedy_polishes_gpu_result(small_rmat):
+    gpu = color_graph(small_rmat, method="data-base")
+    polished = iterated_greedy(small_rmat, initial=gpu.colors, iterations=6)
+    polished.validate(small_rmat)
+    assert polished.num_colors <= gpu.num_colors
+
+
+def test_iterated_greedy_complete_graph_stable():
+    g = complete_graph(6)
+    result = iterated_greedy(g, iterations=4)
+    assert result.num_colors == 6  # chromatic optimum cannot improve
+
+
+def test_iterated_greedy_validation():
+    g = cycle_graph(4)
+    with pytest.raises(ValueError, match="non-negative"):
+        iterated_greedy(g, iterations=-1)
+    with pytest.raises(ValueError, match="one entry per vertex"):
+        iterated_greedy(g, initial=np.array([1, 2], dtype=np.int32))
+
+
+def test_iterated_greedy_via_api(small_er):
+    result = color_graph(small_er, method="iterated-greedy", iterations=4)
+    assert result.scheme == "iterated-greedy"

@@ -1,0 +1,115 @@
+"""Property-based invariants of the GPU timing model.
+
+The timing model must respond *monotonically* to its physical inputs —
+more work never takes less time, better caches never hurt, more
+parallelism never slows a latency-bound kernel.  Violations here mean a
+benchmark conclusion could be a model artifact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.base import load_result, save_result
+from repro.gpusim.config import KEPLER_K20C, LaunchConfig
+from repro.gpusim.timing import price_kernel
+from repro.gpusim.trace import TraceBuilder
+
+
+def gather_trace(
+    num_threads: int,
+    lines_per_thread: int,
+    footprint_lines: int,
+    *,
+    block_size: int = 128,
+    seed: int = 0,
+    instr: int = 10,
+):
+    rng = np.random.default_rng(seed)
+    tb = TraceBuilder(KEPLER_K20C, LaunchConfig(block_size=block_size), num_threads)
+    threads = np.arange(num_threads, dtype=np.int64)
+    for step in range(lines_per_thread):
+        addrs = rng.integers(0, max(footprint_lines, 1), size=num_threads) * 128
+        tb.load(threads, addrs, step=step)
+    tb.instructions(threads, instr)
+    return tb.build()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    threads=st.sampled_from([256, 1024, 4096]),
+    lines=st.integers(1, 6),
+    footprint=st.sampled_from([64, 4096, 1 << 18]),
+)
+def test_more_memory_work_never_faster(threads, lines, footprint):
+    small = price_kernel(gather_trace(threads, lines, footprint), KEPLER_K20C)
+    big = price_kernel(gather_trace(threads, lines + 2, footprint), KEPLER_K20C)
+    assert big.cycles >= small.cycles * 0.999
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    threads=st.sampled_from([512, 2048]),
+    lines=st.integers(1, 5),
+)
+def test_smaller_footprint_never_slower(threads, lines):
+    """Better cache behavior (same access count) can only help."""
+    hot = price_kernel(gather_trace(threads, lines, 64, seed=3), KEPLER_K20C)
+    cold = price_kernel(gather_trace(threads, lines, 1 << 20, seed=3), KEPLER_K20C)
+    assert hot.cycles <= cold.cycles * 1.001
+
+
+@settings(max_examples=15, deadline=None)
+@given(instr=st.sampled_from([1, 100, 10_000]))
+def test_compute_scales_with_instructions(instr):
+    a = price_kernel(gather_trace(1024, 1, 64, instr=instr), KEPLER_K20C)
+    b = price_kernel(gather_trace(1024, 1, 64, instr=instr * 2), KEPLER_K20C)
+    assert b.terms["compute"] >= a.terms["compute"] * 1.5
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_pricing_deterministic(seed):
+    trace = gather_trace(1024, 3, 4096, seed=seed)
+    a = price_kernel(trace, KEPLER_K20C, seed=7)
+    b = price_kernel(trace, KEPLER_K20C, seed=7)
+    assert a.cycles == b.cycles
+    assert a.stalls == b.stalls
+
+
+def test_terms_nonnegative_and_bounded():
+    p = price_kernel(gather_trace(2048, 4, 1 << 16), KEPLER_K20C)
+    assert all(v >= 0 for v in p.terms.values())
+    assert p.cycles >= max(
+        p.terms["compute"], p.terms["memory_latency"],
+        p.terms["memory_bandwidth"], p.terms["atomic"],
+    )
+
+
+def test_device_with_more_bandwidth_never_slower():
+    trace = gather_trace(65536, 4, 1 << 20)
+    base = price_kernel(trace, KEPLER_K20C)
+    fat = price_kernel(trace, KEPLER_K20C.with_(dram_bandwidth_gbs=400.0))
+    assert fat.cycles <= base.cycles * 1.001
+
+
+def test_device_with_bigger_l2_never_slower():
+    trace = gather_trace(8192, 4, 20_000)  # footprint ~2x K20c L2
+    base = price_kernel(trace, KEPLER_K20C)
+    big = price_kernel(trace, KEPLER_K20C.with_(l2_cache_bytes=8 * 1280 * 1024))
+    assert big.cycles <= base.cycles * 1.001
+
+
+# --------------------------------------------------- result serialization
+def test_result_roundtrip(tmp_path, small_er):
+    from repro.coloring import color_graph
+
+    result = color_graph(small_er, method="data-ldg")
+    path = tmp_path / "res.npz"
+    save_result(result, path)
+    back = load_result(path)
+    assert np.array_equal(back.colors, result.colors)
+    assert back.scheme == result.scheme
+    assert back.total_time_us == pytest.approx(result.total_time_us)
+    back.validate(small_er)

@@ -1,0 +1,132 @@
+"""Traversal utilities (components, cores, degeneracy) and line graphs."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import color_graph, greedy_colors_only
+from repro.coloring.ordering import smallest_degree_last
+from repro.graph import (
+    connected_components,
+    core_numbers,
+    degeneracy,
+    edge_coloring_from_line_colors,
+    edge_list,
+    is_connected,
+    line_graph,
+    num_connected_components,
+)
+from repro.graph.builder import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi, grid2d
+
+
+# ------------------------------------------------------------- components
+def test_components_connected(c6):
+    assert num_connected_components(c6) == 1
+    assert is_connected(c6)
+
+
+def test_components_disconnected():
+    g = from_edges([0, 3], [1, 4], num_vertices=6)
+    comp = connected_components(g)
+    assert num_connected_components(g) == 4  # {0,1}, {3,4}, {2}, {5}
+    assert comp[0] == comp[1]
+    assert comp[3] == comp[4]
+    assert comp[2] != comp[0] and comp[5] != comp[3]
+
+
+def test_components_empty():
+    assert num_connected_components(empty_graph(0)) == 0
+    assert num_connected_components(empty_graph(4)) == 4
+
+
+def test_components_match_networkx(small_er):
+    import networkx as nx
+
+    ours = num_connected_components(small_er)
+    theirs = nx.number_connected_components(small_er.to_networkx())
+    assert ours == theirs
+
+
+# ------------------------------------------------------------------ cores
+def test_core_numbers_clique():
+    assert degeneracy(complete_graph(6)) == 5
+    assert np.all(core_numbers(complete_graph(6)) == 5)
+
+
+def test_core_numbers_tree_is_one():
+    assert degeneracy(star_graph(10)) == 1
+    assert degeneracy(path_graph(10)) == 1
+
+
+def test_core_numbers_cycle_is_two():
+    assert degeneracy(cycle_graph(12)) == 2
+
+
+def test_core_numbers_match_networkx(small_er):
+    import networkx as nx
+
+    ours = core_numbers(small_er)
+    theirs = nx.core_number(small_er.to_networkx())
+    assert all(int(ours[v]) == c for v, c in theirs.items())
+
+
+def test_degeneracy_bounds_sl_coloring(small_er):
+    """The theory behind smallest-last: greedy over SL order uses at most
+    degeneracy + 1 colors."""
+    order = smallest_degree_last(small_er)
+    colors = greedy_colors_only(small_er, order)
+    assert int(colors.max()) <= degeneracy(small_er) + 1
+
+
+# -------------------------------------------------------------- line graph
+def test_line_graph_triangle_is_triangle():
+    lg, edges = line_graph(complete_graph(3))
+    assert lg.num_vertices == 3
+    assert lg.num_undirected_edges == 3
+
+
+def test_line_graph_star_is_clique():
+    lg, _ = line_graph(star_graph(5))
+    assert lg.num_vertices == 5
+    assert lg.num_undirected_edges == 10  # K5
+
+
+def test_line_graph_path():
+    lg, _ = line_graph(path_graph(5))
+    assert lg.num_vertices == 4
+    assert lg.num_undirected_edges == 3  # itself a path
+
+
+def test_line_graph_empty():
+    lg, edges = line_graph(empty_graph(3))
+    assert lg.num_vertices == 0 and edges.shape[0] == 0
+
+
+def test_edge_coloring_via_line_graph(small_mesh):
+    lg, edges = line_graph(small_mesh)
+    result = color_graph(lg, method="sequential")
+    edge_coloring_from_line_colors(small_mesh, edges, result.colors)
+    # greedy bound on L(G): 2*maxdeg(G) - 1
+    assert result.num_colors <= 2 * small_mesh.max_degree - 1
+
+
+def test_edge_coloring_vizing_lower_bound():
+    g = erdos_renyi(100, 6.0, seed=4)
+    lg, edges = line_graph(g)
+    result = color_graph(lg, method="data-base")
+    edge_coloring_from_line_colors(g, edges, result.colors)
+    assert result.num_colors >= g.max_degree  # chromatic index >= Delta
+
+
+def test_edge_coloring_detects_violation():
+    g = path_graph(3)  # two incident edges
+    _, edges = line_graph(g)
+    with pytest.raises(AssertionError):
+        edge_coloring_from_line_colors(g, edges, np.array([1, 1], dtype=np.int32))
