@@ -5,7 +5,6 @@ algorithm-level choices so a user can see what each one buys.
 """
 
 import numpy as np
-import pytest
 
 from repro.coloring.api import color_graph
 from repro.coloring.sequential import greedy_sequential

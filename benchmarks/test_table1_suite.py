@@ -5,7 +5,6 @@ that each graph lands in the paper's structural regime (scaled vertex
 count, average degree, degree-variance ordering).
 """
 
-import pytest
 
 from repro.graph.generators.suite import SUITE
 from repro.graph.stats import compute_stats

@@ -19,13 +19,16 @@ import argparse
 import sys
 from pathlib import Path
 
-from .coloring.api import EVALUATED_SCHEMES, METHODS, color_graph
+from .coloring.api import ENGINE_RECIPES, EVALUATED_SCHEMES, METHODS, color_graph
 from .graph.csr import CSRGraph
 from .graph.generators.suite import SUITE, load_graph
 from .graph.stats import compute_stats
 from .metrics.table import format_table
 
 __all__ = ["main", "resolve_graph"]
+
+#: Suffixes parsed as whitespace-separated edge lists.
+_EDGELIST_SUFFIXES = (".el", ".txt", ".edges", ".edgelist", ".tsv")
 
 
 def resolve_graph(spec: str, *, scale_div: int | None = None) -> CSRGraph:
@@ -46,9 +49,15 @@ def resolve_graph(spec: str, *, scale_div: int | None = None) -> CSRGraph:
         from .graph.io.matrix_market import read_matrix_market
 
         return read_matrix_market(path)
-    from .graph.io.edgelist import read_edgelist
+    if path.suffix in _EDGELIST_SUFFIXES:
+        from .graph.io.edgelist import read_edgelist
 
-    return read_edgelist(path)
+        return read_edgelist(path)
+    raise SystemExit(
+        f"cannot read {spec!r}: unrecognized extension {path.suffix!r}. "
+        f"Supported formats: .npz (save_npz cache), .mtx/.gz (MatrixMarket), "
+        f"edge list ({', '.join(_EDGELIST_SUFFIXES)})"
+    )
 
 
 def _cmd_color(args) -> int:
@@ -56,8 +65,53 @@ def _cmd_color(args) -> int:
     kwargs = {}
     if args.method not in ("sequential", "gm", "jp", "jp-lf", "balanced-greedy"):
         kwargs["block_size"] = args.block_size  # CPU schemes take no launch config
+    if args.backend != "gpusim":
+        if args.method not in ENGINE_RECIPES:
+            raise SystemExit(
+                f"--backend applies to device schemes only "
+                f"({', '.join(sorted(ENGINE_RECIPES))}), not {args.method!r}"
+            )
+        kwargs["backend"] = args.backend
     result = color_graph(graph, method=args.method, **kwargs)
     print(result.summary())
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from .engine import ExecutionContext
+
+    ctx = ExecutionContext(backend=args.backend)
+    resolved: dict[str, CSRGraph] = {}  # repeat specs share one object/upload
+    for spec in args.graphs:
+        if spec not in resolved:
+            resolved[spec] = resolve_graph(spec, scale_div=args.scale_div)
+    graphs = [resolved[spec] for spec in args.graphs]
+    results = ctx.color_many(graphs, method=args.method, block_size=args.block_size)
+    rows = [
+        [
+            g.name,
+            r.num_colors,
+            r.iterations,
+            round(r.total_time_us, 1),
+        ]
+        for g, r in zip(graphs, results)
+    ]
+    print(
+        format_table(
+            ["graph", "colors", "iters", "sim_us"],
+            rows,
+            title=f"batch: {args.method} on {len(graphs)} graphs ({ctx.backend.name})",
+        )
+    )
+    pool = getattr(ctx.backend, "device", None)
+    print(
+        f"uploads: {ctx.uploads} (reused {ctx.upload_reuses})"
+        + (
+            f"; buffer pool: {pool.pool_hits} hits / {pool.pool_misses} misses"
+            if pool is not None
+            else ""
+        )
+    )
     return 0
 
 
@@ -194,7 +248,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", required=True)
     p.add_argument("--method", default="data-ldg", choices=sorted(METHODS))
     p.add_argument("--block-size", type=int, default=128)
+    p.add_argument(
+        "--backend", default="gpusim", choices=("gpusim", "cpusim"),
+        help="execution substrate for device schemes (default: gpusim)",
+    )
     p.set_defaults(fn=_cmd_color)
+
+    p = sub.add_parser(
+        "batch", parents=[common],
+        help="color several graphs through one execution context "
+        "(uploads cached, buffers pooled)",
+    )
+    p.add_argument("--graphs", required=True, nargs="+")
+    p.add_argument("--method", default="data-ldg", choices=sorted(ENGINE_RECIPES))
+    p.add_argument("--block-size", type=int, default=128)
+    p.add_argument("--backend", default="gpusim", choices=("gpusim", "cpusim"))
+    p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("compare", parents=[common], help="run all evaluated schemes on one graph")
     p.add_argument("--graph", required=True)

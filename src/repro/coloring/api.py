@@ -22,18 +22,25 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..engine.runner import SchemeRecipe
 from ..graph.csr import CSRGraph
 from .balance import balanced_greedy
 from .base import ColoringResult
-from .csrcolor import color_csrcolor
-from .datadriven import color_data_driven
+from .csrcolor import CsrColorRecipe, color_csrcolor
+from .datadriven import DataDrivenRecipe, color_data_driven
 from .gm import color_gm
-from .grosset import color_three_step_gm
+from .grosset import ThreeStepGMRecipe, color_three_step_gm
 from .jp import color_jp, color_jp_lf
 from .sequential import greedy_sequential
-from .topo import color_topology_driven
+from .topo import TopologyRecipe, color_topology_driven
 
-__all__ = ["color_graph", "METHODS", "EVALUATED_SCHEMES"]
+__all__ = [
+    "color_graph",
+    "make_recipe",
+    "METHODS",
+    "ENGINE_RECIPES",
+    "EVALUATED_SCHEMES",
+]
 
 #: The seven schemes of the paper's evaluation (Section IV), in figure order.
 EVALUATED_SCHEMES: tuple[str, ...] = (
@@ -72,12 +79,38 @@ METHODS: dict[str, Callable[..., ColoringResult]] = {
     ),
 }
 
+#: Device-backed schemes expressed as engine recipes — the methods an
+#: :class:`~repro.engine.context.ExecutionContext` (and its batched
+#: ``color_many``) can run with cached uploads and pooled buffers.
+ENGINE_RECIPES: dict[str, Callable[..., SchemeRecipe]] = {
+    "3step-gm": ThreeStepGMRecipe,
+    "topo-base": lambda **kw: TopologyRecipe(use_ldg=False, **kw),
+    "topo-ldg": lambda **kw: TopologyRecipe(use_ldg=True, **kw),
+    "data-base": lambda **kw: DataDrivenRecipe(use_ldg=False, **kw),
+    "data-ldg": lambda **kw: DataDrivenRecipe(use_ldg=True, **kw),
+    "data-lb": lambda **kw: DataDrivenRecipe(use_ldg=False, load_balance=True, **kw),
+    "data-ldg-lb": lambda **kw: DataDrivenRecipe(use_ldg=True, load_balance=True, **kw),
+    "csrcolor": CsrColorRecipe,
+}
+
+
+def make_recipe(method: str, **kwargs) -> SchemeRecipe:
+    """Build the engine recipe for a device-backed method name."""
+    if method not in ENGINE_RECIPES:
+        raise ValueError(
+            f"method {method!r} is not a device scheme recipe; "
+            f"choose from {sorted(ENGINE_RECIPES)}"
+        )
+    return ENGINE_RECIPES[method](**kwargs)
+
 
 def color_graph(
     graph: CSRGraph,
     method: str = "data-ldg",
     *,
     validate: bool = True,
+    backend=None,
+    context=None,
     **kwargs,
 ) -> ColoringResult:
     """Color ``graph`` with the named scheme.
@@ -93,6 +126,13 @@ def color_graph(
     validate:
         Verify properness/completeness before returning (cheap; disable
         only in tight benchmark loops that verify separately).
+    backend:
+        Execution substrate for device schemes: ``"gpusim"`` (default),
+        ``"cpusim"``, or a backend/device instance.  Host-side methods
+        (``sequential``, ``jp``, ...) reject it.
+    context:
+        A shared :class:`~repro.engine.context.ExecutionContext` — reuses
+        cached graph uploads and pooled buffers across calls.
     **kwargs:
         Scheme-specific options, e.g. ``block_size=256``,
         ``worklist_strategy='atomic'``, ``num_hashes=4``,
@@ -105,6 +145,15 @@ def color_graph(
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(METHODS)}")
+    if context is not None:
+        return context.run(graph, method, validate=validate, **kwargs)
+    if backend is not None:
+        if method not in ENGINE_RECIPES:
+            raise ValueError(
+                f"method {method!r} runs on the host and takes no backend; "
+                f"backends apply to {sorted(ENGINE_RECIPES)}"
+            )
+        kwargs["backend"] = backend
     result = METHODS[method](graph, **kwargs)
     if validate:
         result.validate(graph)

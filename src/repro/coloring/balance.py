@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from .base import COLOR_DTYPE, ColoringResult, color_class_sizes
+from .base import COLOR_DTYPE, ColoringResult
 
 __all__ = ["balanced_greedy", "rebalance_colors"]
 

@@ -15,23 +15,24 @@ Kernel cost model: cuSPARSE relaunches full-range (topology-driven)
 kernels; per edge the kernel loads ``C[e]`` and the neighbor's color (to
 skip inactive neighbors) and mixes the neighbor id through the hash
 functions — register arithmetic with flag-based early exit, charged as a
-constant instruction count per trip.
+constant instruction count per trip.  The election loop runs on the
+shared engine (:class:`CsrColorRecipe`); the ``fraction`` fast path is the
+recipe's ``post_round`` hook.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.runner import RoundStatus, SchemeOutcome, SchemeRecipe, run_scheme
 from ..gpusim.config import LaunchConfig
-from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
 from ..primitives.hashing import murmur3_finalize
 from .base import COLOR_DTYPE, ColoringResult
-from .kernels import expand_segments, upload_graph
+from .kernels import expand_segments
 
-__all__ = ["color_csrcolor", "multi_hash_round"]
+__all__ = ["CsrColorRecipe", "color_csrcolor", "multi_hash_round"]
 
-_MAX_ITERATIONS = 10_000
 _INSTR_PER_EDGE = 8  # id mix + flag updates (early exit amortizes the N hashes)
 _INSTR_PER_VERTEX = 10
 _INSTR_PER_HASH = 6  # own-id hash evaluation
@@ -92,51 +93,53 @@ def multi_hash_round(
     return active_ids[winners], best_slot[winners]
 
 
-def color_csrcolor(
-    graph: CSRGraph,
-    *,
-    num_hashes: int = 3,
-    block_size: int = 128,
-    device: Device | None = None,
-    seed: int = 0,
-    compare_all: bool = True,
-    fraction: float = 1.0,
-) -> ColoringResult:
-    """Run the multi-hash MIS scheme on the simulated device.
+class CsrColorRecipe(SchemeRecipe):
+    """csrcolor as an engine recipe: one election kernel per round."""
 
-    Defaults (3 hashes/round, compare against all neighbors) are calibrated
-    so color inflation and runtime track the paper's csrcolor measurements;
-    both are exposed for the csrcolor ablation benchmark.
+    scheme = "csrcolor"
 
-    ``fraction`` mirrors cuSPARSE's ``fractionToColor``: once at least that
-    fraction of the vertices is colored, the election rounds stop and every
-    straggler takes a fresh unique color in one final kernel — the fast
-    path cuSPARSE uses to avoid grinding down the hub tail.
-    """
-    if num_hashes < 1:
-        raise ValueError("num_hashes must be >= 1")
-    if not 0.0 < fraction <= 1.0:
-        raise ValueError("fraction must be in (0, 1]")
-    device = device or Device()
-    launch = LaunchConfig(block_size=block_size)
-    n = graph.num_vertices
-    bufs = upload_graph(device, graph)
-    colors = bufs.colors.data
-    all_ids = np.arange(n, dtype=np.int64)
+    def __init__(
+        self,
+        *,
+        num_hashes: int = 3,
+        block_size: int = 128,
+        seed: int = 0,
+        compare_all: bool = True,
+        fraction: float = 1.0,
+    ) -> None:
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.num_hashes = num_hashes
+        self.block_size = block_size
+        self.seed = seed
+        self.compare_all = compare_all
+        self.fraction = fraction
 
-    base = 0
-    iterations = 0
-    profiles = []
-    active = all_ids
-    while active.size:
-        if iterations >= _MAX_ITERATIONS:
-            raise RuntimeError("csrcolor failed to converge")
+    def setup(self, ex, graph, bufs) -> None:
+        self.ex = ex
+        self.graph = graph
+        self.bufs = bufs
+        self.launch = LaunchConfig(block_size=self.block_size)
+        self.colors = bufs.colors.data
+        self.active = np.arange(graph.num_vertices, dtype=np.int64)
+        self.base = 0
+
+    def has_work(self) -> bool:
+        return self.active.size > 0
+
+    def round(self, iteration: int) -> RoundStatus:
+        ex, graph, bufs = self.ex, self.graph, self.bufs
+        n = graph.num_vertices
+        active = self.active
         winners, slots = multi_hash_round(
-            graph, active, num_hashes, seed + iterations + 1, compare_all=compare_all
+            graph, active, self.num_hashes, self.seed + iteration + 1,
+            compare_all=self.compare_all,
         )
 
         # --- kernel charge: full-range launch, actives do the edge loop ---
-        tb = device.builder(n, launch, name=f"csrcolor-{iterations}")
+        tb = ex.builder(n, self.launch, name=f"csrcolor-{iteration}")
         seg, step, edge_idx = expand_segments(graph, active)
         t_of_edge = active[seg]
         tb.load(active, bufs.R.addr(active))
@@ -148,48 +151,83 @@ def color_csrcolor(
             tb.store(winners, bufs.colors.addr(winners))
         trips = graph.degrees[active].astype(np.int64)
         tb.instructions(active, trips * _INSTR_PER_EDGE)
-        tb.instructions(active, _INSTR_PER_VERTEX + _INSTR_PER_HASH * num_hashes)
+        tb.instructions(active, _INSTR_PER_VERTEX + _INSTR_PER_HASH * self.num_hashes)
         tb.uniform_overhead(_INSTR_IDLE_THREAD)
         tb.activate(active.size)
 
-        colors[winners] = base + slots + 1
-        base += 2 * num_hashes
-        profiles.append(device.commit(tb))
-        device.dtoh(4)  # remaining-count readback
+        self.colors[winners] = self.base + slots + 1
+        self.base += 2 * self.num_hashes
+        self.profiles.append(ex.commit(tb))
+        # (The engine charges the remaining-count readback.)
 
-        active = active[colors[active] == 0]
-        iterations += 1
+        self.active = active[self.colors[active] == 0]
+        return RoundStatus(active=int(active.size), conflicts=int(self.active.size))
 
+    def post_round(self, iteration: int) -> int:
         # Fraction fast path: uniquely color the stragglers and stop.
-        if active.size and active.size <= (1.0 - fraction) * n:
-            tb = device.builder(n, launch, name=f"csrcolor-tail-{iterations}")
-            tb.load(active, bufs.colors.addr(active))
-            tb.store(active, bufs.colors.addr(active))
-            tb.instructions(active, 6)
-            tb.uniform_overhead(_INSTR_IDLE_THREAD)
-            tb.activate(active.size)
-            colors[active] = base + np.arange(active.size, dtype=np.int64) + 1
-            profiles.append(device.commit(tb))
-            iterations += 1
-            active = active[:0]
+        ex, graph, bufs = self.ex, self.graph, self.bufs
+        active = self.active
+        n = graph.num_vertices
+        if not (active.size and active.size <= (1.0 - self.fraction) * n):
+            return 0
+        tb = ex.builder(n, self.launch, name=f"csrcolor-tail-{iteration}")
+        tb.load(active, bufs.colors.addr(active))
+        tb.store(active, bufs.colors.addr(active))
+        tb.instructions(active, 6)
+        tb.uniform_overhead(_INSTR_IDLE_THREAD)
+        tb.activate(active.size)
+        self.colors[active] = self.base + np.arange(active.size, dtype=np.int64) + 1
+        self.profiles.append(ex.commit(tb))
+        self.active = active[:0]
+        return 1
 
-    result_extra = {"num_hashes": num_hashes, "block_size": block_size,
-                    "compare_all": compare_all, "fraction": fraction}
+    def finalize(self) -> SchemeOutcome:
+        # cuSPARSE renumbers colors densely before returning (used slots only).
+        used = np.unique(self.colors)
+        remap = np.zeros(int(used.max()) + 1, dtype=COLOR_DTYPE)
+        remap[used] = np.arange(1, used.size + 1, dtype=COLOR_DTYPE)
+        return SchemeOutcome(
+            colors=remap[self.colors],
+            extra={
+                "num_hashes": self.num_hashes,
+                "block_size": self.block_size,
+                "compare_all": self.compare_all,
+                "fraction": self.fraction,
+            },
+        )
 
-    # cuSPARSE renumbers colors densely before returning (used slots only).
-    used = np.unique(colors)
-    remap = np.zeros(int(used.max()) + 1, dtype=COLOR_DTYPE)
-    remap[used] = np.arange(1, used.size + 1, dtype=COLOR_DTYPE)
-    dense = remap[colors]
+    def uncolored(self) -> int:
+        return int(self.active.size)
 
-    return ColoringResult(
-        colors=dense,
-        scheme="csrcolor",
-        iterations=iterations,
-        gpu_time_us=device.timeline.kernel_time_us()
-        + device.timeline.launch_overhead_us(device.config),
-        transfer_time_us=device.timeline.transfer_time_us(),
-        num_kernel_launches=device.timeline.num_launches(),
-        profiles=profiles,
-        extra=result_extra,
+
+def color_csrcolor(
+    graph: CSRGraph,
+    *,
+    num_hashes: int = 3,
+    block_size: int = 128,
+    device=None,
+    backend=None,
+    context=None,
+    seed: int = 0,
+    compare_all: bool = True,
+    fraction: float = 1.0,
+) -> ColoringResult:
+    """Run the multi-hash MIS scheme through the execution engine.
+
+    Defaults (3 hashes/round, compare against all neighbors) are calibrated
+    so color inflation and runtime track the paper's csrcolor measurements;
+    both are exposed for the csrcolor ablation benchmark.
+
+    ``fraction`` mirrors cuSPARSE's ``fractionToColor``: once at least that
+    fraction of the vertices is colored, the election rounds stop and every
+    straggler takes a fresh unique color in one final kernel — the fast
+    path cuSPARSE uses to avoid grinding down the hub tail.
+    """
+    recipe = CsrColorRecipe(
+        num_hashes=num_hashes,
+        block_size=block_size,
+        seed=seed,
+        compare_all=compare_all,
+        fraction=fraction,
     )
+    return run_scheme(graph, recipe, device=device, backend=backend, context=context)

@@ -8,15 +8,18 @@ with a block-level prefix sum plus one global ``atomicAdd`` per block
 instead of one per pushed vertex.
 
 Double buffering (Nasre et al.): ``W_in``/``W_out`` swap by pointer at the
-end of every round — no copying.
+end of every round — no copying.  The round loop lives in
+:mod:`repro.engine`; :class:`DataDrivenRecipe` declares one round's
+kernels and swaps the worklist in its ``post_round`` hook (after the
+engine's tail-counter readback, exactly where the CUDA host code swaps).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.runner import RoundStatus, SchemeOutcome, SchemeRecipe, run_scheme
 from ..gpusim.config import LaunchConfig
-from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
 from ..primitives.compact import charge_compaction
 from ..primitives.worklist import DoubleBufferedWorklist
@@ -26,15 +29,119 @@ from .kernels import (
     charge_color_kernel_lb,
     charge_conflict_kernel,
     detect_conflicts,
-    race_window_threads,
     speculative_color_waved,
-    upload_graph,
     warp_lb_layout,
 )
 
-__all__ = ["color_data_driven"]
+__all__ = ["DataDrivenRecipe", "color_data_driven"]
 
-_MAX_ITERATIONS = 10_000
+
+class DataDrivenRecipe(SchemeRecipe):
+    """Alg. 5 as an engine recipe: worklist-sized kernels plus compaction."""
+
+    def __init__(
+        self,
+        *,
+        use_ldg: bool = False,
+        block_size: int = 128,
+        worklist_strategy: str = "scan",
+        load_balance: bool = False,
+    ) -> None:
+        if worklist_strategy not in ("scan", "atomic"):
+            raise ValueError("worklist_strategy must be 'scan' or 'atomic'")
+        self.use_ldg = use_ldg
+        self.block_size = block_size
+        self.worklist_strategy = worklist_strategy
+        self.load_balance = load_balance
+
+    @property
+    def scheme(self) -> str:
+        name = "data-ldg" if self.use_ldg else "data-base"
+        if self.load_balance:
+            name += "-lb"
+        return name
+
+    def setup(self, ex, graph, bufs) -> None:
+        self.ex = ex
+        self.graph = graph
+        self.bufs = bufs
+        self.launch = LaunchConfig(block_size=self.block_size)
+        self.colors = bufs.colors.data
+        self.worklist = DoubleBufferedWorklist(ex, capacity=max(graph.num_vertices, 1))
+        self.worklist.initialize(np.arange(graph.num_vertices, dtype=np.int64))
+        self.wave_threads = ex.race_window(self.launch)
+
+    def has_work(self) -> bool:
+        return len(self.worklist) > 0
+
+    def round(self, iteration: int) -> RoundStatus:
+        ex, graph, bufs = self.ex, self.graph, self.bufs
+        worklist = self.worklist
+        work = worklist.items()  # vertex ids, compact
+        k = work.size
+        threads = np.arange(k, dtype=np.int64)
+
+        # ---- coloring kernel: k threads, one per worklist entry ---------
+        if self.load_balance:
+            layout = warp_lb_layout(graph, work, ex.warp_size)
+            tb = ex.builder(
+                layout.num_threads, self.launch, name=f"data-color-{iteration}"
+            )
+            tb.load(threads, worklist.in_buffer.addr(threads))  # W_in reads
+            speculative_color_waved(graph, self.colors, work, self.wave_threads)
+            charge_color_kernel_lb(tb, graph, bufs, layout, use_ldg=self.use_ldg)
+        else:
+            tb = ex.builder(k, self.launch, name=f"data-color-{iteration}")
+            tb.load(threads, worklist.in_buffer.addr(threads))  # W_in[tid]
+            speculative_color_waved(graph, self.colors, work, self.wave_threads)
+            charge_color_kernel(tb, graph, bufs, work, threads, use_ldg=self.use_ldg)
+        self.profiles.append(ex.commit(tb))
+
+        # ---- conflict kernel: scan this round's vertices, push losers ---
+        tb = ex.builder(k, self.launch, name=f"data-conflict-{iteration}")
+        tb.load(threads, worklist.in_buffer.addr(threads))
+        conflicted = detect_conflicts(graph, self.colors, work)
+        mask = np.zeros(k, dtype=bool)
+        mask[np.searchsorted(work, conflicted)] = True
+        charge_conflict_kernel(
+            tb, graph, bufs, work, threads, mask, use_ldg=self.use_ldg
+        )
+        charge_compaction(
+            tb,
+            mask,
+            worklist.out_buffer,
+            worklist.tail_out,
+            use_scan=(self.worklist_strategy == "scan"),
+            thread_ids=threads,
+        )
+        # Losers keep their stale color until recolored next round, exactly
+        # as the pseudocode does (the mask loop reads color[w] regardless).
+        worklist.publish(conflicted)
+        self.profiles.append(ex.commit(tb))
+        return RoundStatus(active=int(k), conflicts=int(conflicted.size))
+
+    def post_round(self, iteration: int) -> int:
+        # The engine just read the out-worklist tail (grid dims for the
+        # next launch); now the host swaps the queue pointers.
+        self.worklist.swap()
+        return 0
+
+    def finalize(self) -> SchemeOutcome:
+        return SchemeOutcome(
+            colors=self.colors.astype(COLOR_DTYPE, copy=True),
+            extra={
+                "block_size": self.block_size,
+                "use_ldg": self.use_ldg,
+                "worklist_strategy": self.worklist_strategy,
+                "load_balance": self.load_balance,
+            },
+        )
+
+    def cleanup(self) -> None:
+        self.worklist.release()
+
+    def uncolored(self) -> int:
+        return len(self.worklist)
 
 
 def color_data_driven(
@@ -42,11 +149,13 @@ def color_data_driven(
     *,
     use_ldg: bool = False,
     block_size: int = 128,
-    device: Device | None = None,
+    device=None,
+    backend=None,
+    context=None,
     worklist_strategy: str = "scan",
     load_balance: bool = False,
 ) -> ColoringResult:
-    """Run Alg. 5 on the simulated device.
+    """Run Alg. 5 through the execution engine.
 
     Parameters
     ----------
@@ -54,6 +163,8 @@ def color_data_driven(
         Read-only-cache path for ``R``/``C`` (D-ldg vs D-base).
     block_size:
         CUDA thread-block size.
+    device / backend / context:
+        Execution substrate (see :func:`~repro.coloring.topo.color_topology_driven`).
     worklist_strategy:
         ``'scan'`` — the paper's optimized push (block prefix sum, one
         atomic per block); ``'atomic'`` — naive one-atomic-per-push
@@ -64,83 +175,10 @@ def color_data_driven(
         skewed graphs): one warp strides each hub's adjacency list,
         removing intra-warp imbalance and coalescing the C-array walk.
     """
-    if worklist_strategy not in ("scan", "atomic"):
-        raise ValueError("worklist_strategy must be 'scan' or 'atomic'")
-    device = device or Device()
-    launch = LaunchConfig(block_size=block_size)
-    n = graph.num_vertices
-    bufs = upload_graph(device, graph)
-    colors = bufs.colors.data
-    worklist = DoubleBufferedWorklist(device, capacity=max(n, 1))
-    worklist.initialize(np.arange(n, dtype=np.int64))
-    wave_threads = race_window_threads(device, launch)
-
-    iterations = 0
-    profiles = []
-    while len(worklist) > 0:
-        if iterations >= _MAX_ITERATIONS:
-            raise RuntimeError("data-driven coloring failed to converge")
-        work = worklist.items()  # vertex ids, compact
-        k = work.size
-        threads = np.arange(k, dtype=np.int64)
-
-        # ---- coloring kernel: k threads, one per worklist entry ---------
-        if load_balance:
-            layout = warp_lb_layout(graph, work, device.config.warp_size)
-            tb = device.builder(
-                layout.num_threads, launch, name=f"data-color-{iterations}"
-            )
-            tb.load(threads, worklist.in_buffer.addr(threads))  # W_in reads
-            speculative_color_waved(graph, colors, work, wave_threads)
-            charge_color_kernel_lb(tb, graph, bufs, layout, use_ldg=use_ldg)
-        else:
-            tb = device.builder(k, launch, name=f"data-color-{iterations}")
-            tb.load(threads, worklist.in_buffer.addr(threads))  # W_in[tid]
-            speculative_color_waved(graph, colors, work, wave_threads)
-            charge_color_kernel(tb, graph, bufs, work, threads, use_ldg=use_ldg)
-        profiles.append(device.commit(tb))
-
-        # ---- conflict kernel: scan this round's vertices, push losers ---
-        tb = device.builder(k, launch, name=f"data-conflict-{iterations}")
-        tb.load(threads, worklist.in_buffer.addr(threads))
-        conflicted = detect_conflicts(graph, colors, work)
-        mask = np.zeros(k, dtype=bool)
-        mask[np.searchsorted(work, conflicted)] = True
-        charge_conflict_kernel(tb, graph, bufs, work, threads, mask, use_ldg=use_ldg)
-        charge_compaction(
-            tb,
-            mask,
-            worklist.out_buffer,
-            worklist.tail_out,
-            use_scan=(worklist_strategy == "scan"),
-            thread_ids=threads,
-        )
-        # Losers keep their stale color until recolored next round, exactly
-        # as the pseudocode does (the mask loop reads color[w] regardless).
-        worklist.publish(conflicted)
-        profiles.append(device.commit(tb))
-
-        # Host reads the out-worklist size to decide termination / grid dims.
-        device.dtoh(4)
-        worklist.swap()
-        iterations += 1
-
-    scheme = "data-ldg" if use_ldg else "data-base"
-    if load_balance:
-        scheme += "-lb"
-    return ColoringResult(
-        colors=colors.astype(COLOR_DTYPE, copy=True),
-        scheme=scheme,
-        iterations=iterations,
-        gpu_time_us=device.timeline.kernel_time_us()
-        + device.timeline.launch_overhead_us(device.config),
-        transfer_time_us=device.timeline.transfer_time_us(),
-        num_kernel_launches=device.timeline.num_launches(),
-        profiles=profiles,
-        extra={
-            "block_size": block_size,
-            "use_ldg": use_ldg,
-            "worklist_strategy": worklist_strategy,
-            "load_balance": load_balance,
-        },
+    recipe = DataDrivenRecipe(
+        use_ldg=use_ldg,
+        block_size=block_size,
+        worklist_strategy=worklist_strategy,
+        load_balance=load_balance,
     )
+    return run_scheme(graph, recipe, device=device, backend=backend, context=context)

@@ -19,6 +19,11 @@ boundary vertices, so step 3 re-does nearly sequential work *after* paying
 for the GPU rounds and two PCIe round trips — which is exactly why the
 paper measures 3-step GM at ~0.66x the sequential baseline while its color
 counts stay sequential-quality.
+
+The GPU phase (step 2's intra-partition rounds) runs on the shared engine
+loop; the cross-partition check and the CPU cleanup are the recipe's
+``finalize``, outside the round loop just as they sit outside the CUDA
+host loop.
 """
 
 from __future__ import annotations
@@ -26,8 +31,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..cpusim.model import CPU
+from ..engine.runner import RoundStatus, SchemeOutcome, SchemeRecipe, run_scheme
 from ..gpusim.config import LaunchConfig
-from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
 from ..graph.partition import block_partition, boundary_vertices
 from .base import COLOR_DTYPE, ColoringResult
@@ -36,14 +41,11 @@ from .kernels import (
     charge_conflict_kernel,
     detect_conflicts,
     expand_segments,
-    race_window_threads,
     speculative_color_waved,
-    upload_graph,
 )
 
-__all__ = ["color_three_step_gm"]
+__all__ = ["ThreeStepGMRecipe", "color_three_step_gm"]
 
-_MAX_ITERATIONS = 10_000
 _CPU_INSTR_PER_EDGE = 5
 _CPU_INSTR_PER_VERTEX = 14
 
@@ -65,46 +67,63 @@ def _intra_partition_graph(graph: CSRGraph, assignment: np.ndarray) -> CSRGraph:
     )
 
 
-def color_three_step_gm(
-    graph: CSRGraph,
-    *,
-    partition_size: int = 512,
-    block_size: int = 128,
-    device: Device | None = None,
-    cpu: CPU | None = None,
-) -> ColoringResult:
-    """Run the 3-step GM framework (GPU partitions + CPU conflict cleanup)."""
-    if partition_size < 1:
-        raise ValueError("partition_size must be positive")
-    device = device or Device()
-    cpu = cpu or CPU()
-    launch = LaunchConfig(block_size=block_size)
-    n = graph.num_vertices
+class ThreeStepGMRecipe(SchemeRecipe):
+    """3-step GM as an engine recipe: GPU rounds + CPU cleanup finalizer."""
 
-    # ---- step 1: partitioning (host-side preprocessing) -----------------
-    num_parts = max(1, -(-n // partition_size))
-    partition = block_partition(graph, num_parts)
-    boundary = boundary_vertices(graph, partition)
-    intra = _intra_partition_graph(graph, partition.assignment)
+    scheme = "3step-gm"
 
-    bufs = upload_graph(device, graph)
-    colors = bufs.colors.data
-    colored = np.zeros(n, dtype=bool)
-    all_ids = np.arange(n, dtype=np.int64)
+    def __init__(
+        self,
+        *,
+        partition_size: int = 512,
+        block_size: int = 128,
+        cpu: CPU | None = None,
+    ) -> None:
+        if partition_size < 1:
+            raise ValueError("partition_size must be positive")
+        self.partition_size = partition_size
+        self.block_size = block_size
+        self.cpu = cpu
 
-    # ---- step 2: GPU rounds on intra-partition structure ----------------
-    iterations = 0
-    profiles = []
-    while True:
-        if iterations >= _MAX_ITERATIONS:
-            raise RuntimeError("3-step GM GPU phase failed to converge")
-        active = all_ids[~colored]
+    def setup(self, ex, graph, bufs) -> None:
+        self.ex = ex
+        self.graph = graph
+        self.bufs = bufs
+        self.launch = LaunchConfig(block_size=self.block_size)
+        n = graph.num_vertices
+
+        # ---- step 1: partitioning (host-side preprocessing) -------------
+        self.num_parts = max(1, -(-n // self.partition_size))
+        partition = block_partition(graph, self.num_parts)
+        self.boundary = boundary_vertices(graph, partition)
+        self.intra = _intra_partition_graph(graph, partition.assignment)
+
+        self.colors = bufs.colors.data
+        self.colored = np.zeros(n, dtype=bool)
+        self.all_ids = np.arange(n, dtype=np.int64)
+        self.wave_threads = ex.race_window(self.launch)
+        self.done = False
+
+    def has_work(self) -> bool:
+        return not self.done
+
+    def uncolored(self) -> int:
+        # Conflicted vertices hold a (stale) color; the flag is the truth.
+        return int((~self.colored).sum())
+
+    def round(self, iteration: int) -> RoundStatus:
+        ex, graph, bufs = self.ex, self.graph, self.bufs
+        n = graph.num_vertices
+        active = self.all_ids[~self.colored]
         if active.size == 0:
-            break
-        tb = device.builder(n, launch, name=f"3gm-color-{iterations}")
+            # Nothing launched: the loop must not charge a readback or
+            # count a round (the CUDA host code breaks before launching).
+            self.done = True
+            return RoundStatus(active=0, executed=False)
+
+        tb = ex.builder(n, self.launch, name=f"3gm-color-{iteration}")
         speculative_color_waved(
-            intra, colors, active,
-            race_window_threads(device, launch), thread_ids=active,
+            self.intra, self.colors, active, self.wave_threads, thread_ids=active
         )
         # The kernel walks the FULL adjacency list (partition membership is
         # tested per neighbor), but only same-partition colors are loaded.
@@ -112,74 +131,91 @@ def color_three_step_gm(
             tb, graph, bufs, active, active, use_ldg=False,
             idle_threads=n - active.size,
         )
-        colored[active] = True
-        profiles.append(device.commit(tb))
+        self.colored[active] = True
+        self.profiles.append(ex.commit(tb))
 
-        tb = device.builder(n, launch, name=f"3gm-conflict-{iterations}")
-        conflicted = detect_conflicts(intra, colors, active)
+        tb = ex.builder(n, self.launch, name=f"3gm-conflict-{iteration}")
+        conflicted = detect_conflicts(self.intra, self.colors, active)
         mask = np.zeros(active.size, dtype=bool)
         mask[np.searchsorted(active, conflicted)] = True
         charge_conflict_kernel(
             tb, graph, bufs, active, active, mask, use_ldg=False,
             idle_threads=n - active.size,
         )
-        colored[conflicted] = False
-        profiles.append(device.commit(tb))
-        device.dtoh(4)
-        iterations += 1
+        self.colored[conflicted] = False
+        self.profiles.append(ex.commit(tb))
         if conflicted.size == 0:
-            break
+            self.done = True  # exit after the (still charged+counted) readback
+        return RoundStatus(active=int(active.size), conflicts=int(conflicted.size))
 
-    # ---- cross-partition conflict detection (GPU) -----------------------
-    tb = device.builder(n, launch, name="3gm-cross-conflict")
-    cross_conflicted = detect_conflicts(graph, colors, all_ids)
-    mask = np.zeros(n, dtype=bool)
-    mask[cross_conflicted] = True
-    charge_conflict_kernel(tb, graph, bufs, all_ids, all_ids, mask, use_ldg=False)
-    profiles.append(device.commit(tb))
-    iterations += 1
+    def finalize(self) -> SchemeOutcome:
+        ex, graph, bufs = self.ex, self.graph, self.bufs
+        n = graph.num_vertices
+        colors, all_ids = self.colors, self.all_ids
 
-    # ---- step 3: ship colors + flags to the host, resolve sequentially --
-    device.dtoh(n * 4)  # color array
-    device.dtoh(n)  # conflict flags
-    to_fix = np.flatnonzero(mask)
-    if to_fix.size:
-        R, C = graph.row_offsets, graph.col_indices
-        color_mask = np.full(graph.max_degree + 2, -1, dtype=np.int64)
-        for v in to_fix:
-            v = int(v)
-            nbr_colors = colors[C[R[v] : R[v + 1]]]
-            color_mask[nbr_colors] = v
-            c = 1
-            while color_mask[c] == v:
-                c += 1
-            colors[v] = c
-        # Price the sequential pass: gather stream over the fixed vertices'
-        # neighborhoods in visit order.
-        seg, _, edge_idx = expand_segments(graph, to_fix.astype(np.int64))
-        addresses = graph.col_indices[edge_idx].astype(np.int64) * 4
-        m_fix = int(graph.degrees[to_fix].sum())
-        cpu.run(
-            "3gm-sequential-resolution",
-            instructions=_CPU_INSTR_PER_VERTEX * to_fix.size + _CPU_INSTR_PER_EDGE * m_fix,
-            addresses=addresses,
-            sequential_bytes=to_fix.size * 16,
+        # ---- cross-partition conflict detection (GPU) -------------------
+        tb = ex.builder(n, self.launch, name="3gm-cross-conflict")
+        cross_conflicted = detect_conflicts(graph, colors, all_ids)
+        mask = np.zeros(n, dtype=bool)
+        mask[cross_conflicted] = True
+        charge_conflict_kernel(tb, graph, bufs, all_ids, all_ids, mask, use_ldg=False)
+        self.profiles.append(ex.commit(tb))
+
+        # ---- step 3: ship colors + flags to the host, resolve on the CPU
+        ex.dtoh(n * 4)  # color array
+        ex.dtoh(n)  # conflict flags
+        cpu = self.cpu if self.cpu is not None else ex.host_cpu()
+        cpu_events_before = len(cpu.events)
+        to_fix = np.flatnonzero(mask)
+        if to_fix.size:
+            R, C = graph.row_offsets, graph.col_indices
+            color_mask = np.full(graph.max_degree + 2, -1, dtype=np.int64)
+            for v in to_fix:
+                v = int(v)
+                nbr_colors = colors[C[R[v] : R[v + 1]]]
+                color_mask[nbr_colors] = v
+                c = 1
+                while color_mask[c] == v:
+                    c += 1
+                colors[v] = c
+            # Price the sequential pass: gather stream over the fixed
+            # vertices' neighborhoods in visit order.
+            seg, _, edge_idx = expand_segments(graph, to_fix.astype(np.int64))
+            addresses = graph.col_indices[edge_idx].astype(np.int64) * 4
+            m_fix = int(graph.degrees[to_fix].sum())
+            cpu.run(
+                "3gm-sequential-resolution",
+                instructions=_CPU_INSTR_PER_VERTEX * to_fix.size
+                + _CPU_INSTR_PER_EDGE * m_fix,
+                addresses=addresses,
+                sequential_bytes=to_fix.size * 16,
+            )
+
+        return SchemeOutcome(
+            colors=colors.astype(COLOR_DTYPE, copy=True),
+            extra_iterations=1,  # the cross-partition pass
+            cpu_time_us=sum(e.time_us for e in cpu.events[cpu_events_before:]),
+            extra={
+                "partition_size": self.partition_size,
+                "num_partitions": self.num_parts,
+                "boundary_fraction": float(self.boundary.mean()) if n else 0.0,
+                "cpu_resolved": int(to_fix.size),
+            },
         )
 
-    return ColoringResult(
-        colors=colors.astype(COLOR_DTYPE, copy=True),
-        scheme="3step-gm",
-        iterations=iterations,
-        gpu_time_us=device.timeline.kernel_time_us()
-        + device.timeline.launch_overhead_us(device.config),
-        cpu_time_us=cpu.total_time_us(),
-        transfer_time_us=device.timeline.transfer_time_us(),
-        num_kernel_launches=device.timeline.num_launches(),
-        profiles=profiles,
-        extra={
-            "partition_size": partition_size,
-            "num_partitions": num_parts,
-            "boundary_fraction": float(boundary.mean()) if n else 0.0,
-            "cpu_resolved": int(to_fix.size),
-        },
+
+def color_three_step_gm(
+    graph: CSRGraph,
+    *,
+    partition_size: int = 512,
+    block_size: int = 128,
+    device=None,
+    backend=None,
+    context=None,
+    cpu: CPU | None = None,
+) -> ColoringResult:
+    """Run the 3-step GM framework (GPU partitions + CPU conflict cleanup)."""
+    recipe = ThreeStepGMRecipe(
+        partition_size=partition_size, block_size=block_size, cpu=cpu
     )
+    return run_scheme(graph, recipe, device=device, backend=backend, context=context)

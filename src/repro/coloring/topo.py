@@ -12,7 +12,8 @@ round runs two kernels:
 
 The host reads the 4-byte ``changed`` flag between rounds (one tiny DtoH
 per iteration — real CUDA code does exactly this) and stops when a round
-colors nothing.
+colors nothing.  The round loop itself lives in :mod:`repro.engine`; this
+module only declares what one round launches (:class:`TopologyRecipe`).
 
 ``use_ldg=True`` routes the immutable ``R``/``C`` arrays through the
 read-only data cache (the paper's ``__ldg`` optimization, Fig. 4); the
@@ -23,8 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.runner import RoundStatus, SchemeOutcome, SchemeRecipe, run_scheme
 from ..gpusim.config import LaunchConfig
-from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
 from .base import COLOR_DTYPE, ColoringResult
 from .kernels import (
@@ -32,14 +33,121 @@ from .kernels import (
     charge_conflict_kernel,
     charge_conflict_kernel_edges,
     detect_conflicts,
-    race_window_threads,
     speculative_color_waved,
-    upload_graph,
 )
 
-__all__ = ["color_topology_driven"]
+__all__ = ["TopologyRecipe", "color_topology_driven"]
 
-_MAX_ITERATIONS = 10_000  # safety net; speculation converges in O(log n) rounds
+
+class TopologyRecipe(SchemeRecipe):
+    """Alg. 4 as an engine recipe: two full-range kernels per round."""
+
+    def __init__(
+        self,
+        *,
+        use_ldg: bool = False,
+        block_size: int = 128,
+        conflict_scope: str = "all",
+        conflict_parallelism: str = "vertex",
+    ) -> None:
+        if conflict_scope not in ("active", "all"):
+            raise ValueError("conflict_scope must be 'active' or 'all'")
+        if conflict_parallelism not in ("vertex", "edge"):
+            raise ValueError("conflict_parallelism must be 'vertex' or 'edge'")
+        if conflict_parallelism == "edge" and conflict_scope != "all":
+            raise ValueError("edge-parallel conflict detection implies scope='all'")
+        self.use_ldg = use_ldg
+        self.block_size = block_size
+        self.conflict_scope = conflict_scope
+        self.conflict_parallelism = conflict_parallelism
+
+    @property
+    def scheme(self) -> str:
+        return "topo-ldg" if self.use_ldg else "topo-base"
+
+    def setup(self, ex, graph, bufs) -> None:
+        self.ex = ex
+        self.graph = graph
+        self.bufs = bufs
+        self.launch = LaunchConfig(block_size=self.block_size)
+        self.src_buf = (
+            ex.register(graph.edge_sources(), name="edge_src")
+            if self.conflict_parallelism == "edge"
+            else None
+        )
+        self.colors = bufs.colors.data  # int32 view, 0 = uncolored
+        self.colored = np.zeros(graph.num_vertices, dtype=bool)
+        self.all_ids = np.arange(graph.num_vertices, dtype=np.int64)
+        self.wave_threads = ex.race_window(self.launch)
+        self.done = False
+
+    def has_work(self) -> bool:
+        return not self.done
+
+    def round(self, iteration: int) -> RoundStatus:
+        ex, graph, bufs = self.ex, self.graph, self.bufs
+        n = graph.num_vertices
+        active = self.all_ids[~self.colored]
+        if active.size == 0:
+            # Terminating round: no thread sets ``changed``; it still runs
+            # (and is counted) exactly like the CUDA loop's last pass.
+            self.done = True
+            return RoundStatus(active=0)
+
+        # ---- coloring kernel over ALL n threads (the scheme's cost) ----
+        tb = ex.builder(n, self.launch, name=f"topo-color-{iteration}")
+        speculative_color_waved(
+            graph, self.colors, active, self.wave_threads, thread_ids=active
+        )
+        charge_color_kernel(
+            tb, graph, bufs, active, active, use_ldg=self.use_ldg,
+            idle_threads=n - active.size,
+        )
+        # every thread also reads its colored flag; losers store it
+        tb.load(self.all_ids, bufs.aux.addr(self.all_ids))
+        tb.store(active, bufs.aux.addr(active))
+        self.colored[active] = True
+        self.profiles.append(ex.commit(tb))
+
+        # ---- conflict-detection kernel ---------------------------------
+        scope = active if self.conflict_scope == "active" else self.all_ids
+        conflicted = detect_conflicts(graph, self.colors, scope)
+        if self.conflict_parallelism == "edge":
+            tb = ex.builder(
+                graph.num_edges, self.launch, name=f"topo-conflict-{iteration}"
+            )
+            charge_conflict_kernel_edges(
+                tb, graph, bufs, self.src_buf,
+                np.ones(n, dtype=bool), conflicted, use_ldg=self.use_ldg,
+            )
+        else:
+            tb = ex.builder(n, self.launch, name=f"topo-conflict-{iteration}")
+            mask = np.zeros(scope.size, dtype=bool)
+            mask[np.searchsorted(scope, conflicted)] = True
+            charge_conflict_kernel(
+                tb, graph, bufs, scope, scope, mask, use_ldg=self.use_ldg,
+                idle_threads=n - scope.size,
+            )
+        # Pseudocode keeps the stale color (only the flag is cleared);
+        # other vertices' masks keep forbidding it until re-coloring.
+        self.colored[conflicted] = False
+        self.profiles.append(ex.commit(tb))
+        return RoundStatus(active=int(active.size), conflicts=int(conflicted.size))
+
+    def uncolored(self) -> int:
+        # Conflicted vertices hold a (stale) color; the flag is the truth.
+        return int((~self.colored).sum())
+
+    def finalize(self) -> SchemeOutcome:
+        return SchemeOutcome(
+            colors=self.colors.astype(COLOR_DTYPE, copy=True),
+            extra={
+                "block_size": self.block_size,
+                "use_ldg": self.use_ldg,
+                "conflict_scope": self.conflict_scope,
+                "conflict_parallelism": self.conflict_parallelism,
+            },
+        )
 
 
 def color_topology_driven(
@@ -47,11 +155,13 @@ def color_topology_driven(
     *,
     use_ldg: bool = False,
     block_size: int = 128,
-    device: Device | None = None,
+    device=None,
+    backend=None,
+    context=None,
     conflict_scope: str = "all",
     conflict_parallelism: str = "vertex",
 ) -> ColoringResult:
-    """Run Alg. 4 on the simulated device.
+    """Run Alg. 4 through the execution engine.
 
     Parameters
     ----------
@@ -59,8 +169,11 @@ def color_topology_driven(
         Enable the read-only-cache path for ``R``/``C`` (T-ldg vs T-base).
     block_size:
         CUDA thread-block size (the paper's Fig. 8 sweep; default 128).
-    device:
-        Reuse an existing simulated device (else a fresh K20c).
+    device / backend / context:
+        Execution substrate: reuse a simulated device, name a backend
+        (``"gpusim"``/``"cpusim"``), or share a whole
+        :class:`~repro.engine.context.ExecutionContext` (else a fresh
+        K20c).
     conflict_scope:
         ``'all'`` (default) re-scans every vertex's edges each round,
         exactly as Alg. 4 lines 15-21 are written — this full-graph rescan
@@ -75,93 +188,10 @@ def color_topology_driven(
         price of an explicit edge-source array).  Requires
         ``conflict_scope='all'`` (the edge pass has no vertex filter).
     """
-    if conflict_scope not in ("active", "all"):
-        raise ValueError("conflict_scope must be 'active' or 'all'")
-    if conflict_parallelism not in ("vertex", "edge"):
-        raise ValueError("conflict_parallelism must be 'vertex' or 'edge'")
-    if conflict_parallelism == "edge" and conflict_scope != "all":
-        raise ValueError("edge-parallel conflict detection implies scope='all'")
-    device = device or Device()
-    launch = LaunchConfig(block_size=block_size)
-    n = graph.num_vertices
-    bufs = upload_graph(device, graph)
-    src_buf = (
-        device.register(graph.edge_sources(), name="edge_src")
-        if conflict_parallelism == "edge"
-        else None
+    recipe = TopologyRecipe(
+        use_ldg=use_ldg,
+        block_size=block_size,
+        conflict_scope=conflict_scope,
+        conflict_parallelism=conflict_parallelism,
     )
-    colors = bufs.colors.data  # int32 view, 0 = uncolored
-    colored = np.zeros(n, dtype=bool)
-    all_ids = np.arange(n, dtype=np.int64)
-    wave_threads = race_window_threads(device, launch)
-
-    iterations = 0
-    profiles = []
-    while True:
-        if iterations >= _MAX_ITERATIONS:
-            raise RuntimeError("topology-driven coloring failed to converge")
-        active = all_ids[~colored]
-        changed = active.size > 0
-        if changed:
-            # ---- coloring kernel over ALL n threads (the scheme's cost) --
-            tb = device.builder(n, launch, name=f"topo-color-{iterations}")
-            speculative_color_waved(
-                graph, colors, active, wave_threads, thread_ids=active
-            )
-            charge_color_kernel(
-                tb, graph, bufs, active, active, use_ldg=use_ldg,
-                idle_threads=n - active.size,
-            )
-            # every thread also reads its colored flag; losers store it
-            tb.load(all_ids, bufs.aux.addr(all_ids))
-            tb.store(active, bufs.aux.addr(active))
-            colored[active] = True
-            profiles.append(device.commit(tb))
-
-            # ---- conflict-detection kernel --------------------------------
-            scope = active if conflict_scope == "active" else all_ids
-            conflicted = detect_conflicts(graph, colors, scope)
-            if conflict_parallelism == "edge":
-                tb = device.builder(
-                    graph.num_edges, launch, name=f"topo-conflict-{iterations}"
-                )
-                charge_conflict_kernel_edges(
-                    tb, graph, bufs, src_buf,
-                    np.ones(n, dtype=bool), conflicted, use_ldg=use_ldg,
-                )
-            else:
-                tb = device.builder(n, launch, name=f"topo-conflict-{iterations}")
-                mask = np.zeros(scope.size, dtype=bool)
-                mask[np.searchsorted(scope, conflicted)] = True
-                charge_conflict_kernel(
-                    tb, graph, bufs, scope, scope, mask, use_ldg=use_ldg,
-                    idle_threads=n - scope.size,
-                )
-            # Pseudocode keeps the stale color (only the flag is cleared);
-            # other vertices' masks keep forbidding it until re-coloring.
-            colored[conflicted] = False
-            profiles.append(device.commit(tb))
-
-        # Host reads the changed flag (4 bytes over PCIe) every round.
-        device.dtoh(4)
-        iterations += 1
-        if not changed:
-            break
-
-    bufs.colors.data[:] = colors
-    return ColoringResult(
-        colors=colors.astype(COLOR_DTYPE, copy=True),
-        scheme="topo-ldg" if use_ldg else "topo-base",
-        iterations=iterations,
-        gpu_time_us=device.timeline.kernel_time_us()
-        + device.timeline.launch_overhead_us(device.config),
-        transfer_time_us=device.timeline.transfer_time_us(),
-        num_kernel_launches=device.timeline.num_launches(),
-        profiles=profiles,
-        extra={
-            "block_size": block_size,
-            "use_ldg": use_ldg,
-            "conflict_scope": conflict_scope,
-            "conflict_parallelism": conflict_parallelism,
-        },
-    )
+    return run_scheme(graph, recipe, device=device, backend=backend, context=context)

@@ -1,0 +1,32 @@
+"""Engine-level failure types."""
+
+from __future__ import annotations
+
+__all__ = ["ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """A scheme hit the engine's round cap without finishing its coloring.
+
+    Subclasses :class:`RuntimeError` so callers that guarded against the old
+    per-scheme ``RuntimeError("... failed to converge")`` keep working, but
+    carries the diagnostic state those messages lacked.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the scheme that failed to converge.
+    iterations:
+        Bulk-synchronous rounds executed before giving up.
+    uncolored:
+        Vertices still uncolored when the cap was hit.
+    """
+
+    def __init__(self, scheme: str, iterations: int, uncolored: int) -> None:
+        self.scheme = scheme
+        self.iterations = iterations
+        self.uncolored = uncolored
+        super().__init__(
+            f"{scheme} failed to converge after {iterations} rounds "
+            f"({uncolored} vertices still uncolored)"
+        )

@@ -1,0 +1,211 @@
+"""The shared bulk-synchronous round loop every device scheme runs on.
+
+Every speculative GPU coloring in the reproduction — Alg. 4 topology-
+driven, Alg. 5 data-driven, 3-step GM's GPU phase, csrcolor's MIS
+elections — is the same skeleton: *while work remains, run this round's
+kernels, read a 4-byte flag back over PCIe, count the round*.  The
+schemes differ only in what a round does, so that difference is all a
+:class:`SchemeRecipe` expresses; :class:`RoundLoop` owns the skeleton:
+
+* the safety cap (:data:`MAX_ITERATIONS`), raising a diagnostic
+  :class:`~repro.engine.errors.ConvergenceError` instead of silently
+  returning a partial coloring;
+* the per-round changed-flag/worklist-size DtoH readback;
+* per-round structured metrics (into a
+  :class:`~repro.metrics.recorder.Recorder` when one is attached);
+* assembling the :class:`~repro.coloring.base.ColoringResult` from the
+  backend's timing span, so a shared backend reports per-run times.
+
+Recipes plug in through five hooks — ``setup``, ``has_work``, ``round``,
+``post_round``, ``finalize`` (plus ``cleanup`` for pooled buffers); see
+the scheme modules for the four shipped recipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .backend import Backend
+from .errors import ConvergenceError
+
+__all__ = [
+    "MAX_ITERATIONS",
+    "RoundStatus",
+    "SchemeOutcome",
+    "SchemeRecipe",
+    "RoundLoop",
+    "run_scheme",
+]
+
+#: Safety cap on bulk-synchronous rounds (speculation converges in
+#: O(log n) rounds; hitting this means the scheme is livelocked).
+#: Hoisted here from the per-scheme ``_MAX_ITERATIONS`` copies.
+MAX_ITERATIONS = 10_000
+
+
+@dataclass(frozen=True)
+class RoundStatus:
+    """What one recipe round reports back to the loop.
+
+    ``executed=False`` means the round found no work and launched nothing
+    — the loop then stops without charging the flag readback or counting
+    the round (3-step GM's early exit); rounds that *do* run but color
+    nothing still count (topology-driven's terminating empty round).
+    """
+
+    active: int = 0
+    conflicts: int = 0
+    executed: bool = True
+
+
+@dataclass(frozen=True)
+class SchemeOutcome:
+    """What a recipe's ``finalize`` returns to the result assembler."""
+
+    colors: np.ndarray
+    extra: dict = field(default_factory=dict)
+    extra_iterations: int = 0  # rounds performed outside the loop (3-step GM)
+    cpu_time_us: float = 0.0  # host-side work the recipe priced itself
+
+
+class SchemeRecipe:
+    """Base class for declarative scheme recipes.
+
+    A recipe is a single-run object: construct it with the scheme's knobs,
+    hand it to :func:`run_scheme` (or an
+    :class:`~repro.engine.context.ExecutionContext`), and it accumulates
+    per-run state on ``self`` between hooks.
+
+    Subclasses must set :attr:`scheme` (or override the property) and
+    implement ``setup`` / ``has_work`` / ``round`` / ``finalize``.
+    """
+
+    #: Scheme identifier, used for result labels and error messages.
+    scheme: str = "?"
+
+    #: Bytes the host reads back after every round (changed flag or
+    #: worklist tail — both are one 4-byte word in the real CUDA codes).
+    flag_bytes: int = 4
+
+    def setup(self, ex: Backend, graph, bufs) -> None:
+        """Bind the run's substrate and build per-run state."""
+        raise NotImplementedError
+
+    def has_work(self) -> bool:
+        """True while another round should run."""
+        raise NotImplementedError
+
+    def round(self, iteration: int) -> RoundStatus:
+        """Run one round's kernels; return what happened."""
+        raise NotImplementedError
+
+    def post_round(self, iteration: int) -> int:
+        """Hook after the flag readback (worklist swap, csrcolor's tail
+        fast path).  Returns extra iterations consumed (usually 0)."""
+        return 0
+
+    def finalize(self) -> SchemeOutcome:
+        """Wrap up (post-loop kernels, renumbering) and emit the colors."""
+        raise NotImplementedError
+
+    def cleanup(self) -> None:
+        """Return pooled buffers to the backend; always called."""
+
+    def uncolored(self) -> int:
+        """Vertices still uncolored — reported by :class:`ConvergenceError`."""
+        bufs = getattr(self, "bufs", None)
+        if bufs is None:
+            return 0
+        return int((bufs.colors.data <= 0).sum())
+
+
+@dataclass
+class RoundLoop:
+    """Drives a recipe to convergence on a backend (see module docstring)."""
+
+    max_iterations: int = MAX_ITERATIONS
+    recorder: object | None = None  # metrics.Recorder, duck-typed
+
+    def run(self, ex: Backend, graph, recipe: SchemeRecipe, bufs):
+        """Execute ``recipe`` on ``graph``; returns a ``ColoringResult``."""
+        from ..coloring.base import ColoringResult
+
+        mark = ex.mark()
+        recipe.setup(ex, graph, bufs)
+        recipe.profiles = []
+        iterations = 0
+        try:
+            while recipe.has_work():
+                if iterations >= self.max_iterations:
+                    raise ConvergenceError(
+                        recipe.scheme, iterations, recipe.uncolored()
+                    )
+                profiles_before = len(recipe.profiles)
+                status = recipe.round(iterations)
+                if not status.executed:
+                    break
+                ex.dtoh(recipe.flag_bytes)
+                iterations += 1
+                iterations += recipe.post_round(iterations)
+                if self.recorder is not None:
+                    self._record_round(
+                        graph, recipe, iterations - 1, status, profiles_before
+                    )
+            outcome = recipe.finalize()
+        finally:
+            recipe.cleanup()
+
+        timing = ex.timing_since(mark)
+        extra = dict(outcome.extra)
+        extra.setdefault("backend", ex.name)
+        return ColoringResult(
+            colors=outcome.colors,
+            scheme=recipe.scheme,
+            iterations=iterations + outcome.extra_iterations,
+            gpu_time_us=timing.gpu_time_us,
+            cpu_time_us=timing.cpu_time_us + outcome.cpu_time_us,
+            transfer_time_us=timing.transfer_time_us,
+            num_kernel_launches=timing.num_launches,
+            profiles=recipe.profiles,
+            extra=extra,
+        )
+
+    def _record_round(self, graph, recipe, iteration, status, profiles_before) -> None:
+        time_us = sum(
+            p.time_us for p in recipe.profiles[profiles_before:]
+        )
+        self.recorder.add_round(
+            scheme=recipe.scheme,
+            graph=getattr(graph, "name", "?"),
+            iteration=iteration,
+            active=status.active,
+            conflicts=status.conflicts,
+            time_us=float(time_us),
+        )
+
+
+def run_scheme(
+    graph,
+    recipe: SchemeRecipe,
+    *,
+    device=None,
+    backend=None,
+    context=None,
+    recorder=None,
+):
+    """Run one recipe on one graph — the single-shot engine entry point.
+
+    ``device=`` keeps the legacy per-scheme signature working (the device
+    is wrapped in a :class:`~repro.engine.backend.GpuSimBackend`);
+    ``context=`` reuses a long-lived :class:`ExecutionContext` (cached
+    uploads, pooled buffers); otherwise an ephemeral context is built
+    from ``backend`` (default: a fresh simulated K20c).
+    """
+    from .context import ExecutionContext
+
+    if context is None:
+        spec = backend if backend is not None else device
+        context = ExecutionContext(backend=spec, recorder=recorder)
+    return context.run_recipe(graph, recipe)

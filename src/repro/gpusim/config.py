@@ -10,7 +10,7 @@ numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["DeviceConfig", "LaunchConfig", "CPUConfig", "KEPLER_K20C", "XEON_E5_2670"]
 

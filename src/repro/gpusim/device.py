@@ -101,6 +101,15 @@ class Timeline:
     def num_launches(self) -> int:
         return sum(1 for _ in self.kernels())
 
+    def since(self, start: int) -> "Timeline":
+        """View of the events appended after position ``start``.
+
+        Lets one long-lived device serve many runs while each run reports
+        only its own span: take ``start = len(timeline.events)`` before
+        the run and aggregate over ``timeline.since(start)`` after.
+        """
+        return Timeline(events=self.events[start:])
+
 
 class Device:
     """A simulated Kepler-class GPU instance.
@@ -129,16 +138,56 @@ class Device:
         self.timeline = Timeline()
         self._next_addr = _ALIGNMENT
         self._launch_counter = 0
+        self._pool: dict | None = None  # enable_pool() turns recycling on
+        self.pool_hits = 0
+        self.pool_misses = 0
 
     # ------------------------------------------------------------------
     # Memory management
     # ------------------------------------------------------------------
+    def enable_pool(self) -> None:
+        """Turn on the allocation pool (see :meth:`release`).
+
+        Off by default so legacy single-run callers keep exact address
+        behavior; the execution engine enables it so worklists and scratch
+        buffers recycle across runs instead of consuming fresh address
+        space (and fresh cold-cache footprints) every time.
+        """
+        if self._pool is None:
+            self._pool = {}
+
+    @staticmethod
+    def _pool_key(shape, dtype) -> tuple:
+        shape_t = tuple(shape) if isinstance(shape, (tuple, list)) else (int(shape),)
+        return (shape_t, np.dtype(dtype).str)
+
     def alloc(self, shape, dtype, *, name: str = "buf", fill=None) -> DeviceArray:
-        """Allocate a device array (optionally filled with a constant)."""
+        """Allocate a device array (optionally filled with a constant).
+
+        With the pool enabled, an exact shape/dtype match released earlier
+        is reused (same simulated address); ``fill`` is reapplied, but
+        unfilled reuse sees stale contents — exactly like ``cudaMalloc``
+        recycling, so initialize what you read.
+        """
+        if self._pool is not None:
+            free = self._pool.get(self._pool_key(shape, dtype))
+            if free:
+                buf = free.pop()
+                buf.name = name
+                if fill is not None:
+                    buf.data.fill(fill)
+                self.pool_hits += 1
+                return buf
+            self.pool_misses += 1
         arr = np.empty(shape, dtype=dtype)
         if fill is not None:
             arr.fill(fill)
         return self._register(arr, name)
+
+    def release(self, buf: DeviceArray) -> None:
+        """Return a buffer to the allocation pool (no-op when disabled)."""
+        if self._pool is not None:
+            self._pool.setdefault(self._pool_key(buf.data.shape, buf.data.dtype), []).append(buf)
 
     def upload(self, host_array: np.ndarray, *, name: str = "buf") -> DeviceArray:
         """Copy a host array to the device, charging PCIe time."""

@@ -18,9 +18,13 @@ class DoubleBufferedWorklist:
     """A pair of device queues referenced through swappable handles."""
 
     def __init__(self, device: Device, capacity: int, *, name: str = "worklist") -> None:
+        """``device`` is anything with the allocator surface of
+        :class:`~repro.gpusim.device.Device` (a device or an execution
+        backend); with its pool enabled, released worklists recycle."""
         if capacity < 1:
             raise ValueError("worklist capacity must be positive")
         self.capacity = capacity
+        self._device = device
         self._in = device.alloc(capacity, np.int32, name=f"{name}_a", fill=0)
         self._out = device.alloc(capacity, np.int32, name=f"{name}_b", fill=0)
         self.tail_in = device.alloc(1, np.int32, name=f"{name}_tail_a", fill=0)
@@ -73,3 +77,20 @@ class DoubleBufferedWorklist:
 
     def __len__(self) -> int:
         return self._size_in
+
+    def reset(self) -> None:
+        """Empty both queues (reuse the same device buffers for a new run)."""
+        self._size_in = self._size_out = 0
+        self.tail_in.data[0] = 0
+        self.tail_out.data[0] = 0
+
+    def release(self) -> None:
+        """Return the queue buffers to the device's allocation pool.
+
+        A no-op unless the device's pool is enabled (the execution engine
+        enables it); after release the worklist must not be used again.
+        """
+        release = getattr(self._device, "release", None)
+        if release is not None:
+            for buf in (self._in, self._out, self.tail_in, self.tail_out):
+                release(buf)

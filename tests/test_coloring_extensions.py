@@ -17,7 +17,7 @@ from repro.coloring.distance2 import (
 from repro.coloring.dynamic import DynamicColoring
 from repro.coloring.kernels import warp_lb_layout
 from repro.graph.builder import complete_graph, cycle_graph, path_graph, star_graph
-from repro.graph.generators import erdos_renyi, grid2d, rmat_graph
+from repro.graph.generators import grid2d, rmat_graph
 from repro.graph.generators.rmat import G_PARAMS
 
 

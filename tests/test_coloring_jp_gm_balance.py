@@ -1,7 +1,6 @@
 """JP/GM reference algorithms and the balancing extensions."""
 
 import numpy as np
-import pytest
 
 from repro.coloring.balance import balanced_greedy, rebalance_colors
 from repro.coloring.base import ColoringResult, color_class_sizes, count_conflicts

@@ -12,7 +12,7 @@ from repro.coloring.kernels import (
     speculative_color_step,
     speculative_color_waved,
 )
-from repro.graph.builder import complete_graph, cycle_graph, from_edges, path_graph
+from repro.graph.builder import cycle_graph, path_graph
 from repro.graph.generators import erdos_renyi
 
 

@@ -19,7 +19,6 @@ from repro.graph.builder import (
     path_graph,
     star_graph,
 )
-from repro.graph.generators import erdos_renyi, random_bipartite
 
 
 # --------------------------------------------------------------- orderings

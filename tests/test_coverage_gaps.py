@@ -7,7 +7,7 @@ from repro.coloring import color_graph
 from repro.coloring.jp import color_jp_gpu
 from repro.coloring.kernels import upload_graph
 from repro.gpusim import CacheConfig, Device
-from repro.graph.generators import erdos_renyi, rmat_g
+from repro.graph.generators import rmat_g
 
 
 # ----------------------------------------------------------------- jp-gpu

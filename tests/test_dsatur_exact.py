@@ -16,7 +16,7 @@ from repro.graph.builder import (
     path_graph,
     star_graph,
 )
-from repro.graph.generators import erdos_renyi, random_bipartite
+from repro.graph.generators import erdos_renyi
 
 
 # ------------------------------------------------------------------ dsatur

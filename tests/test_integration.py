@@ -1,7 +1,6 @@
 """End-to-end integration flows across subsystem boundaries."""
 
 import numpy as np
-import pytest
 
 from repro import color_graph, load_graph
 from repro.apps.scheduling import ChromaticScheduler

@@ -1,6 +1,5 @@
 """Metrics utilities and the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main, resolve_graph

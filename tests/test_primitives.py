@@ -210,3 +210,92 @@ def test_hash_family_shape_and_independence():
             assert not np.array_equal(fam[i], fam[j])
     with pytest.raises(ValueError):
         hash_family(np.arange(5), 0)
+
+
+# ------------------------------------------------------------- edge cases
+def test_scan_single_element():
+    assert list(exclusive_scan(np.array([7]))) == [0]
+    assert list(inclusive_scan(np.array([7]))) == [7]
+
+
+def test_inclusive_scan_empty():
+    assert inclusive_scan(np.array([], dtype=np.int64)).size == 0
+
+
+def test_compact_indices_degenerate():
+    assert compact_indices(np.zeros(0, dtype=bool)).size == 0
+    assert list(compact_indices(np.array([True]))) == [0]
+    assert compact_indices(np.array([False])).size == 0
+
+
+@pytest.mark.parametrize("use_scan", [True, False])
+def test_charge_compaction_zero_length(use_scan):
+    """A round with an empty launch domain charges nothing and selects nothing."""
+    dev = Device()
+    tb = dev.builder(1, name="compact-empty")
+    out = dev.alloc(4, np.int32)
+    tail = dev.alloc(1, np.int32, fill=0)
+    selected = charge_compaction(
+        tb, np.zeros(0, dtype=bool), out, tail, use_scan=use_scan
+    )
+    assert selected.size == 0
+    assert tb.build().atomic_addresses.size == 0
+
+
+@pytest.mark.parametrize("use_scan", [True, False])
+@pytest.mark.parametrize("flag", [True, False])
+def test_charge_compaction_single_element(use_scan, flag):
+    dev = Device()
+    tb = dev.builder(1, name="compact-one")
+    out = dev.alloc(4, np.int32)
+    tail = dev.alloc(1, np.int32, fill=0)
+    selected = charge_compaction(
+        tb, np.array([flag]), out, tail, use_scan=use_scan
+    )
+    assert list(selected) == ([0] if flag else [])
+    assert tb.build().atomic_addresses.size == (1 if flag else 0)
+
+
+def test_worklist_empty_round():
+    """An empty in-queue round: no items, swap keeps both queues empty."""
+    dev = Device()
+    wl = DoubleBufferedWorklist(dev, capacity=4)
+    wl.initialize(np.empty(0, dtype=np.int64))
+    assert len(wl) == 0
+    assert wl.items().size == 0
+    assert int(wl.tail_in.data[0]) == 0
+    wl.swap()
+    assert len(wl) == 0 and wl.items().size == 0
+
+
+def test_worklist_all_vertices_conflict_round():
+    """Worst-case round: every processed vertex re-enters the worklist."""
+    dev = Device()
+    n = 8
+    wl = DoubleBufferedWorklist(dev, capacity=n)
+    everyone = np.arange(n, dtype=np.int64)
+    wl.initialize(everyone)
+    wl.publish(everyone)  # all conflict: out queue fills to capacity
+    assert int(wl.tail_out.data[0]) == n
+    wl.swap()
+    assert len(wl) == n
+    assert np.array_equal(wl.items(), everyone)
+    assert int(wl.tail_out.data[0]) == 0  # fresh out queue for the next round
+
+
+def test_worklist_reset_and_release_recycle_buffers():
+    dev = Device()
+    dev.enable_pool()
+    wl = DoubleBufferedWorklist(dev, capacity=8)
+    wl.initialize(np.array([1, 2]))
+    wl.reset()
+    assert len(wl) == 0
+    assert int(wl.tail_in.data[0]) == 0
+    bases = {wl.in_buffer.base, wl.out_buffer.base, wl.tail_in.base, wl.tail_out.base}
+    wl.release()
+    assert dev.pool_misses == 4  # the four original allocations
+    wl2 = DoubleBufferedWorklist(dev, capacity=8)
+    assert dev.pool_hits == 4  # ...all recycled by the next worklist
+    assert {
+        wl2.in_buffer.base, wl2.out_buffer.base, wl2.tail_in.base, wl2.tail_out.base
+    } == bases  # same simulated addresses, no fresh address space

@@ -7,7 +7,7 @@ from repro.coloring import color_graph, count_conflicts, iterated_greedy
 from repro.coloring.sequential import greedy_colors_only
 from repro.graph import bandwidth, bfs_order, rcm_order, relabel
 from repro.graph.builder import complete_graph, cycle_graph, path_graph
-from repro.graph.generators import erdos_renyi, grid2d
+from repro.graph.generators import grid2d
 
 
 # ----------------------------------------------------------------- relabel

@@ -35,7 +35,6 @@ def test_lb_mapping_coalesces_hub_row(giant_star):
     """Warp-LB turns the hub's 5000-edge row walk into coalesced strides:
     far fewer C-array transactions than one thread issuing 5000 gathers."""
     from repro.coloring.kernels import (
-        GraphBuffers,
         charge_color_kernel,
         charge_color_kernel_lb,
         upload_graph,

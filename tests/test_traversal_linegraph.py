@@ -10,7 +10,6 @@ from repro.graph import (
     core_numbers,
     degeneracy,
     edge_coloring_from_line_colors,
-    edge_list,
     is_connected,
     line_graph,
     num_connected_components,
@@ -23,7 +22,7 @@ from repro.graph.builder import (
     path_graph,
     star_graph,
 )
-from repro.graph.generators import erdos_renyi, grid2d
+from repro.graph.generators import erdos_renyi
 
 
 # ------------------------------------------------------------- components
