@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Simulated-time regression gate.
+
+Runs a fixed (graph, scheme) matrix at a pinned scale and compares each
+cell's total simulated time against the committed baseline
+(``baseline_times.json``).  The timeline is simulated, so every cell is
+deterministic — drift beyond the tolerance means the *pricing model*
+changed, intentionally or not.  When a change is intentional, regenerate
+the baseline and commit it alongside the change::
+
+    python benchmarks/regression_gate.py            # gate (exit 1 on drift)
+    python benchmarks/regression_gate.py --update   # rewrite the baseline
+
+The tolerance (default 15%) absorbs honest refactors that move a few
+rounding boundaries; real perf regressions in the simulated schemes are
+well above it.  Iteration counts and color counts are gated exactly —
+they are functional, not priced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.coloring.api import color_graph  # noqa: E402
+from repro.graph.generators.suite import SUITE_ORDER, load_graph  # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "baseline_times.json"
+
+#: Pinned so the gate's numbers never depend on REPRO_SCALE_DIV.
+SCALE_DIV = 256
+
+#: The paper's headline schemes: both kernel families plus the MIS code.
+SCHEMES = ("topo-ldg", "data-ldg", "csrcolor")
+
+
+def run_matrix() -> dict:
+    """Every (graph, scheme) cell: simulated time + functional fingerprint."""
+    cells = {}
+    for name in SUITE_ORDER:
+        graph = load_graph(name, scale_div=SCALE_DIV)
+        for scheme in SCHEMES:
+            result = color_graph(graph, method=scheme)
+            cells[f"{name}/{scheme}"] = {
+                "total_time_us": round(result.total_time_us, 4),
+                "iterations": result.iterations,
+                "num_colors": result.num_colors,
+            }
+    return cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current model")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative time drift (default 0.15)")
+    args = parser.parse_args(argv)
+
+    cells = run_matrix()
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {"scale_div": SCALE_DIV, "tolerance": args.tolerance,
+                 "cells": cells},
+                indent=1, sort_keys=True,
+            ) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote baseline for {len(cells)} cells -> {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    if baseline.get("scale_div") != SCALE_DIV:
+        print(f"baseline was taken at scale_div={baseline.get('scale_div')}, "
+              f"gate runs at {SCALE_DIV}; regenerate with --update")
+        return 1
+
+    failures = []
+    width = max(len(k) for k in cells)
+    for key, cell in sorted(cells.items()):
+        base = baseline["cells"].get(key)
+        if base is None:
+            failures.append(f"{key}: no baseline entry (run --update)")
+            continue
+        drift = cell["total_time_us"] / base["total_time_us"] - 1.0
+        marks = []
+        if abs(drift) > args.tolerance:
+            marks.append(f"time drift {drift:+.1%} (> {args.tolerance:.0%})")
+        if cell["iterations"] != base["iterations"]:
+            marks.append(
+                f"iterations {base['iterations']} -> {cell['iterations']}")
+        if cell["num_colors"] != base["num_colors"]:
+            marks.append(
+                f"colors {base['num_colors']} -> {cell['num_colors']}")
+        status = "FAIL  " + "; ".join(marks) if marks else "ok"
+        print(f"{key:<{width}}  {base['total_time_us']:>10.1f} -> "
+              f"{cell['total_time_us']:>10.1f} us  ({drift:+6.1%})  {status}")
+        if marks:
+            failures.append(f"{key}: {'; '.join(marks)}")
+
+    missing = set(baseline["cells"]) - set(cells)
+    for key in sorted(missing):
+        failures.append(f"{key}: in baseline but not run (matrix shrank?)")
+
+    if failures:
+        print(f"\nregression gate FAILED ({len(failures)} cell(s)):")
+        for f in failures:
+            print(f"  {f}")
+        print("\nif the model change is intentional, regenerate with "
+              "`python benchmarks/regression_gate.py --update`")
+        return 1
+    print(f"\nregression gate passed: {len(cells)} cells within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,11 +15,15 @@ Quickstart::
 
 from .coloring import (
     EVALUATED_SCHEMES,
+    SCHEMES,
     ColoringResult,
     color_graph,
+    scheme_options,
 )
+from .engine import ExecutionContext, color_many
 from .graph import CSRGraph, from_edges
 from .graph.generators import load_graph, load_suite, rmat_er, rmat_g, rmat_graph
+from .obs import Observation, Tracer
 
 __version__ = "1.0.0"
 
@@ -27,12 +31,18 @@ __all__ = [
     "CSRGraph",
     "ColoringResult",
     "EVALUATED_SCHEMES",
+    "ExecutionContext",
+    "Observation",
+    "SCHEMES",
+    "Tracer",
     "__version__",
     "color_graph",
+    "color_many",
     "from_edges",
     "load_graph",
     "load_suite",
     "rmat_er",
     "rmat_g",
     "rmat_graph",
+    "scheme_options",
 ]

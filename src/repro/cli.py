@@ -72,8 +72,45 @@ def _cmd_color(args) -> int:
                 f"({', '.join(sorted(ENGINE_RECIPES))}), not {args.method!r}"
             )
         kwargs["backend"] = args.backend
+    if args.observe:
+        kwargs["observe"] = args.observe
+    elif args.trace_out:
+        kwargs["observe"] = "trace"
     result = color_graph(graph, method=args.method, **kwargs)
     print(result.summary())
+    obs = result.extra.get("observation")
+    if obs is not None and obs.tracer is not None:
+        print()
+        print(obs.flame_summary())
+        if args.trace_out:
+            path = obs.write_chrome_trace(args.trace_out)
+            print(f"\nwrote Chrome trace -> {path} (open in chrome://tracing)")
+    if obs is not None and obs.recorder is not None and obs.recorder.rounds:
+        rows = [
+            [r.iteration, r.active, r.conflicts, round(r.time_us, 1)]
+            for r in obs.recorder.rounds
+        ]
+        print()
+        print(format_table(["round", "active", "conflicts", "us"], rows,
+                           title="per-round trace:"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    kwargs = {"block_size": args.block_size} if args.method in ENGINE_RECIPES else {}
+    if args.backend != "gpusim":
+        kwargs["backend"] = args.backend
+    result = color_graph(graph, method=args.method, observe="trace", **kwargs)
+    obs = result.extra["observation"]
+    print(result.summary() + "\n")
+    print(obs.flame_summary(top=args.top))
+    out = args.out or f"{graph.name}-{args.method}-trace.json"
+    path = obs.write_chrome_trace(out)
+    print(f"\nwrote Chrome trace -> {path} (open in chrome://tracing or Perfetto)")
+    if args.jsonl:
+        path = obs.write_jsonl(args.jsonl)
+        print(f"wrote JSONL event log -> {path}")
     return 0
 
 
@@ -252,7 +289,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="gpusim", choices=("gpusim", "cpusim"),
         help="execution substrate for device schemes (default: gpusim)",
     )
+    p.add_argument(
+        "--observe", default=None, choices=("trace", "profile", "rounds"),
+        help="attach observation: span trace, kernel profiles, or per-round records",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON here (implies --observe trace)",
+    )
     p.set_defaults(fn=_cmd_color)
+
+    p = sub.add_parser(
+        "trace", parents=[common],
+        help="span-trace one run and export a Chrome trace (chrome://tracing)",
+    )
+    p.add_argument("graph", help="suite name or graph file")
+    p.add_argument("method", nargs="?", default="data-ldg", choices=sorted(METHODS))
+    p.add_argument("--out", default=None, help="Chrome trace path "
+                   "(default: <graph>-<method>-trace.json)")
+    p.add_argument("--jsonl", default=None, help="also write a flat JSONL event log")
+    p.add_argument("--block-size", type=int, default=128)
+    p.add_argument("--backend", default="gpusim", choices=("gpusim", "cpusim"))
+    p.add_argument("--top", type=int, default=None,
+                   help="show only the N hottest rows in the flame summary")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
         "batch", parents=[common],

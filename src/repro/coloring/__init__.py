@@ -1,6 +1,7 @@
 """Graph-coloring algorithms: the paper's schemes and their baselines."""
 
-from .api import EVALUATED_SCHEMES, METHODS, color_graph
+from .api import EVALUATED_SCHEMES, METHODS, SCHEMES, color_graph
+from .registry import SchemeInfo, scheme_options, scheme_table_markdown
 from .balance import balanced_greedy, rebalance_colors
 from .base import ColoringError, ColoringResult, color_class_sizes, count_conflicts
 from .csrcolor import color_csrcolor
@@ -25,6 +26,10 @@ __all__ = [
     "EVALUATED_SCHEMES",
     "METHODS",
     "ORDERINGS",
+    "SCHEMES",
+    "SchemeInfo",
+    "scheme_options",
+    "scheme_table_markdown",
     "ColoringError",
     "ColoringResult",
     "DynamicColoring",

@@ -24,6 +24,8 @@ from typing import Callable
 
 from ..engine.runner import SchemeRecipe
 from ..graph.csr import CSRGraph
+from ..obs.observe import resolve_observe, warn_recorder_deprecated
+from .registry import SCHEMES, unknown_method_error, validate_options
 from .balance import balanced_greedy
 from .base import ColoringResult
 from .csrcolor import CsrColorRecipe, color_csrcolor
@@ -40,6 +42,7 @@ __all__ = [
     "METHODS",
     "ENGINE_RECIPES",
     "EVALUATED_SCHEMES",
+    "SCHEMES",
 ]
 
 #: The seven schemes of the paper's evaluation (Section IV), in figure order.
@@ -101,6 +104,7 @@ def make_recipe(method: str, **kwargs) -> SchemeRecipe:
             f"method {method!r} is not a device scheme recipe; "
             f"choose from {sorted(ENGINE_RECIPES)}"
         )
+    validate_options(method, kwargs)
     return ENGINE_RECIPES[method](**kwargs)
 
 
@@ -111,6 +115,8 @@ def color_graph(
     validate: bool = True,
     backend=None,
     context=None,
+    observe=None,
+    recorder=None,
     **kwargs,
 ) -> ColoringResult:
     """Color ``graph`` with the named scheme.
@@ -133,10 +139,21 @@ def color_graph(
     context:
         A shared :class:`~repro.engine.context.ExecutionContext` — reuses
         cached graph uploads and pooled buffers across calls.
+    observe:
+        The unified observation surface (:mod:`repro.obs`): ``None``
+        (default, zero overhead), ``"trace"`` / ``"profile"`` /
+        ``"rounds"``, a :class:`~repro.obs.tracer.Tracer`, a
+        :class:`~repro.metrics.recorder.Recorder`, or an
+        :class:`~repro.obs.observe.Observation`.  The resolved bundle is
+        attached to ``result.extra["observation"]``.
+    recorder:
+        Deprecated spelling of ``observe=<Recorder>``.
     **kwargs:
         Scheme-specific options, e.g. ``block_size=256``,
         ``worklist_strategy='atomic'``, ``num_hashes=4``,
-        ``ordering='smallest-last'``.
+        ``ordering='smallest-last'``.  Validated against the scheme
+        registry (:data:`~repro.coloring.registry.SCHEMES`): misspelled
+        or unknown options raise instead of being silently ignored.
 
     Returns
     -------
@@ -144,17 +161,67 @@ def color_graph(
         Colors, color count, iteration count and simulated timing.
     """
     if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; choose from {sorted(METHODS)}")
+        raise unknown_method_error(method, METHODS)
+    if recorder is not None:
+        warn_recorder_deprecated("color_graph")
+        if observe is None:
+            observe = recorder
+    validate_options(method, kwargs)
     if context is not None:
-        return context.run(graph, method, validate=validate, **kwargs)
-    if backend is not None:
-        if method not in ENGINE_RECIPES:
+        if observe is not None:
             raise ValueError(
-                f"method {method!r} runs on the host and takes no backend; "
-                f"backends apply to {sorted(ENGINE_RECIPES)}"
+                "pass observe= to the ExecutionContext, not alongside context="
             )
+        return context.run(graph, method, validate=validate, **kwargs)
+    if backend is not None and method not in ENGINE_RECIPES:
+        raise ValueError(
+            f"method {method!r} runs on the host and takes no backend; "
+            f"backends apply to {sorted(ENGINE_RECIPES)}"
+        )
+    observation = resolve_observe(observe)
+    if observation.active and method in ENGINE_RECIPES:
+        # Observed device runs route through an ephemeral context so the
+        # tracer sees uploads, kernels and transfers alike.
+        from ..engine.context import ExecutionContext
+
+        spec = backend if backend is not None else kwargs.pop("device", None)
+        ctx = ExecutionContext(backend=spec, observe=observation)
+        return ctx.run(graph, method, validate=validate, **kwargs)
+    if backend is not None:
         kwargs["backend"] = backend
     result = METHODS[method](graph, **kwargs)
+    if observation.tracer is not None:
+        _trace_host_run(observation.tracer, graph, result)
+    if observation.active:
+        result.extra.setdefault("observation", observation)
     if validate:
         result.validate(graph)
     return result
+
+
+def _trace_host_run(tracer, graph, result: ColoringResult) -> None:
+    """Synthesize a run span for a host-side scheme from its priced result.
+
+    Host methods never touch a backend, so no kernel/transfer events flow
+    into the tracer; the result's simulated totals still deserve a place
+    on the timeline so mixed traces (e.g. ``compare``) stay complete.
+    """
+    span = tracer.begin(
+        f"{result.scheme}:{getattr(graph, 'name', '?')}",
+        "run",
+        scheme=result.scheme,
+        graph=getattr(graph, "name", "?"),
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        backend="host",
+    )
+    if result.total_time_us:
+        tracer.event(
+            "host-compute", "cpu", duration_us=result.total_time_us,
+        )
+    tracer.end(
+        span,
+        iterations=result.iterations,
+        colors=result.num_colors,
+        cpu_time_us=result.cpu_time_us,
+    )

@@ -86,6 +86,8 @@ class Backend(Protocol):
 
     def race_window(self, launch) -> int: ...
 
+    def attach_tracer(self, tracer) -> None: ...
+
     def mark(self) -> Mark: ...
 
     def timing_since(self, mark: Mark) -> TimingDelta: ...
@@ -168,6 +170,15 @@ class GpuSimBackend:
         if self._host_cpu is None:
             self._host_cpu = CPU()
         return self._host_cpu
+
+    # -- observation ----------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Mirror every priced device event into ``tracer`` (None detaches)."""
+        self.device.tracer = tracer
+
+    @property
+    def tracer(self):
+        return self.device.tracer
 
     # -- accounting -----------------------------------------------------
     def mark(self) -> Mark:
@@ -263,11 +274,14 @@ class CpuSimBackend:
         self._geometry = _CoreGeometry(warp_size=self.cpu.cores)
         self._next_addr = _ALIGNMENT
         self._host_cpu: CPU | None = None
+        self.tracer = None
 
     # -- memory ---------------------------------------------------------
     def _place(self, arr: np.ndarray, name: str) -> DeviceArray:
         base = self._next_addr
         self._next_addr += (arr.nbytes + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+        if self.tracer is not None:
+            self.tracer.event(f"alloc:{name}", "alloc", nbytes=arr.nbytes, pooled=0)
         return DeviceArray(data=arr, base=base, name=name)
 
     def alloc(self, shape, dtype, *, name: str = "buf", fill=None) -> DeviceArray:
@@ -298,11 +312,23 @@ class CpuSimBackend:
         addrs = (
             np.concatenate(builder.addresses) if builder.addresses else None
         )
-        return self.cpu.run_parallel(
+        event = self.cpu.run_parallel(
             builder.name,
             instructions=builder.total_instructions,
             addresses=addrs,
         )
+        if self.tracer is not None:
+            self.tracer.event(
+                event.name,
+                "kernel",
+                duration_us=event.time_us,
+                kernel_us=event.time_us,
+                launches=1,
+                instructions=event.instructions,
+                dram_bytes=0,
+                transactions=event.accesses,
+            )
+        return event
 
     # -- transfers: unified memory --------------------------------------
     def htod(self, nbytes: int) -> None:
@@ -323,6 +349,11 @@ class CpuSimBackend:
         if self._host_cpu is None:
             self._host_cpu = CPU(config=self.cpu.config)
         return self._host_cpu
+
+    # -- observation ----------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Mirror priced parallel regions into ``tracer`` (None detaches)."""
+        self.tracer = tracer
 
     # -- accounting -----------------------------------------------------
     def mark(self) -> Mark:

@@ -16,6 +16,7 @@ benchmark suite do:
 
 from __future__ import annotations
 
+from ..obs.observe import resolve_observe, warn_recorder_deprecated
 from .backend import resolve_backend
 from .runner import MAX_ITERATIONS, RoundLoop, SchemeRecipe
 
@@ -31,9 +32,17 @@ class ExecutionContext:
         Backend name (``"gpusim"`` / ``"cpusim"``), instance, or a raw
         :class:`~repro.gpusim.device.Device`; default a fresh simulated
         K20c.
+    observe:
+        The unified observation surface (see :mod:`repro.obs`): ``None``,
+        ``"trace"`` / ``"profile"`` / ``"rounds"``, a
+        :class:`~repro.obs.tracer.Tracer`, a
+        :class:`~repro.metrics.recorder.Recorder`, or a resolved
+        :class:`~repro.obs.observe.Observation`.  Accessible afterwards
+        as :attr:`observation` (with :attr:`tracer` / :attr:`recorder`
+        shortcuts).
     recorder:
-        Optional :class:`~repro.metrics.recorder.Recorder`; when given,
-        the engine emits one structured round record per BSP round.
+        Deprecated spelling of ``observe=<Recorder>`` (kept working via a
+        once-per-process :class:`DeprecationWarning`).
     backend_opts:
         Forwarded to the backend constructor when ``backend`` is a name
         (e.g. ``seed=3``, ``cores=16``).
@@ -43,16 +52,37 @@ class ExecutionContext:
         self,
         backend=None,
         *,
+        observe=None,
         recorder=None,
         max_iterations: int = MAX_ITERATIONS,
         **backend_opts,
     ) -> None:
+        if recorder is not None:
+            warn_recorder_deprecated("ExecutionContext")
+            if observe is None:
+                observe = recorder
+        self.observation = resolve_observe(observe)
         self.backend = resolve_backend(backend, **backend_opts)
-        self.recorder = recorder
-        self.loop = RoundLoop(max_iterations=max_iterations, recorder=recorder)
+        if self.observation.tracer is not None:
+            self.backend.attach_tracer(self.observation.tracer)
+        self.loop = RoundLoop(
+            max_iterations=max_iterations,
+            recorder=self.observation.recorder,
+            tracer=self.observation.tracer,
+        )
         self._uploads: dict[int, tuple] = {}
         self.uploads = 0  # graphs paying the HtoD burst
         self.upload_reuses = 0  # runs served from the cache
+
+    @property
+    def recorder(self):
+        """The attached recorder, if any (via :attr:`observation`)."""
+        return self.observation.recorder
+
+    @property
+    def tracer(self):
+        """The attached tracer, if any (via :attr:`observation`)."""
+        return self.observation.tracer
 
     # ------------------------------------------------------------------
     def buffers_for(self, graph):
@@ -62,11 +92,16 @@ class ExecutionContext:
         no transfer, no allocation.
         """
         key = id(graph)
+        name = getattr(graph, "name", "?")
         hit = self._uploads.get(key)
         if hit is not None and hit[0] is graph:
             bufs = hit[1]
             self.upload_reuses += 1
+            if self.tracer is not None:
+                self.tracer.event(f"upload:{name}", "cache", hit=1, miss=0)
         else:
+            if self.tracer is not None:
+                self.tracer.event(f"upload:{name}", "cache", hit=0, miss=1)
             bufs = self.backend.upload_graph(graph)
             self._uploads[key] = (graph, bufs)
             self.uploads += 1
@@ -85,7 +120,21 @@ class ExecutionContext:
     def run_recipe(self, graph, recipe: SchemeRecipe):
         """Run a prepared recipe against this context's cached state."""
         bufs = self.buffers_for(graph)
-        return self.loop.run(self.backend, graph, recipe, bufs)
+        pool = getattr(self.backend, "device", None)
+        pool_mark = (
+            (pool.pool_hits, pool.pool_misses) if pool is not None else None
+        )
+        result = self.loop.run(self.backend, graph, recipe, bufs)
+        if self.tracer is not None and pool_mark is not None:
+            self.tracer.event(
+                "buffer-pool",
+                "cache",
+                hits=pool.pool_hits - pool_mark[0],
+                misses=pool.pool_misses - pool_mark[1],
+            )
+        if self.observation.active:
+            result.extra.setdefault("observation", self.observation)
+        return result
 
     def run(self, graph, method: str = "data-ldg", *, validate: bool = True, **kwargs):
         """Run a registered engine method by name (cf. ``color_graph``)."""
@@ -111,11 +160,26 @@ class ExecutionContext:
         ]
 
 
-def color_many(graphs, method: str = "data-ldg", *, backend=None, **kwargs) -> list:
+def color_many(
+    graphs,
+    method: str = "data-ldg",
+    *,
+    backend=None,
+    observe=None,
+    recorder=None,
+    **kwargs,
+) -> list:
     """One-shot batched coloring: build a context, run the whole batch.
 
     Convenience wrapper over :meth:`ExecutionContext.color_many`; use an
     explicit context to interleave batches with other runs or to read the
-    reuse counters afterwards.
+    reuse counters afterwards.  ``observe=`` attaches the unified
+    observation surface to the whole batch (every run becomes one root
+    span of the same tracer); ``recorder=`` is the deprecated spelling.
     """
-    return ExecutionContext(backend=backend).color_many(graphs, method, **kwargs)
+    if recorder is not None:
+        warn_recorder_deprecated("color_many")
+        if observe is None:
+            observe = recorder
+    ctx = ExecutionContext(backend=backend, observe=observe)
+    return ctx.color_many(graphs, method, **kwargs)

@@ -127,50 +127,89 @@ class RoundLoop:
 
     max_iterations: int = MAX_ITERATIONS
     recorder: object | None = None  # metrics.Recorder, duck-typed
+    tracer: object | None = None  # obs.Tracer, duck-typed
 
     def run(self, ex: Backend, graph, recipe: SchemeRecipe, bufs):
         """Execute ``recipe`` on ``graph``; returns a ``ColoringResult``."""
         from ..coloring.base import ColoringResult
 
+        tracer = self.tracer
+        run_span = None
+        if tracer is not None:
+            run_span = tracer.begin(
+                f"{recipe.scheme}:{getattr(graph, 'name', '?')}",
+                "run",
+                scheme=recipe.scheme,
+                graph=getattr(graph, "name", "?"),
+                vertices=graph.num_vertices,
+                edges=graph.num_edges,
+                backend=ex.name,
+            )
         mark = ex.mark()
-        recipe.setup(ex, graph, bufs)
-        recipe.profiles = []
         iterations = 0
         try:
-            while recipe.has_work():
-                if iterations >= self.max_iterations:
-                    raise ConvergenceError(
-                        recipe.scheme, iterations, recipe.uncolored()
+            recipe.setup(ex, graph, bufs)
+            recipe.profiles = []
+            try:
+                while recipe.has_work():
+                    if iterations >= self.max_iterations:
+                        raise ConvergenceError(
+                            recipe.scheme, iterations, recipe.uncolored()
+                        )
+                    profiles_before = len(recipe.profiles)
+                    round_span = (
+                        tracer.begin(f"round-{iterations}", "round")
+                        if tracer is not None
+                        else None
                     )
-                profiles_before = len(recipe.profiles)
-                status = recipe.round(iterations)
-                if not status.executed:
-                    break
-                ex.dtoh(recipe.flag_bytes)
-                iterations += 1
-                iterations += recipe.post_round(iterations)
-                if self.recorder is not None:
-                    self._record_round(
-                        graph, recipe, iterations - 1, status, profiles_before
-                    )
-            outcome = recipe.finalize()
-        finally:
-            recipe.cleanup()
+                    status = recipe.round(iterations)
+                    if not status.executed:
+                        if round_span is not None:
+                            tracer.end(round_span, active=0, conflicts=0)
+                        break
+                    ex.dtoh(recipe.flag_bytes)
+                    if round_span is not None:
+                        tracer.end(
+                            round_span,
+                            active=status.active,
+                            conflicts=status.conflicts,
+                        )
+                    iterations += 1
+                    iterations += recipe.post_round(iterations)
+                    if self.recorder is not None:
+                        self._record_round(
+                            graph, recipe, iterations - 1, status, profiles_before
+                        )
+                outcome = recipe.finalize()
+            finally:
+                recipe.cleanup()
 
-        timing = ex.timing_since(mark)
-        extra = dict(outcome.extra)
-        extra.setdefault("backend", ex.name)
-        return ColoringResult(
-            colors=outcome.colors,
-            scheme=recipe.scheme,
-            iterations=iterations + outcome.extra_iterations,
-            gpu_time_us=timing.gpu_time_us,
-            cpu_time_us=timing.cpu_time_us + outcome.cpu_time_us,
-            transfer_time_us=timing.transfer_time_us,
-            num_kernel_launches=timing.num_launches,
-            profiles=recipe.profiles,
-            extra=extra,
-        )
+            timing = ex.timing_since(mark)
+            extra = dict(outcome.extra)
+            extra.setdefault("backend", ex.name)
+            result = ColoringResult(
+                colors=outcome.colors,
+                scheme=recipe.scheme,
+                iterations=iterations + outcome.extra_iterations,
+                gpu_time_us=timing.gpu_time_us,
+                cpu_time_us=timing.cpu_time_us + outcome.cpu_time_us,
+                transfer_time_us=timing.transfer_time_us,
+                num_kernel_launches=timing.num_launches,
+                profiles=recipe.profiles,
+                extra=extra,
+            )
+            if run_span is not None:
+                run_span.counters.update(
+                    colors=result.num_colors,
+                    gpu_time_us=result.gpu_time_us,
+                    cpu_time_us=result.cpu_time_us,
+                    transfer_time_us=result.transfer_time_us,
+                )
+            return result
+        finally:
+            if run_span is not None:
+                # Closes any round span an exception left open, too.
+                tracer.end(run_span, iterations=iterations)
 
     def _record_round(self, graph, recipe, iteration, status, profiles_before) -> None:
         time_us = sum(
@@ -193,6 +232,7 @@ def run_scheme(
     device=None,
     backend=None,
     context=None,
+    observe=None,
     recorder=None,
 ):
     """Run one recipe on one graph — the single-shot engine entry point.
@@ -201,11 +241,22 @@ def run_scheme(
     is wrapped in a :class:`~repro.engine.backend.GpuSimBackend`);
     ``context=`` reuses a long-lived :class:`ExecutionContext` (cached
     uploads, pooled buffers); otherwise an ephemeral context is built
-    from ``backend`` (default: a fresh simulated K20c).
+    from ``backend`` (default: a fresh simulated K20c).  ``observe=``
+    takes the unified observation surface (see :mod:`repro.obs`);
+    ``recorder=`` is the deprecated spelling of ``observe=<Recorder>``.
     """
+    from ..obs.observe import warn_recorder_deprecated
     from .context import ExecutionContext
 
+    if recorder is not None:
+        warn_recorder_deprecated("run_scheme")
+        if observe is None:
+            observe = recorder
     if context is None:
         spec = backend if backend is not None else device
-        context = ExecutionContext(backend=spec, recorder=recorder)
+        context = ExecutionContext(backend=spec, observe=observe)
+    elif observe is not None:
+        raise ValueError(
+            "pass observe= to the ExecutionContext, not alongside context="
+        )
     return context.run_recipe(graph, recipe)

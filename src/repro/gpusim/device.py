@@ -136,6 +136,9 @@ class Device:
         self.cache_model = cache_model
         self.seed = seed
         self.timeline = Timeline()
+        #: Optional :class:`~repro.obs.tracer.Tracer` (duck-typed); when
+        #: set, every priced event is mirrored as a trace span.
+        self.tracer = None
         self._next_addr = _ALIGNMENT
         self._launch_counter = 0
         self._pool: dict | None = None  # enable_pool() turns recycling on
@@ -177,12 +180,19 @@ class Device:
                 if fill is not None:
                     buf.data.fill(fill)
                 self.pool_hits += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        f"alloc:{name}", "alloc", nbytes=buf.nbytes, pooled=1
+                    )
                 return buf
             self.pool_misses += 1
         arr = np.empty(shape, dtype=dtype)
         if fill is not None:
             arr.fill(fill)
-        return self._register(arr, name)
+        buf = self._register(arr, name)
+        if self.tracer is not None:
+            self.tracer.event(f"alloc:{name}", "alloc", nbytes=buf.nbytes, pooled=0)
+        return buf
 
     def release(self, buf: DeviceArray) -> None:
         """Return a buffer to the allocation pool (no-op when disabled)."""
@@ -219,6 +229,8 @@ class Device:
             self.config.pcie_bandwidth_gbs * 1e3
         )
         self.timeline.add(TransferEvent(direction, nbytes, time_us))
+        if self.tracer is not None:
+            self.tracer.event(direction, direction, duration_us=time_us, nbytes=nbytes)
 
     def htod(self, nbytes: int) -> None:
         """Host-to-device transfer of ``nbytes``."""
@@ -251,6 +263,18 @@ class Device:
         )
         self._launch_counter += 1
         self.timeline.add(profile)
+        if self.tracer is not None:
+            self.tracer.event(
+                profile.name,
+                "kernel",
+                duration_us=profile.time_us + self.config.kernel_launch_overhead_us,
+                kernel_us=profile.time_us,
+                launches=1,
+                transactions=profile.memory.transactions,
+                dram_bytes=profile.memory.dram_bytes,
+                occupancy=profile.occupancy,
+                bound=profile.bound,
+            )
         return profile
 
     # ------------------------------------------------------------------

@@ -17,7 +17,13 @@ from .config import DeviceConfig
 from .device import Device, Timeline
 from .timing import KernelProfile
 
-__all__ = ["RunSummary", "summarize_profiles", "profile_report", "timeline_report"]
+__all__ = [
+    "RunSummary",
+    "EMPTY_RUN_SUMMARY",
+    "summarize_profiles",
+    "profile_report",
+    "timeline_report",
+]
 
 
 @dataclass(frozen=True)
@@ -37,13 +43,36 @@ class RunSummary:
 
     @property
     def dominant_bound(self) -> str:
+        if not self.bound_histogram:
+            return "none"
         return max(self.bound_histogram, key=self.bound_histogram.get)
 
 
+#: What :func:`summarize_profiles` returns for a launch-free run (an empty
+#: graph, a scheme that converged before launching) — explicit zeros so
+#: zero-launch runs report cleanly instead of raising.
+EMPTY_RUN_SUMMARY = RunSummary(
+    num_launches=0,
+    total_time_us=0.0,
+    total_transactions=0,
+    total_dram_bytes=0,
+    avg_occupancy=0.0,
+    avg_simd_efficiency=0.0,
+    avg_compute_utilization=0.0,
+    avg_bandwidth_utilization=0.0,
+    stalls={},
+    bound_histogram={},
+)
+
+
 def summarize_profiles(profiles: list[KernelProfile]) -> RunSummary:
-    """Time-weighted aggregation of per-launch profiles."""
+    """Time-weighted aggregation of per-launch profiles.
+
+    An empty profile list yields :data:`EMPTY_RUN_SUMMARY` (all zeros,
+    ``dominant_bound == "none"``) rather than raising.
+    """
     if not profiles:
-        raise ValueError("no profiles to summarize")
+        return EMPTY_RUN_SUMMARY
     weights = np.array([p.time_us for p in profiles], dtype=np.float64)
     weights = weights / weights.sum() if weights.sum() else weights
     stall_keys = profiles[0].stalls.keys()

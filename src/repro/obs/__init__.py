@@ -1,0 +1,40 @@
+"""repro.obs: engine-wide observability.
+
+A span-based tracer over the simulated timeline
+(:mod:`~repro.obs.tracer`), exporters to Chrome ``trace_event`` JSON /
+JSONL / terminal flame summaries (:mod:`~repro.obs.export`), and the
+unified ``observe=`` surface every execution entry point shares
+(:mod:`~repro.obs.observe`).
+
+Quickstart::
+
+    from repro import color_graph, rmat_er
+    result = color_graph(rmat_er(scale=12), "data-ldg", observe="trace")
+    obs = result.extra["observation"]
+    print(obs.flame_summary())
+    obs.write_chrome_trace("trace.json")   # open in chrome://tracing
+
+See docs/OBSERVABILITY.md for the span model and how to read a trace.
+"""
+
+from .export import (
+    chrome_trace,
+    flame_summary,
+    jsonl_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .observe import Observation, resolve_observe
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Observation",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "flame_summary",
+    "jsonl_events",
+    "resolve_observe",
+    "write_chrome_trace",
+    "write_jsonl",
+]

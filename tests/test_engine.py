@@ -180,7 +180,7 @@ def test_convergence_error_releases_worklists(small_mesh):
 # ------------------------------------------------------- round recording
 def test_recorder_receives_round_trace(small_er):
     rec = Recorder()
-    ctx = ExecutionContext(recorder=rec)
+    ctx = ExecutionContext(observe=rec)
     result = ctx.run(small_er, "topo-base")
     rounds = [r for r in rec.rounds if r.scheme == "topo-base"]
     assert len(rounds) == result.iterations

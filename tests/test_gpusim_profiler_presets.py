@@ -39,9 +39,14 @@ def test_summary_aggregates(run_result):
     assert s.dominant_bound in s.bound_histogram
 
 
-def test_summary_empty_rejected():
-    with pytest.raises(ValueError):
-        summarize_profiles([])
+def test_summary_empty_is_zero_run():
+    # Zero-launch runs (empty graphs) report explicit zeros, not an error.
+    s = summarize_profiles([])
+    assert s.num_launches == 0
+    assert s.total_time_us == 0.0
+    assert s.total_dram_bytes == 0
+    assert s.stalls == {} and s.bound_histogram == {}
+    assert s.dominant_bound == "none"
 
 
 def test_profile_report_renders(run_result):

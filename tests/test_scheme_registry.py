@@ -1,0 +1,130 @@
+"""The scheme registry: typed options, did-you-mean errors, docs sync."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.coloring.api import ENGINE_RECIPES, METHODS, color_graph, make_recipe
+from repro.coloring.registry import (
+    ENGINE_KEYWORDS,
+    SCHEMES,
+    SchemeInfo,
+    scheme_options,
+    scheme_table_markdown,
+    unknown_method_error,
+    validate_options,
+)
+from repro.graph.generators import rmat_er
+
+
+@pytest.fixture(scope="module")
+def tiny_er():
+    return rmat_er(scale=7, seed=5)
+
+
+# ------------------------------------------------------------------ coverage
+def test_registry_covers_every_method_key():
+    assert set(SCHEMES) == set(METHODS)
+
+
+def test_registry_rows_are_complete():
+    for name, info in SCHEMES.items():
+        assert isinstance(info, SchemeInfo)
+        assert info.name == name
+        assert info.kind in ("device", "host")
+        assert info.summary
+        # device methods an ExecutionContext can batch are marked 'device';
+        # jp-gpu is device-priced but runs outside the engine loop
+        if name in ENGINE_RECIPES:
+            assert info.kind == "device"
+
+
+def test_every_scheme_accepts_its_registered_defaults(tiny_er):
+    """Passing each option explicitly at its default must be accepted —
+    catches registry drift away from the real scheme signatures."""
+    for method, info in SCHEMES.items():
+        kwargs = {name: default for name, default, _ in info.option_rows()}
+        result = color_graph(tiny_er, method, **kwargs)
+        assert result.num_colors > 0, method
+
+
+def test_scheme_options_lookup():
+    opts = scheme_options("data-ldg")
+    assert opts().block_size == 128
+    assert opts().worklist_strategy == "scan"
+    with pytest.raises(KeyError):
+        scheme_options("nope")
+
+
+# ----------------------------------------------------------- unknown options
+def test_misspelled_option_gets_did_you_mean(tiny_er):
+    with pytest.raises(TypeError, match=r"did you mean 'block_size'"):
+        color_graph(tiny_er, "data-ldg", blocksize=256)
+
+
+def test_unknown_option_lists_valid_options(tiny_er):
+    with pytest.raises(TypeError) as exc:
+        color_graph(tiny_er, "csrcolor", hashes=4)
+    msg = str(exc.value)
+    assert "'csrcolor' got unknown option(s) ['hashes']" in msg
+    assert "num_hashes=3" in msg  # the valid-option listing with defaults
+    assert "did you mean 'num_hashes'" in msg
+
+
+def test_totally_unknown_option_still_lists_valid(tiny_er):
+    with pytest.raises(TypeError, match="Valid options for 'sequential'"):
+        color_graph(tiny_er, "sequential", frobnicate=1)
+
+
+def test_engine_keywords_are_not_scheme_options():
+    # the execution layer owns these; validation must ignore them
+    for key in ENGINE_KEYWORDS:
+        validate_options("data-ldg", {key: object()})
+    validate_options("not-in-registry", {"whatever": 1})  # nothing to check
+
+
+def test_make_recipe_validates_options():
+    with pytest.raises(TypeError, match="did you mean 'worklist_strategy'"):
+        make_recipe("data-base", worklist_stategy="atomic")
+
+
+def test_context_run_validates_options(tiny_er):
+    from repro.engine import ExecutionContext
+
+    with pytest.raises(TypeError, match="unknown option"):
+        ExecutionContext().run(tiny_er, "topo-base", blok_size=64)
+
+
+# ------------------------------------------------------------ unknown method
+def test_unknown_method_did_you_mean(tiny_er):
+    with pytest.raises(ValueError, match="unknown method 'data-ldq'") as exc:
+        color_graph(tiny_er, "data-ldq")
+    assert "did you mean 'data-ldg'" in str(exc.value)
+
+
+def test_unknown_method_error_without_close_match():
+    err = unknown_method_error("zzz", METHODS)
+    assert "choose from" in str(err)
+    assert "did you mean" not in str(err)
+
+
+# -------------------------------------------------------------------- docs
+def test_api_docs_scheme_table_in_sync():
+    """docs/API.md embeds the generated table verbatim (regenerate with
+    ``python -m repro.coloring.registry``)."""
+    doc = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    assert scheme_table_markdown() in doc.read_text(encoding="utf-8")
+
+
+def test_table_mentions_every_scheme():
+    table = scheme_table_markdown()
+    for name in SCHEMES:
+        assert f"| `{name}` |" in table
+
+
+# ---------------------------------------------------------------- re-exports
+def test_registry_reexported_from_repro():
+    import repro
+
+    assert repro.SCHEMES is SCHEMES
+    assert repro.scheme_options is scheme_options
