@@ -24,20 +24,25 @@ from .engine import ExecutionContext, color_many
 from .graph import CSRGraph, from_edges
 from .graph.generators import load_graph, load_suite, rmat_er, rmat_g, rmat_graph
 from .obs import Observation, Tracer
+from .parallel import ColorJob, JobFailure, ResultCache, color_sharded
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CSRGraph",
+    "ColorJob",
     "ColoringResult",
     "EVALUATED_SCHEMES",
     "ExecutionContext",
+    "JobFailure",
     "Observation",
+    "ResultCache",
     "SCHEMES",
     "Tracer",
     "__version__",
     "color_graph",
     "color_many",
+    "color_sharded",
     "from_edges",
     "load_graph",
     "load_suite",

@@ -76,9 +76,36 @@ def _cmd_color(args) -> int:
         kwargs["observe"] = args.observe
     elif args.trace_out:
         kwargs["observe"] = "trace"
-    result = color_graph(graph, method=args.method, **kwargs)
-    print(result.summary())
-    obs = result.extra.get("observation")
+    if args.shards:
+        if args.cache:
+            raise SystemExit("--cache does not combine with --shards")
+        from .parallel import color_sharded
+
+        result = color_sharded(
+            graph,
+            args.method,
+            num_shards=args.shards,
+            workers=args.workers,
+            backend=kwargs.pop("backend", None),
+            observe=kwargs.pop("observe", None),
+            **kwargs,
+        )
+        stats = result.shard_stats
+        print(result.summary())
+        print(
+            f"shards: {stats['num_shards']}, "
+            f"boundary {stats['boundary_vertices']} vertices, "
+            f"{stats['resolution_rounds']} resolution rounds, "
+            f"{stats['recolored']} recolored"
+        )
+    else:
+        if args.cache:
+            kwargs["cache"] = args.cache
+        result = color_graph(graph, method=args.method, **kwargs)
+        print(result.summary())
+        if result.cache_hit:
+            print("(served from result cache)")
+    obs = result.observation
     if obs is not None and obs.tracer is not None:
         print()
         print(obs.flame_summary())
@@ -102,7 +129,7 @@ def _cmd_trace(args) -> int:
     if args.backend != "gpusim":
         kwargs["backend"] = args.backend
     result = color_graph(graph, method=args.method, observe="trace", **kwargs)
-    obs = result.extra["observation"]
+    obs = result.observation
     print(result.summary() + "\n")
     print(obs.flame_summary(top=args.top))
     out = args.out or f"{graph.name}-{args.method}-trace.json"
@@ -115,41 +142,98 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_batch(args) -> int:
-    from .engine import ExecutionContext
+    import hashlib
 
-    ctx = ExecutionContext(backend=args.backend)
+    from .engine import ExecutionContext, color_many
+
     resolved: dict[str, CSRGraph] = {}  # repeat specs share one object/upload
     for spec in args.graphs:
         if spec not in resolved:
             resolved[spec] = resolve_graph(spec, scale_div=args.scale_div)
     graphs = [resolved[spec] for spec in args.graphs]
-    results = ctx.color_many(graphs, method=args.method, block_size=args.block_size)
-    rows = [
-        [
-            g.name,
-            r.num_colors,
-            r.iterations,
-            round(r.total_time_us, 1),
-        ]
-        for g, r in zip(graphs, results)
-    ]
-    print(
-        format_table(
-            ["graph", "colors", "iters", "sim_us"],
-            rows,
-            title=f"batch: {args.method} on {len(graphs)} graphs ({ctx.backend.name})",
+    observe = args.observe or ("trace" if args.trace_out else None)
+    parallel = bool(args.workers) or args.cache is not None or observe is not None
+
+    cache_obj = None
+    ctx = None
+    failures = []
+    if parallel:
+        from .parallel import resolve_cache
+
+        cache_obj = resolve_cache(args.cache)
+        results = color_many(
+            graphs,
+            method=args.method,
+            block_size=args.block_size,
+            backend=args.backend,
+            workers=args.workers,
+            cache=cache_obj,
+            observe=observe,
         )
-    )
-    pool = getattr(ctx.backend, "device", None)
-    print(
-        f"uploads: {ctx.uploads} (reused {ctx.upload_reuses})"
-        + (
-            f"; buffer pool: {pool.pool_hits} hits / {pool.pool_misses} misses"
-            if pool is not None
-            else ""
+        failures = [r for r in results if not r]
+        title = (
+            f"batch: {args.method} on {len(graphs)} graphs "
+            f"(workers={args.workers or 1}, {args.backend})"
         )
+    else:
+        ctx = ExecutionContext(backend=args.backend)
+        results = ctx.color_many(
+            graphs, method=args.method, block_size=args.block_size
+        )
+        title = (
+            f"batch: {args.method} on {len(graphs)} graphs ({ctx.backend.name})"
+        )
+
+    # --digest swaps the (scheduler-dependent) sim_us column for a colors
+    # digest, so serial and parallel outputs compare byte-for-byte.
+    rows = []
+    for g, r in zip(graphs, results):
+        if not r:
+            rows.append([g.name, "FAILED", r.attempts, r.error[:40]])
+        elif args.digest:
+            rows.append([
+                g.name, r.num_colors, r.iterations,
+                hashlib.sha256(r.colors.tobytes()).hexdigest()[:16],
+            ])
+        else:
+            rows.append([
+                g.name, r.num_colors, r.iterations, round(r.total_time_us, 1),
+            ])
+    headers = (
+        ["graph", "colors", "iters", "sha16"]
+        if args.digest
+        else ["graph", "colors", "iters", "sim_us"]
     )
-    return 0
+    print(format_table(headers, rows, title=title))
+
+    if ctx is not None:
+        pool = getattr(ctx.backend, "device", None)
+        print(
+            f"uploads: {ctx.uploads} (reused {ctx.upload_reuses})"
+            + (
+                f"; buffer pool: {pool.pool_hits} hits / {pool.pool_misses} misses"
+                if pool is not None
+                else ""
+            )
+        )
+    if cache_obj is not None:
+        stats = cache_obj.stats()
+        print(
+            f"result cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"({stats['entries']} entries)"
+        )
+    for f in failures:
+        print(
+            f"FAILED job {f.index} ({f.method} on {f.graph}) after "
+            f"{f.attempts} attempts: {f.error}",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        obs = next((r.observation for r in results if r), None)
+        if obs is not None and obs.tracer is not None:
+            path = obs.write_chrome_trace(args.trace_out)
+            print(f"wrote Chrome trace -> {path} (open in chrome://tracing)")
+    return 1 if failures else 0
 
 
 def _cmd_compare(args) -> int:
@@ -297,6 +381,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON here (implies --observe trace)",
     )
+    p.add_argument(
+        "--cache", default=None, metavar="DIR|memory",
+        help="content-addressed result cache: 'memory' or a directory path",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition-sharded coloring: split into N shards, color "
+        "concurrently, resolve boundary conflicts",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --shards (default: serial)",
+    )
     p.set_defaults(fn=_cmd_color)
 
     p = sub.add_parser(
@@ -323,6 +420,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="data-ldg", choices=sorted(ENGINE_RECIPES))
     p.add_argument("--block-size", type=int, default=128)
     p.add_argument("--backend", default="gpusim", choices=("gpusim", "cpusim"))
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the batch across N worker processes "
+        "(colors byte-identical to serial; timings may differ)",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="DIR|memory",
+        help="content-addressed result cache: 'memory' or a directory path",
+    )
+    p.add_argument(
+        "--observe", default=None, choices=("trace", "profile", "rounds"),
+        help="attach observation to the whole batch",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the merged batch Chrome trace here (implies --observe trace)",
+    )
+    p.add_argument(
+        "--digest", action="store_true",
+        help="print a colors digest instead of sim_us (scheduler-independent "
+        "output, for byte-identity checks)",
+    )
     p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("compare", parents=[common], help="run all evaluated schemes on one graph")

@@ -117,6 +117,7 @@ def color_graph(
     context=None,
     observe=None,
     recorder=None,
+    cache=None,
     **kwargs,
 ) -> ColoringResult:
     """Color ``graph`` with the named scheme.
@@ -148,6 +149,12 @@ def color_graph(
         attached to ``result.extra["observation"]``.
     recorder:
         Deprecated spelling of ``observe=<Recorder>``.
+    cache:
+        A content-addressed result cache (see :mod:`repro.parallel.cache`):
+        ``None`` (default, no caching), ``"memory"``, a directory path, or
+        a :class:`~repro.parallel.ResultCache`.  A hit returns the stored
+        result without entering the round loop (``result.cache_hit`` is
+        True); a miss runs normally and stores the result.
     **kwargs:
         Scheme-specific options, e.g. ``block_size=256``,
         ``worklist_strategy='atomic'``, ``num_hashes=4``,
@@ -167,35 +174,63 @@ def color_graph(
         if observe is None:
             observe = recorder
     validate_options(method, kwargs)
-    if context is not None:
-        if observe is not None:
-            raise ValueError(
-                "pass observe= to the ExecutionContext, not alongside context="
-            )
-        return context.run(graph, method, validate=validate, **kwargs)
+    if context is not None and observe is not None:
+        raise ValueError(
+            "pass observe= to the ExecutionContext, not alongside context="
+        )
     if backend is not None and method not in ENGINE_RECIPES:
         raise ValueError(
             f"method {method!r} runs on the host and takes no backend; "
             f"backends apply to {sorted(ENGINE_RECIPES)}"
         )
     observation = resolve_observe(observe)
-    if observation.active and method in ENGINE_RECIPES:
+
+    cache_obj = cache_key = None
+    if cache is not None:
+        from ..parallel.cache import job_cache_key, resolve_cache
+
+        cache_obj = resolve_cache(cache)
+        spec = backend if backend is not None else kwargs.get("device")
+        cache_key = job_cache_key(graph, method, kwargs, spec)
+        hit = cache_obj.get(cache_key)
+        # (`or` would drop an empty tracer: Tracer defines __len__.)
+        tracer = observation.tracer
+        if tracer is None and context is not None:
+            tracer = context.tracer
+        if tracer is not None:
+            tracer.event(
+                f"result-cache:{method}:{getattr(graph, 'name', '?')}",
+                "cache", hit=int(hit is not None), miss=int(hit is None),
+            )
+        if hit is not None:
+            if observation.active:
+                hit.extra.setdefault("observation", observation)
+            if validate:
+                hit.validate(graph)
+            return hit
+
+    if context is not None:
+        result = context.run(graph, method, validate=validate, **kwargs)
+    elif observation.active and method in ENGINE_RECIPES:
         # Observed device runs route through an ephemeral context so the
         # tracer sees uploads, kernels and transfers alike.
         from ..engine.context import ExecutionContext
 
         spec = backend if backend is not None else kwargs.pop("device", None)
         ctx = ExecutionContext(backend=spec, observe=observation)
-        return ctx.run(graph, method, validate=validate, **kwargs)
-    if backend is not None:
-        kwargs["backend"] = backend
-    result = METHODS[method](graph, **kwargs)
-    if observation.tracer is not None:
-        _trace_host_run(observation.tracer, graph, result)
-    if observation.active:
-        result.extra.setdefault("observation", observation)
-    if validate:
-        result.validate(graph)
+        result = ctx.run(graph, method, validate=validate, **kwargs)
+    else:
+        if backend is not None:
+            kwargs["backend"] = backend
+        result = METHODS[method](graph, **kwargs)
+        if observation.tracer is not None:
+            _trace_host_run(observation.tracer, graph, result)
+        if observation.active:
+            result.extra.setdefault("observation", observation)
+        if validate:
+            result.validate(graph)
+    if cache_obj is not None:
+        cache_obj.put(cache_key, result)
     return result
 
 

@@ -8,19 +8,76 @@ algorithms are exactly the kind that can silently leave conflicts behind.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 
-__all__ = ["ColoringError", "ColoringResult", "count_conflicts", "color_class_sizes", "save_result", "load_result"]
+__all__ = [
+    "ColoringError",
+    "ColoringResult",
+    "RESULT_SCHEMA_VERSION",
+    "count_conflicts",
+    "color_class_sizes",
+    "save_result",
+    "load_result",
+]
 
 COLOR_DTYPE = np.int32
+
+#: Current (and only) ``ColoringResult.to_dict`` schema version.
+RESULT_SCHEMA_VERSION = 1
 
 
 class ColoringError(RuntimeError):
     """Raised when a produced coloring fails verification."""
+
+
+_extra_read_warned = False
+
+
+def _warn_extra_read() -> None:
+    global _extra_read_warned
+    if _extra_read_warned:
+        return
+    _extra_read_warned = True
+    warnings.warn(
+        "reading ColoringResult.extra[...] is deprecated; use the typed "
+        "surface instead — result.observation / result.cache_hit / "
+        "result.shard_stats, or result.to_dict(schema_version=1) for the "
+        "full documented mapping",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_extra_deprecation() -> None:
+    """Test hook: re-arm the once-per-process ``extra`` read warning."""
+    global _extra_read_warned
+    _extra_read_warned = False
+
+
+class _ExtraBag(dict):
+    """The legacy untyped result bag: reads warn once per process.
+
+    Writes (``[...] =``, ``setdefault``, ``update``) stay silent — the
+    engine and the schemes still populate the bag; it is *keying into* it
+    downstream that the typed surface replaces.
+    """
+
+    def __getitem__(self, key):
+        _warn_extra_read()
+        return dict.__getitem__(self, key)
+
+    def get(self, key, default=None):
+        _warn_extra_read()
+        return dict.get(self, key, default)
+
+    def peek(self, key, default=None):
+        """Warning-free read, for the typed accessors themselves."""
+        return dict.get(self, key, default)
 
 
 def count_conflicts(graph: CSRGraph, colors: np.ndarray) -> int:
@@ -73,6 +130,10 @@ class ColoringResult:
     profiles: list = field(default_factory=list)
     extra: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.extra, _ExtraBag):
+            self.extra = _ExtraBag(self.extra)
+
     @property
     def num_colors(self) -> int:
         """Number of distinct colors used."""
@@ -81,6 +142,70 @@ class ColoringResult:
     @property
     def total_time_us(self) -> float:
         return self.gpu_time_us + self.cpu_time_us + self.transfer_time_us
+
+    # -- the typed surface over the legacy ``extra`` bag ----------------
+    @property
+    def observation(self):
+        """The :class:`~repro.obs.observe.Observation` attached to this
+        run (``observe=`` was passed), or ``None``."""
+        return self.extra.peek("observation")
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when this result was served from a result cache instead
+        of executing the scheme (see :mod:`repro.parallel.cache`)."""
+        return bool(self.extra.peek("cache_hit", False))
+
+    @property
+    def shard_stats(self) -> dict | None:
+        """Per-shard and boundary-resolution statistics from
+        partition-sharded coloring (:func:`repro.parallel.color_sharded`),
+        or ``None`` for unsharded runs."""
+        return self.extra.peek("shard_stats")
+
+    def to_dict(self, schema_version: int = RESULT_SCHEMA_VERSION) -> dict:
+        """The versioned, documented mapping view of this result.
+
+        Schema version 1 keys:
+
+        ==================== ==============================================
+        ``schema_version``   the integer ``1``
+        ``scheme``           scheme identifier string
+        ``colors``           the per-vertex color array (``int32``, 1-based)
+        ``num_colors``       distinct colors used
+        ``iterations``       bulk-synchronous rounds to convergence
+        ``gpu_time_us`` / ``cpu_time_us`` / ``transfer_time_us`` /
+        ``total_time_us``    simulated time components and their sum
+        ``num_kernel_launches``  kernel launches issued
+        ``observation``      attached ``Observation`` or ``None``
+        ``cache_hit``        served from a result cache (bool)
+        ``shard_stats``      sharded-run statistics dict or ``None``
+        ==================== ==============================================
+
+        Downstream consumers should read this (or the same-named typed
+        properties) instead of keying into ``result.extra``, which is
+        deprecated.
+        """
+        if schema_version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unknown ColoringResult schema_version {schema_version!r}; "
+                f"this build writes version {RESULT_SCHEMA_VERSION}"
+            )
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "scheme": self.scheme,
+            "colors": self.colors,
+            "num_colors": self.num_colors,
+            "iterations": self.iterations,
+            "gpu_time_us": self.gpu_time_us,
+            "cpu_time_us": self.cpu_time_us,
+            "transfer_time_us": self.transfer_time_us,
+            "total_time_us": self.total_time_us,
+            "num_kernel_launches": self.num_kernel_launches,
+            "observation": self.observation,
+            "cache_hit": self.cache_hit,
+            "shard_stats": self.shard_stats,
+        }
 
     def validate(self, graph: CSRGraph) -> None:
         """Raise :class:`ColoringError` unless complete and proper."""

@@ -22,14 +22,14 @@ from typing import Any
 __all__ = [
     "SchemeInfo",
     "SCHEMES",
+    "ExecutionOptions",
+    "ENGINE_KEYWORDS",
     "scheme_options",
     "validate_options",
     "unknown_method_error",
     "scheme_table_markdown",
+    "execution_table_markdown",
 ]
-
-#: Keywords consumed by the execution layer, never by a scheme.
-ENGINE_KEYWORDS = frozenset({"device", "backend", "context", "observe", "recorder"})
 
 
 # ---------------------------------------------------------------------------
@@ -38,6 +38,44 @@ ENGINE_KEYWORDS = frozenset({"device", "backend", "context", "observe", "recorde
 # ---------------------------------------------------------------------------
 def _opt(default, doc: str):
     return field(default=default, metadata={"doc": doc})
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Scheme-independent options the execution layer consumes.
+
+    These keywords are legal on every method key; ``validate_options``
+    never forwards them to a scheme, and the did-you-mean machinery
+    suggests them for near-miss spellings.  The docs table is generated
+    from this dataclass (:func:`execution_table_markdown`).
+    """
+
+    backend: Any = _opt(None, "execution substrate for device schemes: "
+                              "'gpusim' (default), 'cpusim', or an instance")
+    device: Any = _opt(None, "legacy spelling: a Device wrapped in a GpuSimBackend")
+    context: Any = _opt(None, "shared ExecutionContext (cached uploads, pooled buffers)")
+    observe: Any = _opt(None, "observation surface: 'trace'/'profile'/'rounds', "
+                              "a Tracer, a Recorder, or an Observation")
+    recorder: Any = _opt(None, "deprecated spelling of observe=<Recorder>")
+    workers: Any = _opt(None, "process-pool size for color_many "
+                              "(None/0/1 = serial in-process)")
+    scheduler: Any = _opt(None, "'serial', 'process', or a Scheduler instance "
+                                "(default: inferred from workers=)")
+    cache: Any = _opt(None, "content-addressed result cache: 'memory', a "
+                            "directory path, or a ResultCache")
+
+    @classmethod
+    def option_rows(cls) -> list[tuple[str, object, str]]:
+        """(name, default, doc) per option, for tables and errors."""
+        return [
+            (f.name, f.default, f.metadata.get("doc", ""))
+            for f in fields(cls)
+        ]
+
+
+#: Keywords consumed by the execution layer, never by a scheme —
+#: derived from the typed :class:`ExecutionOptions` surface.
+ENGINE_KEYWORDS = frozenset(f.name for f in fields(ExecutionOptions))
 
 
 @dataclass(frozen=True)
@@ -247,5 +285,19 @@ def scheme_table_markdown() -> str:
     return "\n".join(lines)
 
 
+def execution_table_markdown() -> str:
+    """The docs/API.md execution-options table, generated from
+    :class:`ExecutionOptions` (the scheme-independent keywords)."""
+    lines = [
+        "| option (default) | consumed by |",
+        "|---|---|",
+    ]
+    for name, default, doc in ExecutionOptions.option_rows():
+        lines.append(f"| `{name}={default!r}` | {doc} |")
+    return "\n".join(lines)
+
+
 if __name__ == "__main__":  # pragma: no cover - manual docs refresh
     print(scheme_table_markdown())
+    print()
+    print(execution_table_markdown())

@@ -167,6 +167,10 @@ def color_many(
     backend=None,
     observe=None,
     recorder=None,
+    workers=None,
+    scheduler=None,
+    cache=None,
+    validate: bool = True,
     **kwargs,
 ) -> list:
     """One-shot batched coloring: build a context, run the whole batch.
@@ -176,10 +180,45 @@ def color_many(
     reuse counters afterwards.  ``observe=`` attaches the unified
     observation surface to the whole batch (every run becomes one root
     span of the same tracer); ``recorder=`` is the deprecated spelling.
+
+    Parallel/cached batches (see :mod:`repro.parallel`):
+
+    * ``workers=N`` shards the batch across ``N`` worker processes
+      (colors and iteration counts are byte-identical to a serial run;
+      simulated timings can differ — each worker's device starts cold).
+    * ``scheduler=`` picks the scheduler explicitly (``"serial"``,
+      ``"process"``, or an instance); default inferred from ``workers``.
+    * ``cache=`` consults a content-addressed result cache before
+      executing each job (``"memory"``, a directory path, or a
+      :class:`~repro.parallel.ResultCache`).
+
+    Entries of ``graphs`` may also be ``(graph, method[, options])``
+    tuples or :class:`~repro.parallel.ColorJob` instances for
+    heterogeneous batches; failures after the scheduler's retries come
+    back as :class:`~repro.parallel.JobFailure` entries at the failed
+    job's position (falsy, so ``all(results)`` screens them).
     """
     if recorder is not None:
         warn_recorder_deprecated("color_many")
         if observe is None:
             observe = recorder
-    ctx = ExecutionContext(backend=backend, observe=observe)
-    return ctx.color_many(graphs, method, **kwargs)
+    graphs = list(graphs)
+    from ..graph.csr import CSRGraph
+
+    plain = all(isinstance(g, CSRGraph) for g in graphs)
+    if plain and workers in (None, 0, 1) and scheduler is None and cache is None:
+        ctx = ExecutionContext(backend=backend, observe=observe)
+        return ctx.color_many(graphs, method, validate=validate, **kwargs)
+    from ..parallel.jobs import normalize_jobs
+    from ..parallel.scheduler import run_jobs
+
+    jobs = normalize_jobs(graphs, default_method=method, default_options=kwargs)
+    return run_jobs(
+        jobs,
+        workers=workers,
+        scheduler=scheduler,
+        backend=backend,
+        observe=observe,
+        cache=cache,
+        validate=validate,
+    )

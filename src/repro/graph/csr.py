@@ -229,6 +229,26 @@ class CSRGraph:
         np.cumsum(counts, out=R[1:])
         return CSRGraph(R, nv.astype(VERTEX_DTYPE), name=f"{self.name}[sub]")
 
+    def content_digest(self) -> str:
+        """SHA-256 over the CSR arrays — a content address for this topology.
+
+        Two graphs with identical ``R``/``C`` arrays share a digest no
+        matter their ``name``; the result cache keys on it.  Computed once
+        and memoized (the arrays are frozen, so the digest cannot go
+        stale).
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(self.row_offsets.tobytes())
+            h.update(self.col_indices.tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_content_digest", cached)
+        return cached
+
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
         """Bytes occupied by the CSR arrays (what the device must stream)."""

@@ -155,6 +155,35 @@ class Tracer:
         for key, value in counters.items():
             dst[key] = dst.get(key, 0) + value
 
+    def merge_subtrace(self, roots: list[Span], *, label: str = "subtrace",
+                       category: str = "worker", **counters) -> Span:
+        """Graft another tracer's forest into this timeline.
+
+        Worker processes trace on their own clock starting at zero; this
+        re-bases every grafted span to the current simulated time, wraps
+        the forest in one ``category`` span (so a batch trace shows which
+        job a round belongs to), and advances the clock by the subtrace's
+        extent — timestamps stay monotone, which the Chrome exporter
+        requires.  Returns the wrapper span.
+        """
+        base = self.now_us
+        extent = 0.0
+        for root in roots:
+            for span, _ in root.walk():
+                span.start_us += base
+                if span.end_us is not None:
+                    span.end_us += base
+                    extent = max(extent, span.end_us - base)
+                else:
+                    extent = max(extent, span.start_us - base)
+        wrapper = Span(name=label, category=category, start_us=base,
+                       end_us=base + extent, counters=dict(counters))
+        wrapper.children = list(roots)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent else self.roots).append(wrapper)
+        self.now_us = base + extent
+        return wrapper
+
     # -- consuming ------------------------------------------------------
     def walk(self) -> Iterator[tuple[Span, int]]:
         """Pre-order traversal over every root tree as (span, depth)."""

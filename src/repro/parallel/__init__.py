@@ -1,0 +1,48 @@
+"""repro.parallel: the parallel execution layer.
+
+Three independent scaling pieces on top of the engine, per the two axes
+of Rokos et al. and Bogle & Slota:
+
+* :mod:`~repro.parallel.scheduler` — shard a batch of (graph, scheme)
+  jobs across worker processes (``color_many(..., workers=N)``); each
+  worker owns its own :class:`~repro.engine.context.ExecutionContext`,
+  results come back in submission order, and crashed/timed-out jobs are
+  retried with backoff then surfaced as structured :class:`JobFailure`
+  entries instead of killing the batch.
+* :mod:`~repro.parallel.sharded` — partition-sharded coloring of one
+  huge graph (:func:`color_sharded`): split the vertex set, color the
+  partitions concurrently, then run boundary-conflict resolution rounds
+  — the multi-device execution model, simulated.
+* :mod:`~repro.parallel.cache` — a content-addressed result cache
+  (:class:`ResultCache`), keyed by CSR digest + scheme + resolved
+  options + device preset, wired into ``color_graph``/``color_many`` as
+  ``cache=``.
+
+See docs/PARALLEL.md for the scheduler model, determinism guarantees
+and cache keying.
+"""
+
+from .cache import ResultCache, job_cache_key, resolve_cache
+from .jobs import ColorJob, JobFailure, normalize_jobs
+from .scheduler import (
+    ProcessPoolScheduler,
+    SerialScheduler,
+    resolve_scheduler,
+    run_jobs,
+)
+from .sharded import ShardedColoringError, color_sharded
+
+__all__ = [
+    "ColorJob",
+    "JobFailure",
+    "ProcessPoolScheduler",
+    "ResultCache",
+    "SerialScheduler",
+    "ShardedColoringError",
+    "color_sharded",
+    "job_cache_key",
+    "normalize_jobs",
+    "resolve_cache",
+    "resolve_scheduler",
+    "run_jobs",
+]

@@ -1,0 +1,93 @@
+"""Job descriptions for batched parallel execution.
+
+A *job* is one (graph, method, options) cell of a batch.  ``color_many``
+accepts plain graphs (one method for the whole batch) or explicit
+:class:`ColorJob` entries / ``(graph, method[, options])`` tuples for
+heterogeneous batches; :func:`normalize_jobs` folds every accepted
+spelling into a list of :class:`ColorJob`.
+
+Failures that survive the scheduler's retries come back as
+:class:`JobFailure` entries in the result list — same position as the
+job, so the batch's successes are never lost to one bad cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["ColorJob", "JobFailure", "normalize_jobs"]
+
+
+@dataclass(frozen=True)
+class ColorJob:
+    """One cell of a batch: color ``graph`` with ``method`` and ``options``.
+
+    ``method=None`` means "use the batch default" (resolved by
+    :func:`normalize_jobs`).  Options are scheme keywords only — engine
+    keywords (``backend=``, ``observe=``, ...) belong to the batch call.
+    """
+
+    graph: CSRGraph
+    method: str | None = None
+    options: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        return f"{self.method}:{getattr(self.graph, 'name', '?')}"
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of a job that failed after every retry.
+
+    Appears in the result list at the failed job's position.  ``error``
+    is the exception's ``repr``; ``traceback`` the worker-side formatted
+    traceback (empty when the worker died without reporting, e.g. a
+    crash or timeout).
+    """
+
+    index: int
+    graph: str
+    method: str
+    attempts: int
+    error: str
+    traceback: str = ""
+
+    def __bool__(self) -> bool:  # failed cells are falsy, results truthy
+        return False
+
+
+def normalize_jobs(graphs, *, default_method: str, default_options: dict | None = None) -> list[ColorJob]:
+    """Fold every accepted batch spelling into a ``list[ColorJob]``.
+
+    Accepted entries: a :class:`~repro.graph.csr.CSRGraph` (uses the
+    batch default method/options), a :class:`ColorJob`, or a tuple
+    ``(graph,)`` / ``(graph, method)`` / ``(graph, method, options)``.
+    Per-job options are merged over the batch defaults (job wins).
+    """
+    defaults = dict(default_options or {})
+    jobs: list[ColorJob] = []
+    for entry in graphs:
+        if isinstance(entry, ColorJob):
+            method = entry.method or default_method
+            options = {**defaults, **entry.options}
+            jobs.append(ColorJob(entry.graph, method, options))
+        elif isinstance(entry, CSRGraph):
+            jobs.append(ColorJob(entry, default_method, dict(defaults)))
+        elif isinstance(entry, tuple) and entry and isinstance(entry[0], CSRGraph):
+            if len(entry) > 3:
+                raise TypeError(
+                    f"job tuple has {len(entry)} elements; expected "
+                    f"(graph,), (graph, method) or (graph, method, options)"
+                )
+            graph = entry[0]
+            method = entry[1] if len(entry) > 1 and entry[1] else default_method
+            options = {**defaults, **(entry[2] if len(entry) > 2 else {})}
+            jobs.append(ColorJob(graph, method, options))
+        else:
+            raise TypeError(
+                f"cannot interpret {entry!r} as a coloring job: expected a "
+                f"CSRGraph, a ColorJob, or a (graph, method[, options]) tuple"
+            )
+    return jobs

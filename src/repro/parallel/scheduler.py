@@ -1,0 +1,377 @@
+"""Batch schedulers: shard (graph, scheme) jobs across worker processes.
+
+The simulation is CPU-bound pure Python, so independent jobs scale
+across *processes* (the GIL rules out threads).  Two schedulers share
+one contract:
+
+* :class:`SerialScheduler` — in-process, one job at a time; the
+  fallback and the reference the process pool must match byte-for-byte.
+* :class:`ProcessPoolScheduler` — a ``concurrent.futures`` process
+  pool.  Each worker process lazily builds its **own**
+  :class:`~repro.engine.context.ExecutionContext` and canonicalizes
+  unpickled graphs by content digest, so upload caching still amortizes
+  when a worker sees the same graph twice.  Results stream back in
+  submission order; a job that raises, crashes its worker, or exceeds
+  ``timeout_s`` is retried with exponential backoff and, once attempts
+  are exhausted, surfaced as a structured
+  :class:`~repro.parallel.jobs.JobFailure` instead of killing the batch.
+
+Determinism: the simulated device is deterministic, so colors and
+iteration counts are byte-identical across schedulers and worker
+counts.  Simulated *timings* of a job can differ from a shared-context
+serial run (each worker's device starts with cold caches); see
+docs/PARALLEL.md.
+
+:func:`run_jobs` is the orchestrator ``color_many`` calls: result-cache
+lookups happen in the coordinator (hits never reach a worker), per-job
+worker subtraces merge into the batch tracer, and per-round records
+replay into the batch recorder.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+
+from ..obs.observe import resolve_observe
+from .cache import job_cache_key, resolve_cache
+from .jobs import ColorJob, JobFailure
+
+__all__ = [
+    "SerialScheduler",
+    "ProcessPoolScheduler",
+    "resolve_scheduler",
+    "run_jobs",
+]
+
+
+# ---------------------------------------------------------------------------
+# The shared per-job runner (used in-process by SerialScheduler and inside
+# worker processes by ProcessPoolScheduler).
+# ---------------------------------------------------------------------------
+def _run_one(ctx_map: dict, job: ColorJob, backend, backend_opts: dict,
+             validate: bool, want_trace: bool, want_rounds: bool):
+    """Execute one job; returns ``(result, trace_roots, round_records)``.
+
+    Untraced device jobs share the ``ctx_map`` ExecutionContext (upload
+    caching, pooled buffers); observed jobs get an ephemeral context with
+    a job-local tracer/recorder whose contents the coordinator merges.
+    """
+    from ..coloring.api import ENGINE_RECIPES, color_graph
+    from ..engine.context import ExecutionContext
+    from ..metrics.recorder import Recorder
+    from ..obs.observe import Observation
+    from ..obs.tracer import Tracer
+
+    tracer = Tracer() if want_trace else None
+    recorder = Recorder() if want_rounds else None
+    observed = tracer is not None or recorder is not None
+    if job.method in ENGINE_RECIPES:
+        if observed:
+            ctx = ExecutionContext(
+                backend=backend,
+                observe=Observation(tracer=tracer, recorder=recorder),
+                **dict(backend_opts or {}),
+            )
+        else:
+            ctx = ctx_map.get("ctx")
+            if ctx is None:
+                ctx = ctx_map["ctx"] = ExecutionContext(
+                    backend=backend, **dict(backend_opts or {})
+                )
+        result = ctx.run(job.graph, job.method, validate=validate, **job.options)
+    else:
+        # Host-side schemes take no backend; in a batch the backend applies
+        # to the device jobs only.
+        observe = Observation(tracer=tracer, recorder=recorder) if observed else None
+        result = color_graph(
+            job.graph, job.method, validate=validate, observe=observe, **job.options
+        )
+    # The coordinator attaches its own observation handle.
+    result.extra.pop("observation", None)
+    return (
+        result,
+        tracer.roots if tracer is not None else None,
+        recorder.rounds if recorder is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side of the process pool.
+# ---------------------------------------------------------------------------
+#: Per-worker-process state: the backend spec (from the initializer), the
+#: lazily built ExecutionContext, and unpickled graphs keyed by content
+#: digest so repeat jobs on one graph hit the context's upload cache.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(backend, backend_opts: dict) -> None:
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(
+        backend=backend, backend_opts=dict(backend_opts or {}),
+        ctx_map={}, graphs={},
+    )
+
+
+def _worker_run(payload):
+    index, job, validate, want_trace, want_rounds = payload
+    try:
+        graph = _WORKER_STATE["graphs"].setdefault(job.graph.content_digest(), job.graph)
+        canonical = ColorJob(graph, job.method, job.options)
+        result, roots, rounds = _run_one(
+            _WORKER_STATE["ctx_map"], canonical,
+            _WORKER_STATE["backend"], _WORKER_STATE["backend_opts"],
+            validate, want_trace, want_rounds,
+        )
+        return ("ok", index, result, roots, rounds)
+    except Exception as exc:  # surfaced as a structured per-job error
+        return ("err", index, repr(exc), traceback.format_exc())
+
+
+# ---------------------------------------------------------------------------
+# Schedulers.
+# ---------------------------------------------------------------------------
+class SerialScheduler:
+    """Run jobs one at a time in this process (the reference order)."""
+
+    name = "serial"
+
+    def __init__(self, *, retries: int = 0, backoff_s: float = 0.0) -> None:
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+
+    def execute(self, jobs, *, backend=None, backend_opts=None, validate=True,
+                want_trace=False, want_rounds=False):
+        ctx_map: dict = {}
+        outcomes = []
+        for i, job in enumerate(jobs):
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    outcomes.append(_run_one(
+                        ctx_map, job, backend, backend_opts or {},
+                        validate, want_trace, want_rounds,
+                    ))
+                    break
+                except Exception as exc:
+                    if attempt > self.retries:
+                        outcomes.append(JobFailure(
+                            index=i, graph=getattr(job.graph, "name", "?"),
+                            method=job.method, attempts=attempt,
+                            error=repr(exc), traceback=traceback.format_exc(),
+                        ))
+                        break
+                    time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+        return outcomes
+
+
+class ProcessPoolScheduler:
+    """Shard jobs across a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: the machine's CPU count).
+    retries:
+        Extra attempts per failed job (default 2 → up to 3 attempts).
+    backoff_s:
+        Base sleep between retry rounds, doubled each round.
+    timeout_s:
+        Per-job wait budget; a job exceeding it is failed (and the pool
+        rebuilt, since the hung worker's slot is lost).  ``None`` waits
+        forever.
+    mp_context:
+        A ``multiprocessing`` context, e.g. ``get_context("spawn")``;
+        default is the platform default (fork on Linux — cheap).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, *, retries: int = 2,
+                 backoff_s: float = 0.05, timeout_s: float | None = None,
+                 mp_context=None) -> None:
+        self.workers = max(1, int(workers) if workers else (os.cpu_count() or 1))
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.timeout_s = timeout_s
+        self.mp_context = mp_context
+
+    def _new_pool(self, backend, backend_opts):
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self.mp_context,
+            initializer=_worker_init,
+            initargs=(backend, dict(backend_opts or {})),
+        )
+
+    def execute(self, jobs, *, backend=None, backend_opts=None, validate=True,
+                want_trace=False, want_rounds=False):
+        if backend is not None and not isinstance(backend, str):
+            raise TypeError(
+                "the process scheduler needs a picklable backend spec: pass "
+                "a backend *name* ('gpusim'/'cpusim') plus options, not an "
+                "instance (each worker builds its own)"
+            )
+        outcomes: list = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        last_error = [("", "")] * len(jobs)
+        pending = list(range(len(jobs)))
+        pool = None
+        retry_round = 0
+        try:
+            while pending:
+                if pool is None:
+                    pool = self._new_pool(backend, backend_opts)
+                futures = []
+                for i in pending:
+                    attempts[i] += 1
+                    payload = (i, jobs[i], validate, want_trace, want_rounds)
+                    futures.append((i, pool.submit(_worker_run, payload)))
+                failed, rebuild, broken, timed_out = [], False, False, False
+                for i, fut in futures:  # submission order == streaming order
+                    if broken:
+                        last_error[i] = ("BrokenProcessPool: worker process died", "")
+                        failed.append(i)
+                        continue
+                    try:
+                        out = fut.result(timeout=self.timeout_s)
+                    except FutureTimeoutError:
+                        fut.cancel()
+                        last_error[i] = (
+                            f"TimeoutError: no result within {self.timeout_s}s", "")
+                        failed.append(i)
+                        rebuild = timed_out = True  # a hung worker occupies its slot
+                        continue
+                    except BrokenProcessPool:
+                        last_error[i] = ("BrokenProcessPool: worker process died", "")
+                        failed.append(i)
+                        rebuild = broken = True
+                        continue
+                    if out[0] == "ok":
+                        _, idx, result, roots, rounds = out
+                        outcomes[idx] = (result, roots, rounds)
+                    else:
+                        _, idx, err, tb = out
+                        last_error[idx] = (err, tb)
+                        failed.append(idx)
+                if rebuild:
+                    # Can't wait on a hung worker; dead pools join instantly.
+                    pool.shutdown(wait=not timed_out, cancel_futures=True)
+                    pool = None
+                pending = [i for i in failed if attempts[i] <= self.retries]
+                for i in failed:
+                    if attempts[i] > self.retries:
+                        err, tb = last_error[i]
+                        outcomes[i] = JobFailure(
+                            index=i, graph=getattr(jobs[i].graph, "name", "?"),
+                            method=jobs[i].method, attempts=attempts[i],
+                            error=err, traceback=tb,
+                        )
+                if pending:
+                    time.sleep(self.backoff_s * (2 ** retry_round))
+                    retry_round += 1
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return outcomes
+
+
+def resolve_scheduler(spec=None, workers=None):
+    """Normalize ``scheduler=``/``workers=`` into a scheduler instance.
+
+    ``None`` infers from ``workers``: serial for ``None``/0/1, a process
+    pool otherwise.  Strings name the two built-ins; anything with an
+    ``execute`` method passes through (bring your own scheduler).
+    """
+    if spec is None:
+        if workers is None or int(workers) <= 1:
+            return SerialScheduler()
+        return ProcessPoolScheduler(workers)
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialScheduler()
+        if spec == "process":
+            return ProcessPoolScheduler(workers)
+        raise ValueError(
+            f"unknown scheduler {spec!r}; choose 'serial' or 'process' "
+            f"(or pass a scheduler instance)"
+        )
+    if hasattr(spec, "execute"):
+        return spec
+    raise TypeError(f"cannot interpret {spec!r} as a scheduler")
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator color_many calls.
+# ---------------------------------------------------------------------------
+def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
+             backend_opts=None, observe=None, cache=None, validate=True) -> list:
+    """Run a normalized job list through cache + scheduler + observation.
+
+    Returns one entry per job, in submission order: a
+    :class:`~repro.coloring.base.ColoringResult` or a
+    :class:`~repro.parallel.jobs.JobFailure`.  Cache hits are resolved in
+    the coordinator and never reach a worker; worker subtraces merge into
+    the batch tracer as ``worker`` spans; worker round records replay
+    into the batch recorder.
+    """
+    jobs = list(jobs)
+    observation = resolve_observe(observe)
+    tracer, recorder = observation.tracer, observation.recorder
+    cache_obj = resolve_cache(cache)
+    sched = resolve_scheduler(scheduler, workers)
+
+    results: list = [None] * len(jobs)
+    keys: list = [None] * len(jobs)
+    to_run: list[int] = []
+    for i, job in enumerate(jobs):
+        if cache_obj is not None:
+            keys[i] = job_cache_key(
+                job.graph, job.method, job.options, backend, backend_opts
+            )
+            hit = cache_obj.get(keys[i])
+            if tracer is not None:
+                tracer.event(f"result-cache:{job.label()}", "cache",
+                             hit=int(hit is not None), miss=int(hit is None))
+            if hit is not None:
+                if observation.active:
+                    hit.extra.setdefault("observation", observation)
+                results[i] = hit
+                continue
+        to_run.append(i)
+
+    if to_run:
+        outcomes = sched.execute(
+            [jobs[i] for i in to_run],
+            backend=backend, backend_opts=backend_opts, validate=validate,
+            want_trace=tracer is not None, want_rounds=recorder is not None,
+        )
+        for i, out in zip(to_run, outcomes):
+            if isinstance(out, JobFailure):
+                # Re-key the failure to its position in the full batch.
+                results[i] = JobFailure(
+                    index=i, graph=out.graph, method=out.method,
+                    attempts=out.attempts, error=out.error,
+                    traceback=out.traceback,
+                )
+                continue
+            result, roots, rounds = out
+            if tracer is not None and roots:
+                tracer.merge_subtrace(
+                    roots, label=f"job-{i}:{jobs[i].label()}",
+                    scheme=jobs[i].method,
+                    graph=getattr(jobs[i].graph, "name", "?"),
+                )
+            if recorder is not None and rounds:
+                recorder.rounds.extend(rounds)
+            if observation.active:
+                result.extra.setdefault("observation", observation)
+            if cache_obj is not None and keys[i] is not None:
+                cache_obj.put(keys[i], result)
+            results[i] = result
+    return results

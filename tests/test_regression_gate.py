@@ -1,0 +1,135 @@
+"""benchmarks/regression_gate.py: baseline matching and drift detection.
+
+The gate's matrix runs the real schemes (slow); these tests stub
+``run_matrix`` with canned cells and exercise the comparison logic —
+clean pass, tolerated drift, out-of-tolerance failure, functional
+changes, and the missing-baseline / stale-baseline error paths.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def rg():
+    spec = importlib.util.spec_from_file_location(
+        "regression_gate", _ROOT / "benchmarks" / "regression_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _cells(time_us=100.0, iterations=3, colors=5):
+    return {
+        "rmat-er/data-ldg": {
+            "total_time_us": time_us,
+            "iterations": iterations,
+            "num_colors": colors,
+        }
+    }
+
+
+@pytest.fixture
+def gate(rg, tmp_path, monkeypatch):
+    """The gate wired to a temp baseline and a stubbed one-cell matrix."""
+    monkeypatch.setattr(rg, "BASELINE_PATH", tmp_path / "baseline_times.json")
+
+    def set_matrix(**kwargs):
+        monkeypatch.setattr(rg, "run_matrix", lambda: _cells(**kwargs))
+
+    set_matrix()
+    return rg, set_matrix
+
+
+def test_update_writes_baseline(gate, capsys):
+    rg, _ = gate
+    assert rg.main(["--update"]) == 0
+    baseline = json.loads(rg.BASELINE_PATH.read_text())
+    assert baseline["scale_div"] == rg.SCALE_DIV
+    assert baseline["cells"] == _cells()
+    assert "wrote baseline" in capsys.readouterr().out
+
+
+def test_exact_match_passes(gate, capsys):
+    rg, _ = gate
+    rg.main(["--update"])
+    assert rg.main([]) == 0
+    assert "regression gate passed" in capsys.readouterr().out
+
+
+def test_tolerated_drift_passes(gate, capsys):
+    rg, set_matrix = gate
+    rg.main(["--update"])
+    set_matrix(time_us=110.0)  # +10% < the 15% default tolerance
+    assert rg.main([]) == 0
+    assert "+10.0%" in capsys.readouterr().out
+
+
+def test_out_of_tolerance_drift_fails(gate, capsys):
+    rg, set_matrix = gate
+    rg.main(["--update"])
+    set_matrix(time_us=130.0)  # +30% > 15%
+    assert rg.main([]) == 1
+    out = capsys.readouterr().out
+    assert "time drift +30.0%" in out
+    assert "regression gate FAILED" in out
+
+
+def test_tolerance_flag_overrides_default(gate):
+    rg, set_matrix = gate
+    rg.main(["--update"])
+    set_matrix(time_us=130.0)
+    assert rg.main(["--tolerance", "0.5"]) == 0
+
+
+def test_functional_changes_are_gated_exactly(gate, capsys):
+    rg, set_matrix = gate
+    rg.main(["--update"])
+    set_matrix(iterations=4)  # tiny time drift would pass; iterations must not
+    assert rg.main([]) == 1
+    assert "iterations 3 -> 4" in capsys.readouterr().out
+    set_matrix(colors=6)
+    assert rg.main([]) == 1
+    assert "colors 5 -> 6" in capsys.readouterr().out
+
+
+def test_missing_baseline_errors(gate, capsys):
+    rg, _ = gate
+    assert rg.main([]) == 1
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_stale_scale_div_errors(gate, capsys):
+    rg, _ = gate
+    rg.main(["--update"])
+    baseline = json.loads(rg.BASELINE_PATH.read_text())
+    baseline["scale_div"] = 9999
+    rg.BASELINE_PATH.write_text(json.dumps(baseline))
+    assert rg.main([]) == 1
+    assert "regenerate with --update" in capsys.readouterr().out
+
+
+def test_shrunken_matrix_fails(gate, monkeypatch, capsys):
+    rg, _ = gate
+    rg.main(["--update"])
+    replaced = {
+        "other/scheme": {"total_time_us": 1.0, "iterations": 1, "num_colors": 1}
+    }
+    monkeypatch.setattr(rg, "run_matrix", lambda: replaced)
+    assert rg.main([]) == 1
+    assert "in baseline but not run" in capsys.readouterr().out
+
+
+def test_new_cell_without_baseline_entry_fails(gate, monkeypatch):
+    rg, _ = gate
+    rg.main(["--update"])
+    cells = _cells()
+    cells["new/data-ldg"] = {"total_time_us": 1.0, "iterations": 1, "num_colors": 1}
+    monkeypatch.setattr(rg, "run_matrix", lambda: cells)
+    assert rg.main([]) == 1

@@ -1,0 +1,88 @@
+"""The versioned typed result surface and the ``extra`` deprecation shim."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import color_graph, rmat_er
+from repro.coloring.base import (
+    RESULT_SCHEMA_VERSION,
+    ColoringResult,
+    _reset_extra_deprecation,
+)
+
+
+@pytest.fixture(scope="module")
+def g():
+    return rmat_er(scale=7, seed=5)
+
+
+@pytest.fixture(autouse=True)
+def rearm_warning():
+    _reset_extra_deprecation()
+    yield
+    _reset_extra_deprecation()
+
+
+def test_to_dict_schema_v1_keys(g):
+    result = color_graph(g, "data-ldg", observe="trace")
+    d = result.to_dict(schema_version=1)
+    assert d["schema_version"] == RESULT_SCHEMA_VERSION == 1
+    assert d["scheme"] == "data-ldg"
+    assert d["colors"] is result.colors
+    assert d["num_colors"] == result.num_colors
+    assert d["iterations"] == result.iterations
+    assert d["total_time_us"] == pytest.approx(
+        d["gpu_time_us"] + d["cpu_time_us"] + d["transfer_time_us"]
+    )
+    assert d["num_kernel_launches"] == result.num_kernel_launches
+    assert d["observation"] is not None and d["observation"].tracer is not None
+    assert d["cache_hit"] is False
+    assert d["shard_stats"] is None
+
+
+def test_to_dict_rejects_unknown_version(g):
+    result = color_graph(g, "data-ldg")
+    with pytest.raises(ValueError, match="schema_version"):
+        result.to_dict(schema_version=2)
+
+
+def test_typed_properties(g):
+    plain = color_graph(g, "data-ldg")
+    assert plain.observation is None
+    assert plain.cache_hit is False
+    assert plain.shard_stats is None
+    observed = color_graph(g, "data-ldg", observe="rounds")
+    assert observed.observation is not None
+    assert observed.observation.recorder is not None
+
+
+def test_extra_reads_warn_once_per_process(g):
+    result = color_graph(g, "data-ldg", observe="trace")
+    with pytest.warns(DeprecationWarning, match="typed surface"):
+        obs = result.extra["observation"]
+    assert obs is result.observation
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second read: shim already fired
+        assert result.extra.get("observation") is obs
+
+
+def test_extra_writes_stay_silent(g):
+    result = color_graph(g, "data-ldg")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result.extra["marker"] = 1
+        result.extra.setdefault("other", 2)
+        result.extra.update(third=3)
+        result.extra.pop("third", None)
+    assert result.extra.peek("marker") == 1
+
+
+def test_extra_bag_survives_construction_roundtrip():
+    result = ColoringResult(
+        colors=np.array([1, 2], dtype=np.int32), scheme="x",
+        extra={"cache_hit": True, "shard_stats": {"num_shards": 2}},
+    )
+    assert result.cache_hit is True
+    assert result.shard_stats == {"num_shards": 2}

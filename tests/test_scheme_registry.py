@@ -9,6 +9,7 @@ from repro.coloring.registry import (
     ENGINE_KEYWORDS,
     SCHEMES,
     SchemeInfo,
+    execution_table_markdown,
     scheme_options,
     scheme_table_markdown,
     unknown_method_error,
@@ -114,6 +115,19 @@ def test_api_docs_scheme_table_in_sync():
     ``python -m repro.coloring.registry``)."""
     doc = Path(__file__).resolve().parent.parent / "docs" / "API.md"
     assert scheme_table_markdown() in doc.read_text(encoding="utf-8")
+
+
+def test_api_docs_execution_table_in_sync():
+    """docs/API.md embeds the generated execution-options table verbatim
+    (regenerate with ``python -m repro.coloring.registry``)."""
+    doc = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    assert execution_table_markdown() in doc.read_text(encoding="utf-8")
+
+
+def test_execution_table_mentions_every_engine_keyword():
+    table = execution_table_markdown()
+    for keyword in ENGINE_KEYWORDS:
+        assert f"| `{keyword}=" in table
 
 
 def test_table_mentions_every_scheme():
