@@ -59,6 +59,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="rewrite the baseline from the current model")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed relative time drift (default 0.15)")
+    parser.add_argument("--kernels", action="store_true",
+                        help="also gate host wall-clock against the quick "
+                             "profile of BENCH_kernels.json")
+    parser.add_argument("--kernel-threshold", type=float, default=2.0,
+                        help="wall-clock threshold for --kernels (default 2.0)")
     args = parser.parse_args(argv)
 
     cells = run_matrix()
@@ -119,7 +124,27 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"\nregression gate passed: {len(cells)} cells within "
           f"{args.tolerance:.0%} of baseline")
+    if args.kernels:
+        return _kernel_gate(args.kernel_threshold)
     return 0
+
+
+def _kernel_gate(threshold: float) -> int:
+    """Run the quick kernel-benchmark profile against its committed record.
+
+    The simulated-time cells above pin the *model*; this pins the *host*
+    wall-clock (see ``bench_kernels.py`` / ``BENCH_kernels.json``).
+    """
+    try:
+        from benchmarks import bench_kernels
+    except ImportError:  # run as a script: sibling module, no package
+        import bench_kernels
+
+    print("\n[kernel wall-clock gate: quick profile]")
+    results = bench_kernels.run_profile("quick", repeat=1)
+    baseline = bench_kernels.load_baseline()
+    bench_kernels.print_results("quick", results, baseline)
+    return bench_kernels.check("quick", results, baseline, threshold)
 
 
 if __name__ == "__main__":

@@ -118,6 +118,7 @@ def color_graph(
     observe=None,
     recorder=None,
     cache=None,
+    mex=None,
     **kwargs,
 ) -> ColoringResult:
     """Color ``graph`` with the named scheme.
@@ -155,6 +156,12 @@ def color_graph(
         a :class:`~repro.parallel.ResultCache`.  A hit returns the stored
         result without entering the round loop (``result.cache_hit`` is
         True); a miss runs normally and stores the result.
+    mex:
+        Forbidden-color kernel strategy for this run: ``'bitmask'``
+        (default behavior), ``'bitmask:N'`` to change the word-count
+        fallback limit, or ``'sort'`` for the historical sort-based
+        kernel.  Results are byte-identical across strategies — only
+        wall-clock speed differs — so ``mex`` never enters cache keys.
     **kwargs:
         Scheme-specific options, e.g. ``block_size=256``,
         ``worklist_strategy='atomic'``, ``num_hashes=4``,
@@ -209,26 +216,31 @@ def color_graph(
                 hit.validate(graph)
             return hit
 
-    if context is not None:
-        result = context.run(graph, method, validate=validate, **kwargs)
-    elif observation.active and method in ENGINE_RECIPES:
-        # Observed device runs route through an ephemeral context so the
-        # tracer sees uploads, kernels and transfers alike.
-        from ..engine.context import ExecutionContext
+    from contextlib import nullcontext
 
-        spec = backend if backend is not None else kwargs.pop("device", None)
-        ctx = ExecutionContext(backend=spec, observe=observation)
-        result = ctx.run(graph, method, validate=validate, **kwargs)
-    else:
-        if backend is not None:
-            kwargs["backend"] = backend
-        result = METHODS[method](graph, **kwargs)
-        if observation.tracer is not None:
-            _trace_host_run(observation.tracer, graph, result)
-        if observation.active:
-            result.extra.setdefault("observation", observation)
-        if validate:
-            result.validate(graph)
+    from .kernels import mex_strategy
+
+    with mex_strategy(mex) if mex is not None else nullcontext():
+        if context is not None:
+            result = context.run(graph, method, validate=validate, **kwargs)
+        elif observation.active and method in ENGINE_RECIPES:
+            # Observed device runs route through an ephemeral context so the
+            # tracer sees uploads, kernels and transfers alike.
+            from ..engine.context import ExecutionContext
+
+            spec = backend if backend is not None else kwargs.pop("device", None)
+            ctx = ExecutionContext(backend=spec, observe=observation)
+            result = ctx.run(graph, method, validate=validate, **kwargs)
+        else:
+            if backend is not None:
+                kwargs["backend"] = backend
+            result = METHODS[method](graph, **kwargs)
+            if observation.tracer is not None:
+                _trace_host_run(observation.tracer, graph, result)
+            if observation.active:
+                result.extra.setdefault("observation", observation)
+            if validate:
+                result.validate(graph)
     if cache_obj is not None:
         cache_obj.put(cache_key, result)
     return result

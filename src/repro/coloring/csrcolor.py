@@ -29,7 +29,7 @@ from ..gpusim.config import LaunchConfig
 from ..graph.csr import CSRGraph
 from ..primitives.hashing import murmur3_finalize
 from .base import COLOR_DTYPE, ColoringResult
-from .kernels import expand_segments
+from .kernels import Expansion
 
 __all__ = ["CsrColorRecipe", "color_csrcolor", "multi_hash_round"]
 
@@ -46,6 +46,7 @@ def multi_hash_round(
     round_seed: int,
     *,
     compare_all: bool = True,
+    expansion: Expansion | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One multi-hash round: per-active-vertex color slot or -1.
 
@@ -65,8 +66,10 @@ def multi_hash_round(
     active_ids = np.asarray(active_ids, dtype=np.int64)
     n_active = active_ids.size
 
-    seg, _, edge_idx = expand_segments(graph, active_ids)
-    w = graph.col_indices[edge_idx].astype(np.int64)
+    if expansion is None:
+        expansion = Expansion(graph, active_ids)
+    seg = expansion.seg
+    w = expansion.nbr64(graph)
     v = active_ids[seg]
     if compare_all:
         competing = np.ones(w.size, dtype=bool)
@@ -133,24 +136,25 @@ class CsrColorRecipe(SchemeRecipe):
         ex, graph, bufs = self.ex, self.graph, self.bufs
         n = graph.num_vertices
         active = self.active
+        # One expansion of the active set serves the election and the charge.
+        active_exp = Expansion(graph, active)
         winners, slots = multi_hash_round(
             graph, active, self.num_hashes, self.seed + iteration + 1,
-            compare_all=self.compare_all,
+            compare_all=self.compare_all, expansion=active_exp,
         )
 
         # --- kernel charge: full-range launch, actives do the edge loop ---
         tb = ex.builder(n, self.launch, name=f"csrcolor-{iteration}")
-        seg, step, edge_idx = expand_segments(graph, active)
+        seg, step, edge_idx = active_exp.seg, active_exp.step, active_exp.edge_idx
         t_of_edge = active[seg]
         tb.load(active, bufs.R.addr(active))
         tb.load(active, bufs.R.addr(active + 1))
         tb.load(active, bufs.colors.addr(active))
         tb.load(t_of_edge, bufs.C.addr(edge_idx), step=step)
-        tb.load(t_of_edge, bufs.colors.addr(graph.col_indices[edge_idx]), step=step)
+        tb.load(t_of_edge, bufs.colors.addr(active_exp.nbr32(graph)), step=step)
         if winners.size:
             tb.store(winners, bufs.colors.addr(winners))
-        trips = graph.degrees[active].astype(np.int64)
-        tb.instructions(active, trips * _INSTR_PER_EDGE)
+        tb.instructions(active, active_exp.lens * _INSTR_PER_EDGE)
         tb.instructions(active, _INSTR_PER_VERTEX + _INSTR_PER_HASH * self.num_hashes)
         tb.uniform_overhead(_INSTR_IDLE_THREAD)
         tb.activate(active.size)

@@ -25,6 +25,7 @@ from ..primitives.compact import charge_compaction
 from ..primitives.worklist import DoubleBufferedWorklist
 from .base import COLOR_DTYPE, ColoringResult
 from .kernels import (
+    Expansion,
     charge_color_kernel,
     charge_color_kernel_lb,
     charge_conflict_kernel,
@@ -80,31 +81,46 @@ class DataDrivenRecipe(SchemeRecipe):
         work = worklist.items()  # vertex ids, compact
         k = work.size
         threads = np.arange(k, dtype=np.int64)
+        # One expansion of the worklist serves the color step, both charge
+        # passes and the conflict scan (formerly four re-expansions); its
+        # memo additionally shares the coalesced streams the two charge
+        # kernels replay against the same arrays.
+        work_exp = Expansion(graph, work)
+        win_addr = worklist.in_buffer.addr(threads)
 
         # ---- coloring kernel: k threads, one per worklist entry ---------
         if self.load_balance:
             layout = warp_lb_layout(graph, work, ex.warp_size)
-            tb = ex.builder(
+            color_tb = ex.builder(
                 layout.num_threads, self.launch, name=f"data-color-{iteration}"
             )
-            tb.load(threads, worklist.in_buffer.addr(threads))  # W_in reads
-            speculative_color_waved(graph, self.colors, work, self.wave_threads)
-            charge_color_kernel_lb(tb, graph, bufs, layout, use_ldg=self.use_ldg)
+            color_tb.load(threads, win_addr, memo=work_exp.memo)  # W_in reads
+            speculative_color_waved(
+                graph, self.colors, work, self.wave_threads,
+                expansion=work_exp, scratch=self.scratch,
+            )
+            charge_color_kernel_lb(color_tb, graph, bufs, layout, use_ldg=self.use_ldg)
         else:
-            tb = ex.builder(k, self.launch, name=f"data-color-{iteration}")
-            tb.load(threads, worklist.in_buffer.addr(threads))  # W_in[tid]
-            speculative_color_waved(graph, self.colors, work, self.wave_threads)
-            charge_color_kernel(tb, graph, bufs, work, threads, use_ldg=self.use_ldg)
-        self.profiles.append(ex.commit(tb))
+            color_tb = ex.builder(k, self.launch, name=f"data-color-{iteration}")
+            color_tb.load(threads, win_addr, memo=work_exp.memo)  # W_in[tid]
+            speculative_color_waved(
+                graph, self.colors, work, self.wave_threads,
+                expansion=work_exp, scratch=self.scratch,
+            )
+            charge_color_kernel(
+                color_tb, graph, bufs, work, threads, use_ldg=self.use_ldg,
+                expansion=work_exp,
+            )
 
         # ---- conflict kernel: scan this round's vertices, push losers ---
         tb = ex.builder(k, self.launch, name=f"data-conflict-{iteration}")
-        tb.load(threads, worklist.in_buffer.addr(threads))
-        conflicted = detect_conflicts(graph, self.colors, work)
+        tb.load(threads, win_addr, memo=work_exp.memo)
+        conflicted = detect_conflicts(graph, self.colors, work, expansion=work_exp)
         mask = np.zeros(k, dtype=bool)
         mask[np.searchsorted(work, conflicted)] = True
         charge_conflict_kernel(
-            tb, graph, bufs, work, threads, mask, use_ldg=self.use_ldg
+            tb, graph, bufs, work, threads, mask, use_ldg=self.use_ldg,
+            expansion=work_exp,
         )
         charge_compaction(
             tb,
@@ -117,7 +133,9 @@ class DataDrivenRecipe(SchemeRecipe):
         # Losers keep their stale color until recolored next round, exactly
         # as the pseudocode does (the mask loop reads color[w] regardless).
         worklist.publish(conflicted)
-        self.profiles.append(ex.commit(tb))
+        # Nothing between the two builders touches the timeline, so the
+        # pair prices concurrently with unchanged seeds and event order.
+        self.profiles.extend(ex.commit_pair(color_tb, tb))
         return RoundStatus(active=int(k), conflicts=int(conflicted.size))
 
     def post_round(self, iteration: int) -> int:

@@ -25,6 +25,7 @@ from .base import COLOR_DTYPE, ColoringError, ColoringResult
 from .kernels import expand_segments, min_excluded_colors, race_window_threads, upload_graph
 
 __all__ = [
+    "TwoHopExpansion",
     "two_hop_pairs",
     "count_d2_conflicts",
     "validate_distance2",
@@ -37,6 +38,47 @@ _INSTR_PER_HOP2_EDGE = 7
 _INSTR_PER_VERTEX = 16
 
 
+class TwoHopExpansion:
+    """Two-hop expansion of an id set, computed once and sliced by window.
+
+    Holds both hop levels of the flattened walk ``v - w - u``: the direct
+    expansion (``seg1``/``step1``/``e1`` with endpoints ``w``) and the
+    expansion of every ``w``'s adjacency (``seg2``/``step2``/``e2`` with
+    endpoints ``u``).  One instance per round replaces the former pattern
+    of re-expanding the same active set in the color step (once per
+    window), the conflict scan and both charge passes.
+    """
+
+    __slots__ = ("ids", "seg1", "step1", "e1", "w", "seg2", "step2", "e2", "u")
+
+    def __init__(self, graph: CSRGraph, vertex_ids: np.ndarray) -> None:
+        self.ids = np.asarray(vertex_ids, dtype=np.int64)
+        self.seg1, self.step1, self.e1 = expand_segments(graph, self.ids)
+        self.w = graph.col_indices[self.e1].astype(np.int64)
+        # Second hop: expand each w's adjacency, owned by the first hop.
+        self.seg2, self.step2, self.e2 = expand_segments(graph, self.w)
+        self.u = graph.col_indices[self.e2].astype(np.int64)
+
+    def pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The full ``(seg, targets)`` pair view (see :func:`two_hop_pairs`)."""
+        seg = np.concatenate([self.seg1, self.seg1[self.seg2]])
+        targets = np.concatenate([self.w, self.u])
+        return seg, targets
+
+    def window(self, i0: int, i1: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pair view of ``ids[i0:i1]`` — the same arrays
+        ``two_hop_pairs(graph, ids[i0:i1])`` would rebuild, by slicing.
+
+        Both seg arrays are non-decreasing, so a contiguous id window maps
+        to contiguous ranges of each hop level via ``searchsorted``.
+        """
+        a1, b1 = np.searchsorted(self.seg1, (i0, i1))
+        a2, b2 = np.searchsorted(self.seg2, (a1, b1))
+        seg = np.concatenate([self.seg1[a1:b1], self.seg1[self.seg2[a2:b2]]]) - i0
+        targets = np.concatenate([self.w[a1:b1], self.u[a2:b2]])
+        return seg, targets
+
+
 def two_hop_pairs(graph: CSRGraph, vertex_ids: np.ndarray):
     """Flattened two-hop adjacency of ``vertex_ids``.
 
@@ -45,15 +87,7 @@ def two_hop_pairs(graph: CSRGraph, vertex_ids: np.ndarray):
     of ``v`` and the endpoint (``w`` or ``u``).  ``v`` itself may appear
     as a target (via ``v - w - v``); callers mask self-pairs out.
     """
-    vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
-    seg1, _, e1 = expand_segments(graph, vertex_ids)
-    w = graph.col_indices[e1].astype(np.int64)
-    # Second hop: expand each w's adjacency, owned by the original segment.
-    seg2, _, e2 = expand_segments(graph, w)
-    u = graph.col_indices[e2].astype(np.int64)
-    seg = np.concatenate([seg1, seg1[seg2]])
-    targets = np.concatenate([w, u])
-    return seg, targets
+    return TwoHopExpansion(graph, vertex_ids).pairs()
 
 
 def count_d2_conflicts(graph: CSRGraph, colors: np.ndarray) -> int:
@@ -110,21 +144,27 @@ def greedy_distance2(graph: CSRGraph, order: np.ndarray | None = None) -> Colori
 
 
 def _speculative_d2_step(
-    graph: CSRGraph, colors: np.ndarray, active_ids: np.ndarray
+    graph: CSRGraph,
+    colors: np.ndarray,
+    active_ids: np.ndarray,
+    pairs: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Snapshot mex over the two-hop neighborhood of each active vertex."""
-    seg, targets = two_hop_pairs(graph, active_ids)
+    seg, targets = pairs if pairs is not None else two_hop_pairs(graph, active_ids)
     v = np.asarray(active_ids, dtype=np.int64)[seg]
     keep = targets != v  # own (possibly stale) color never forbids
     return min_excluded_colors(seg[keep], colors[targets[keep]], active_ids.size)
 
 
 def _detect_d2_conflicts(
-    graph: CSRGraph, colors: np.ndarray, scope_ids: np.ndarray
+    graph: CSRGraph,
+    colors: np.ndarray,
+    scope_ids: np.ndarray,
+    pairs: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Scope vertices that lose a distance-2 conflict (smaller id loses)."""
     scope_ids = np.asarray(scope_ids, dtype=np.int64)
-    seg, targets = two_hop_pairs(graph, scope_ids)
+    seg, targets = pairs if pairs is not None else two_hop_pairs(graph, scope_ids)
     v = scope_ids[seg]
     clash = (
         (colors[v] == colors[targets]) & (colors[v] > 0) & (v < targets)
@@ -163,20 +203,26 @@ def color_distance2_gpu(
         active = all_ids[~colored]
         changed = active.size > 0
         if changed:
+            # One two-hop expansion per round; the color windows, the
+            # conflict scan and both charge passes slice or reuse it.
+            hop = TwoHopExpansion(graph, active)
             tb = device.builder(n, launch, name=f"d2-color-{iterations}")
             # Wave-granular visibility, chunked over thread-id ranges.
             for lo in range(0, n, window):
-                chunk = active[(active >= lo) & (active < lo + window)]
-                if chunk.size:
-                    colors[chunk] = _speculative_d2_step(graph, colors, chunk)
+                i0, i1 = np.searchsorted(active, (lo, lo + window))
+                if i1 > i0:
+                    chunk = active[i0:i1]
+                    colors[chunk] = _speculative_d2_step(
+                        graph, colors, chunk, pairs=hop.window(i0, i1)
+                    )
             colored[active] = True
-            _charge_d2_kernel(tb, graph, bufs, active, idle=n - active.size)
+            _charge_d2_kernel(tb, graph, bufs, active, idle=n - active.size, hop=hop)
             profiles.append(device.commit(tb))
 
             tb = device.builder(n, launch, name=f"d2-conflict-{iterations}")
-            conflicted = _detect_d2_conflicts(graph, colors, active)
+            conflicted = _detect_d2_conflicts(graph, colors, active, pairs=hop.pairs())
             colored[conflicted] = False
-            _charge_d2_kernel(tb, graph, bufs, active, idle=n - active.size)
+            _charge_d2_kernel(tb, graph, bufs, active, idle=n - active.size, hop=hop)
             profiles.append(device.commit(tb))
         device.dtoh(4)
         iterations += 1
@@ -197,11 +243,20 @@ def color_distance2_gpu(
     return result
 
 
-def _charge_d2_kernel(tb, graph: CSRGraph, bufs, active: np.ndarray, *, idle: int) -> None:
+def _charge_d2_kernel(
+    tb,
+    graph: CSRGraph,
+    bufs,
+    active: np.ndarray,
+    *,
+    idle: int,
+    hop: TwoHopExpansion | None = None,
+) -> None:
     """Record the two-hop walk's memory behavior."""
     active = np.asarray(active, dtype=np.int64)
-    seg1, step1, e1 = expand_segments(graph, active)
-    w = graph.col_indices[e1].astype(np.int64)
+    if hop is None:
+        hop = TwoHopExpansion(graph, active)
+    seg1, step1, e1, w = hop.seg1, hop.step1, hop.e1, hop.w
     t1 = active[seg1]
     tb.load(active, bufs.R.addr(active))
     tb.load(active, bufs.R.addr(active + 1))
@@ -209,8 +264,7 @@ def _charge_d2_kernel(tb, graph: CSRGraph, bufs, active: np.ndarray, *, idle: in
     tb.load(t1, bufs.colors.addr(w), step=step1)
     # second hop: R[w], R[w+1] and w's row + colors
     tb.load(t1, bufs.R.addr(w), step=step1)
-    seg2, step2, e2 = expand_segments(graph, w)
-    u = graph.col_indices[e2].astype(np.int64)
+    seg2, step2, e2, u = hop.seg2, hop.step2, hop.e2, hop.u
     t2 = t1[seg2]
     # step key folds both loop levels so nothing coalesces across trips
     deg_cap = max(int(graph.max_degree), 1)

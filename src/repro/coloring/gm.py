@@ -20,7 +20,7 @@ import numpy as np
 from ..cpusim.model import MulticoreCPU
 from ..graph.csr import CSRGraph
 from .base import COLOR_DTYPE, ColoringResult
-from .kernels import detect_conflicts, expand_segments, speculative_color_step
+from .kernels import Expansion, detect_conflicts, speculative_color_step
 
 __all__ = ["color_gm"]
 
@@ -73,6 +73,9 @@ def color_gm(graph: CSRGraph, *, cores: int | None = None) -> ColoringResult:
     while work.size:
         if iterations >= _MAX_ITERATIONS:
             raise RuntimeError("GM coloring failed to converge")
+        # One expansion of the worklist serves the color step, the conflict
+        # scan and both pricing passes.
+        work_exp = Expansion(graph, work)
         if cores:
             snapshot = colors.copy()
             chunks = np.array_split(work, cores)
@@ -82,12 +85,14 @@ def color_gm(graph: CSRGraph, *, cores: int | None = None) -> ColoringResult:
                 fresh.append(_sequential_on_view(graph, view, chunk))
             for chunk, vals in zip(chunks, fresh):
                 colors[chunk] = vals
-            _charge_round(cpu, graph, work, f"gm-color-{iterations}")
+            _charge_round(cpu, graph, work, f"gm-color-{iterations}", work_exp)
         else:
-            colors[work] = speculative_color_step(graph, colors, work)
-        conflicted = detect_conflicts(graph, colors, work)
+            colors[work] = speculative_color_step(
+                graph, colors, work, expansion=work_exp
+            )
+        conflicted = detect_conflicts(graph, colors, work, expansion=work_exp)
         if cpu is not None:
-            _charge_round(cpu, graph, work, f"gm-conflict-{iterations}")
+            _charge_round(cpu, graph, work, f"gm-conflict-{iterations}", work_exp)
         work = conflicted
         iterations += 1
     return ColoringResult(
@@ -99,11 +104,18 @@ def color_gm(graph: CSRGraph, *, cores: int | None = None) -> ColoringResult:
     )
 
 
-def _charge_round(cpu: MulticoreCPU, graph: CSRGraph, work: np.ndarray, name: str) -> None:
+def _charge_round(
+    cpu: MulticoreCPU,
+    graph: CSRGraph,
+    work: np.ndarray,
+    name: str,
+    expansion: Expansion | None = None,
+) -> None:
     """Price one parallel region: the work set's neighbor-color gathers."""
-    _, _, edge_idx = expand_segments(graph, work)
-    addresses = graph.col_indices[edge_idx].astype(np.int64) * 4
-    m_work = int(edge_idx.size)
+    if expansion is None:
+        expansion = Expansion(graph, work)
+    addresses = expansion.nbr64(graph) * 4
+    m_work = int(expansion.edge_idx.size)
     cpu.run_parallel(
         name,
         instructions=_INSTR_PER_VERTEX * int(work.size) + _INSTR_PER_EDGE * m_work,

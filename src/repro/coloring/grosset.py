@@ -37,10 +37,10 @@ from ..graph.csr import CSRGraph
 from ..graph.partition import block_partition, boundary_vertices
 from .base import COLOR_DTYPE, ColoringResult
 from .kernels import (
+    Expansion,
     charge_color_kernel,
     charge_conflict_kernel,
     detect_conflicts,
-    expand_segments,
     speculative_color_waved,
 )
 
@@ -121,26 +121,34 @@ class ThreeStepGMRecipe(SchemeRecipe):
             self.done = True
             return RoundStatus(active=0, executed=False)
 
+        # One expansion per graph view: the intra-partition edges feed the
+        # color step and conflict scan, the full adjacency feeds pricing.
+        intra_exp = Expansion(self.intra, active)
+        full_exp = Expansion(graph, active)
+
         tb = ex.builder(n, self.launch, name=f"3gm-color-{iteration}")
         speculative_color_waved(
-            self.intra, self.colors, active, self.wave_threads, thread_ids=active
+            self.intra, self.colors, active, self.wave_threads,
+            thread_ids=active, expansion=intra_exp, scratch=self.scratch,
         )
         # The kernel walks the FULL adjacency list (partition membership is
         # tested per neighbor), but only same-partition colors are loaded.
         charge_color_kernel(
             tb, graph, bufs, active, active, use_ldg=False,
-            idle_threads=n - active.size,
+            idle_threads=n - active.size, expansion=full_exp,
         )
         self.colored[active] = True
         self.profiles.append(ex.commit(tb))
 
         tb = ex.builder(n, self.launch, name=f"3gm-conflict-{iteration}")
-        conflicted = detect_conflicts(self.intra, self.colors, active)
+        conflicted = detect_conflicts(
+            self.intra, self.colors, active, expansion=intra_exp
+        )
         mask = np.zeros(active.size, dtype=bool)
         mask[np.searchsorted(active, conflicted)] = True
         charge_conflict_kernel(
             tb, graph, bufs, active, active, mask, use_ldg=False,
-            idle_threads=n - active.size,
+            idle_threads=n - active.size, expansion=full_exp,
         )
         self.colored[conflicted] = False
         self.profiles.append(ex.commit(tb))
@@ -155,10 +163,14 @@ class ThreeStepGMRecipe(SchemeRecipe):
 
         # ---- cross-partition conflict detection (GPU) -------------------
         tb = ex.builder(n, self.launch, name="3gm-cross-conflict")
-        cross_conflicted = detect_conflicts(graph, colors, all_ids)
+        full_exp = Expansion(graph, all_ids)  # full-range: plan views, no copy
+        cross_conflicted = detect_conflicts(graph, colors, all_ids, expansion=full_exp)
         mask = np.zeros(n, dtype=bool)
         mask[cross_conflicted] = True
-        charge_conflict_kernel(tb, graph, bufs, all_ids, all_ids, mask, use_ldg=False)
+        charge_conflict_kernel(
+            tb, graph, bufs, all_ids, all_ids, mask, use_ldg=False,
+            expansion=full_exp,
+        )
         self.profiles.append(ex.commit(tb))
 
         # ---- step 3: ship colors + flags to the host, resolve on the CPU
@@ -180,8 +192,8 @@ class ThreeStepGMRecipe(SchemeRecipe):
                 colors[v] = c
             # Price the sequential pass: gather stream over the fixed
             # vertices' neighborhoods in visit order.
-            seg, _, edge_idx = expand_segments(graph, to_fix.astype(np.int64))
-            addresses = graph.col_indices[edge_idx].astype(np.int64) * 4
+            fix_exp = Expansion(graph, to_fix.astype(np.int64))
+            addresses = fix_exp.nbr64(graph) * 4
             m_fix = int(graph.degrees[to_fix].sum())
             cpu.run(
                 "3gm-sequential-resolution",

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from .base import COLOR_DTYPE, ColoringResult
-from .kernels import expand_segments
+from .kernels import Expansion
 
 __all__ = ["color_jp", "color_jp_gpu", "color_jp_lf", "local_maxima"]
 
@@ -27,7 +27,10 @@ _MAX_ITERATIONS = 100_000
 
 
 def local_maxima(
-    graph: CSRGraph, active_ids: np.ndarray, priorities: np.ndarray
+    graph: CSRGraph,
+    active_ids: np.ndarray,
+    priorities: np.ndarray,
+    expansion: Expansion | None = None,
 ) -> np.ndarray:
     """Active vertices whose priority beats all *active* neighbors'.
 
@@ -38,8 +41,10 @@ def local_maxima(
     active_ids = np.asarray(active_ids, dtype=np.int64)
     active_mask = np.zeros(graph.num_vertices, dtype=bool)
     active_mask[active_ids] = True
-    seg, _, edge_idx = expand_segments(graph, active_ids)
-    w = graph.col_indices[edge_idx].astype(np.int64)
+    if expansion is None:
+        expansion = Expansion(graph, active_ids)
+    seg = expansion.seg
+    w = expansion.nbr64(graph)
     v = active_ids[seg]
     competing = active_mask[w]
     pv, pw = priorities[v], priorities[w]
@@ -132,7 +137,7 @@ def color_jp_gpu(
 
     from ..gpusim.config import LaunchConfig
     from ..gpusim.device import Device
-    from .kernels import expand_segments, upload_graph
+    from .kernels import upload_graph
 
     device = device or Device()
     launch = LaunchConfig(block_size=block_size)
@@ -161,20 +166,22 @@ def color_jp_gpu(
         profiles.append(device.commit(tb))
 
         # --- MIS kernel: compare against active neighbors ----------------
+        # One expansion of the active set serves the MIS election and the
+        # charge streams.
         tb = device.builder(n, launch, name=f"jp-mis-{color}")
-        seg, step, edge_idx = expand_segments(graph, active)
+        active_exp = Expansion(graph, active)
+        seg, step, edge_idx = active_exp.seg, active_exp.step, active_exp.edge_idx
         t_of_edge = active[seg]
         tb.load(active, bufs.R.addr(active))
         tb.load(active, bufs.R.addr(active + 1))
         tb.load(t_of_edge, bufs.C.addr(edge_idx), step=step)
-        w = graph.col_indices[edge_idx].astype(np.int64)
+        w = active_exp.nbr64(graph)
         tb.load(t_of_edge, r_buf.addr(w), step=step)
         tb.load(t_of_edge, bufs.colors.addr(w), step=step)  # active check
-        mis = local_maxima(graph, active, priorities)
+        mis = local_maxima(graph, active, priorities, expansion=active_exp)
         if mis.size:
             tb.store(mis, bufs.colors.addr(mis))
-        trips = graph.degrees[active].astype(np.int64)
-        tb.instructions(active, trips * 5 + 10)
+        tb.instructions(active, active_exp.lens * 5 + 10)
         tb.uniform_overhead(3)
         tb.activate(active.size)
         profiles.append(device.commit(tb))

@@ -23,6 +23,7 @@ hardware behavior either way.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,8 +36,14 @@ from .base import COLOR_DTYPE
 __all__ = [
     "GraphBuffers",
     "upload_graph",
+    "ExpansionPlan",
+    "get_expansion_plan",
+    "Expansion",
+    "KernelScratch",
     "expand_segments",
     "min_excluded_colors",
+    "set_mex_strategy",
+    "mex_strategy",
     "speculative_color_step",
     "speculative_color_waved",
     "resident_thread_capacity",
@@ -112,6 +119,58 @@ def upload_graph(device, graph: CSRGraph, *, charge_transfer: bool = False) -> G
     return GraphBuffers(R=R, C=C, colors=colors, aux=aux)
 
 
+class ExpansionPlan:
+    """Per-graph full-adjacency expansion, computed once and reused.
+
+    The three full-graph streams every kernel round used to rebuild with a
+    ``repeat``/``cumsum`` pass — ``seg`` (edge -> owner position), ``step``
+    (trip index within the owner's neighbor loop) and ``edge_idx``
+    (identity, since the full expansion enumerates ``C`` in order) — are
+    materialized once per graph and frozen.  Round/wave slices are then
+    derived by gather instead of re-expansion.  Memoized on the graph via
+    :func:`get_expansion_plan` (the CSR arrays are immutable, so the plan
+    cannot go stale).
+    """
+
+    __slots__ = ("seg", "step", "edge_idx", "all_ids", "starts", "lens", "_nbr64")
+
+    def __init__(self, graph: CSRGraph):
+        n = graph.num_vertices
+        m = graph.num_edges
+        lens = np.diff(graph.row_offsets)
+        starts = graph.row_offsets[:-1].astype(np.int64)
+        edge_idx = np.arange(m, dtype=np.int64)
+        seg = np.repeat(np.arange(n, dtype=np.int64), lens)
+        step = edge_idx - starts[seg] if m else edge_idx
+        all_ids = np.arange(n, dtype=np.int64)
+        for arr in (seg, step, edge_idx, all_ids, starts, lens):
+            arr.setflags(write=False)
+        self.seg = seg
+        self.step = step
+        self.edge_idx = edge_idx
+        self.all_ids = all_ids
+        self.starts = starts
+        self.lens = lens  # int64 (np.diff of the int64 offsets)
+        self._nbr64 = None
+
+    def nbr64(self, graph: CSRGraph) -> np.ndarray:
+        """``col_indices`` widened to int64, cached (conflict-scope gathers)."""
+        if self._nbr64 is None:
+            w = graph.col_indices.astype(np.int64)
+            w.setflags(write=False)
+            self._nbr64 = w
+        return self._nbr64
+
+
+def get_expansion_plan(graph: CSRGraph) -> ExpansionPlan:
+    """The memoized :class:`ExpansionPlan` for ``graph``."""
+    plan = graph.__dict__.get("_expansion_plan")
+    if plan is None:
+        plan = ExpansionPlan(graph)
+        object.__setattr__(graph, "_expansion_plan", plan)
+    return plan
+
+
 def expand_segments(graph: CSRGraph, vertex_ids: np.ndarray):
     """Flatten the adjacency lists of ``vertex_ids``.
 
@@ -119,32 +178,162 @@ def expand_segments(graph: CSRGraph, vertex_ids: np.ndarray):
     listed vertex, the position of its owner within ``vertex_ids``, its
     trip index inside the owner's neighbor loop, and its index into ``C``.
     All downstream gather streams derive from these three arrays.
+
+    The full-range call (``vertex_ids == arange(n)``) returns the graph's
+    cached :class:`ExpansionPlan` streams (read-only, zero copies); subset
+    calls gather from the plan's offsets with a single ``repeat``.
     """
     vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
-    lens = graph.degrees[vertex_ids].astype(np.int64)
-    starts = graph.row_offsets[vertex_ids].astype(np.int64)
+    plan = get_expansion_plan(graph)
+    if vertex_ids.size == plan.all_ids.size and np.array_equal(
+        vertex_ids, plan.all_ids
+    ):
+        return plan.seg, plan.step, plan.edge_idx
+    lens = plan.lens[vertex_ids]
     total = int(lens.sum())
     if total == 0:
         z = np.empty(0, dtype=np.int64)
         return z, z, z
     seg = np.repeat(np.arange(vertex_ids.size, dtype=np.int64), lens)
-    step = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(lens) - lens, lens)
-    edge_idx = starts[seg] + step
+    bnd = np.cumsum(lens) - lens
+    step = np.arange(total, dtype=np.int64) - bnd[seg]
+    edge_idx = plan.starts[vertex_ids][seg] + step
     return seg, step, edge_idx
 
 
-def min_excluded_colors(
+class Expansion:
+    """One round's adjacency expansion, shared across kernel calls.
+
+    Schemes build this once per round for the active/scope vertex set and
+    hand it to the color step, the conflict detector and the charge
+    kernels — which used to re-expand the same ids up to four times per
+    round.  Neighbor-id gathers are cached lazily in both widths (the
+    charge kernels index device addresses with the packed int32 view; the
+    conflict kernel compares int64 endpoints).
+    """
+
+    __slots__ = ("ids", "seg", "step", "edge_idx", "lens", "memo",
+                 "_full", "_nbr32", "_nbr64")
+
+    def __init__(self, graph: CSRGraph, ids: np.ndarray):
+        #: Identity-keyed cache shared by every kernel charged against this
+        #: expansion (derived gather/address arrays, coalesced transaction
+        #: streams — see ``TraceBuilder.access``).  Entries hold references
+        #: to their keyed arrays, so the ids cannot be recycled while the
+        #: expansion lives.
+        self.memo: dict = {}
+        self.ids = np.asarray(ids, dtype=np.int64)
+        plan = get_expansion_plan(graph)
+        self._full = self.ids.size == plan.all_ids.size and np.array_equal(
+            self.ids, plan.all_ids
+        )
+        if self._full:
+            self.seg, self.step, self.edge_idx = plan.seg, plan.step, plan.edge_idx
+            self.lens = plan.lens
+            self._nbr32 = graph.col_indices
+            self._nbr64 = None  # filled from the plan cache on demand
+        else:
+            self.seg, self.step, self.edge_idx = expand_segments(graph, self.ids)
+            self.lens = plan.lens[self.ids]
+            self._nbr32 = None
+            self._nbr64 = None
+
+    def nbr32(self, graph: CSRGraph) -> np.ndarray:
+        """``C[edge_idx]`` in storage width (int32)."""
+        if self._nbr32 is None:
+            self._nbr32 = graph.col_indices[self.edge_idx]
+        return self._nbr32
+
+    def nbr64(self, graph: CSRGraph) -> np.ndarray:
+        """``C[edge_idx]`` widened to int64."""
+        if self._nbr64 is None:
+            if self._full:
+                self._nbr64 = get_expansion_plan(graph).nbr64(graph)
+            else:
+                self._nbr64 = self.nbr32(graph).astype(np.int64)
+        return self._nbr64
+
+
+class KernelScratch:
+    """Grow-only scratch arena for round-scoped kernel temporaries.
+
+    ``RoundLoop`` attaches one per run; the waved color step carves its
+    per-wave temporaries out of it instead of reallocating every wave of
+    every round.  Buffers only ever grow, so a request is O(1) after the
+    first round reaches steady-state sizes.
+    """
+
+    __slots__ = ("_arena",)
+
+    def __init__(self):
+        self._arena: dict[str, np.ndarray] = {}
+
+    def buf(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """An uninitialized length-``size`` view of the named buffer."""
+        arr = self._arena.get(name)
+        if arr is None or arr.size < size or arr.dtype != np.dtype(dtype):
+            arr = np.empty(size, dtype=dtype)
+            self._arena[name] = arr
+        return arr[:size]
+
+
+# ----------------------------------------------------------------------
+# Minimum-excluded-color (mex) strategies
+# ----------------------------------------------------------------------
+#: Default word budget for the bitmask mex: segments whose neighbor colors
+#: span more than ``64 * words`` distinct values fall back to the sort path
+#: (the per-word OR sweep would cost more than one O(E log E) sort).
+DEFAULT_MEX_WORDS = 8
+
+_MEX_STRATEGY: tuple[str, int] = ("bitmask", DEFAULT_MEX_WORDS)
+
+
+def _parse_mex_strategy(spec) -> tuple[str, int]:
+    """Normalize a mex-strategy spec: ``'sort'``, ``'bitmask'``, ``'bitmask:N'``."""
+    if isinstance(spec, tuple):
+        spec = f"{spec[0]}:{spec[1]}"
+    name, _, words = str(spec).partition(":")
+    if name == "sort":
+        return ("sort", 0)
+    if name == "bitmask":
+        limit = int(words) if words else DEFAULT_MEX_WORDS
+        if limit < 1:
+            raise ValueError(f"bitmask word budget must be >= 1, got {limit}")
+        return ("bitmask", limit)
+    raise ValueError(
+        f"unknown mex strategy {spec!r}; expected 'sort', 'bitmask' or 'bitmask:N'"
+    )
+
+
+def set_mex_strategy(spec) -> tuple[str, int]:
+    """Set the process-wide mex strategy; returns the previous one."""
+    global _MEX_STRATEGY
+    previous = _MEX_STRATEGY
+    _MEX_STRATEGY = _parse_mex_strategy(spec)
+    return previous
+
+
+@contextlib.contextmanager
+def mex_strategy(spec):
+    """Scoped mex-strategy override (the engine's ``mex=`` option)."""
+    previous = set_mex_strategy(spec)
+    try:
+        yield
+    finally:
+        global _MEX_STRATEGY
+        _MEX_STRATEGY = previous
+
+
+def _mex_sort(
     seg_ids: np.ndarray, nbr_colors: np.ndarray, num_segments: int
 ) -> np.ndarray:
-    """Smallest positive color absent from each segment's neighbor colors.
+    """Sort-based exact mex (the historical path; unbounded color range).
 
-    Exact vectorized *mex*: after per-segment dedup and sort, an entry with
-    color ``rank+1`` proves colors ``1..rank+1`` are all present (the
-    entries below it are distinct positive integers smaller than it), so
-    ``mex = (length of the consecutive prefix) + 1`` — one bincount.
+    After per-segment dedup and sort, an entry with color ``rank+1`` proves
+    colors ``1..rank+1`` are all present (the entries below it are distinct
+    positive integers smaller than it), so ``mex = (length of the
+    consecutive prefix) + 1`` — one bincount.
     """
-    if num_segments == 0:
-        return np.zeros(0, dtype=COLOR_DTYPE)
     mask = nbr_colors > 0
     s = seg_ids[mask]
     c = nbr_colors[mask].astype(np.int64)
@@ -161,8 +350,101 @@ def min_excluded_colors(
     return (prefix + 1).astype(COLOR_DTYPE)
 
 
+#: Precomputed single-bit words: ``_BIT64[b] == 1 << b`` (avoids a per-call
+#: astype + broadcast shift in the mex hot loop).
+_BIT64 = np.uint64(1) << np.arange(64, dtype=np.uint64)
+
+
+def _mex_bitmask(
+    seg_ids: np.ndarray,
+    nbr_colors: np.ndarray,
+    num_segments: int,
+    max_words: int,
+    *,
+    assume_sorted: bool = False,
+) -> np.ndarray:
+    """Bitmask exact mex: OR packed forbidden-color words per CSR segment.
+
+    Colors ``1..64w`` map to bits of ``w`` uint64 words; one
+    ``np.bitwise_or.reduceat`` sweep per word folds each segment's
+    forbidden set, and the answer is the lowest zero bit (extracted exactly
+    with the two's-complement trick + ``frexp``).  Requires sorted
+    ``seg_ids`` (runtime-checked unless the caller vouches with
+    ``assume_sorted``) and a bounded color range — otherwise defers to
+    :func:`_mex_sort`.
+    """
+    mask = nbr_colors > 0
+    s = seg_ids[mask]
+    if s.size == 0:
+        return np.ones(num_segments, dtype=COLOR_DTYPE)
+    c = nbr_colors[mask]  # any integer dtype; values bound the word count
+    num_words = (int(c.max()) + 63) >> 6
+    if num_words > max_words or (not assume_sorted and np.any(s[1:] < s[:-1])):
+        # Wide palettes pay per-word sweeps; unsorted segments (distance-2's
+        # concatenated two-hop stream) would break reduceat runs.
+        return _mex_sort(seg_ids, nbr_colors, num_segments)
+    bit = c - 1
+    word = bit >> 6
+    bits = _BIT64[bit & 63]
+    heads = np.empty(s.size, dtype=bool)
+    heads[0] = True
+    np.not_equal(s[1:], s[:-1], out=heads[1:])
+    starts = np.flatnonzero(heads)
+    run_seg = s[starts]
+    full = np.int64(num_words) * 64 + 1  # every tracked color present
+    res = np.full(run_seg.size, full, dtype=np.int64)
+    done = np.zeros(run_seg.size, dtype=bool)
+    one = np.uint64(1)
+    for wi in range(num_words):
+        contrib = np.where(word == wi, bits, np.uint64(0))
+        inv = ~np.bitwise_or.reduceat(contrib, starts)
+        hit = (inv != 0) & ~done
+        if hit.any():
+            lsb = inv[hit]
+            lsb &= ~lsb + one
+            # frexp is exact on powers of two: lsb == 0.5 * 2**exp.
+            _, exp = np.frexp(lsb.astype(np.float64))
+            res[hit] = wi * 64 + exp  # == wi*64 + bit_index + 1
+            done |= hit
+            if done.all():
+                break
+    out = np.ones(num_segments, dtype=COLOR_DTYPE)
+    out[run_seg] = res  # values are <= 64*max_words + 1: int32-safe
+    return out
+
+
+def min_excluded_colors(
+    seg_ids: np.ndarray,
+    nbr_colors: np.ndarray,
+    num_segments: int,
+    *,
+    assume_sorted: bool = False,
+) -> np.ndarray:
+    """Smallest positive color absent from each segment's neighbor colors.
+
+    Dispatches on the process-wide strategy (see :func:`set_mex_strategy` /
+    the engine's ``mex=`` option): ``bitmask`` (default) packs forbidden
+    colors into uint64 words and ORs them per segment; ``sort`` is the
+    historical dedup-sort formulation.  Both are exact and byte-identical.
+    ``assume_sorted`` lets callers whose ``seg_ids`` are sorted by
+    construction (CSR expansions) skip the bitmask path's runtime check —
+    it matters in the wave loop, which calls this once per 32-thread wave.
+    """
+    if num_segments == 0:
+        return np.zeros(0, dtype=COLOR_DTYPE)
+    mode, words = _MEX_STRATEGY
+    if mode == "bitmask":
+        return _mex_bitmask(
+            seg_ids, nbr_colors, num_segments, words, assume_sorted=assume_sorted
+        )
+    return _mex_sort(seg_ids, nbr_colors, num_segments)
+
+
 def speculative_color_step(
-    graph: CSRGraph, colors: np.ndarray, active_ids: np.ndarray
+    graph: CSRGraph,
+    colors: np.ndarray,
+    active_ids: np.ndarray,
+    expansion: Expansion | None = None,
 ) -> np.ndarray:
     """One parallel coloring round: colors for ``active_ids`` (snapshot read).
 
@@ -172,9 +454,12 @@ def speculative_color_step(
     :func:`speculative_color_waved`, which models wave-granular visibility.
     """
     active_ids = np.asarray(active_ids, dtype=np.int64)
-    seg, _, edge_idx = expand_segments(graph, active_ids)
-    nbr_colors = colors[graph.col_indices[edge_idx]]
-    return min_excluded_colors(seg, nbr_colors, active_ids.size)
+    if expansion is None:
+        expansion = Expansion(graph, active_ids)
+    nbr_colors = colors[expansion.nbr32(graph)]
+    return min_excluded_colors(
+        expansion.seg, nbr_colors, active_ids.size, assume_sorted=True
+    )
 
 
 def speculative_color_waved(
@@ -183,6 +468,9 @@ def speculative_color_waved(
     active_ids: np.ndarray,
     resident_threads: int,
     thread_ids: np.ndarray | None = None,
+    *,
+    expansion: Expansion | None = None,
+    scratch: KernelScratch | None = None,
 ) -> np.ndarray:
     """Coloring round with wave-granular write visibility.
 
@@ -198,32 +486,68 @@ def speculative_color_waved(
     data-driven compact mapping; topology-driven passes the vertex ids so
     waves cover thread *ranges* including idle lanes).  Mutates ``colors``
     for the processed vertices and returns their new values.
+
+    The round's adjacency is expanded **once** (or taken from the caller's
+    shared ``expansion``); each wave slices it — the neighbor-color gather
+    alone is refreshed per wave, because earlier waves mutate ``colors``.
     """
     active_ids = np.asarray(active_ids, dtype=np.int64)
     if resident_threads < 1:
         raise ValueError("resident_threads must be positive")
-    out = np.empty(active_ids.size, dtype=COLOR_DTYPE)
     if thread_ids is None:
-        bounds = list(range(0, active_ids.size, resident_threads)) + [active_ids.size]
+        num_waves = -(-active_ids.size // resident_threads) if active_ids.size else 0
+        bounds = np.minimum(
+            np.arange(num_waves + 1, dtype=np.int64) * resident_threads,
+            active_ids.size,
+        )
     else:
         thread_ids = np.asarray(thread_ids, dtype=np.int64)
-        if np.any(np.diff(thread_ids) < 0):
+        if thread_ids.size and np.any(thread_ids[1:] < thread_ids[:-1]):
             raise ValueError("thread_ids must be sorted")
         last_wave = int(thread_ids[-1]) // resident_threads if thread_ids.size else 0
         edges = np.arange(1, last_wave + 1, dtype=np.int64) * resident_threads
-        bounds = [0, *np.searchsorted(thread_ids, edges).tolist(), active_ids.size]
-    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        bounds = np.concatenate(
+            [
+                np.zeros(1, dtype=np.int64),
+                np.searchsorted(thread_ids, edges),
+                np.asarray([active_ids.size], dtype=np.int64),
+            ]
+        )
+    if expansion is None:
+        expansion = Expansion(graph, active_ids)
+    if scratch is None:
+        scratch = KernelScratch()
+    seg = expansion.seg
+    nbr = expansion.nbr32(graph)
+    epos = np.searchsorted(seg, bounds)
+    out = np.empty(active_ids.size, dtype=COLOR_DTYPE)
+    for i in range(bounds.size - 1):
+        lo = int(bounds[i])
+        hi = int(bounds[i + 1])
         if hi <= lo:
             continue
-        chunk = active_ids[lo:hi]
-        fresh = speculative_color_step(graph, colors, chunk)
-        colors[chunk] = fresh
+        elo = int(epos[i])
+        ehi = int(epos[i + 1])
+        seg_w = np.subtract(
+            seg[elo:ehi], lo, out=scratch.buf("waved.seg", ehi - elo)
+        )
+        # Fresh gather each wave: earlier waves committed into ``colors``.
+        nbr_colors = np.take(
+            colors, nbr[elo:ehi],
+            out=scratch.buf("waved.nbr_colors", ehi - elo, colors.dtype),
+        )
+        # seg_w is a shifted slice of the (sorted) expansion segments.
+        fresh = min_excluded_colors(seg_w, nbr_colors, hi - lo, assume_sorted=True)
+        colors[active_ids[lo:hi]] = fresh
         out[lo:hi] = fresh
     return out
 
 
 def detect_conflicts(
-    graph: CSRGraph, colors: np.ndarray, scope_ids: np.ndarray
+    graph: CSRGraph,
+    colors: np.ndarray,
+    scope_ids: np.ndarray,
+    expansion: Expansion | None = None,
 ) -> np.ndarray:
     """Vertices in ``scope_ids`` that lose a color conflict.
 
@@ -232,11 +556,13 @@ def detect_conflicts(
     Returns the conflicted subset of ``scope_ids`` (original ids).
     """
     scope_ids = np.asarray(scope_ids, dtype=np.int64)
-    seg, _, edge_idx = expand_segments(graph, scope_ids)
-    if edge_idx.size == 0:
+    if expansion is None:
+        expansion = Expansion(graph, scope_ids)
+    seg = expansion.seg
+    if expansion.edge_idx.size == 0:
         return np.empty(0, dtype=np.int64)
-    v = scope_ids[seg]
-    w = graph.col_indices[edge_idx].astype(np.int64)
+    v = seg if expansion._full else scope_ids[seg]
+    w = expansion.nbr64(graph)
     clash = (colors[v] == colors[w]) & (colors[v] > 0) & (v < w)
     loser = np.zeros(scope_ids.size, dtype=bool)
     loser[seg[clash]] = True
@@ -246,6 +572,50 @@ def detect_conflicts(
 # ----------------------------------------------------------------------
 # Trace charging
 # ----------------------------------------------------------------------
+def _memoized(memo: dict, key: tuple, refs: tuple, make):
+    """Fetch/compute a memo entry; ``refs`` are held so id-keys stay sound."""
+    hit = memo.get(key)
+    if hit is not None:
+        return hit[1]
+    value = make()
+    memo[key] = (refs, value)
+    return value
+
+
+def _charge_addrs(memo: dict, bufs: GraphBuffers, graph, expansion, ids, threads):
+    """The five address/gather arrays both charge kernels replay.
+
+    Memoized on the expansion so the color and conflict kernels (and, when
+    the expansion outlives a round, later rounds) hand ``TraceBuilder``
+    the *same array objects* — which is what lets the builder's
+    coalescing memo recognize the repeated streams.
+    """
+    nbr = expansion.nbr32(graph)
+    edge_idx = expansion.edge_idx
+    t_of_edge = _memoized(
+        memo, ("t_edge", id(threads)), (threads,), lambda: threads[expansion.seg]
+    )
+    r_lo = _memoized(
+        memo, ("addr", bufs.R.base, id(ids)), (ids,), lambda: bufs.R.addr(ids)
+    )
+    r_hi = _memoized(
+        memo, ("addr+1", bufs.R.base, id(ids)), (ids,), lambda: bufs.R.addr(ids + 1)
+    )
+    c_addr = _memoized(
+        memo, ("addr", bufs.C.base, id(edge_idx)), (edge_idx,),
+        lambda: bufs.C.addr(edge_idx),
+    )
+    ncol_addr = _memoized(
+        memo, ("addr", bufs.colors.base, id(nbr)), (nbr,),
+        lambda: bufs.colors.addr(nbr),
+    )
+    own_addr = _memoized(
+        memo, ("addr", bufs.colors.base, id(ids)), (ids,),
+        lambda: bufs.colors.addr(ids),
+    )
+    return t_of_edge, r_lo, r_hi, c_addr, ncol_addr, own_addr
+
+
 def charge_color_kernel(
     builder: TraceBuilder,
     graph: CSRGraph,
@@ -255,6 +625,7 @@ def charge_color_kernel(
     *,
     use_ldg: bool,
     idle_threads: int = 0,
+    expansion: Expansion | None = None,
 ) -> None:
     """Record the memory/instruction behavior of one coloring kernel.
 
@@ -264,29 +635,36 @@ def charge_color_kernel(
     """
     active_ids = np.asarray(active_ids, dtype=np.int64)
     thread_ids = np.asarray(thread_ids, dtype=np.int64)
-    seg, step, edge_idx = expand_segments(graph, active_ids)
-    t_of_edge = thread_ids[seg]
+    if expansion is None:
+        expansion = Expansion(graph, active_ids)
+    step = expansion.step
+    memo = expansion.memo
+    t_of_edge, r_lo, r_hi, c_addr, ncol_addr, own_addr = _charge_addrs(
+        memo, bufs, graph, expansion, active_ids, thread_ids
+    )
 
     # Row bounds: R[v] and R[v+1] — one coalesced-ish load pair per thread.
-    builder.load(thread_ids, bufs.R.addr(active_ids), ldg=use_ldg)
-    builder.load(thread_ids, bufs.R.addr(active_ids + 1), ldg=use_ldg)
+    builder.load(thread_ids, r_lo, ldg=use_ldg, memo=memo)
+    builder.load(thread_ids, r_hi, ldg=use_ldg, memo=memo)
     # Neighbor loop: C[e] then color[C[e]], one trip per edge.
-    builder.load(t_of_edge, bufs.C.addr(edge_idx), ldg=use_ldg, step=step)
+    builder.load(t_of_edge, c_addr, ldg=use_ldg, step=step, memo=memo)
     builder.load(
         t_of_edge,
-        bufs.colors.addr(graph.col_indices[edge_idx]),
+        ncol_addr,
         ldg=False,  # the color array mutates during the algorithm: no __ldg
         step=step,
+        memo=memo,
     )
     # Result store.
-    builder.store(thread_ids, bufs.colors.addr(active_ids))
+    builder.store(thread_ids, own_addr, memo=memo)
 
     # Instructions: per-edge loop body on working lanes (SIMT lockstep:
     # the warp pays its max trip count), per-vertex overhead, and the
     # colored-check on idle lanes (topology-driven).
     if thread_ids.size:
-        trips = graph.degrees[active_ids].astype(np.int64)
-        builder.instructions(thread_ids, trips * _INSTR_PER_EDGE, note="edge-loop")
+        builder.instructions(
+            thread_ids, expansion.lens * _INSTR_PER_EDGE, note="edge-loop"
+        )
         builder.instructions(thread_ids, _INSTR_PER_VERTEX)
     if idle_threads:
         builder.uniform_overhead(_INSTR_IDLE_THREAD)
@@ -303,6 +681,7 @@ def charge_conflict_kernel(
     *,
     use_ldg: bool,
     idle_threads: int = 0,
+    expansion: Expansion | None = None,
 ) -> None:
     """Record the conflict-detection kernel's behavior.
 
@@ -311,23 +690,28 @@ def charge_conflict_kernel(
     """
     scope_ids = np.asarray(scope_ids, dtype=np.int64)
     thread_ids = np.asarray(thread_ids, dtype=np.int64)
-    seg, step, edge_idx = expand_segments(graph, scope_ids)
-    t_of_edge = thread_ids[seg]
-
-    builder.load(thread_ids, bufs.R.addr(scope_ids), ldg=use_ldg)
-    builder.load(thread_ids, bufs.R.addr(scope_ids + 1), ldg=use_ldg)
-    builder.load(thread_ids, bufs.colors.addr(scope_ids))  # own color
-    builder.load(t_of_edge, bufs.C.addr(edge_idx), ldg=use_ldg, step=step)
-    builder.load(
-        t_of_edge, bufs.colors.addr(graph.col_indices[edge_idx]), step=step
+    if expansion is None:
+        expansion = Expansion(graph, scope_ids)
+    step = expansion.step
+    memo = expansion.memo
+    t_of_edge, r_lo, r_hi, c_addr, ncol_addr, own_addr = _charge_addrs(
+        memo, bufs, graph, expansion, scope_ids, thread_ids
     )
+
+    builder.load(thread_ids, r_lo, ldg=use_ldg, memo=memo)
+    builder.load(thread_ids, r_hi, ldg=use_ldg, memo=memo)
+    builder.load(thread_ids, own_addr, memo=memo)  # own color
+    builder.load(t_of_edge, c_addr, ldg=use_ldg, step=step, memo=memo)
+    builder.load(t_of_edge, ncol_addr, step=step, memo=memo)
     losers = thread_ids[np.asarray(conflicted_mask, dtype=bool)]
     if losers.size:
+        # Loser sets vary per round — not worth memo entries.
         builder.store(losers, bufs.aux.addr(scope_ids[conflicted_mask]))
 
     if thread_ids.size:
-        trips = graph.degrees[scope_ids].astype(np.int64)
-        builder.instructions(thread_ids, trips * (_INSTR_PER_EDGE - 2), note="edge-loop")
+        builder.instructions(
+            thread_ids, expansion.lens * (_INSTR_PER_EDGE - 2), note="edge-loop"
+        )
         builder.instructions(thread_ids, _INSTR_PER_VERTEX - 4)
     if idle_threads:
         builder.uniform_overhead(_INSTR_IDLE_THREAD)

@@ -63,6 +63,9 @@ class ExecutionOptions:
                                 "(default: inferred from workers=)")
     cache: Any = _opt(None, "content-addressed result cache: 'memory', a "
                             "directory path, or a ResultCache")
+    mex: Any = _opt(None, "forbidden-color kernel strategy: 'bitmask', "
+                          "'bitmask:N' (word limit), or 'sort' "
+                          "(results are identical; speed differs)")
 
     @classmethod
     def option_rows(cls) -> list[tuple[str, object, str]]:

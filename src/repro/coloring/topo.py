@@ -29,6 +29,7 @@ from ..gpusim.config import LaunchConfig
 from ..graph.csr import CSRGraph
 from .base import COLOR_DTYPE, ColoringResult
 from .kernels import (
+    Expansion,
     charge_color_kernel,
     charge_conflict_kernel,
     charge_conflict_kernel_edges,
@@ -78,6 +79,12 @@ class TopologyRecipe(SchemeRecipe):
         self.colors = bufs.colors.data  # int32 view, 0 = uncolored
         self.colored = np.zeros(graph.num_vertices, dtype=bool)
         self.all_ids = np.arange(graph.num_vertices, dtype=np.int64)
+        # Full-range expansion: plan-backed views, shared by every round's
+        # whole-graph conflict scan.  Its memo persists across rounds, so
+        # round r+1's full-graph conflict charge reuses round r's coalesced
+        # streams outright.
+        self.full_expansion = Expansion(graph, self.all_ids)
+        self.aux_addr = bufs.aux.addr(self.all_ids)
         self.wave_threads = ex.race_window(self.launch)
         self.done = False
 
@@ -87,7 +94,12 @@ class TopologyRecipe(SchemeRecipe):
     def round(self, iteration: int) -> RoundStatus:
         ex, graph, bufs = self.ex, self.graph, self.bufs
         n = graph.num_vertices
-        active = self.all_ids[~self.colored]
+        # Round 1 runs over the identical full range: reusing the all_ids
+        # *object* (not a fresh equal copy) lets the charge memos recognize
+        # the color and conflict kernels' shared streams by identity.
+        active = (
+            self.all_ids if not self.colored.any() else self.all_ids[~self.colored]
+        )
         if active.size == 0:
             # Terminating round: no thread sets ``changed``; it still runs
             # (and is counted) exactly like the CUDA loop's last pass.
@@ -95,23 +107,37 @@ class TopologyRecipe(SchemeRecipe):
             return RoundStatus(active=0)
 
         # ---- coloring kernel over ALL n threads (the scheme's cost) ----
-        tb = ex.builder(n, self.launch, name=f"topo-color-{iteration}")
+        # One expansion of the active set serves the color step and its
+        # charge pass alike.
+        active_exp = (
+            self.full_expansion
+            if active.size == n
+            else Expansion(graph, active)
+        )
+        color_tb = ex.builder(n, self.launch, name=f"topo-color-{iteration}")
         speculative_color_waved(
-            graph, self.colors, active, self.wave_threads, thread_ids=active
+            graph, self.colors, active, self.wave_threads, thread_ids=active,
+            expansion=active_exp, scratch=self.scratch,
         )
         charge_color_kernel(
-            tb, graph, bufs, active, active, use_ldg=self.use_ldg,
-            idle_threads=n - active.size,
+            color_tb, graph, bufs, active, active, use_ldg=self.use_ldg,
+            idle_threads=n - active.size, expansion=active_exp,
         )
         # every thread also reads its colored flag; losers store it
-        tb.load(self.all_ids, bufs.aux.addr(self.all_ids))
-        tb.store(active, bufs.aux.addr(active))
+        memo = self.full_expansion.memo
+        color_tb.load(self.all_ids, self.aux_addr, memo=memo)
+        if active is self.all_ids:
+            color_tb.store(active, self.aux_addr, memo=memo)
+        else:
+            color_tb.store(active, bufs.aux.addr(active))
         self.colored[active] = True
-        self.profiles.append(ex.commit(tb))
 
         # ---- conflict-detection kernel ---------------------------------
-        scope = active if self.conflict_scope == "active" else self.all_ids
-        conflicted = detect_conflicts(graph, self.colors, scope)
+        if self.conflict_scope == "active":
+            scope, scope_exp = active, active_exp
+        else:
+            scope, scope_exp = self.all_ids, self.full_expansion
+        conflicted = detect_conflicts(graph, self.colors, scope, expansion=scope_exp)
         if self.conflict_parallelism == "edge":
             tb = ex.builder(
                 graph.num_edges, self.launch, name=f"topo-conflict-{iteration}"
@@ -126,12 +152,14 @@ class TopologyRecipe(SchemeRecipe):
             mask[np.searchsorted(scope, conflicted)] = True
             charge_conflict_kernel(
                 tb, graph, bufs, scope, scope, mask, use_ldg=self.use_ldg,
-                idle_threads=n - scope.size,
+                idle_threads=n - scope.size, expansion=scope_exp,
             )
         # Pseudocode keeps the stale color (only the flag is cleared);
         # other vertices' masks keep forbidding it until re-coloring.
         self.colored[conflicted] = False
-        self.profiles.append(ex.commit(tb))
+        # Nothing between the two builders touches the timeline, so the
+        # pair prices concurrently with unchanged seeds and event order.
+        self.profiles.extend(ex.commit_pair(color_tb, tb))
         return RoundStatus(active=int(active.size), conflicts=int(conflicted.size))
 
     def uncolored(self) -> int:

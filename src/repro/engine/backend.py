@@ -80,6 +80,8 @@ class Backend(Protocol):
 
     def commit(self, builder): ...
 
+    def commit_pair(self, first, second): ...
+
     def htod(self, nbytes: int) -> None: ...
 
     def dtoh(self, nbytes: int) -> None: ...
@@ -148,6 +150,9 @@ class GpuSimBackend:
 
     def commit(self, builder):
         return self.device.commit(builder)
+
+    def commit_pair(self, first, second):
+        return self.device.commit_pair(first, second)
 
     # -- transfers ------------------------------------------------------
     def htod(self, nbytes: int) -> None:
@@ -227,10 +232,10 @@ class CpuTraceBuilder:
         if addrs.size:
             self.addresses.append(addrs)
 
-    def load(self, thread_ids, addresses, *, ldg: bool = False, step=0) -> None:
+    def load(self, thread_ids, addresses, *, ldg: bool = False, step=0, memo=None) -> None:
         self._record(addresses)
 
-    def store(self, thread_ids, addresses, *, step=0) -> None:
+    def store(self, thread_ids, addresses, *, step=0, memo=None) -> None:
         self._record(addresses)
 
     def atomic(self, thread_ids, addresses, *, step=0) -> None:
@@ -329,6 +334,11 @@ class CpuSimBackend:
                 transactions=event.accesses,
             )
         return event
+
+    def commit_pair(self, first, second):
+        # The multicore model is stateful and cheap to price; sequential
+        # commits already match the GPU backend's ordering contract.
+        return self.commit(first), self.commit(second)
 
     # -- transfers: unified memory --------------------------------------
     def htod(self, nbytes: int) -> None:

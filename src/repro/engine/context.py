@@ -136,11 +136,30 @@ class ExecutionContext:
             result.extra.setdefault("observation", self.observation)
         return result
 
-    def run(self, graph, method: str = "data-ldg", *, validate: bool = True, **kwargs):
-        """Run a registered engine method by name (cf. ``color_graph``)."""
-        from ..coloring.api import make_recipe
+    def run(
+        self,
+        graph,
+        method: str = "data-ldg",
+        *,
+        validate: bool = True,
+        mex=None,
+        **kwargs,
+    ):
+        """Run a registered engine method by name (cf. ``color_graph``).
 
-        result = self.run_recipe(graph, make_recipe(method, **kwargs))
+        ``mex=`` selects the forbidden-color kernel strategy for this run
+        (``'bitmask'``, ``'bitmask:N'``, or ``'sort'``); results are
+        byte-identical either way, only wall-clock speed differs.
+        """
+        from ..coloring.api import make_recipe
+        from ..coloring.kernels import mex_strategy
+
+        recipe = make_recipe(method, **kwargs)
+        if mex is None:
+            result = self.run_recipe(graph, recipe)
+        else:
+            with mex_strategy(mex):
+                result = self.run_recipe(graph, recipe)
         if validate:
             result.validate(graph)
         return result

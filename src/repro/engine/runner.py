@@ -89,6 +89,12 @@ class SchemeRecipe:
     #: worklist tail — both are one 4-byte word in the real CUDA codes).
     flag_bytes: int = 4
 
+    #: Round-scoped scratch arena (:class:`~repro.coloring.kernels.KernelScratch`);
+    #: :class:`RoundLoop` installs a fresh one per run so waves reuse their
+    #: temporaries across iterations.  ``None`` when a recipe runs outside
+    #: the loop (kernels then allocate per call).
+    scratch = None
+
     def setup(self, ex: Backend, graph, bufs) -> None:
         """Bind the run's substrate and build per-run state."""
         raise NotImplementedError
@@ -150,6 +156,9 @@ class RoundLoop:
         try:
             recipe.setup(ex, graph, bufs)
             recipe.profiles = []
+            from ..coloring.kernels import KernelScratch
+
+            recipe.scratch = KernelScratch()
             try:
                 while recipe.has_work():
                     if iterations >= self.max_iterations:

@@ -117,7 +117,9 @@ def reuse_distance_hits(line_ids: np.ndarray, capacity_lines: int) -> np.ndarray
     thresholds the gap against the expected-stack-distance inversion above.
     First touches are compulsory misses.
     """
-    line_ids = np.asarray(line_ids, dtype=np.int64)
+    # Keep the caller's (integer) dtype: the stable argsort below is a
+    # radix sort, so int32 line-id streams sort in half the passes.
+    line_ids = np.asarray(line_ids)
     n = line_ids.size
     if n == 0:
         return np.zeros(0, dtype=bool)
@@ -128,16 +130,23 @@ def reuse_distance_hits(line_ids: np.ndarray, capacity_lines: int) -> np.ndarray
     sorted_ids = line_ids[order]
     same_as_prev = np.empty(n, dtype=bool)
     same_as_prev[0] = False
-    same_as_prev[1:] = sorted_ids[1:] == sorted_ids[:-1]
+    np.equal(sorted_ids[1:], sorted_ids[:-1], out=same_as_prev[1:])
 
-    prev_index = np.full(n, -1, dtype=np.int64)
-    prev_index[order[same_as_prev]] = order[np.flatnonzero(same_as_prev) - 1]
+    # Work on the re-touch subset only: first touches are compulsory
+    # misses, so there is no need to materialize full-size prev-index and
+    # gap arrays just to mask them out again.
+    repeat_pos = np.flatnonzero(same_as_prev)
+    idx = order[repeat_pos]  # stream position of each re-touch
+    prev = order[repeat_pos - 1]  # previous touch of the same line
 
-    num_unique = n - int(same_as_prev.sum())
+    num_unique = n - repeat_pos.size
     threshold = _stack_distance_threshold(num_unique, capacity_lines)
 
-    gap = np.arange(n, dtype=np.int64) - prev_index
-    hits = (prev_index >= 0) & (gap <= threshold)
+    hits = np.zeros(n, dtype=bool)
+    if math.isinf(threshold):
+        hits[idx] = True
+    else:
+        hits[idx[(idx - prev) <= threshold]] = True
     return hits
 
 

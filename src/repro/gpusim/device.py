@@ -16,6 +16,8 @@ Algorithms use the device like a thin CUDA runtime:
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -252,16 +254,16 @@ class Device:
         tb.set_residency(compute_occupancy(self.config, launch).blocks_per_sm)
         return tb
 
-    def commit(self, builder: TraceBuilder) -> KernelProfile:
-        """Price the recorded launch and append it to the timeline."""
-        trace = builder.build()
-        profile = price_kernel(
-            trace,
+    def _price(self, builder: TraceBuilder, seed: int) -> KernelProfile:
+        """Build and price a recorded launch (pure: no device state touched)."""
+        return price_kernel(
+            builder.build(),
             self.config,
             cache_model=self.cache_model,
-            seed=self.seed + self._launch_counter,
+            seed=seed,
         )
-        self._launch_counter += 1
+
+    def _record(self, profile: KernelProfile) -> KernelProfile:
         self.timeline.add(profile)
         if self.tracer is not None:
             self.tracer.event(
@@ -276,6 +278,36 @@ class Device:
                 bound=profile.bound,
             )
         return profile
+
+    def commit(self, builder: TraceBuilder) -> KernelProfile:
+        """Price the recorded launch and append it to the timeline."""
+        profile = self._price(builder, self.seed + self._launch_counter)
+        self._launch_counter += 1
+        return self._record(profile)
+
+    def commit_pair(
+        self, first: TraceBuilder, second: TraceBuilder
+    ) -> tuple[KernelProfile, KernelProfile]:
+        """Price two recorded launches concurrently.
+
+        Byte-identical to ``(commit(first), commit(second))``: pricing is a
+        pure function of (trace, config, seed), seeds are assigned in call
+        order from the launch counter, and the timeline/tracer events are
+        appended in order after both prices land.  The host-side win is
+        overlapping the two sort/scan-heavy pricing passes (NumPy releases
+        the GIL in the kernels that dominate them).
+        """
+        seed0 = self.seed + self._launch_counter
+        if (os.cpu_count() or 1) > 1:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                future = pool.submit(self._price, second, seed0 + 1)
+                profile_a = self._price(first, seed0)
+                profile_b = future.result()
+        else:  # single-core host: overlap buys nothing, skip the thread hop
+            profile_a = self._price(first, seed0)
+            profile_b = self._price(second, seed0 + 1)
+        self._launch_counter += 2
+        return self._record(profile_a), self._record(profile_b)
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

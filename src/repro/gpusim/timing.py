@@ -105,15 +105,17 @@ def _walk_hierarchy(
     sm = mem.sm_id[order]
 
     is_ldg = kind == AccessKind.LDG
-    stats.ldg_accesses = int(is_ldg.sum())
+    stats.ldg_accesses = int(np.count_nonzero(is_ldg))
 
     # --- Read-only (texture) cache: private per SM.  Simulate the busiest
     # SM's stream exactly and extrapolate its hit rate to the device: block
     # scheduling is round-robin, so per-SM streams are statistically alike.
     ro_hit = np.zeros(len(mem), dtype=bool)
     if stats.ldg_accesses:
-        sm_ids, counts = np.unique(sm[is_ldg], return_counts=True)
-        rep_sm = int(sm_ids[np.argmax(counts)])
+        # bincount over the small SM-id range; argmax breaks count ties
+        # toward the lowest id exactly as the sorted-unique version did.
+        counts = np.bincount(sm[is_ldg], minlength=device.num_sms)
+        rep_sm = int(np.argmax(counts))
         rep_mask = is_ldg & (sm == rep_sm)
         rep_lines = line[rep_mask]
         if cache_model == "exact":
@@ -131,7 +133,7 @@ def _walk_hierarchy(
             rep_hits = reuse_distance_hits(rep_lines, device.readonly_cache_lines)
         rate = float(rep_hits.mean()) if rep_hits.size else 0.0
         ro_hit[rep_mask] = rep_hits
-        other = is_ldg & (sm != rep_sm)
+        other = is_ldg ^ rep_mask  # rep_mask ⊆ is_ldg: ldg on the other SMs
         # Other SMs: Bernoulli with the measured rate (deterministic rng).
         ro_hit[other] = rng.random(int(other.sum())) < rate
         stats.ro_hits = int(ro_hit.sum())
@@ -163,16 +165,19 @@ def _walk_hierarchy(
 
     # --- stalling latency: loads and ldg block dependents; atomics return a
     # value (the paper's worklist push uses atomicAdd's return), so they
-    # stall too; plain stores retire through the write buffer.
-    latency = np.zeros(len(mem), dtype=np.float64)
-    latency[ro_hit] = device.readonly_hit_latency
-    latency[l2_hit] = device.l2_hit_latency
-    latency[dram] = device.dram_latency
-    is_store = kind == AccessKind.STORE
-    latency[is_store] = 0.0
+    # stall too; plain stores retire through the write buffer.  Every
+    # access lands in exactly one of {ro_hit, l2_hit, dram}, so the total
+    # is count x latency per level; latencies are integer cycles, so the
+    # integer sum equals the old per-access float array's sum exactly.
+    stalls = ~(kind == AccessKind.STORE)
     is_atomic = kind == AccessKind.ATOMIC
-    latency[is_atomic] += device.atomic_op_cycles
-    stats.total_latency_cycles = float(latency.sum())
+    total = (
+        stats.ro_hits * device.readonly_hit_latency  # RO hits are ldg-only
+        + int(np.count_nonzero(l2_hit & stalls)) * device.l2_hit_latency
+        + int(np.count_nonzero(dram & stalls)) * device.dram_latency
+        + int(np.count_nonzero(is_atomic)) * device.atomic_op_cycles
+    )
+    stats.total_latency_cycles = float(total)
     return stats, stats.total_latency_cycles
 
 

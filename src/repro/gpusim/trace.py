@@ -29,6 +29,49 @@ from .config import DeviceConfig, LaunchConfig
 __all__ = ["AccessKind", "MemoryTrace", "ComputeStats", "KernelTrace", "TraceBuilder"]
 
 
+def _pow2_shift(value: int) -> int | None:
+    """Shift amount when ``value`` is a power of two, else ``None``."""
+    value = int(value)
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def _first_occurrences(key: np.ndarray) -> np.ndarray:
+    """First-occurrence indices of each distinct key, in key-sorted order.
+
+    Equivalent to ``np.unique(key, return_index=True)[1]``, with an
+    adjacent-run dedup pre-pass: consecutive equal keys (the common shape
+    for vertex-indexed streams, where 32 lanes of a warp share a cache
+    line at the same step) collapse before the sort sees them.  Exact
+    because the first element of a key's earliest run *is* its global
+    first occurrence, and run heads preserve array order.
+    """
+    if key.size == 1:
+        return np.zeros(1, dtype=np.intp)
+    heads = np.empty(key.size, dtype=bool)
+    heads[0] = True
+    np.not_equal(key[1:], key[:-1], out=heads[1:])
+    # Count before extracting: when nothing collapses (scattered streams),
+    # the popcount pass is all we pay — no index array materialized.
+    if int(np.count_nonzero(heads)) < key.size:
+        kept = np.flatnonzero(heads)
+        deduped = key[kept]
+    else:
+        deduped = key
+        kept = None  # nothing collapsed; positions are already indices
+    # Hand-rolled np.unique(deduped, return_index=True)[1]: same stable
+    # argsort + run-head mask, minus the flatten copy and the unique-values
+    # array np.unique builds only to discard.
+    perm = deduped.argsort(kind="stable")
+    aux = deduped[perm]
+    first = np.empty(aux.size, dtype=bool)
+    first[0] = True
+    np.not_equal(aux[1:], aux[:-1], out=first[1:])
+    sel = perm[first]
+    return sel if kept is None else kept[sel]
+
+
 class AccessKind:
     """Transaction type codes stored in :attr:`MemoryTrace.kind`."""
 
@@ -50,11 +93,11 @@ class MemoryTrace:
     """
 
     kind: np.ndarray  # uint8 AccessKind codes
-    line_id: np.ndarray  # int64 global cache-line ids
+    line_id: np.ndarray  # global cache-line ids (int32 when they fit)
     sm_id: np.ndarray  # int32 SM executing the issuing block
-    warp_id: np.ndarray  # int64 device-wide warp index
+    warp_id: np.ndarray  # device-wide warp index (int32 when it fits)
     wave: np.ndarray  # int32 launch wave of the issuing block
-    step: np.ndarray  # int64 issue-order key within the wave
+    step: np.ndarray  # issue-order key within the wave (int32 when it fits)
 
     def __len__(self) -> int:
         return self.kind.size
@@ -78,9 +121,11 @@ class MemoryTrace:
         max_warp = int(self.warp_id.max()) + 1
         max_wave = int(self.wave.max()) + 1
         if max_wave * max_warp * max_step < (1 << 62):
-            key = (
-                self.wave.astype(np.int64) * max_warp + self.warp_id
-            ) * max_step + self.step
+            # Build the key in place: one int64 buffer, no binary-op temps.
+            key = np.multiply(self.wave, max_warp, dtype=np.int64)
+            key += self.warp_id
+            key *= max_step
+            key += self.step
             return np.argsort(key, kind="stable")
         return np.lexsort((self.step, self.warp_id, self.wave))  # pragma: no cover
 
@@ -173,6 +218,14 @@ class TraceBuilder:
         # Resident blocks per SM for wave computation is filled by Device at
         # launch time via set_residency; default assumes full residency.
         self._blocks_per_wave = device.num_sms
+        # Power-of-two divisors become shifts on the hot geometry path.
+        self._block_shift = _pow2_shift(launch.block_size)
+        self._warp_shift = _pow2_shift(device.warp_size)
+        # Kernels replay the same thread-id array across several streams
+        # (e.g. the per-edge owner array for the C and colors loads); cache
+        # the derived geometry per distinct array object.  Holding the
+        # reference keeps identity checks sound for the builder's lifetime.
+        self._geom_cache: list[tuple[np.ndarray, tuple]] = []
 
     def set_residency(self, blocks_per_sm: int) -> None:
         """Record occupancy so wave boundaries match resident block count."""
@@ -182,11 +235,39 @@ class TraceBuilder:
     # Thread geometry helpers
     # ------------------------------------------------------------------
     def _geometry(self, thread_ids: np.ndarray):
-        block = thread_ids // self.launch.block_size
-        warp = thread_ids // self.device.warp_size
-        sm = (block % self.device.num_sms).astype(np.int32)
-        wave = (block // self._blocks_per_wave).astype(np.int32)
-        return block, warp, sm, wave
+        for arr, geom in self._geom_cache:
+            if arr is thread_ids:
+                return geom
+        # Launch domains sit far below 2**31, so every geometry column is
+        # derived straight into int32 (ufunc dtype=): the shift/divide and
+        # the narrowing happen in one pass, with no int64 temporaries.
+        if self.num_threads > (1 << 31):  # pragma: no cover - >2G threads
+            block = thread_ids // self.launch.block_size
+            warp = thread_ids // self.device.warp_size
+            sm = (block % self.device.num_sms).astype(np.int32)
+            wave = (block // self._blocks_per_wave).astype(np.int32)
+            geom = (block, warp, sm, wave)
+            self._geom_cache.append((thread_ids, geom))
+            return geom
+        if self._block_shift is not None:
+            block = np.right_shift(thread_ids, self._block_shift, dtype=np.int32)
+        else:
+            block = np.floor_divide(
+                thread_ids, self.launch.block_size, dtype=np.int32
+            )
+        if self._warp_shift is not None:
+            warp = np.right_shift(thread_ids, self._warp_shift, dtype=np.int32)
+        else:
+            warp = np.floor_divide(thread_ids, self.device.warp_size, dtype=np.int32)
+        sm = np.mod(block, self.device.num_sms, dtype=np.int32)
+        bpw_shift = _pow2_shift(self._blocks_per_wave)
+        if bpw_shift is not None:
+            wave = np.right_shift(block, bpw_shift, dtype=np.int32)
+        else:
+            wave = np.floor_divide(block, self._blocks_per_wave, dtype=np.int32)
+        geom = (block, warp, sm, wave)
+        self._geom_cache.append((thread_ids, geom))
+        return geom
 
     # ------------------------------------------------------------------
     # Memory events
@@ -198,13 +279,51 @@ class TraceBuilder:
         addresses: np.ndarray,
         *,
         step: np.ndarray | int = 0,
+        memo: dict | None = None,
     ) -> None:
         """Record one memory instruction per (thread, step) pair.
 
         ``thread_ids``, ``addresses`` (byte addresses) and ``step`` (loop
         trip index, scalar or array) are parallel arrays; the builder
         coalesces same-(warp, step) accesses into line transactions.
+
+        ``memo`` (optional, a dict the caller scopes — e.g. per round or
+        per expansion) caches the coalesced stream keyed by the *identity*
+        of the inputs plus the launch geometry: two kernels replaying the
+        same (thread_ids, addresses, step) arrays under the same geometry
+        produce identical transactions, whatever the access kind, so the
+        second replay reuses the first's line/sm/warp/wave columns.  Each
+        entry holds references to its keyed arrays, keeping the ids valid
+        for the memo's lifetime.  Atomics are never memoized (they feed
+        the contention model through a side list).
         """
+        mkey = None
+        if memo is not None and kind != AccessKind.ATOMIC:
+            mkey = (
+                id(thread_ids),
+                id(addresses),
+                id(step) if isinstance(step, np.ndarray) else ("i", int(step)),
+                self.launch.block_size,
+                self.num_threads,
+                self._blocks_per_wave,
+                self._line_shift,
+            )
+            hit = memo.get(mkey)
+            if hit is not None:
+                line_sel, sm_sel, warp_sel, wave_sel, step1024, _refs = hit
+                self._streams.append(
+                    MemoryTrace(
+                        kind=np.full(line_sel.size, kind, dtype=np.uint8),
+                        line_id=line_sel,
+                        sm_id=sm_sel,
+                        warp_id=warp_sel,
+                        wave=wave_sel,
+                        step=step1024 + step1024.dtype.type(self._seq % 1024),
+                    )
+                )
+                self._seq += 1
+                return
+        raw_threads, raw_addresses = thread_ids, addresses
         thread_ids = np.asarray(thread_ids, dtype=np.int64)
         addresses = np.asarray(addresses, dtype=np.int64)
         if thread_ids.shape != addresses.shape:
@@ -212,7 +331,8 @@ class TraceBuilder:
         if thread_ids.size == 0:
             self._seq += 1
             return
-        if np.any(thread_ids >= self.num_threads) or np.any(thread_ids < 0):
+        # min/max beat two np.any passes: no boolean temporaries.
+        if int(thread_ids.min()) < 0 or int(thread_ids.max()) >= self.num_threads:
             raise ValueError("thread id outside launch domain")
         step_arr = np.broadcast_to(np.asarray(step, dtype=np.int64), thread_ids.shape)
 
@@ -226,8 +346,13 @@ class TraceBuilder:
         max_step = int(step_arr.max()) + 1
         max_warp = int(warp.max()) + 1
         if max_warp * max_step * max_line < (1 << 62):
-            key = (warp * max_step + step_arr) * max_line + line
-            _, sel = np.unique(key, return_index=True)
+            # Build the key in place (geometry's warp array stays intact);
+            # dtype= forces the first product into int64 straight away.
+            key = np.multiply(warp, max_step, dtype=np.int64)
+            key += step_arr
+            key *= max_line
+            key += line
+            sel = _first_occurrences(key)
         else:  # pragma: no cover - would need a >4 EB address space
             order = np.lexsort((line, step_arr, warp))
             w_s, s_s, l_s = warp[order], step_arr[order], line[order]
@@ -237,28 +362,52 @@ class TraceBuilder:
                 (w_s[1:] != w_s[:-1]) | (s_s[1:] != s_s[:-1]) | (l_s[1:] != l_s[:-1])
             )
             sel = order[first]
+            # keep the narrowing checks off
+            max_warp = max_step = max_line = 1 << 62
 
-        seq_step = step_arr[sel] * 1024 + (self._seq % 1024)
+        # The step column packs (trip, issue slot); the warp column only
+        # feeds the issue-order key, whose math upcasts to int64 — store
+        # both narrow when their ranges fit (half the bytes to gather,
+        # concatenate and radix-sort downstream).
+        warp_sel = warp[sel]  # geometry columns are already int32
+        if max_warp <= (1 << 31) and warp_sel.dtype != np.int32:
+            warp_sel = warp_sel.astype(np.int32)  # pragma: no cover
+        if max_step <= (1 << 21):
+            # step*1024 + 1023 < 2**31, so the product is int32-exact.
+            step1024 = np.multiply(step_arr[sel], 1024, dtype=np.int32)
+        else:
+            step1024 = step_arr[sel] * 1024
+        line_sel = line[sel]
+        if max_line <= (1 << 31):
+            line_sel = line_sel.astype(np.int32)
+        sm_sel = sm[sel]
+        wave_sel = wave[sel]
         self._streams.append(
             MemoryTrace(
                 kind=np.full(sel.size, kind, dtype=np.uint8),
-                line_id=line[sel],
-                sm_id=sm[sel],
-                warp_id=warp[sel],
-                wave=wave[sel],
-                step=seq_step,
+                line_id=line_sel,
+                sm_id=sm_sel,
+                warp_id=warp_sel,
+                wave=wave_sel,
+                step=step1024 + step1024.dtype.type(self._seq % 1024),
             )
         )
         if kind == AccessKind.ATOMIC:
             self._atomic_addrs.append(addresses)
+        elif mkey is not None:
+            memo[mkey] = (
+                line_sel, sm_sel, warp_sel, wave_sel, step1024,
+                (raw_threads, raw_addresses, step),
+            )
         self._seq += 1
 
-    def load(self, thread_ids, addresses, *, ldg: bool = False, step=0) -> None:
+    def load(self, thread_ids, addresses, *, ldg: bool = False, step=0, memo=None) -> None:
         """Global load; ``ldg=True`` routes through the read-only cache."""
-        self.access(AccessKind.LDG if ldg else AccessKind.LOAD, thread_ids, addresses, step=step)
+        self.access(AccessKind.LDG if ldg else AccessKind.LOAD, thread_ids, addresses,
+                    step=step, memo=memo)
 
-    def store(self, thread_ids, addresses, *, step=0) -> None:
-        self.access(AccessKind.STORE, thread_ids, addresses, step=step)
+    def store(self, thread_ids, addresses, *, step=0, memo=None) -> None:
+        self.access(AccessKind.STORE, thread_ids, addresses, step=step, memo=memo)
 
     def atomic(self, thread_ids, addresses, *, step=0) -> None:
         """Atomic read-modify-write (contention priced per address)."""
@@ -286,7 +435,16 @@ class TraceBuilder:
         counts = np.broadcast_to(
             np.asarray(per_thread, dtype=np.int64), thread_ids.shape
         )
-        warp = thread_ids // self.device.warp_size
+        warp = None
+        for arr, geom in self._geom_cache:
+            if arr is thread_ids:
+                warp = geom[1]
+                break
+        if warp is None:
+            if self._warp_shift is not None:
+                warp = thread_ids >> self._warp_shift
+            else:
+                warp = thread_ids // self.device.warp_size
         nwarps = int(warp.max()) + 1
         warp_max = np.zeros(nwarps, dtype=np.int64)
         np.maximum.at(warp_max, warp, counts)

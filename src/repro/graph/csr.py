@@ -101,8 +101,17 @@ class CSRGraph:
 
     @property
     def degrees(self) -> np.ndarray:
-        """Out-degree of every vertex (== degree for symmetric graphs)."""
-        return np.diff(self.row_offsets).astype(VERTEX_DTYPE)
+        """Out-degree of every vertex (== degree for symmetric graphs).
+
+        Computed once and memoized as a frozen array — every kernel round
+        gathers from it, and the offsets it derives from are immutable.
+        """
+        cached = self.__dict__.get("_degrees")
+        if cached is None:
+            cached = np.diff(self.row_offsets).astype(VERTEX_DTYPE)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_degrees", cached)
+        return cached
 
     @property
     def max_degree(self) -> int:
