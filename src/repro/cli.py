@@ -31,6 +31,29 @@ __all__ = ["main", "resolve_graph"]
 _EDGELIST_SUFFIXES = (".el", ".txt", ".edges", ".edgelist", ".tsv")
 
 
+def _parse_faults(text):
+    """Validate a ``--faults`` plan up front: bad grammar is a usage
+    error, not a traceback from the middle of a run."""
+    from .faults import resolve_faults
+
+    try:
+        return resolve_faults(text)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"bad --faults plan: {exc}")
+
+
+def _guard_errors():
+    """Exceptions a strict health policy raises on purpose."""
+    from .engine.errors import AuditError, ConvergenceError, InvariantViolation
+    from .faults import FaultInjected
+    from .parallel import ShardedColoringError
+
+    return (
+        AuditError, ConvergenceError, InvariantViolation, FaultInjected,
+        ShardedColoringError,
+    )
+
+
 def resolve_graph(spec: str, *, scale_div: int | None = None) -> CSRGraph:
     """Turn a ``--graph`` argument into a :class:`CSRGraph`."""
     if spec in SUITE:
@@ -76,35 +99,77 @@ def _cmd_color(args) -> int:
         kwargs["observe"] = args.observe
     elif args.trace_out:
         kwargs["observe"] = "trace"
+    if args.faults:
+        kwargs["faults"] = _parse_faults(args.faults)
+    if args.health:
+        kwargs["health"] = args.health
     if args.shards:
         if args.cache:
             raise SystemExit("--cache does not combine with --shards")
         from .parallel import color_sharded
 
-        result = color_sharded(
-            graph,
-            args.method,
-            num_shards=args.shards,
-            workers=args.workers,
-            backend=kwargs.pop("backend", None),
-            observe=kwargs.pop("observe", None),
-            **kwargs,
-        )
+        try:
+            result = color_sharded(
+                graph,
+                args.method,
+                num_shards=args.shards,
+                workers=args.workers,
+                backend=kwargs.pop("backend", None),
+                observe=kwargs.pop("observe", None),
+                faults=kwargs.pop("faults", None),
+                health=kwargs.pop("health", None),
+                **kwargs,
+            )
+        except _guard_errors() as exc:
+            print(f"FAILED ({type(exc).__name__}): {exc}")
+            return 1
         stats = result.shard_stats
         print(result.summary())
-        print(
-            f"shards: {stats['num_shards']}, "
-            f"boundary {stats['boundary_vertices']} vertices, "
-            f"{stats['resolution_rounds']} resolution rounds, "
-            f"{stats['recolored']} recolored"
-        )
+        if stats.get("degraded"):
+            print(
+                f"shards: {stats['num_shards']} failed "
+                f"(shards {stats['failed_shards']}), degraded to one "
+                f"{stats['degraded']} run"
+            )
+        else:
+            print(
+                f"shards: {stats['num_shards']}, "
+                f"boundary {stats['boundary_vertices']} vertices, "
+                f"{stats['resolution_rounds']} resolution rounds, "
+                f"{stats['recolored']} recolored"
+            )
     else:
         if args.cache:
             kwargs["cache"] = args.cache
-        result = color_graph(graph, method=args.method, **kwargs)
+        try:
+            result = color_graph(graph, method=args.method, **kwargs)
+        except _guard_errors() as exc:
+            print(f"FAILED ({type(exc).__name__}): {exc}")
+            return 1
         print(result.summary())
         if result.cache_hit:
             print("(served from result cache)")
+    report = result.robustness
+    if report is not None:
+        fired = report.get("fired", [])
+        degradations = report.get("degradations", [])
+        print(
+            f"robustness: {len(fired)} fault(s) fired, "
+            f"{len(degradations)} degradation chain(s) engaged"
+        )
+        for d in degradations:
+            print(
+                f"  degraded {d['chain']}: {d['from']} -> {d['to']} "
+                f"({d['reason']}, x{d['count']})"
+            )
+    if args.faults_report:
+        import json
+
+        path = Path(args.faults_report)
+        path.write_text(
+            json.dumps(report or {}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote robustness report -> {path}")
     obs = result.observation
     if obs is not None and obs.tracer is not None:
         print()
@@ -152,7 +217,13 @@ def _cmd_batch(args) -> int:
             resolved[spec] = resolve_graph(spec, scale_div=args.scale_div)
     graphs = [resolved[spec] for spec in args.graphs]
     observe = args.observe or ("trace" if args.trace_out else None)
-    parallel = bool(args.workers) or args.cache is not None or observe is not None
+    parallel = (
+        bool(args.workers)
+        or args.cache is not None
+        or observe is not None
+        or args.faults is not None
+        or args.health is not None
+    )
 
     cache_obj = None
     ctx = None
@@ -169,6 +240,8 @@ def _cmd_batch(args) -> int:
             workers=args.workers,
             cache=cache_obj,
             observe=observe,
+            faults=_parse_faults(args.faults) if args.faults else None,
+            health=args.health,
         )
         failures = [r for r in results if not r]
         title = (
@@ -394,6 +467,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="worker processes for --shards (default: serial)",
     )
+    p.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="deterministic fault-injection plan, e.g. 'seed=7; "
+        "kernel-transient: kernel=topo-color-0' (see docs/ROBUSTNESS.md)",
+    )
+    p.add_argument(
+        "--health", default=None, choices=("default", "strict", "off"),
+        help="guard-rail policy: convergence watchdog, round invariants, "
+        "end-of-run audit ('strict' disables degradation chains)",
+    )
+    p.add_argument(
+        "--faults-report", default=None, metavar="PATH",
+        help="write the run's robustness report (fired faults, "
+        "degradation events) as JSON",
+    )
     p.set_defaults(fn=_cmd_color)
 
     p = sub.add_parser(
@@ -441,6 +529,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest", action="store_true",
         help="print a colors digest instead of sim_us (scheduler-independent "
         "output, for byte-identity checks)",
+    )
+    p.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="deterministic fault-injection plan applied to every job "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    p.add_argument(
+        "--health", default=None, choices=("default", "strict", "off"),
+        help="guard-rail policy for every job ('strict' disables "
+        "degradation chains)",
     )
     p.set_defaults(fn=_cmd_batch)
 

@@ -119,6 +119,8 @@ def color_graph(
     recorder=None,
     cache=None,
     mex=None,
+    faults=None,
+    health=None,
     **kwargs,
 ) -> ColoringResult:
     """Color ``graph`` with the named scheme.
@@ -162,6 +164,22 @@ def color_graph(
         fallback limit, or ``'sort'`` for the historical sort-based
         kernel.  Results are byte-identical across strategies — only
         wall-clock speed differs — so ``mex`` never enters cache keys.
+    faults:
+        Fault-injection plan (see :mod:`repro.faults`): a
+        :class:`~repro.faults.FaultPlan`, a plan spec string
+        (``'seed=7; kernel-transient: kernel=topo-color-0'``), or a ready
+        :class:`~repro.faults.Robustness` bundle.  Device schemes route
+        through an ephemeral engine context so injection sites, guard
+        rails and the rerun degradation chain all apply; host schemes run
+        with the bundle ambient (degradations recorded, audit via
+        ``validate``).  The run's report lands on ``result.robustness``.
+    health:
+        Guard-rail policy: ``'strict'``, ``'off'``, or a
+        :class:`~repro.faults.HealthPolicy` — convergence watchdog,
+        per-round invariants, end-of-run audit, degradation budget.
+        A cache hit never enters the round loop, so neither layer fires
+        on hits.  Not combinable with ``context=`` (configure the context
+        instead).
     **kwargs:
         Scheme-specific options, e.g. ``block_size=256``,
         ``worklist_strategy='atomic'``, ``num_hashes=4``,
@@ -185,6 +203,14 @@ def color_graph(
         raise ValueError(
             "pass observe= to the ExecutionContext, not alongside context="
         )
+    if context is not None and (faults is not None or health is not None):
+        raise ValueError(
+            "pass faults=/health= to the ExecutionContext, not alongside "
+            "context="
+        )
+    from ..faults import resolve_robustness
+
+    robustness = resolve_robustness(faults, health)
     if backend is not None and method not in ENGINE_RECIPES:
         raise ValueError(
             f"method {method!r} runs on the host and takes no backend; "
@@ -223,24 +249,41 @@ def color_graph(
     with mex_strategy(mex) if mex is not None else nullcontext():
         if context is not None:
             result = context.run(graph, method, validate=validate, **kwargs)
-        elif observation.active and method in ENGINE_RECIPES:
-            # Observed device runs route through an ephemeral context so the
-            # tracer sees uploads, kernels and transfers alike.
+        elif (
+            observation.active or robustness is not None
+        ) and method in ENGINE_RECIPES:
+            # Observed or fault-guarded device runs route through an
+            # ephemeral context so the tracer sees uploads, kernels and
+            # transfers alike — and so the robustness layer gets the full
+            # engine treatment (injection sites, guards, rerun chain).
             from ..engine.context import ExecutionContext
 
             spec = backend if backend is not None else kwargs.pop("device", None)
-            ctx = ExecutionContext(backend=spec, observe=observation)
+            ctx = ExecutionContext(
+                backend=spec, observe=observation, faults=robustness
+            )
             result = ctx.run(graph, method, validate=validate, **kwargs)
         else:
             if backend is not None:
                 kwargs["backend"] = backend
-            result = METHODS[method](graph, **kwargs)
+            if robustness is not None:
+                # Host schemes have no round loop to guard, but the
+                # ambient bundle still collects kernel degradations, and
+                # ``validate`` is the audit.
+                from ..faults import runtime as fault_runtime
+
+                with fault_runtime.activate(robustness):
+                    result = METHODS[method](graph, **kwargs)
+            else:
+                result = METHODS[method](graph, **kwargs)
             if observation.tracer is not None:
                 _trace_host_run(observation.tracer, graph, result)
             if observation.active:
                 result.extra.setdefault("observation", observation)
             if validate:
                 result.validate(graph)
+            if robustness is not None:
+                result.extra["robustness"] = robustness.report()
     if cache_obj is not None:
         cache_obj.put(cache_key, result)
     return result

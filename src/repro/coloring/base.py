@@ -163,6 +163,13 @@ class ColoringResult:
         or ``None`` for unsharded runs."""
         return self.extra.peek("shard_stats")
 
+    @property
+    def robustness(self) -> dict | None:
+        """The fault/degradation report of this run (``faults=`` or
+        ``health=`` was passed — see :mod:`repro.faults`), or ``None``.
+        Keys: ``plan``, ``seed``, ``fired``, ``degradations``."""
+        return self.extra.peek("robustness")
+
     def to_dict(self, schema_version: int = RESULT_SCHEMA_VERSION) -> dict:
         """The versioned, documented mapping view of this result.
 

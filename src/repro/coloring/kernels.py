@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.runtime import note_degradation
 from ..gpusim.device import DeviceArray
 from ..gpusim.trace import TraceBuilder
 from ..graph.csr import CSRGraph
@@ -379,9 +380,19 @@ def _mex_bitmask(
         return np.ones(num_segments, dtype=COLOR_DTYPE)
     c = nbr_colors[mask]  # any integer dtype; values bound the word count
     num_words = (int(c.max()) + 63) >> 6
-    if num_words > max_words or (not assume_sorted and np.any(s[1:] < s[:-1])):
-        # Wide palettes pay per-word sweeps; unsorted segments (distance-2's
-        # concatenated two-hop stream) would break reduceat runs.
+    if num_words > max_words:
+        # Wide palettes pay per-word sweeps; defer to the sort path.  This
+        # is the mex degradation chain — byte-identical results, recorded
+        # when a robustness bundle is active (overflow only: the unsorted-
+        # stream fallback below is a routing decision, not a degradation).
+        note_degradation(
+            "mex", "bitmask", "sort", "word-budget-overflow",
+            f"num_words={num_words} > max_words={max_words}",
+        )
+        return _mex_sort(seg_ids, nbr_colors, num_segments)
+    if not assume_sorted and np.any(s[1:] < s[:-1]):
+        # Unsorted segments (distance-2's concatenated two-hop stream)
+        # would break reduceat runs.
         return _mex_sort(seg_ids, nbr_colors, num_segments)
     bit = c - 1
     word = bit >> 6

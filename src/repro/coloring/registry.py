@@ -66,6 +66,12 @@ class ExecutionOptions:
     mex: Any = _opt(None, "forbidden-color kernel strategy: 'bitmask', "
                           "'bitmask:N' (word limit), or 'sort' "
                           "(results are identical; speed differs)")
+    faults: Any = _opt(None, "fault-injection plan: a FaultPlan, a plan "
+                             "spec string ('seed=7; site: k=v, ...'), or a "
+                             "Robustness bundle (see docs/ROBUSTNESS.md)")
+    health: Any = _opt(None, "guard-rail policy: 'strict', 'off', or a "
+                             "HealthPolicy (watchdog, invariants, audit, "
+                             "degradation chains)")
 
     @classmethod
     def option_rows(cls) -> list[tuple[str, object, str]]:

@@ -27,7 +27,7 @@ from .backend import (
     resolve_backend,
 )
 from .context import ExecutionContext, color_many
-from .errors import ConvergenceError
+from .errors import AuditError, ConvergenceError, InvariantViolation
 from .runner import (
     MAX_ITERATIONS,
     RoundLoop,
@@ -38,9 +38,11 @@ from .runner import (
 )
 
 __all__ = [
+    "AuditError",
     "BACKENDS",
     "Backend",
     "ConvergenceError",
+    "InvariantViolation",
     "CpuSimBackend",
     "ExecutionContext",
     "GpuSimBackend",

@@ -28,6 +28,8 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from ..cpusim.model import CPU, MulticoreCPU
+from ..faults import TransientKernelError
+from ..faults.runtime import active_fire
 from ..gpusim.config import DeviceConfig, LaunchConfig
 from ..gpusim.device import Device, DeviceArray
 
@@ -42,6 +44,28 @@ __all__ = [
 ]
 
 _ALIGNMENT = 256  # matches gpusim.device alignment
+
+#: Simulated bytes a ``clock-stall`` fault charges when no param is given
+#: (a 1 MiB phantom readback — enough to visibly skew a run's timeline).
+_DEFAULT_STALL_BYTES = 1 << 20
+
+
+def _commit_gate(name: str, stall=None) -> None:
+    """Consult the ambient fault bundle before pricing a kernel.
+
+    ``kernel-transient`` raises a retryable :class:`TransientKernelError`;
+    ``clock-stall`` calls ``stall(nbytes)`` (when the backend provides
+    one) to charge idle simulated time — timings skew, colors do not.
+    """
+    spec = active_fire("kernel-transient", kernel=name)
+    if spec is not None:
+        raise TransientKernelError(
+            f"injected transient failure in kernel {name!r}"
+        )
+    if stall is not None:
+        spec = active_fire("clock-stall", kernel=name)
+        if spec is not None:
+            stall(int(spec.param) if spec.param else _DEFAULT_STALL_BYTES)
 
 
 @dataclass(frozen=True)
@@ -149,9 +173,12 @@ class GpuSimBackend:
         return self.device.builder(num_threads, launch, name=name)
 
     def commit(self, builder):
+        _commit_gate(builder.name, stall=self.device.dtoh)
         return self.device.commit(builder)
 
     def commit_pair(self, first, second):
+        _commit_gate(first.name, stall=self.device.dtoh)
+        _commit_gate(second.name, stall=self.device.dtoh)
         return self.device.commit_pair(first, second)
 
     # -- transfers ------------------------------------------------------
@@ -314,6 +341,7 @@ class CpuSimBackend:
         return CpuTraceBuilder(self._geometry, launch or LaunchConfig(), num_threads, name)
 
     def commit(self, builder: CpuTraceBuilder):
+        _commit_gate(builder.name)  # unified memory: no stall surface
         addrs = (
             np.concatenate(builder.addresses) if builder.addresses else None
         )

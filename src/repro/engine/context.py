@@ -16,11 +16,21 @@ benchmark suite do:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
+from ..faults import FaultInjected, resolve_robustness
+from ..faults import runtime as fault_runtime
 from ..obs.observe import resolve_observe, warn_recorder_deprecated
 from .backend import resolve_backend
+from .errors import AuditError, ConvergenceError, InvariantViolation
 from .runner import MAX_ITERATIONS, RoundLoop, SchemeRecipe
 
 __all__ = ["ExecutionContext", "color_many"]
+
+#: Failures the engine rerun chain may heal with a fresh run (injected
+#: faults exhaust their fire budgets; guard errors caused by corruption
+#: vanish once the corrupting spec stops firing).
+_RECOVERABLE = (FaultInjected, AuditError, InvariantViolation, ConvergenceError)
 
 
 class ExecutionContext:
@@ -43,6 +53,14 @@ class ExecutionContext:
     recorder:
         Deprecated spelling of ``observe=<Recorder>`` (kept working via a
         once-per-process :class:`DeprecationWarning`).
+    faults:
+        Fault-injection plan (see :mod:`repro.faults`): ``None``, a
+        :class:`~repro.faults.FaultPlan`, a plan spec string, or a ready
+        :class:`~repro.faults.Robustness` bundle.
+    health:
+        Guard-rail policy: ``None`` (defaults), ``"strict"`` (guards on,
+        no degradation), ``"off"``, or a
+        :class:`~repro.faults.HealthPolicy`.
     backend_opts:
         Forwarded to the backend constructor when ``backend`` is a name
         (e.g. ``seed=3``, ``cores=16``).
@@ -54,6 +72,8 @@ class ExecutionContext:
         *,
         observe=None,
         recorder=None,
+        faults=None,
+        health=None,
         max_iterations: int = MAX_ITERATIONS,
         **backend_opts,
     ) -> None:
@@ -65,14 +85,39 @@ class ExecutionContext:
         self.backend = resolve_backend(backend, **backend_opts)
         if self.observation.tracer is not None:
             self.backend.attach_tracer(self.observation.tracer)
+        self.robustness = resolve_robustness(faults, health)
+        if (
+            self.robustness is not None
+            and self.robustness.log.tracer is None
+        ):
+            self.robustness.log.tracer = self.observation.tracer
         self.loop = RoundLoop(
             max_iterations=max_iterations,
             recorder=self.observation.recorder,
             tracer=self.observation.tracer,
+            robustness=self.robustness,
         )
         self._uploads: dict[int, tuple] = {}
         self.uploads = 0  # graphs paying the HtoD burst
         self.upload_reuses = 0  # runs served from the cache
+
+    @contextmanager
+    def robustness_scope(self, robustness):
+        """Temporarily attach a robustness bundle to this context.
+
+        Used by the batch schedulers, whose shared per-worker contexts are
+        built once but need a fresh injector per (job, attempt).
+        """
+        previous = self.robustness
+        self.robustness = robustness
+        self.loop.robustness = robustness
+        if robustness is not None and robustness.log.tracer is None:
+            robustness.log.tracer = self.observation.tracer
+        try:
+            yield self
+        finally:
+            self.robustness = previous
+            self.loop.robustness = previous
 
     @property
     def recorder(self):
@@ -118,13 +163,20 @@ class ExecutionContext:
 
     # ------------------------------------------------------------------
     def run_recipe(self, graph, recipe: SchemeRecipe):
-        """Run a prepared recipe against this context's cached state."""
+        """Run a prepared recipe against this context's cached state.
+
+        The context's robustness bundle (if any) is ambient for the run,
+        so injection/degradation sites deep in the kernels see it.  Guard
+        failures raise here; the rerun degradation chain lives in
+        :meth:`run`, which can rebuild the recipe.
+        """
         bufs = self.buffers_for(graph)
         pool = getattr(self.backend, "device", None)
         pool_mark = (
             (pool.pool_hits, pool.pool_misses) if pool is not None else None
         )
-        result = self.loop.run(self.backend, graph, recipe, bufs)
+        with fault_runtime.activate(self.robustness):
+            result = self.loop.run(self.backend, graph, recipe, bufs)
         if self.tracer is not None and pool_mark is not None:
             self.tracer.event(
                 "buffer-pool",
@@ -150,19 +202,45 @@ class ExecutionContext:
         ``mex=`` selects the forbidden-color kernel strategy for this run
         (``'bitmask'``, ``'bitmask:N'``, or ``'sort'``); results are
         byte-identical either way, only wall-clock speed differs.
+
+        When a robustness bundle with ``degrade=True`` is attached, a run
+        rejected by the guard rails (or killed by an injected fault) is
+        degraded to a fresh rerun — cached buffers evicted, new recipe —
+        up to ``policy.max_reruns`` times.  The simulation is
+        deterministic, so a clean rerun's colors are byte-identical to a
+        never-faulted run's.
         """
         from ..coloring.api import make_recipe
+        from ..coloring.base import ColoringError
         from ..coloring.kernels import mex_strategy
 
-        recipe = make_recipe(method, **kwargs)
-        if mex is None:
-            result = self.run_recipe(graph, recipe)
-        else:
-            with mex_strategy(mex):
-                result = self.run_recipe(graph, recipe)
-        if validate:
-            result.validate(graph)
-        return result
+        rb = self.robustness
+        reruns_left = (
+            rb.policy.max_reruns if rb is not None and rb.policy.degrade else 0
+        )
+        while True:
+            recipe = make_recipe(method, **kwargs)
+            try:
+                if mex is None:
+                    result = self.run_recipe(graph, recipe)
+                else:
+                    with mex_strategy(mex):
+                        result = self.run_recipe(graph, recipe)
+                if validate:
+                    result.validate(graph)
+                if rb is not None:
+                    result.extra["robustness"] = rb.report()
+                return result
+            except (*_RECOVERABLE, ColoringError) as exc:
+                if reruns_left <= 0:
+                    raise
+                reruns_left -= 1
+                rb.degrade(
+                    "engine", "run", "rerun",
+                    type(exc).__name__, f"{method}: {exc}",
+                )
+                # A corrupted pooled buffer must not leak into the rerun.
+                self.evict(graph)
 
     def color_many(
         self, graphs, method: str = "data-ldg", *, validate: bool = True, **kwargs
@@ -189,6 +267,8 @@ def color_many(
     workers=None,
     scheduler=None,
     cache=None,
+    faults=None,
+    health=None,
     validate: bool = True,
     **kwargs,
 ) -> list:
@@ -216,6 +296,12 @@ def color_many(
     heterogeneous batches; failures after the scheduler's retries come
     back as :class:`~repro.parallel.JobFailure` entries at the failed
     job's position (falsy, so ``all(results)`` screens them).
+
+    ``faults=`` / ``health=`` attach the robustness layer (see
+    :mod:`repro.faults`) to every job of the batch: injection sites fire
+    deterministically per (job, attempt), the guard rails watch every
+    round loop, and exhausted process-pool retries degrade to a serial
+    healing pass instead of surfacing failures.
     """
     if recorder is not None:
         warn_recorder_deprecated("color_many")
@@ -225,7 +311,14 @@ def color_many(
     from ..graph.csr import CSRGraph
 
     plain = all(isinstance(g, CSRGraph) for g in graphs)
-    if plain and workers in (None, 0, 1) and scheduler is None and cache is None:
+    if (
+        plain
+        and workers in (None, 0, 1)
+        and scheduler is None
+        and cache is None
+        and faults is None
+        and health is None
+    ):
         ctx = ExecutionContext(backend=backend, observe=observe)
         return ctx.color_many(graphs, method, validate=validate, **kwargs)
     from ..parallel.jobs import normalize_jobs
@@ -240,4 +333,6 @@ def color_many(
         observe=observe,
         cache=cache,
         validate=validate,
+        faults=faults,
+        health=health,
     )

@@ -1,16 +1,23 @@
-"""Engine-level failure types."""
+"""Engine-level failure types.
+
+All three guard-rail errors carry a structured payload (``to_dict``) so
+failure reports, ``JobFailure`` slots, and trace artifacts can record
+*why* a run was rejected, not just that it was.  They subclass
+:class:`RuntimeError` so callers that guarded against the old per-scheme
+``RuntimeError`` messages keep working.
+"""
 
 from __future__ import annotations
 
-__all__ = ["ConvergenceError"]
+__all__ = ["ConvergenceError", "InvariantViolation", "AuditError"]
 
 
 class ConvergenceError(RuntimeError):
-    """A scheme hit the engine's round cap without finishing its coloring.
+    """A scheme hit a convergence guard without finishing its coloring.
 
-    Subclasses :class:`RuntimeError` so callers that guarded against the old
-    per-scheme ``RuntimeError("... failed to converge")`` keep working, but
-    carries the diagnostic state those messages lacked.
+    Raised when the round loop hits its iteration cap (``reason="cap"``)
+    or when the no-progress watchdog sees the uncolored count frozen for
+    a full window of rounds (``reason="no-progress"`` — livelock).
 
     Attributes
     ----------
@@ -19,14 +26,99 @@ class ConvergenceError(RuntimeError):
     iterations:
         Bulk-synchronous rounds executed before giving up.
     uncolored:
-        Vertices still uncolored when the cap was hit.
+        Vertices still uncolored when the guard fired.
+    reason:
+        ``"cap"`` or ``"no-progress"``.
+    window:
+        For ``"no-progress"``: rounds the uncolored count was frozen.
     """
 
-    def __init__(self, scheme: str, iterations: int, uncolored: int) -> None:
+    def __init__(self, scheme: str, iterations: int, uncolored: int,
+                 reason: str = "cap", window: int = 0) -> None:
         self.scheme = scheme
         self.iterations = iterations
         self.uncolored = uncolored
+        self.reason = reason
+        self.window = window
+        if reason == "no-progress":
+            detail = (
+                f"made no progress for {window} rounds "
+                f"({uncolored} vertices still uncolored after "
+                f"{iterations} rounds)"
+            )
+        else:
+            detail = (
+                f"failed to converge after {iterations} rounds "
+                f"({uncolored} vertices still uncolored)"
+            )
+        super().__init__(f"{scheme} {detail}")
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "ConvergenceError",
+            "scheme": self.scheme,
+            "iterations": self.iterations,
+            "uncolored": self.uncolored,
+            "reason": self.reason,
+            "window": self.window,
+        }
+
+
+class InvariantViolation(RuntimeError):
+    """A post-round invariant check failed (e.g. the colored set shrank).
+
+    Attributes
+    ----------
+    scheme: scheme whose round broke the invariant.
+    invariant: short machine-readable name, e.g. ``"colored-monotone"``.
+    iteration: round index that broke it.
+    detail: human-readable specifics (observed vs expected values).
+    """
+
+    def __init__(self, scheme: str, invariant: str, iteration: int,
+                 detail: str) -> None:
+        self.scheme = scheme
+        self.invariant = invariant
+        self.iteration = iteration
+        self.detail = detail
         super().__init__(
-            f"{scheme} failed to converge after {iterations} rounds "
-            f"({uncolored} vertices still uncolored)"
+            f"{scheme} violated invariant {invariant!r} at round "
+            f"{iteration}: {detail}"
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "InvariantViolation",
+            "scheme": self.scheme,
+            "invariant": self.invariant,
+            "iteration": self.iteration,
+            "detail": self.detail,
+        }
+
+
+class AuditError(RuntimeError):
+    """The end-of-run audit rejected the final coloring against the CSR.
+
+    Attributes
+    ----------
+    scheme: scheme whose output failed the audit.
+    conflicts: monochromatic edges found by the re-verification.
+    uncolored: vertices left uncolored in the final result.
+    """
+
+    def __init__(self, scheme: str, conflicts: int, uncolored: int) -> None:
+        self.scheme = scheme
+        self.conflicts = conflicts
+        self.uncolored = uncolored
+        super().__init__(
+            f"{scheme} produced an invalid coloring: {conflicts} conflicting "
+            f"edges, {uncolored} uncolored vertices"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "AuditError",
+            "scheme": self.scheme,
+            "conflicts": self.conflicts,
+            "uncolored": self.uncolored,
+        }

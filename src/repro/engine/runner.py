@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .backend import Backend
-from .errors import ConvergenceError
+from .errors import AuditError, ConvergenceError, InvariantViolation
 
 __all__ = [
     "MAX_ITERATIONS",
@@ -129,17 +129,34 @@ class SchemeRecipe:
 
 @dataclass
 class RoundLoop:
-    """Drives a recipe to convergence on a backend (see module docstring)."""
+    """Drives a recipe to convergence on a backend (see module docstring).
+
+    When a :class:`~repro.faults.Robustness` bundle is attached, the loop
+    additionally enforces the bundle's :class:`~repro.faults.HealthPolicy`
+    guard rails — the no-progress livelock watchdog, post-round invariant
+    checks (colored-set monotonicity, worklist-size sanity), and the
+    end-of-run coloring audit — and consults the bundle's fault injector
+    at the ``buffer-bitflip`` / ``result-corrupt`` sites.  With no bundle
+    attached none of this costs anything.
+    """
 
     max_iterations: int = MAX_ITERATIONS
     recorder: object | None = None  # metrics.Recorder, duck-typed
     tracer: object | None = None  # obs.Tracer, duck-typed
+    robustness: object | None = None  # faults.Robustness, duck-typed
 
     def run(self, ex: Backend, graph, recipe: SchemeRecipe, bufs):
         """Execute ``recipe`` on ``graph``; returns a ``ColoringResult``."""
         from ..coloring.base import ColoringResult
 
         tracer = self.tracer
+        rb = self.robustness
+        policy = rb.policy if rb is not None else None
+        max_iterations = self.max_iterations
+        if policy is not None and policy.max_iterations is not None:
+            max_iterations = policy.max_iterations
+        watch_window = policy.no_progress_window if policy is not None else 0
+        invariants = policy.invariants if policy is not None else False
         run_span = None
         if tracer is not None:
             run_span = tracer.begin(
@@ -159,12 +176,16 @@ class RoundLoop:
             from ..coloring.kernels import KernelScratch
 
             recipe.scratch = KernelScratch()
+            last_uncolored: int | None = None
+            stalled = 0
             try:
                 while recipe.has_work():
-                    if iterations >= self.max_iterations:
+                    if iterations >= max_iterations:
                         raise ConvergenceError(
                             recipe.scheme, iterations, recipe.uncolored()
                         )
+                    if rb is not None:
+                        self._inject_bitflip(rb, recipe, bufs, iterations)
                     profiles_before = len(recipe.profiles)
                     round_span = (
                         tracer.begin(f"round-{iterations}", "round")
@@ -189,7 +210,16 @@ class RoundLoop:
                         self._record_round(
                             graph, recipe, iterations - 1, status, profiles_before
                         )
+                    if watch_window > 0 or invariants:
+                        last_uncolored, stalled = self._check_round(
+                            graph, recipe, status, iterations,
+                            watch_window, invariants, last_uncolored, stalled,
+                        )
                 outcome = recipe.finalize()
+                if rb is not None:
+                    self._inject_result_corrupt(rb, outcome)
+                if policy is not None and policy.audit:
+                    self._audit(graph, recipe.scheme, outcome.colors)
             finally:
                 recipe.cleanup()
 
@@ -220,6 +250,77 @@ class RoundLoop:
                 # Closes any round span an exception left open, too.
                 tracer.end(run_span, iterations=iterations)
 
+    def _check_round(self, graph, recipe, status, iterations,
+                     watch_window, invariants, last_uncolored, stalled):
+        """Post-round guard rails: invariants plus the livelock watchdog.
+
+        Returns the updated ``(last_uncolored, stalled)`` watchdog state.
+        The uncolored count is read once and shared by both guards.
+        """
+        n = graph.num_vertices
+        uncolored = recipe.uncolored()
+        if invariants:
+            if not (0 <= status.active <= n and 0 <= status.conflicts <= n):
+                raise InvariantViolation(
+                    recipe.scheme, "worklist-sane", iterations - 1,
+                    f"active={status.active} conflicts={status.conflicts} "
+                    f"outside [0, {n}]",
+                )
+            if last_uncolored is not None and uncolored > last_uncolored:
+                raise InvariantViolation(
+                    recipe.scheme, "colored-monotone", iterations - 1,
+                    f"uncolored grew from {last_uncolored} to {uncolored}",
+                )
+        if watch_window > 0:
+            if last_uncolored is not None and uncolored == last_uncolored \
+                    and uncolored > 0:
+                stalled += 1
+                if stalled >= watch_window:
+                    raise ConvergenceError(
+                        recipe.scheme, iterations, uncolored,
+                        reason="no-progress", window=stalled,
+                    )
+            else:
+                stalled = 0
+        return uncolored, stalled
+
+    def _audit(self, graph, scheme, colors) -> None:
+        """End-of-run validity audit: re-verify the coloring on the CSR."""
+        from ..coloring.base import count_conflicts
+
+        uncolored = int((colors <= 0).sum())
+        conflicts = count_conflicts(graph, colors)
+        if uncolored or conflicts:
+            raise AuditError(scheme, conflicts, uncolored)
+
+    @staticmethod
+    def _inject_bitflip(rb, recipe, bufs, iteration) -> None:
+        """``buffer-bitflip`` site: flip one bit of the pooled color buffer."""
+        spec = rb.fire("buffer-bitflip", round=iteration)
+        if spec is None:
+            return
+        colors = bufs.colors.data
+        if colors.size == 0:
+            return
+        victim = rb.plan.index_for(
+            "buffer-bitflip", colors.size, {"round": iteration}
+        )
+        bit = int(spec.param) % 31 if spec.param is not None else 0
+        colors[victim] = np.int32(int(colors[victim]) ^ (1 << bit))
+
+    @staticmethod
+    def _inject_result_corrupt(rb, outcome) -> None:
+        """``result-corrupt`` site: flip one bit of the finalized colors."""
+        spec = rb.fire("result-corrupt")
+        if spec is None:
+            return
+        colors = outcome.colors
+        if colors.size == 0:
+            return
+        victim = rb.plan.index_for("result-corrupt", colors.size, {})
+        bit = int(spec.param) % 31 if spec.param is not None else 0
+        colors[victim] = np.int32(int(colors[victim]) ^ (1 << bit))
+
     def _record_round(self, graph, recipe, iteration, status, profiles_before) -> None:
         time_us = sum(
             p.time_us for p in recipe.profiles[profiles_before:]
@@ -243,6 +344,8 @@ def run_scheme(
     context=None,
     observe=None,
     recorder=None,
+    faults=None,
+    health=None,
 ):
     """Run one recipe on one graph — the single-shot engine entry point.
 
@@ -252,7 +355,11 @@ def run_scheme(
     uploads, pooled buffers); otherwise an ephemeral context is built
     from ``backend`` (default: a fresh simulated K20c).  ``observe=``
     takes the unified observation surface (see :mod:`repro.obs`);
-    ``recorder=`` is the deprecated spelling of ``observe=<Recorder>``.
+    ``recorder=`` is the deprecated spelling of ``observe=<Recorder>``;
+    ``faults=`` / ``health=`` attach the robustness layer (see
+    :mod:`repro.faults`) — note the degradation *rerun* chain needs a
+    recipe factory, so it lives on ``color_graph`` / ``ExecutionContext.run``,
+    not here; guard failures raise from this entry point.
     """
     from ..obs.observe import warn_recorder_deprecated
     from .context import ExecutionContext
@@ -263,9 +370,16 @@ def run_scheme(
             observe = recorder
     if context is None:
         spec = backend if backend is not None else device
-        context = ExecutionContext(backend=spec, observe=observe)
+        context = ExecutionContext(
+            backend=spec, observe=observe, faults=faults, health=health
+        )
     elif observe is not None:
         raise ValueError(
             "pass observe= to the ExecutionContext, not alongside context="
+        )
+    elif faults is not None or health is not None:
+        raise ValueError(
+            "pass faults=/health= to the ExecutionContext, not alongside "
+            "context="
         )
     return context.run_recipe(graph, recipe)

@@ -1,0 +1,41 @@
+"""Deterministic fault injection, health guards, and degradation chains.
+
+This package is the robustness layer's *vocabulary* — fault plans,
+injectors, health policies, degradation logs — and deliberately imports
+nothing from ``repro.engine``, ``repro.coloring``, or ``repro.parallel``:
+the dependency direction is engine → faults only.  See
+``docs/ROBUSTNESS.md`` for the user-facing guide.
+"""
+
+from .degrade import DegradationEvent, DegradationLog
+from .health import HealthPolicy, resolve_health
+from .injector import (
+    FaultInjected,
+    FaultInjector,
+    InjectedFault,
+    TransientKernelError,
+)
+from .plan import SITES, FaultPlan, FaultSpec, resolve_faults
+from .robustness import Robustness, resolve_robustness
+from .runtime import activate, active_fire, get_active, note_degradation
+
+__all__ = [
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "resolve_faults",
+    "FaultInjected",
+    "TransientKernelError",
+    "InjectedFault",
+    "FaultInjector",
+    "DegradationEvent",
+    "DegradationLog",
+    "HealthPolicy",
+    "resolve_health",
+    "Robustness",
+    "resolve_robustness",
+    "activate",
+    "active_fire",
+    "get_active",
+    "note_degradation",
+]

@@ -1,0 +1,99 @@
+"""Structured degradation events.
+
+When a component falls back along one of the engine's declarative
+degradation chains (bitmask mex → sort mex, process pool → serial
+scheduler, sharded → sequential coloring, cache disk entry → quarantined
+miss, faulted run → fresh rerun), it records a :class:`DegradationEvent`
+into the active :class:`DegradationLog`.  The log dedupes by signature
+(chain, modes, reason) and counts repeats, so a hot-path fallback that
+fires once per round does not balloon the report; each event is also
+mirrored into the obs tracer (category ``degrade``) when one is
+attached, which is how degradation timelines land in trace artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DegradationEvent", "DegradationLog"]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One fallback transition along a degradation chain."""
+
+    chain: str        # e.g. "mex", "scheduler", "sharded", "cache", "engine"
+    from_mode: str    # what was attempted, e.g. "bitmask"
+    to_mode: str      # what it fell back to, e.g. "sort"
+    reason: str       # short machine-readable cause, e.g. "word-budget-overflow"
+    detail: str = ""  # free-form context (key, error text, ...)
+
+    @property
+    def signature(self) -> tuple[str, str, str, str]:
+        return (self.chain, self.from_mode, self.to_mode, self.reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "chain": self.chain,
+            "from": self.from_mode,
+            "to": self.to_mode,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+class DegradationLog:
+    """Collects degradation events, deduped by signature with counts."""
+
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+        self.events: list[DegradationEvent] = []
+        self._counts: dict[tuple, int] = {}
+
+    def record(self, chain: str, from_mode: str, to_mode: str,
+               reason: str, detail: str = "") -> DegradationEvent:
+        event = DegradationEvent(chain, from_mode, to_mode, reason, detail)
+        sig = event.signature
+        if sig in self._counts:
+            self._counts[sig] += 1
+        else:
+            self._counts[sig] = 1
+            self.events.append(event)
+        if self.tracer is not None:
+            self.tracer.event(
+                f"degrade:{chain}",
+                category="degrade",
+                args=event.to_dict(),
+            )
+        return event
+
+    def count(self, event: DegradationEvent) -> int:
+        return self._counts.get(event.signature, 0)
+
+    def report(self) -> list[dict]:
+        """JSON-able, submission-ordered events with repeat counts."""
+        return [
+            {**e.to_dict(), "count": self._counts[e.signature]}
+            for e in self.events
+        ]
+
+    def absorb(self, report: list[dict]) -> None:
+        """Merge a sub-report (e.g. from a worker process) into this log."""
+        for entry in report:
+            event = DegradationEvent(
+                chain=entry["chain"],
+                from_mode=entry["from"],
+                to_mode=entry["to"],
+                reason=entry["reason"],
+                detail=entry.get("detail", ""),
+            )
+            sig = event.signature
+            repeat = int(entry.get("count", 1))
+            if sig in self._counts:
+                self._counts[sig] += repeat
+            else:
+                self._counts[sig] = repeat
+                self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,79 @@
+"""Health policies: what the engine's guard rails should enforce.
+
+A :class:`HealthPolicy` configures the :class:`RoundLoop` guard rails —
+the convergence watchdog, post-round invariant checks, and the
+end-of-run coloring audit — plus whether degradation chains are allowed
+to heal failures (``degrade``) and how many fresh reruns the engine may
+spend doing so (``max_reruns``).
+
+``resolve_health`` accepts the ``health=`` engine-option spellings:
+``None`` (default policy), ``"strict"`` (all guards on, no degradation
+— failures raise), ``"off"`` (guards off), or a policy instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HealthPolicy", "resolve_health"]
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Guard-rail configuration for a run.
+
+    max_iterations: overrides the RoundLoop cap when set.
+    no_progress_window: rounds with no drop in the uncolored count before
+        the watchdog declares livelock (0 disables the watchdog).
+    invariants: run post-round invariant checks (colored-set
+        monotonicity, worklist-size sanity).
+    audit: re-verify the final coloring against the CSR before the
+        result leaves the engine.
+    degrade: allow degradation chains to heal guard/fault failures; when
+        False, the structured error propagates instead.
+    max_reruns: fresh reruns the engine may spend healing a failed run.
+    """
+
+    max_iterations: int | None = None
+    no_progress_window: int = 64
+    invariants: bool = True
+    audit: bool = True
+    degrade: bool = True
+    max_reruns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.no_progress_window < 0:
+            raise ValueError(
+                f"no_progress_window must be >= 0, got {self.no_progress_window}"
+            )
+        if self.max_reruns < 0:
+            raise ValueError(f"max_reruns must be >= 0, got {self.max_reruns}")
+
+
+#: Named policies reachable from the CLI / string option.
+_NAMED = {
+    "default": HealthPolicy(),
+    "strict": HealthPolicy(degrade=False),
+    "off": HealthPolicy(
+        no_progress_window=0, invariants=False, audit=False, max_reruns=0
+    ),
+}
+
+
+def resolve_health(spec) -> HealthPolicy:
+    """Normalize any accepted ``health=`` value into a :class:`HealthPolicy`."""
+    if spec is None:
+        return _NAMED["default"]
+    if isinstance(spec, HealthPolicy):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _NAMED[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown health policy {spec!r}; choose from {sorted(_NAMED)}"
+            ) from None
+    raise TypeError(
+        f"cannot interpret {spec!r} as a health policy: expected None, "
+        f"a HealthPolicy, or one of {sorted(_NAMED)}"
+    )

@@ -1,0 +1,97 @@
+"""Runtime side of fault injection: firing decisions and records.
+
+A :class:`FaultInjector` wraps a :class:`~repro.faults.plan.FaultPlan`
+and answers the only question the execution layers ask: *"site X is
+about to happen with key K — should a fault fire here?"* (:meth:`fire`).
+Every fire is recorded as an :class:`InjectedFault`, so a run can report
+the exact injected sequence; the chaos suite asserts this sequence is
+identical across runs of the same plan.
+
+Fire budgets (``max_fires``) are tracked per injector instance.  The
+process scheduler builds one injector per (job, attempt) inside the
+worker, so budgets there are per-attempt; single-run engine paths build
+one injector per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjected",
+    "TransientKernelError",
+    "InjectedFault",
+    "FaultInjector",
+]
+
+
+class FaultInjected(RuntimeError):
+    """Base class for errors raised *by* the fault layer on purpose."""
+
+
+class TransientKernelError(FaultInjected):
+    """An injected, retryable kernel failure (site ``kernel-transient``)."""
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired."""
+
+    site: str
+    key: tuple[tuple[str, object], ...]
+    param: float | None = None
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "key": dict(self.key), "param": self.param}
+
+
+class FaultInjector:
+    """Consults a plan at injection sites and records what fired."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.fired: list[InjectedFault] = []
+        self._fire_counts: dict[int, int] = {}
+
+    def fire(self, site: str, **key) -> FaultSpec | None:
+        """Return the matching spec if a fault should fire here, else None.
+
+        A spec fires when its site and ``when`` filters match, its fire
+        budget is not exhausted, and the deterministic chance draw for
+        (seed, site, key) lands under its probability.  The first
+        matching spec wins; a fire is appended to :attr:`fired`.
+        """
+        for idx, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(key):
+                continue
+            if spec.max_fires is not None:
+                if self._fire_counts.get(idx, 0) >= spec.max_fires:
+                    continue
+            if spec.probability < 1.0:
+                if self.plan.chance(site, key) >= spec.probability:
+                    continue
+            self._fire_counts[idx] = self._fire_counts.get(idx, 0) + 1
+            record = InjectedFault(
+                site=site, key=tuple(sorted(key.items())), param=spec.param
+            )
+            self.fired.append(record)
+            return spec
+        return None
+
+    # -- reporting -----------------------------------------------------
+    def report(self) -> list[dict]:
+        """JSON-able list of fired faults, in firing order."""
+        return [f.to_dict() for f in self.fired]
+
+    def absorb(self, fired: list[dict]) -> None:
+        """Merge a sub-report (e.g. from a worker process) into this one."""
+        for entry in fired:
+            self.fired.append(
+                InjectedFault(
+                    site=entry["site"],
+                    key=tuple(sorted(entry.get("key", {}).items())),
+                    param=entry.get("param"),
+                )
+            )

@@ -1,0 +1,201 @@
+"""Deterministic, seed-driven fault plans.
+
+A :class:`FaultPlan` declares *where* and *when* the engine should be
+made to fail: each :class:`FaultSpec` names an injection **site** (a
+choke point the execution layers consult — see :data:`SITES`), an
+optional exact-match key filter (``when``), an optional probability, and
+an optional fire budget.  Everything about a plan is deterministic:
+probabilistic decisions hash ``(seed, site, key)`` through SHA-256, so
+the same plan produces the same injected-fault sequence on every run —
+the property the chaos suite and the CI determinism gate rely on.
+
+Plans are frozen dataclasses of primitives, hence picklable: the process
+scheduler ships them into worker processes unchanged.  The CLI spells a
+plan as a compact string (:meth:`FaultPlan.parse`)::
+
+    seed=7; worker-crash: job=0, attempt=1; job-error: p=0.25
+
+Reserved spec keys: ``p``/``probability``, ``max_fires``, ``param``
+(site-specific magnitude: hang seconds, stall bytes, flip bit).  Every
+other ``k=v`` is a ``when`` filter matched against the keys the site
+reports (``job``, ``attempt``, ``kernel``, ``round``, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["SITES", "FaultSpec", "FaultPlan", "resolve_faults"]
+
+#: Injection sites the execution layers consult, and what firing does.
+SITES: dict[str, str] = {
+    "worker-crash": "kill the worker process mid-job (process scheduler only); "
+                    "keys: job, attempt",
+    "worker-hang": "block the worker past the scheduler timeout (process "
+                   "scheduler only); keys: job, attempt; param = seconds",
+    "job-error": "raise a transient error inside the job runner (any "
+                 "scheduler); keys: job, attempt",
+    "kernel-transient": "raise TransientKernelError from a backend commit; "
+                        "keys: kernel",
+    "clock-stall": "charge a burst of idle simulated time at a backend "
+                   "commit (gpusim); keys: kernel; param = bytes",
+    "buffer-bitflip": "flip one bit of the pooled device color buffer "
+                      "between rounds; keys: round; param = bit index",
+    "result-corrupt": "flip one bit of the finalized colors before the "
+                      "end-of-run audit; param = bit index",
+    "cache-corrupt": "overwrite a just-stored result-cache disk entry with "
+                     "garbage bytes; keys: job",
+}
+
+#: Spec keys that configure the spec itself rather than filter the site key.
+_RESERVED = ("p", "probability", "max_fires", "param")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative injection rule (see module docstring)."""
+
+    site: str
+    when: tuple[tuple[str, object], ...] = ()
+    probability: float = 1.0
+    max_fires: int | None = None
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; choose from {sorted(SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1, got {self.max_fires}")
+
+    def matches(self, key: dict) -> bool:
+        """True when every ``when`` filter equals the site's reported key."""
+        return all(key.get(k) == v for k, v in self.when)
+
+
+def _coerce(value: str):
+    """CLI value coercion: int when it looks like one, else float, else str."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of :class:`FaultSpec` rules."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    # -- deterministic randomness --------------------------------------
+    def _digest(self, site: str, key: dict) -> int:
+        payload = f"{self.seed}|{site}|{sorted(key.items())}"
+        return int.from_bytes(
+            hashlib.sha256(payload.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def chance(self, site: str, key: dict) -> float:
+        """A uniform [0, 1) draw, fully determined by (seed, site, key)."""
+        return self._digest(site, key) / 2.0**64
+
+    def index_for(self, site: str, size: int, key: dict) -> int:
+        """A deterministic index in ``[0, size)`` (victim selection)."""
+        if size <= 0:
+            return 0
+        return self._digest(site, {"victim": True, **key}) % size
+
+    # -- parsing -------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the CLI grammar (see module docstring)."""
+        seed = 0
+        specs: list[FaultSpec] = []
+        for raw in str(text).split(";"):
+            token = raw.strip()
+            if not token:
+                continue
+            if token.startswith("seed=") and ":" not in token:
+                seed = int(token[len("seed="):])
+                continue
+            site, _, argtext = token.partition(":")
+            site = site.strip()
+            kwargs: dict = {"probability": 1.0, "max_fires": None, "param": None}
+            when: list[tuple[str, object]] = []
+            for pair in argtext.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                k, eq, v = pair.partition("=")
+                if not eq:
+                    raise ValueError(
+                        f"bad fault spec argument {pair!r} in {token!r}: "
+                        f"expected key=value"
+                    )
+                k = k.strip()
+                v = _coerce(v.strip())
+                if k in ("p", "probability"):
+                    kwargs["probability"] = float(v)
+                elif k == "max_fires":
+                    kwargs["max_fires"] = int(v)
+                elif k == "param":
+                    kwargs["param"] = float(v)
+                else:
+                    when.append((k, v))
+            specs.append(FaultSpec(site=site, when=tuple(when), **kwargs))
+        return cls(seed=seed, specs=tuple(specs))
+
+    def describe(self) -> list[dict]:
+        """JSON-able view of the plan (for reports and artifacts)."""
+        return [
+            {
+                "site": s.site,
+                "when": dict(s.when),
+                "probability": s.probability,
+                "max_fires": s.max_fires,
+                "param": s.param,
+            }
+            for s in self.specs
+        ]
+
+
+def resolve_faults(spec) -> FaultPlan | None:
+    """Normalize any accepted ``faults=`` value into a :class:`FaultPlan`.
+
+    ``None`` → no plan; a :class:`FaultPlan` → itself; a string → the CLI
+    grammar; a dict → ``FaultPlan(seed=..., specs=[...])`` where specs
+    entries may be :class:`FaultSpec` or dicts.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, FaultPlan):
+        return spec
+    if isinstance(spec, str):
+        return FaultPlan.parse(spec)
+    if isinstance(spec, dict):
+        specs = []
+        for entry in spec.get("specs", ()):
+            if isinstance(entry, FaultSpec):
+                specs.append(entry)
+            else:
+                entry = dict(entry)
+                when = tuple(sorted(entry.pop("when", {}).items()))
+                specs.append(FaultSpec(when=when, **entry))
+        return FaultPlan(seed=int(spec.get("seed", 0)), specs=tuple(specs))
+    raise TypeError(
+        f"cannot interpret {spec!r} as a fault plan: expected None, a "
+        f"FaultPlan, a spec string, or a dict"
+    )

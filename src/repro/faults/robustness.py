@@ -1,0 +1,73 @@
+"""The per-run robustness bundle: injector + policy + degradation log.
+
+``resolve_robustness(faults=..., health=...)`` is the single entry point
+the engine surface uses: it turns whatever the caller passed for the two
+engine options into one :class:`Robustness` object (or ``None`` when
+neither option is set — the zero-overhead default).  A ready-made
+:class:`Robustness` passes through unchanged, which is how the CLI and
+``run_jobs`` share one bundle across many runs.
+"""
+
+from __future__ import annotations
+
+from .degrade import DegradationLog
+from .health import HealthPolicy, resolve_health
+from .injector import FaultInjector
+from .plan import FaultPlan, resolve_faults
+
+__all__ = ["Robustness", "resolve_robustness"]
+
+
+class Robustness:
+    """Everything a run needs to inject faults and degrade gracefully."""
+
+    def __init__(self, *, injector: FaultInjector | None = None,
+                 policy: HealthPolicy | None = None,
+                 log: DegradationLog | None = None):
+        self.injector = injector
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.log = log if log is not None else DegradationLog()
+
+    @property
+    def plan(self) -> FaultPlan | None:
+        return self.injector.plan if self.injector is not None else None
+
+    def fire(self, site: str, **key):
+        """Injection-site shorthand: None-safe :meth:`FaultInjector.fire`."""
+        if self.injector is None:
+            return None
+        return self.injector.fire(site, **key)
+
+    def degrade(self, chain: str, from_mode: str, to_mode: str,
+                reason: str, detail: str = ""):
+        return self.log.record(chain, from_mode, to_mode, reason, detail)
+
+    def report(self) -> dict:
+        """JSON-able run report: plan, fired faults, degradation events."""
+        return {
+            "plan": self.plan.describe() if self.plan is not None else [],
+            "seed": self.plan.seed if self.plan is not None else None,
+            "fired": self.injector.report() if self.injector else [],
+            "degradations": self.log.report(),
+        }
+
+
+def resolve_robustness(faults=None, health=None) -> Robustness | None:
+    """Build the run's :class:`Robustness` bundle, or ``None`` for neither.
+
+    A :class:`Robustness` instance passed as ``faults`` is returned
+    unchanged (``health`` must then be unset).
+    """
+    if isinstance(faults, Robustness):
+        if health is not None:
+            raise ValueError(
+                "pass either a ready Robustness bundle or health=, not both"
+            )
+        return faults
+    plan = resolve_faults(faults)
+    if plan is None and health is None:
+        return None
+    return Robustness(
+        injector=FaultInjector(plan) if plan is not None else None,
+        policy=resolve_health(health),
+    )

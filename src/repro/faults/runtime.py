@@ -1,0 +1,53 @@
+"""Ambient robustness context for deep call sites.
+
+Most robustness plumbing is explicit (``robustness=`` parameters), but a
+few injection/degradation sites live in code that deliberately knows
+nothing about the engine — e.g. the mex kernels in
+``repro.coloring.kernels``.  Those consult the *active* bundle installed
+here by ``ExecutionContext`` for the duration of a run.
+
+This is a plain module global, not thread-local: the simulator is
+single-threaded per process, and worker processes each install their
+own bundle.  ``note_degradation`` is the cheap no-op-when-inactive hook
+hot paths call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .robustness import Robustness
+
+__all__ = ["activate", "get_active", "note_degradation", "active_fire"]
+
+_ACTIVE: Robustness | None = None
+
+
+@contextmanager
+def activate(robustness: Robustness | None):
+    """Install ``robustness`` as the ambient bundle for the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = robustness
+    try:
+        yield robustness
+    finally:
+        _ACTIVE = previous
+
+
+def get_active() -> Robustness | None:
+    return _ACTIVE
+
+
+def note_degradation(chain: str, from_mode: str, to_mode: str,
+                     reason: str, detail: str = "") -> None:
+    """Record a degradation event on the active bundle, if any."""
+    if _ACTIVE is not None:
+        _ACTIVE.degrade(chain, from_mode, to_mode, reason, detail)
+
+
+def active_fire(site: str, **key):
+    """Fire an injection site on the active bundle, if any."""
+    if _ACTIVE is not None:
+        return _ACTIVE.fire(site, **key)
+    return None

@@ -25,20 +25,24 @@ and cache keying.
 from .cache import ResultCache, job_cache_key, resolve_cache
 from .jobs import ColorJob, JobFailure, normalize_jobs
 from .scheduler import (
+    BACKOFF_CAP_S,
     ProcessPoolScheduler,
     SerialScheduler,
+    backoff_delay,
     resolve_scheduler,
     run_jobs,
 )
 from .sharded import ShardedColoringError, color_sharded
 
 __all__ = [
+    "BACKOFF_CAP_S",
     "ColorJob",
     "JobFailure",
     "ProcessPoolScheduler",
     "ResultCache",
     "SerialScheduler",
     "ShardedColoringError",
+    "backoff_delay",
     "color_sharded",
     "job_cache_key",
     "normalize_jobs",

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..coloring.base import COLOR_DTYPE, ColoringResult
 from ..coloring.registry import ENGINE_KEYWORDS, SCHEMES
+from ..faults.runtime import note_degradation
 
 __all__ = ["ResultCache", "job_cache_key", "resolve_cache", "backend_fingerprint"]
 
@@ -89,7 +90,7 @@ def job_cache_key(graph, method: str, options: dict | None = None,
 
 
 #: ``extra`` keys never persisted into the cache (run-local handles).
-_EPHEMERAL_EXTRA = ("observation", "cache_hit")
+_EPHEMERAL_EXTRA = ("observation", "cache_hit", "robustness")
 
 
 def _strip_extra(extra: dict) -> dict:
@@ -110,8 +111,14 @@ class ResultCache:
         Non-JSON ``extra`` values are stringified on disk (best-effort
         metadata — the colors and counts round-trip exactly).
 
-    Counters ``hits`` / ``misses`` / ``evictions`` / ``stores`` report
-    effectiveness; :meth:`stats` snapshots them.
+    A corrupt or truncated disk entry is never an exception and never a
+    wrong-color hit: the load surfaces as a cache miss, the bad file is
+    *quarantined* (renamed to ``<key>.npz.bad`` so it can't be re-read
+    yet stays inspectable), and the next :meth:`put` rewrites the entry
+    cleanly — the cache degradation chain (see docs/ROBUSTNESS.md).
+
+    Counters ``hits`` / ``misses`` / ``evictions`` / ``stores`` /
+    ``quarantined`` report effectiveness; :meth:`stats` snapshots them.
     """
 
     def __init__(self, max_entries: int = 128, directory=None) -> None:
@@ -126,6 +133,7 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.stores = 0
+        self.quarantined = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -137,6 +145,7 @@ class ResultCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "stores": self.stores,
+            "quarantined": self.quarantined,
             "directory": str(self.directory) if self.directory else None,
         }
 
@@ -219,8 +228,10 @@ class ResultCache:
             with np.load(path, allow_pickle=False) as data:
                 colors = data["colors"].astype(COLOR_DTYPE)
                 meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
-        except (OSError, KeyError, ValueError, json.JSONDecodeError):
-            return None  # corrupt/foreign file: treat as a miss
+        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            # Corrupt/truncated/foreign file: a miss, never an exception.
+            self._quarantine(path, exc)
+            return None
         return ColoringResult(
             colors=colors,
             scheme=meta["scheme"],
@@ -231,6 +242,41 @@ class ResultCache:
             num_kernel_launches=int(meta["num_kernel_launches"]),
             extra=dict(meta.get("extra", {})),
         )
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a bad disk entry aside so it can't be re-read.
+
+        ``<key>.npz`` → ``<key>.npz.bad`` (overwriting any previous
+        quarantine of the same key).  Failure to rename — e.g. a
+        read-only store — still leaves the load a clean miss.
+        """
+        bad = path.with_name(path.name + ".bad")
+        try:
+            path.replace(bad)
+        except OSError:
+            return
+        self.quarantined += 1
+        note_degradation(
+            "cache", "disk-hit", "miss", "corrupt-entry",
+            f"{path.name}: {type(exc).__name__}: {exc}",
+        )
+
+    def corrupt_disk_entry(self, key: str) -> bool:
+        """Overwrite ``key``'s disk entry with garbage bytes (chaos hook).
+
+        The ``cache-corrupt`` injection site and the regression tests use
+        this to prove corrupt entries degrade to quarantined misses.
+        Returns whether an entry existed to corrupt; the in-memory copy
+        is dropped too, so the next :meth:`get` must go to disk.
+        """
+        self._memory.pop(key, None)
+        if self.directory is None:
+            return False
+        path = self._disk_path(key)
+        if not path.exists():
+            return False
+        path.write_bytes(b"not an npz: injected corruption")
+        return True
 
 
 def resolve_cache(spec) -> ResultCache | None:

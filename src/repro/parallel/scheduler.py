@@ -12,9 +12,31 @@ one contract:
   unpickled graphs by content digest, so upload caching still amortizes
   when a worker sees the same graph twice.  Results stream back in
   submission order; a job that raises, crashes its worker, or exceeds
-  ``timeout_s`` is retried with exponential backoff and, once attempts
-  are exhausted, surfaced as a structured
+  ``timeout_s`` is retried with jittered exponential backoff and, once
+  attempts are exhausted, surfaced as a structured
   :class:`~repro.parallel.jobs.JobFailure` instead of killing the batch.
+
+Timeouts and hung workers: the first timeout aborts the collection
+round — still-queued futures are cancelled and their attempts refunded
+(they were starved, not faulty), already-finished ones are harvested —
+and the pool is *recycled*: leftover hung worker processes are
+terminated so they can't occupy slots of the next round.  Waiting is
+therefore bounded by ``workers × timeout_s`` per round, not
+``jobs × timeout_s``.
+
+Retry backoff: :func:`backoff_delay` — exponential from ``backoff_s``,
+capped at :data:`BACKOFF_CAP_S`, with deterministic bounded jitter in
+``[0.5×, 1.0×]`` so simultaneous batches don't resubmit in lockstep.
+
+Fault injection (see :mod:`repro.faults`): ``execute(robustness=...)``
+threads a bundle through the batch.  The coordinator decides the
+``worker-crash`` / ``worker-hang`` sites at submit time (so their
+records survive the dead worker) and ships the plan + policy to workers,
+which consult the ``job-error`` site and the engine-level sites; worker
+fault/degradation reports are absorbed back into the coordinator bundle
+in submission order.  The serial scheduler is deliberately immune to
+``worker-crash`` / ``worker-hang`` — it is the healing fallback of the
+pool → serial degradation chain.
 
 Determinism: the simulated device is deterministic, so colors and
 iteration counts are byte-identical across schedulers and worker
@@ -24,12 +46,14 @@ docs/PARALLEL.md.
 
 :func:`run_jobs` is the orchestrator ``color_many`` calls: result-cache
 lookups happen in the coordinator (hits never reach a worker), per-job
-worker subtraces merge into the batch tracer, and per-round records
-replay into the batch recorder.
+worker subtraces merge into the batch tracer, per-round records replay
+into the batch recorder, and failed jobs degrade to a serial re-run
+when the batch's health policy allows it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 import traceback
@@ -37,16 +61,54 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 
+from ..faults import (
+    FaultInjected,
+    FaultInjector,
+    Robustness,
+    resolve_robustness,
+)
+from ..faults import runtime as _fault_runtime
 from ..obs.observe import resolve_observe
 from .cache import job_cache_key, resolve_cache
 from .jobs import ColorJob, JobFailure
 
 __all__ = [
+    "BACKOFF_CAP_S",
+    "backoff_delay",
     "SerialScheduler",
     "ProcessPoolScheduler",
     "resolve_scheduler",
     "run_jobs",
 ]
+
+#: Ceiling on a single retry-round backoff sleep.  Exponential growth
+#: from ``backoff_s`` stops here: a batch never waits more than this
+#: between retry rounds no matter how many rounds have failed.
+BACKOFF_CAP_S = 2.0
+
+#: Simulated-wall-clock a ``worker-hang`` fault sleeps when its spec has
+#: no ``param`` (long enough to trip any sane ``timeout_s``).
+_DEFAULT_HANG_S = 3600.0
+
+
+def backoff_delay(base: float, round_index: int, *,
+                  cap: float = BACKOFF_CAP_S, seed=None) -> float:
+    """Jittered exponential backoff for retry round ``round_index``.
+
+    ``base * 2**round_index``, capped at ``cap``, scaled by a jitter
+    factor in ``[0.5, 1.0]`` derived from SHA-256 of ``(seed,
+    round_index)``.  ``seed=None`` uses the process id — distinct
+    processes retrying simultaneously spread out; pass an int for
+    reproducible delays in tests.
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(base * (2 ** round_index), cap)
+    if seed is None:
+        seed = os.getpid()
+    digest = hashlib.sha256(f"{seed}|{round_index}".encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2.0**64
+    return raw * (0.5 + 0.5 * unit)
 
 
 # ---------------------------------------------------------------------------
@@ -54,15 +116,21 @@ __all__ = [
 # worker processes by ProcessPoolScheduler).
 # ---------------------------------------------------------------------------
 def _run_one(ctx_map: dict, job: ColorJob, backend, backend_opts: dict,
-             validate: bool, want_trace: bool, want_rounds: bool):
+             validate: bool, want_trace: bool, want_rounds: bool,
+             robustness=None):
     """Execute one job; returns ``(result, trace_roots, round_records)``.
 
     Untraced device jobs share the ``ctx_map`` ExecutionContext (upload
     caching, pooled buffers); observed jobs get an ephemeral context with
     a job-local tracer/recorder whose contents the coordinator merges.
+    ``robustness`` (if any) is scoped onto the context for the run, so
+    the engine-level injection sites and guard rails see it.
     """
+    from contextlib import nullcontext
+
     from ..coloring.api import ENGINE_RECIPES, color_graph
     from ..engine.context import ExecutionContext
+    from ..faults import runtime as fault_runtime
     from ..metrics.recorder import Recorder
     from ..obs.observe import Observation
     from ..obs.tracer import Tracer
@@ -83,14 +151,24 @@ def _run_one(ctx_map: dict, job: ColorJob, backend, backend_opts: dict,
                 ctx = ctx_map["ctx"] = ExecutionContext(
                     backend=backend, **dict(backend_opts or {})
                 )
-        result = ctx.run(job.graph, job.method, validate=validate, **job.options)
+        scope = (
+            ctx.robustness_scope(robustness)
+            if robustness is not None
+            else nullcontext()
+        )
+        with scope:
+            result = ctx.run(
+                job.graph, job.method, validate=validate, **job.options
+            )
     else:
         # Host-side schemes take no backend; in a batch the backend applies
         # to the device jobs only.
         observe = Observation(tracer=tracer, recorder=recorder) if observed else None
-        result = color_graph(
-            job.graph, job.method, validate=validate, observe=observe, **job.options
-        )
+        with fault_runtime.activate(robustness):
+            result = color_graph(
+                job.graph, job.method, validate=validate, observe=observe,
+                **job.options
+            )
     # The coordinator attaches its own observation handle.
     result.extra.pop("observation", None)
     return (
@@ -118,34 +196,88 @@ def _worker_init(backend, backend_opts: dict) -> None:
 
 
 def _worker_run(payload):
-    index, job, validate, want_trace, want_rounds = payload
+    """Run one job in a worker.  Payload:
+    ``(index, job, validate, want_trace, want_rounds, attempt, plan,
+    policy, directive)`` — the last four are the fault-injection leg
+    (``None``-heavy in normal operation).  Returns ``("ok", index,
+    result, roots, rounds, report)`` or ``("err", index, error, tb,
+    report)`` where ``report`` carries the worker-side fired-fault and
+    degradation records for the coordinator to absorb.
+    """
+    (index, job, validate, want_trace, want_rounds,
+     attempt, plan, policy, directive) = payload
+    rb = None
+    if plan is not None or policy is not None:
+        rb = Robustness(
+            injector=FaultInjector(plan) if plan is not None else None,
+            policy=policy,
+        )
     try:
+        if directive == "crash":
+            os._exit(1)  # simulated worker death: no cleanup, no goodbye
+        elif isinstance(directive, tuple) and directive[0] == "hang":
+            time.sleep(directive[1])
+        if rb is not None:
+            spec = rb.fire("job-error", job=index, attempt=attempt)
+            if spec is not None:
+                raise FaultInjected(
+                    f"injected transient job error (job={index}, "
+                    f"attempt={attempt})"
+                )
         graph = _WORKER_STATE["graphs"].setdefault(job.graph.content_digest(), job.graph)
         canonical = ColorJob(graph, job.method, job.options)
         result, roots, rounds = _run_one(
             _WORKER_STATE["ctx_map"], canonical,
             _WORKER_STATE["backend"], _WORKER_STATE["backend_opts"],
-            validate, want_trace, want_rounds,
+            validate, want_trace, want_rounds, robustness=rb,
         )
-        return ("ok", index, result, roots, rounds)
+        return ("ok", index, result, roots, rounds, _worker_report(rb))
     except Exception as exc:  # surfaced as a structured per-job error
-        return ("err", index, repr(exc), traceback.format_exc())
+        return ("err", index, repr(exc), traceback.format_exc(),
+                _worker_report(rb))
+
+
+def _worker_report(rb):
+    if rb is None:
+        return None
+    return {
+        "fired": rb.injector.report() if rb.injector is not None else [],
+        "degradations": rb.log.report(),
+    }
+
+
+def _absorb_worker_report(robustness, report) -> None:
+    """Fold a worker's fault/degradation records into the batch bundle."""
+    if robustness is None or report is None:
+        return
+    if robustness.injector is not None and report["fired"]:
+        robustness.injector.absorb(report["fired"])
+    if report["degradations"]:
+        robustness.log.absorb(report["degradations"])
 
 
 # ---------------------------------------------------------------------------
 # Schedulers.
 # ---------------------------------------------------------------------------
 class SerialScheduler:
-    """Run jobs one at a time in this process (the reference order)."""
+    """Run jobs one at a time in this process (the reference order).
+
+    Also the healing end of the pool → serial degradation chain, so it
+    deliberately ignores the ``worker-crash`` / ``worker-hang`` sites
+    (there is no worker process to kill); ``job-error`` and the
+    engine-level sites fire normally.
+    """
 
     name = "serial"
 
-    def __init__(self, *, retries: int = 0, backoff_s: float = 0.0) -> None:
+    def __init__(self, *, retries: int = 0, backoff_s: float = 0.0,
+                 jitter_seed=None) -> None:
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self.jitter_seed = jitter_seed
 
     def execute(self, jobs, *, backend=None, backend_opts=None, validate=True,
-                want_trace=False, want_rounds=False):
+                want_trace=False, want_rounds=False, robustness=None):
         ctx_map: dict = {}
         outcomes = []
         for i, job in enumerate(jobs):
@@ -153,9 +285,17 @@ class SerialScheduler:
             while True:
                 attempt += 1
                 try:
+                    if robustness is not None:
+                        spec = robustness.fire("job-error", job=i, attempt=attempt)
+                        if spec is not None:
+                            raise FaultInjected(
+                                f"injected transient job error (job={i}, "
+                                f"attempt={attempt})"
+                            )
                     outcomes.append(_run_one(
                         ctx_map, job, backend, backend_opts or {},
                         validate, want_trace, want_rounds,
+                        robustness=robustness,
                     ))
                     break
                 except Exception as exc:
@@ -166,7 +306,9 @@ class SerialScheduler:
                             error=repr(exc), traceback=traceback.format_exc(),
                         ))
                         break
-                    time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                    time.sleep(backoff_delay(
+                        self.backoff_s, attempt - 1, seed=self.jitter_seed
+                    ))
         return outcomes
 
 
@@ -180,26 +322,34 @@ class ProcessPoolScheduler:
     retries:
         Extra attempts per failed job (default 2 → up to 3 attempts).
     backoff_s:
-        Base sleep between retry rounds, doubled each round.
+        Base sleep between retry rounds; grows exponentially per round
+        with bounded jitter, capped at :data:`BACKOFF_CAP_S` (see
+        :func:`backoff_delay`).
     timeout_s:
-        Per-job wait budget; a job exceeding it is failed (and the pool
-        rebuilt, since the hung worker's slot is lost).  ``None`` waits
-        forever.
+        Per-job wait budget; a job exceeding it is failed, still-queued
+        futures are cancelled with their attempts refunded, and the pool
+        is recycled — hung worker processes terminated — so retry rounds
+        start with every slot free.  ``None`` waits forever.
     mp_context:
         A ``multiprocessing`` context, e.g. ``get_context("spawn")``;
         default is the platform default (fork on Linux — cheap).
+    jitter_seed:
+        Backoff jitter seed (default: per-process); pin in tests for
+        reproducible delays.
     """
 
     name = "process"
 
     def __init__(self, workers: int | None = None, *, retries: int = 2,
                  backoff_s: float = 0.05, timeout_s: float | None = None,
-                 mp_context=None) -> None:
+                 mp_context=None, jitter_seed=None) -> None:
         self.workers = max(1, int(workers) if workers else (os.cpu_count() or 1))
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.timeout_s = timeout_s
         self.mp_context = mp_context
+        self.jitter_seed = jitter_seed
+        self.pools_recycled = 0  # observability: how often a pool was rebuilt
 
     def _new_pool(self, backend, backend_opts):
         return ProcessPoolExecutor(
@@ -209,14 +359,50 @@ class ProcessPoolScheduler:
             initargs=(backend, dict(backend_opts or {})),
         )
 
+    def _recycle(self, pool, *, kill: bool) -> None:
+        """Retire a pool; with ``kill``, terminate its (hung) workers.
+
+        ``shutdown(wait=False)`` alone would *leak* a hung worker — the
+        process survives shutdown and keeps its CPU/memory forever — so
+        the timeout path terminates every worker still alive and reaps
+        it.  Dead pools (``kill=False``) join instantly.
+        """
+        procs = list(getattr(pool, "_processes", {}).values()) if kill else []
+        pool.shutdown(wait=not kill, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5)
+        self.pools_recycled += 1
+
+    def _directive(self, robustness, index: int, attempt: int):
+        """Coordinator-side crash/hang decision for one submission.
+
+        Decided here (not in the worker) so the fired-fault record
+        survives the worker's death and the decision shares the batch
+        injector's fire budgets.
+        """
+        if robustness is None:
+            return None
+        spec = robustness.fire("worker-crash", job=index, attempt=attempt)
+        if spec is not None:
+            return "crash"
+        spec = robustness.fire("worker-hang", job=index, attempt=attempt)
+        if spec is not None:
+            return ("hang", float(spec.param) if spec.param else _DEFAULT_HANG_S)
+        return None
+
     def execute(self, jobs, *, backend=None, backend_opts=None, validate=True,
-                want_trace=False, want_rounds=False):
+                want_trace=False, want_rounds=False, robustness=None):
         if backend is not None and not isinstance(backend, str):
             raise TypeError(
                 "the process scheduler needs a picklable backend spec: pass "
                 "a backend *name* ('gpusim'/'cpusim') plus options, not an "
                 "instance (each worker builds its own)"
             )
+        plan = robustness.plan if robustness is not None else None
+        policy = robustness.policy if robustness is not None else None
         outcomes: list = [None] * len(jobs)
         attempts = [0] * len(jobs)
         last_error = [("", "")] * len(jobs)
@@ -230,18 +416,26 @@ class ProcessPoolScheduler:
                 futures = []
                 for i in pending:
                     attempts[i] += 1
-                    payload = (i, jobs[i], validate, want_trace, want_rounds)
+                    directive = self._directive(robustness, i, attempts[i])
+                    payload = (i, jobs[i], validate, want_trace, want_rounds,
+                               attempts[i], plan, policy, directive)
                     futures.append((i, pool.submit(_worker_run, payload)))
-                failed, rebuild, broken, timed_out = [], False, False, False
+                failed, refunded = [], []
+                rebuild, broken, timed_out = False, False, False
                 for i, fut in futures:  # submission order == streaming order
                     if broken:
                         last_error[i] = ("BrokenProcessPool: worker process died", "")
                         failed.append(i)
                         continue
+                    if timed_out and fut.cancel():
+                        # Still queued behind a hung worker: starved, not
+                        # faulty.  Refund the attempt and resubmit.
+                        attempts[i] = max(0, attempts[i] - 1)
+                        refunded.append(i)
+                        continue
                     try:
                         out = fut.result(timeout=self.timeout_s)
                     except FutureTimeoutError:
-                        fut.cancel()
                         last_error[i] = (
                             f"TimeoutError: no result within {self.timeout_s}s", "")
                         failed.append(i)
@@ -253,17 +447,19 @@ class ProcessPoolScheduler:
                         rebuild = broken = True
                         continue
                     if out[0] == "ok":
-                        _, idx, result, roots, rounds = out
+                        _, idx, result, roots, rounds, report = out
+                        _absorb_worker_report(robustness, report)
                         outcomes[idx] = (result, roots, rounds)
                     else:
-                        _, idx, err, tb = out
+                        _, idx, err, tb, report = out
+                        _absorb_worker_report(robustness, report)
                         last_error[idx] = (err, tb)
                         failed.append(idx)
                 if rebuild:
-                    # Can't wait on a hung worker; dead pools join instantly.
-                    pool.shutdown(wait=not timed_out, cancel_futures=True)
+                    self._recycle(pool, kill=timed_out)
                     pool = None
-                pending = [i for i in failed if attempts[i] <= self.retries]
+                retriable = [i for i in failed if attempts[i] <= self.retries]
+                pending = sorted(retriable + refunded)
                 for i in failed:
                     if attempts[i] > self.retries:
                         err, tb = last_error[i]
@@ -272,8 +468,10 @@ class ProcessPoolScheduler:
                             method=jobs[i].method, attempts=attempts[i],
                             error=err, traceback=tb,
                         )
-                if pending:
-                    time.sleep(self.backoff_s * (2 ** retry_round))
+                if retriable:
+                    time.sleep(backoff_delay(
+                        self.backoff_s, retry_round, seed=self.jitter_seed
+                    ))
                     retry_round += 1
         finally:
             if pool is not None:
@@ -286,7 +484,8 @@ def resolve_scheduler(spec=None, workers=None):
 
     ``None`` infers from ``workers``: serial for ``None``/0/1, a process
     pool otherwise.  Strings name the two built-ins; anything with an
-    ``execute`` method passes through (bring your own scheduler).
+    ``execute`` method passes through (bring your own scheduler — accept
+    the ``robustness=`` keyword to participate in fault injection).
     """
     if spec is None:
         if workers is None or int(workers) <= 1:
@@ -310,7 +509,8 @@ def resolve_scheduler(spec=None, workers=None):
 # The orchestrator color_many calls.
 # ---------------------------------------------------------------------------
 def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
-             backend_opts=None, observe=None, cache=None, validate=True) -> list:
+             backend_opts=None, observe=None, cache=None, validate=True,
+             faults=None, health=None) -> list:
     """Run a normalized job list through cache + scheduler + observation.
 
     Returns one entry per job, in submission order: a
@@ -319,59 +519,112 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
     the coordinator and never reach a worker; worker subtraces merge into
     the batch tracer as ``worker`` spans; worker round records replay
     into the batch recorder.
+
+    ``faults=`` / ``health=`` attach the robustness layer (see
+    :mod:`repro.faults`).  When the health policy permits degradation,
+    jobs the scheduler exhausted retries on are re-run once through a
+    fault-free :class:`SerialScheduler` (the pool → serial chain) —
+    recorded as a ``scheduler`` degradation event — before a
+    :class:`JobFailure` is accepted as final.
     """
     jobs = list(jobs)
     observation = resolve_observe(observe)
     tracer, recorder = observation.tracer, observation.recorder
     cache_obj = resolve_cache(cache)
     sched = resolve_scheduler(scheduler, workers)
+    robustness = resolve_robustness(faults, health)
+    if robustness is not None and robustness.log.tracer is None:
+        robustness.log.tracer = tracer
 
     results: list = [None] * len(jobs)
     keys: list = [None] * len(jobs)
-    to_run: list[int] = []
-    for i, job in enumerate(jobs):
-        if cache_obj is not None:
-            keys[i] = job_cache_key(
-                job.graph, job.method, job.options, backend, backend_opts
-            )
-            hit = cache_obj.get(keys[i])
-            if tracer is not None:
-                tracer.event(f"result-cache:{job.label()}", "cache",
-                             hit=int(hit is not None), miss=int(hit is None))
-            if hit is not None:
-                if observation.active:
-                    hit.extra.setdefault("observation", observation)
-                results[i] = hit
-                continue
-        to_run.append(i)
 
-    if to_run:
-        outcomes = sched.execute(
-            [jobs[i] for i in to_run],
+    def _absorb(index, outcome) -> None:
+        """Land one scheduler outcome at its batch position."""
+        if isinstance(outcome, JobFailure):
+            # Re-key the failure to its position in the full batch.
+            results[index] = JobFailure(
+                index=index, graph=outcome.graph, method=outcome.method,
+                attempts=outcome.attempts, error=outcome.error,
+                traceback=outcome.traceback,
+            )
+            return
+        result, roots, rounds = outcome
+        if tracer is not None and roots:
+            tracer.merge_subtrace(
+                roots, label=f"job-{index}:{jobs[index].label()}",
+                scheme=jobs[index].method,
+                graph=getattr(jobs[index].graph, "name", "?"),
+            )
+        if recorder is not None and rounds:
+            recorder.rounds.extend(rounds)
+        if observation.active:
+            result.extra.setdefault("observation", observation)
+        if cache_obj is not None and keys[index] is not None:
+            cache_obj.put(keys[index], result)
+            if robustness is not None:
+                spec = robustness.fire("cache-corrupt", job=index)
+                if spec is not None:
+                    cache_obj.corrupt_disk_entry(keys[index])
+        results[index] = result
+
+    # Ambient for the coordinator-side work too, so cache quarantines
+    # found during the lookup scan land in the batch degradation log.
+    with _fault_runtime.activate(robustness):
+        to_run: list[int] = []
+        for i, job in enumerate(jobs):
+            if cache_obj is not None:
+                keys[i] = job_cache_key(
+                    job.graph, job.method, job.options, backend, backend_opts
+                )
+                hit = cache_obj.get(keys[i])
+                if tracer is not None:
+                    tracer.event(f"result-cache:{job.label()}", "cache",
+                                 hit=int(hit is not None), miss=int(hit is None))
+                if hit is not None:
+                    if observation.active:
+                        hit.extra.setdefault("observation", observation)
+                    results[i] = hit
+                    continue
+            to_run.append(i)
+
+        if not to_run:
+            return results
+        execute_kwargs = dict(
             backend=backend, backend_opts=backend_opts, validate=validate,
             want_trace=tracer is not None, want_rounds=recorder is not None,
         )
+        if robustness is not None:
+            execute_kwargs["robustness"] = robustness
+        outcomes = sched.execute([jobs[i] for i in to_run], **execute_kwargs)
         for i, out in zip(to_run, outcomes):
-            if isinstance(out, JobFailure):
-                # Re-key the failure to its position in the full batch.
-                results[i] = JobFailure(
-                    index=i, graph=out.graph, method=out.method,
-                    attempts=out.attempts, error=out.error,
-                    traceback=out.traceback,
-                )
-                continue
-            result, roots, rounds = out
-            if tracer is not None and roots:
-                tracer.merge_subtrace(
-                    roots, label=f"job-{i}:{jobs[i].label()}",
-                    scheme=jobs[i].method,
-                    graph=getattr(jobs[i].graph, "name", "?"),
-                )
-            if recorder is not None and rounds:
-                recorder.rounds.extend(rounds)
-            if observation.active:
-                result.extra.setdefault("observation", observation)
-            if cache_obj is not None and keys[i] is not None:
-                cache_obj.put(keys[i], result)
-            results[i] = result
+            _absorb(i, out)
+
+        # Degradation chain: exhausted-retry failures get one fault-free
+        # serial pass before a JobFailure becomes the final answer.
+        still_failed = [
+            i for i in to_run if isinstance(results[i], JobFailure)
+        ]
+        if (
+            still_failed
+            and robustness is not None
+            and robustness.policy.degrade
+            and getattr(sched, "name", None) != "serial"
+        ):
+            robustness.degrade(
+                "scheduler", getattr(sched, "name", "?"), "serial",
+                "retries-exhausted", f"jobs={still_failed}",
+            )
+            healer = Robustness(
+                injector=None, policy=robustness.policy, log=robustness.log
+            )
+            serial_out = SerialScheduler().execute(
+                [jobs[i] for i in still_failed],
+                backend=backend, backend_opts=backend_opts, validate=validate,
+                want_trace=tracer is not None,
+                want_rounds=recorder is not None,
+                robustness=healer,
+            )
+            for i, out in zip(still_failed, serial_out):
+                _absorb(i, out)
     return results

@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..coloring.base import COLOR_DTYPE, ColoringResult, count_conflicts
+from ..faults import Robustness, resolve_robustness
 from ..graph.partition import block_partition, boundary_vertices
 from ..obs.observe import resolve_observe
 from .jobs import ColorJob, JobFailure
@@ -50,6 +51,45 @@ class ShardedColoringError(RuntimeError):
             for f in self.failures
         )
         super().__init__(f"{len(self.failures)} shard job(s) failed: {detail}")
+
+
+def _degrade_to_unsharded(
+    graph, method, options, failures, robustness, *,
+    backend, backend_opts, observation, validate, num_shards,
+) -> ColoringResult:
+    """The sharded → sequential degradation chain.
+
+    When shard jobs keep failing (even through the scheduler's own
+    pool → serial chain), color the *whole* graph as one sequential,
+    fault-free job.  The result matches an unsharded ``color_graph`` run
+    byte-for-byte — not a sharded run, which partitions differently —
+    and its ``shard_stats`` records the degradation.
+    """
+    robustness.degrade(
+        "sharded", f"sharded(x{num_shards})", "unsharded", "shard-failures",
+        f"failed_shards={[f.index for f in failures]}",
+    )
+    healer = Robustness(
+        injector=None, policy=robustness.policy, log=robustness.log
+    )
+    outcome = run_jobs(
+        [ColorJob(graph, method, dict(options))],
+        scheduler="serial", backend=backend, backend_opts=backend_opts,
+        observe=observation if observation.active else None,
+        validate=validate, faults=healer,
+    )[0]
+    if isinstance(outcome, JobFailure):
+        raise ShardedColoringError(list(failures) + [outcome])
+    outcome.extra["shard_stats"] = {
+        "num_shards": num_shards,
+        "method": method,
+        "shards": [],
+        "degraded": "unsharded",
+        "failed_shards": [f.index for f in failures],
+    }
+    if observation.active:
+        outcome.extra.setdefault("observation", observation)
+    return outcome
 
 
 def _mex(neighbor_colors: np.ndarray) -> int:
@@ -76,6 +116,8 @@ def color_sharded(
     observe=None,
     validate: bool = True,
     max_resolution_rounds: int = 16,
+    faults=None,
+    health=None,
     **options,
 ) -> ColoringResult:
     """Color ``graph`` in ``num_shards`` independent pieces, then repair.
@@ -94,6 +136,14 @@ def color_sharded(
         included).
     max_resolution_rounds:
         Jacobi round cap before the sequential fallback sweep.
+    faults / health:
+        The robustness layer (see :mod:`repro.faults`), forwarded to the
+        shard jobs.  With a degradation-permitting policy, persistent
+        shard-job failures degrade the whole run to one *unsharded*
+        sequential coloring (colors then match ``color_graph`` on the
+        full graph, not a sharded run) instead of raising; hitting the
+        Jacobi round cap is likewise recorded as a ``sharded``
+        degradation event.
     **options:
         Scheme options, forwarded to every shard job.
 
@@ -112,6 +162,9 @@ def color_sharded(
         raise ValueError("num_shards must be >= 1")
     observation = resolve_observe(observe)
     tracer = observation.tracer
+    robustness = resolve_robustness(faults, health)
+    if robustness is not None and robustness.log.tracer is None:
+        robustness.log.tracer = tracer
     name = getattr(graph, "name", "?")
 
     partition = block_partition(graph, num_shards)
@@ -143,11 +196,23 @@ def color_sharded(
             jobs, workers=workers, scheduler=scheduler,
             backend=backend, backend_opts=backend_opts,
             observe=observation if observation.active else None,
-            validate=validate,
+            validate=validate, faults=robustness,
         )
         failures = [o for o in outcomes if isinstance(o, JobFailure)]
         if failures:
-            raise ShardedColoringError(failures)
+            if robustness is None or not robustness.policy.degrade:
+                raise ShardedColoringError(failures)
+            result = _degrade_to_unsharded(
+                graph, method, options, failures, robustness,
+                backend=backend, backend_opts=backend_opts,
+                observation=observation, validate=validate,
+                num_shards=num_shards,
+            )
+            result.extra["robustness"] = robustness.report()
+            if run_span is not None:
+                tracer.end(run_span, colors=result.num_colors, degraded=1)
+                run_span = None
+            return result
 
         colors = np.zeros(graph.num_vertices, dtype=COLOR_DTYPE)
         shard_rows = []
@@ -174,6 +239,12 @@ def color_sharded(
             if rounds >= max_resolution_rounds:
                 # Sequential sweep: live reads, id order — terminates.
                 fallback = True
+                if robustness is not None:
+                    robustness.degrade(
+                        "sharded", "jacobi", "sequential-sweep", "round-cap",
+                        f"rounds={rounds} "
+                        f"conflicted_edges={int(conflicted.sum())}",
+                    )
                 losers = np.unique(np.maximum(u[conflicted], v[conflicted]))
                 for w in losers:
                     colors[w] = _mex(colors[graph.neighbors(w)])
@@ -216,6 +287,8 @@ def color_sharded(
         }
         if observation.active:
             result.extra.setdefault("observation", observation)
+        if robustness is not None:
+            result.extra["robustness"] = robustness.report()
         if run_span is not None:
             tracer.end(
                 run_span,

@@ -1,0 +1,275 @@
+"""The fault-injection layer: plans, injectors, and engine-level sites.
+
+The defining property of the whole layer: every decision hashes
+``(seed, site, key)``, so a plan replays the *same* fault sequence on
+every run — and because the simulation itself is deterministic, a run
+healed by a degradation chain is byte-identical to a never-faulted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import color_graph, rmat_er
+from repro.engine import AuditError, ExecutionContext
+from repro.faults import (
+    DegradationLog,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HealthPolicy,
+    Robustness,
+    TransientKernelError,
+    resolve_faults,
+    resolve_health,
+    resolve_robustness,
+)
+
+
+@pytest.fixture(scope="module")
+def g():
+    return rmat_er(scale=8, seed=7)
+
+
+# ---------------------------------------------------------------------------
+# Plan grammar + validation.
+# ---------------------------------------------------------------------------
+def test_parse_grammar():
+    plan = FaultPlan.parse(
+        "seed=7; worker-crash: job=0, attempt=1; job-error: p=0.25; "
+        "worker-hang: param=2.5, max_fires=3"
+    )
+    assert plan.seed == 7
+    crash, err, hang = plan.specs
+    assert crash.site == "worker-crash"
+    assert dict(crash.when) == {"job": 0, "attempt": 1}  # ints coerced
+    assert err.probability == 0.25 and err.when == ()
+    assert hang.param == 2.5 and hang.max_fires == 3
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultPlan.parse("seed=1; flux-capacitor: p=1")
+    with pytest.raises(ValueError, match="key=value"):
+        FaultPlan.parse("job-error: whoops")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultSpec(site="nope")
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec(site="job-error", probability=1.5)
+    with pytest.raises(ValueError, match="max_fires"):
+        FaultSpec(site="job-error", max_fires=0)
+
+
+def test_resolve_faults_spellings():
+    assert resolve_faults(None) is None
+    plan = FaultPlan(seed=3)
+    assert resolve_faults(plan) is plan
+    parsed = resolve_faults("seed=3; job-error: job=1")
+    assert parsed.seed == 3 and parsed.specs[0].site == "job-error"
+    from_dict = resolve_faults(
+        {"seed": 3, "specs": [{"site": "job-error", "when": {"job": 1}}]}
+    )
+    assert from_dict == parsed
+    with pytest.raises(TypeError, match="as a fault plan"):
+        resolve_faults(42)
+
+
+def test_resolve_health_spellings():
+    assert resolve_health(None) == HealthPolicy()
+    assert resolve_health("strict").degrade is False
+    off = resolve_health("off")
+    assert not off.invariants and not off.audit and off.no_progress_window == 0
+    with pytest.raises(ValueError, match="unknown health policy"):
+        resolve_health("paranoid")
+    with pytest.raises(TypeError, match="as a health policy"):
+        resolve_health(42)
+    with pytest.raises(ValueError, match="no_progress_window"):
+        HealthPolicy(no_progress_window=-1)
+
+
+def test_resolve_robustness_bundle_passthrough():
+    assert resolve_robustness(None, None) is None
+    rb = Robustness()
+    assert resolve_robustness(rb, None) is rb
+    with pytest.raises(ValueError, match="not both"):
+        resolve_robustness(rb, "strict")
+    built = resolve_robustness("seed=1; job-error: p=0.5", "strict")
+    assert built.plan.seed == 1 and built.policy.degrade is False
+    health_only = resolve_robustness(None, "off")
+    assert health_only.injector is None and not health_only.policy.audit
+
+
+# ---------------------------------------------------------------------------
+# Deterministic decisions.
+# ---------------------------------------------------------------------------
+def test_chance_and_victim_are_pure_functions_of_seed_site_key():
+    a, b = FaultPlan(seed=9), FaultPlan(seed=9)
+    key = {"job": 3, "attempt": 2}
+    assert a.chance("job-error", key) == b.chance("job-error", key)
+    assert a.index_for("buffer-bitflip", 1000, key) == \
+        b.index_for("buffer-bitflip", 1000, key)
+    # ...and they move when any ingredient moves.
+    assert a.chance("job-error", key) != FaultPlan(seed=10).chance("job-error", key)
+    assert a.chance("job-error", key) != a.chance("worker-crash", key)
+    assert a.chance("job-error", key) != a.chance("job-error", {"job": 4, "attempt": 2})
+
+
+def test_injector_when_filter_budget_and_probability():
+    plan = FaultPlan(seed=0, specs=(
+        FaultSpec(site="job-error", when=(("job", 0),), max_fires=2),
+        FaultSpec(site="worker-crash", probability=0.0),
+    ))
+    inj = FaultInjector(plan)
+    assert inj.fire("job-error", job=1, attempt=1) is None  # when mismatch
+    assert inj.fire("job-error", job=0, attempt=1) is not None
+    assert inj.fire("job-error", job=0, attempt=2) is not None
+    assert inj.fire("job-error", job=0, attempt=3) is None  # budget spent
+    assert inj.fire("worker-crash", job=0, attempt=1) is None  # p=0 never fires
+    report = inj.report()
+    assert [r["site"] for r in report] == ["job-error", "job-error"]
+    assert report[0]["key"] == {"attempt": 1, "job": 0}
+
+    # Absorbing a worker-side report folds records into this injector.
+    other = FaultInjector(plan)
+    other.absorb(report)
+    assert len(other.report()) == 2
+
+
+def test_injector_fire_sequence_replays_identically():
+    plan = FaultPlan.parse("seed=4; job-error: p=0.5")
+
+    def sequence():
+        inj = FaultInjector(plan)
+        return [
+            inj.fire("job-error", job=j, attempt=a) is not None
+            for j in range(8) for a in (1, 2)
+        ]
+
+    first = sequence()
+    assert first == sequence()
+    assert any(first) and not all(first)  # p=0.5 actually splits
+
+
+def test_degradation_log_dedupes_and_absorbs():
+    log = DegradationLog()
+    mex_event = log.record("mex", "bitmask", "sort", "word-budget-overflow")
+    log.record("mex", "bitmask", "sort", "word-budget-overflow", "again")
+    cache_event = log.record("cache", "disk-hit", "miss", "corrupt-entry")
+    assert len(log) == 2
+    report = log.report()
+    assert report[0]["count"] == 2 and report[1]["chain"] == "cache"
+    other = DegradationLog()
+    other.absorb(report)
+    assert other.count(mex_event) == 2 and other.count(cache_event) == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine-level sites: injected faults heal byte-identically.
+# ---------------------------------------------------------------------------
+def test_kernel_transient_rerun_is_byte_identical(g):
+    healthy = color_graph(g, "topo-base")
+    hurt = color_graph(
+        g, "topo-base",
+        faults="seed=3; kernel-transient: kernel=topo-color-0, max_fires=1",
+    )
+    assert np.array_equal(healthy.colors, hurt.colors)
+    assert healthy.iterations == hurt.iterations
+    rep = hurt.robustness
+    assert [f["site"] for f in rep["fired"]] == ["kernel-transient"]
+    assert [d["chain"] for d in rep["degradations"]] == ["engine"]
+    assert rep["degradations"][0]["reason"] == "TransientKernelError"
+
+
+def test_result_corrupt_caught_by_audit_then_healed(g):
+    healthy = color_graph(g, "data-ldg")
+    hurt = color_graph(
+        g, "data-ldg", faults="seed=5; result-corrupt: max_fires=1, param=3",
+    )
+    assert np.array_equal(healthy.colors, hurt.colors)
+    assert hurt.robustness["degradations"][0]["reason"] in (
+        "AuditError", "ColoringError",
+    )
+
+
+def test_buffer_bitflip_healed(g):
+    healthy = color_graph(g, "data-ldg")
+    hurt = color_graph(
+        g, "data-ldg",
+        faults="seed=6; buffer-bitflip: round=0, max_fires=1, param=7",
+    )
+    assert np.array_equal(healthy.colors, hurt.colors)
+
+
+def test_strict_policy_raises_instead_of_healing(g):
+    with pytest.raises((AuditError, Exception)) as info:
+        color_graph(
+            g, "data-ldg",
+            faults="seed=5; result-corrupt: max_fires=1",
+            health="strict",
+        )
+    assert "audit" in str(info.value).lower() or "conflict" in str(info.value).lower()
+
+
+def test_strict_kernel_transient_propagates(g):
+    with pytest.raises(TransientKernelError):
+        color_graph(
+            g, "topo-base",
+            faults="seed=3; kernel-transient: kernel=topo-color-0",
+            health="strict",
+        )
+
+
+def test_off_policy_disables_the_audit(g):
+    ctx = ExecutionContext(
+        faults="seed=5; result-corrupt: max_fires=1, param=3", health="off",
+    )
+    result = ctx.run(g, "data-ldg", validate=False)
+    healthy = color_graph(g, "data-ldg")
+    assert not np.array_equal(result.colors, healthy.colors)  # corruption kept
+
+
+def test_clock_stall_prices_time_but_not_colors(g):
+    healthy = color_graph(g, "data-ldg")
+    stalled = color_graph(
+        g, "data-ldg",
+        faults="seed=2; clock-stall: kernel=data-color-0, max_fires=1",
+    )
+    assert np.array_equal(healthy.colors, stalled.colors)
+    assert stalled.transfer_time_us > healthy.transfer_time_us
+
+
+def test_rerun_budget_exhaustion_raises(g):
+    # Every attempt's finalize is corrupted (no max_fires), so the
+    # default 2 reruns cannot heal it.
+    with pytest.raises(Exception, match="(?i)audit|conflict"):
+        color_graph(g, "data-ldg", faults="seed=5; result-corrupt:")
+
+
+def test_report_lands_on_the_typed_property(g):
+    result = color_graph(g, "data-ldg", health="default")
+    assert result.robustness == {
+        "plan": [], "seed": None, "fired": [], "degradations": [],
+    }
+    assert color_graph(g, "data-ldg").robustness is None
+
+
+def test_job_error_exception_is_a_fault_injected():
+    assert issubclass(TransientKernelError, FaultInjected)
+    assert issubclass(FaultInjected, RuntimeError)
+
+
+def test_context_conflict_rejected(g):
+    with pytest.raises(ValueError, match="alongside context="):
+        color_graph(g, "data-ldg", context=ExecutionContext(), faults="seed=1")
+
+
+def test_plan_is_picklable_and_frozen():
+    import pickle
+
+    plan = FaultPlan.parse("seed=7; job-error: p=0.25, job=3")
+    assert pickle.loads(pickle.dumps(plan)) == plan
+    with pytest.raises(Exception):
+        plan.seed = 9

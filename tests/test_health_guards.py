@@ -1,0 +1,191 @@
+"""RoundLoop guard rails, driven by deliberately misbehaving recipes.
+
+Each test builds a tiny custom :class:`SchemeRecipe` exhibiting exactly
+one pathology — livelock, uncoloring, insane worklist counts, a
+conflicted final coloring — and proves the matching guard converts it
+into a *structured*, diagnosable error instead of a silent bad result
+or an unbounded loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AuditError,
+    ConvergenceError,
+    InvariantViolation,
+    RoundStatus,
+    SchemeOutcome,
+    SchemeRecipe,
+    run_scheme,
+)
+from repro.faults import HealthPolicy
+from repro.graph.builder import complete_graph, cycle_graph
+
+
+class _Misbehaver(SchemeRecipe):
+    """Base for the pathological recipes: binds state, colors greedily."""
+
+    scheme = "misbehaver"
+
+    def setup(self, ex, graph, bufs):
+        self.ex, self.graph, self.bufs = ex, graph, bufs
+        self.n = graph.num_vertices
+        self.rounds = 0
+
+    def has_work(self):
+        return True
+
+    def finalize(self):
+        return SchemeOutcome(colors=np.asarray(self.bufs.colors.data).copy())
+
+
+class _Livelocked(_Misbehaver):
+    """Runs forever without ever coloring a vertex."""
+
+    def round(self, iteration):
+        self.rounds += 1
+        return RoundStatus(active=self.n, conflicts=0)
+
+
+class _Uncolorer(_Misbehaver):
+    """Colors everything, then starts *un*coloring — monotonicity broken."""
+
+    def round(self, iteration):
+        colors = self.bufs.colors.data
+        if iteration == 0:
+            colors[:] = np.arange(1, self.n + 1, dtype=colors.dtype)
+        else:
+            colors[: self.n // 2] = 0
+        return RoundStatus(active=self.n, conflicts=0)
+
+
+class _Overcounter(_Misbehaver):
+    """Reports a worklist bigger than the graph."""
+
+    def round(self, iteration):
+        return RoundStatus(active=self.n + 5, conflicts=0)
+
+
+class _ConflictFinisher(_Misbehaver):
+    """Terminates normally but hands back an all-ones (conflicted) coloring."""
+
+    def has_work(self):
+        return self.rounds == 0
+
+    def round(self, iteration):
+        self.rounds += 1
+        self.bufs.colors.data[:] = 1
+        return RoundStatus(active=self.n, conflicts=0)
+
+
+class _PartialFinisher(_ConflictFinisher):
+    """Terminates leaving half the vertices uncolored."""
+
+    def round(self, iteration):
+        self.rounds += 1
+        colors = self.bufs.colors.data
+        colors[:] = np.arange(1, self.n + 1, dtype=colors.dtype)
+        colors[: self.n // 2] = 0
+        return RoundStatus(active=self.n, conflicts=0)
+
+
+# ---------------------------------------------------------------------------
+# The convergence watchdog.
+# ---------------------------------------------------------------------------
+def test_watchdog_catches_livelock_with_structured_payload():
+    g = cycle_graph(16)
+    policy = HealthPolicy(no_progress_window=5, invariants=False)
+    with pytest.raises(ConvergenceError) as info:
+        run_scheme(g, _Livelocked(), health=policy)
+    err = info.value
+    assert err.reason == "no-progress"
+    assert err.uncolored == 16 and err.window == 5
+    payload = err.to_dict()
+    assert payload["scheme"] == "misbehaver"
+    assert payload["reason"] == "no-progress"
+    assert "no progress" in str(err)
+
+
+def test_iteration_cap_override_from_policy():
+    g = cycle_graph(16)
+    policy = HealthPolicy(
+        max_iterations=4, no_progress_window=0, invariants=False
+    )
+    with pytest.raises(ConvergenceError) as info:
+        run_scheme(g, _Livelocked(), health=policy)
+    assert info.value.reason == "cap"
+    assert info.value.iterations == 4
+
+
+def test_watchdog_window_zero_means_disabled():
+    g = cycle_graph(8)
+    policy = HealthPolicy(
+        max_iterations=10, no_progress_window=0, invariants=False
+    )
+    with pytest.raises(ConvergenceError) as info:
+        run_scheme(g, _Livelocked(), health=policy)
+    assert info.value.reason == "cap"  # the cap fired, not the watchdog
+
+
+# ---------------------------------------------------------------------------
+# Post-round invariants.
+# ---------------------------------------------------------------------------
+def test_colored_set_monotonicity_violation():
+    g = cycle_graph(16)
+    with pytest.raises(InvariantViolation) as info:
+        run_scheme(g, _Uncolorer(), health="strict")
+    assert info.value.invariant == "colored-monotone"
+    assert "uncolored grew" in info.value.to_dict()["detail"]
+
+
+def test_worklist_sanity_violation():
+    g = cycle_graph(16)
+    with pytest.raises(InvariantViolation) as info:
+        run_scheme(g, _Overcounter(), health="strict")
+    assert info.value.invariant == "worklist-sane"
+
+
+def test_invariants_off_lets_the_watchdog_catch_it_instead():
+    # With invariants off, the uncolorer stalls at n//2 uncolored and the
+    # watchdog (not the invariant check) ends the run.
+    g = cycle_graph(16)
+    policy = HealthPolicy(no_progress_window=4, invariants=False)
+    with pytest.raises(ConvergenceError) as info:
+        run_scheme(g, _Uncolorer(), health=policy)
+    assert info.value.reason == "no-progress"
+
+
+# ---------------------------------------------------------------------------
+# The end-of-run audit.
+# ---------------------------------------------------------------------------
+def test_audit_rejects_conflicted_coloring():
+    g = complete_graph(5)
+    with pytest.raises(AuditError) as info:
+        run_scheme(g, _ConflictFinisher(), health="strict")
+    err = info.value
+    assert err.conflicts == 10 and err.uncolored == 0  # K5: all C(5,2) edges
+    assert err.to_dict()["scheme"] == "misbehaver"
+
+
+def test_audit_rejects_partial_coloring():
+    g = cycle_graph(16)
+    with pytest.raises(AuditError) as info:
+        run_scheme(g, _PartialFinisher(), health="strict")
+    assert info.value.uncolored == 8
+
+
+def test_audit_off_returns_the_bad_coloring():
+    g = complete_graph(5)
+    result = run_scheme(g, _ConflictFinisher(), health="off")
+    assert (np.asarray(result.colors) == 1).all()  # junk, by request
+
+
+def test_guards_pass_a_well_behaved_real_scheme():
+    # The real recipes satisfy every invariant under the strictest policy.
+    from repro.coloring.api import make_recipe
+
+    g = complete_graph(6)
+    strict = HealthPolicy(no_progress_window=2, degrade=False)
+    result = run_scheme(g, make_recipe("data-ldg"), health=strict)
+    result.validate(g)

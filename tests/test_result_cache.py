@@ -136,6 +136,32 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path, g):
     assert not result.cache_hit
 
 
+def test_garbage_bytes_entry_is_quarantined_then_rewritten(tmp_path, g):
+    """Regression: corrupt disk entries must be *renamed aside*, not just
+    skipped — a garbage file left at the key's path would be re-parsed
+    (and re-fail) on every lookup forever."""
+    cache = ResultCache(directory=tmp_path)
+    baseline = color_graph(g, "data-ldg", cache=cache)
+    (entry,) = tmp_path.glob("*.npz")
+    entry.write_bytes(b"\x00\x89garbage bytes, definitely not a zip archive")
+
+    fresh = ResultCache(directory=tmp_path)
+    recomputed = color_graph(g, "data-ldg", cache=fresh)
+    assert not recomputed.cache_hit
+    assert np.array_equal(recomputed.colors, baseline.colors)
+    assert fresh.quarantined == 1
+    assert fresh.stats()["quarantined"] == 1
+    bad = entry.with_name(entry.name + ".bad")
+    assert bad.exists()  # inspectable, but out of the lookup path
+    assert entry.exists()  # the recompute re-stored a clean entry
+
+    # The rewritten entry round-trips: next process gets a real hit.
+    final = ResultCache(directory=tmp_path)
+    hit = color_graph(g, "data-ldg", cache=final)
+    assert hit.cache_hit and final.quarantined == 0
+    assert np.array_equal(hit.colors, baseline.colors)
+
+
 # ---------------------------------------------------------------------------
 # resolve_cache + construction.
 # ---------------------------------------------------------------------------
