@@ -64,6 +64,9 @@ def main(argv: list[str] | None = None) -> int:
                              "profile of BENCH_kernels.json")
     parser.add_argument("--kernel-threshold", type=float, default=2.0,
                         help="wall-clock threshold for --kernels (default 2.0)")
+    parser.add_argument("--memory", action="store_true",
+                        help="also gate per-worker private memory against "
+                             "the zero-copy invariant (bench_memory.py)")
     args = parser.parse_args(argv)
 
     cells = run_matrix()
@@ -125,7 +128,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nregression gate passed: {len(cells)} cells within "
           f"{args.tolerance:.0%} of baseline")
     if args.kernels:
-        return _kernel_gate(args.kernel_threshold)
+        rc = _kernel_gate(args.kernel_threshold)
+        if rc:
+            return rc
+    if args.memory:
+        return _memory_gate()
     return 0
 
 
@@ -145,6 +152,22 @@ def _kernel_gate(threshold: float) -> int:
     baseline = bench_kernels.load_baseline()
     bench_kernels.print_results("quick", results, baseline)
     return bench_kernels.check("quick", results, baseline, threshold)
+
+
+def _memory_gate() -> int:
+    """Run the zero-copy worker-memory invariant (see ``bench_memory.py``).
+
+    Fresh measurement every time — the invariant is structural (fractions
+    of the graph's topology), so it holds across machine classes without
+    comparing absolute bytes to the committed ``BENCH_memory.json``.
+    """
+    try:
+        from benchmarks import bench_memory
+    except ImportError:  # run as a script: sibling module, no package
+        import bench_memory
+
+    print("\n[worker memory gate: zero-copy stores]")
+    return bench_memory.check(bench_memory.run_profile())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,110 @@
+"""Zero-copy storage: per-worker memory and attach latency (extension).
+
+The graph arenas (:mod:`repro.graph.store`) exist so pool workers stop
+paying an ``O(graph)`` private copy per process.  This benchmark prints
+the measured per-worker private-memory deltas and materialize/touch
+latencies for all three store kinds (reusing ``bench_memory.py``'s
+forked-child measurement) and asserts the structural invariant the
+``--memory`` regression gate enforces: shm/mmap attach for a small
+fraction of the topology while the pickled heap control pays a full
+copy.  A second test pins the out-of-core path: streaming a graph under
+a memory budget keeps the peak resident window a fraction of the whole
+topology while producing byte-identical colors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import from_edges
+from repro.metrics.table import format_table
+from repro.parallel import color_sharded, color_streamed
+
+from benchmarks import bench_memory
+from benchmarks.conftest import print_banner
+
+
+def test_zero_copy_worker_memory(scale_div, recorder):
+    profile = bench_memory.run_profile()
+    topology = profile["graph"]["topology_bytes"]
+
+    print_banner(
+        f"graph-store attach: {profile['graph']['num_vertices']} vertices, "
+        f"{topology / 2**20:.1f} MiB topology",
+        scale_div,
+    )
+    rows = []
+    for mode in ("heap", "shm", "mmap"):
+        row = profile["workers"][mode]
+        ratio = profile["ratios"][f"{mode}_vs_topology"]
+        rows.append([
+            mode,
+            round(row["private_delta_bytes"] / 2**20, 2),
+            ratio,
+            row["materialize_ms"],
+            row["touch_ms"],
+        ])
+        recorder.add(
+            "zero-copy", "bench-mem", mode, "private_mib",
+            row["private_delta_bytes"] / 2**20,
+            ratio_vs_topology=ratio,
+            materialize_ms=row["materialize_ms"],
+            touch_ms=row["touch_ms"],
+        )
+    print(format_table(
+        ["store", "private MiB", "x topology", "materialize ms", "touch ms"],
+        rows,
+    ))
+
+    assert bench_memory.check(profile) == 0, (
+        "zero-copy invariant failed (see gate output above)"
+    )
+    # Attach must also be cheaper than unpickling a full copy.
+    heap_ms = profile["workers"]["heap"]["materialize_ms"]
+    for mode in ("shm", "mmap"):
+        assert profile["workers"][mode]["materialize_ms"] < heap_ms, (
+            f"{mode} attach ({profile['workers'][mode]['materialize_ms']} ms) "
+            f"slower than heap unpickle ({heap_ms} ms)"
+        )
+
+
+def test_streaming_peak_window(scale_div, recorder):
+    rng = np.random.default_rng(7)
+    n, m = 30_000, 120_000
+    graph = from_edges(
+        rng.integers(0, n, size=m), rng.integers(0, n, size=m),
+        num_vertices=n, name="stream-bench",
+    )
+    budget_mb = graph.memory_bytes() / 2**20 / 8
+
+    streamed = color_streamed(graph, memory_budget_mb=budget_mb)
+    stats = streamed.shard_stats
+    # Streaming replicates the sharded partition cut at the same window
+    # count, so the in-memory sharded run is the byte-identity reference.
+    full = color_sharded(graph, num_shards=stats["num_shards"])
+
+    print_banner(
+        f"out-of-core streaming: budget {budget_mb:.2f} MiB of "
+        f"{graph.memory_bytes() / 2**20:.2f} MiB graph",
+        scale_div,
+    )
+    print(format_table(
+        ["windows", "peak window MiB", "x topology", "colors"],
+        [[stats["num_shards"],
+          round(stats["peak_window_bytes"] / 2**20, 3),
+          round(stats["peak_window_bytes"] / graph.memory_bytes(), 3),
+          streamed.num_colors]],
+    ))
+    recorder.add(
+        "zero-copy", "stream-bench", "streamed", "peak_window_mib",
+        stats["peak_window_bytes"] / 2**20,
+        windows=stats["num_shards"],
+        budget_mb=budget_mb,
+    )
+
+    assert np.array_equal(streamed.colors, full.colors), (
+        "streamed colors diverged from the one-shard reference"
+    )
+    # The point of streaming: no window ever materializes the whole graph.
+    assert stats["num_shards"] > 1
+    assert stats["peak_window_bytes"] < graph.memory_bytes() / 2

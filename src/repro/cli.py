@@ -68,6 +68,13 @@ def resolve_graph(spec: str, *, scale_div: int | None = None) -> CSRGraph:
         from .graph.io.binary import load_npz
 
         return load_npz(path)
+    if path.suffix == ".csrbin":
+        from .graph.io.stream import read_csr_bin
+
+        # mmap'd and unvalidated on purpose: these containers exist so
+        # out-of-core graphs can be colored without ever loading O(m)
+        # into private memory (pair with --stream-mb).
+        return read_csr_bin(path, mmap=True, validate=False)
     if path.suffix in (".mtx", ".gz"):
         from .graph.io.matrix_market import read_matrix_market
 
@@ -78,7 +85,8 @@ def resolve_graph(spec: str, *, scale_div: int | None = None) -> CSRGraph:
         return read_edgelist(path)
     raise SystemExit(
         f"cannot read {spec!r}: unrecognized extension {path.suffix!r}. "
-        f"Supported formats: .npz (save_npz cache), .mtx/.gz (MatrixMarket), "
+        f"Supported formats: .npz (save_npz cache), .csrbin (mmap "
+        f"container), .mtx/.gz (MatrixMarket), "
         f"edge list ({', '.join(_EDGELIST_SUFFIXES)})"
     )
 
@@ -103,21 +111,30 @@ def _cmd_color(args) -> int:
         kwargs["faults"] = _parse_faults(args.faults)
     if args.health:
         kwargs["health"] = args.health
-    if args.shards:
+    streaming = args.stream or args.stream_mb is not None
+    if args.shards or streaming:
         if args.cache:
-            raise SystemExit("--cache does not combine with --shards")
+            raise SystemExit("--cache does not combine with --shards/--stream")
+        if args.store and streaming:
+            raise SystemExit(
+                "--store applies to worker shipping; streaming runs "
+                "in-process (use a .csrbin graph for out-of-core input)"
+            )
         from .parallel import color_sharded
 
         try:
             result = color_sharded(
                 graph,
                 args.method,
-                num_shards=args.shards,
+                num_shards=args.shards or 4,
                 workers=args.workers,
                 backend=kwargs.pop("backend", None),
                 observe=kwargs.pop("observe", None),
                 faults=kwargs.pop("faults", None),
                 health=kwargs.pop("health", None),
+                store=args.store,
+                stream=args.stream,
+                memory_budget_mb=args.stream_mb,
                 **kwargs,
             )
         except _guard_errors() as exc:
@@ -131,6 +148,13 @@ def _cmd_color(args) -> int:
                 f"(shards {stats['failed_shards']}), degraded to one "
                 f"{stats['degraded']} run"
             )
+        elif stats.get("mode") == "stream":
+            print(
+                f"windows: {stats['num_shards']} (peak window "
+                f"{stats['peak_window_bytes']} B), "
+                f"{stats['resolution_rounds']} resolution rounds, "
+                f"{stats['recolored']} recolored"
+            )
         else:
             print(
                 f"shards: {stats['num_shards']}, "
@@ -139,6 +163,11 @@ def _cmd_color(args) -> int:
                 f"{stats['recolored']} recolored"
             )
     else:
+        if args.store:
+            raise SystemExit(
+                "--store needs worker processes: combine with --shards "
+                "(or use the batch subcommand)"
+            )
         if args.cache:
             kwargs["cache"] = args.cache
         try:
@@ -220,6 +249,7 @@ def _cmd_batch(args) -> int:
     parallel = (
         bool(args.workers)
         or args.cache is not None
+        or args.store is not None
         or observe is not None
         or args.faults is not None
         or args.health is not None
@@ -239,6 +269,7 @@ def _cmd_batch(args) -> int:
             backend=args.backend,
             workers=args.workers,
             cache=cache_obj,
+            store=args.store,
             observe=observe,
             faults=_parse_faults(args.faults) if args.faults else None,
             health=args.health,
@@ -468,6 +499,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --shards (default: serial)",
     )
     p.add_argument(
+        "--store", default=None, metavar="KIND",
+        help="graph arena for worker processes: 'heap' (pickle, default), "
+        "'shm' (shared-memory segments), or 'mmap'/'mmap:<dir>' "
+        "(on-disk containers); combine with --shards --workers",
+    )
+    p.add_argument(
+        "--stream", action="store_true",
+        help="color --shards windows sequentially with bounded peak "
+        "memory (byte-identical colors to the non-streamed run)",
+    )
+    p.add_argument(
+        "--stream-mb", type=float, default=None, metavar="MB",
+        help="stream with a peak-memory budget: window count sized so "
+        "one window's working set fits MB (implies --stream)",
+    )
+    p.add_argument(
         "--faults", default=None, metavar="PLAN",
         help="deterministic fault-injection plan, e.g. 'seed=7; "
         "kernel-transient: kernel=topo-color-0' (see docs/ROBUSTNESS.md)",
@@ -516,6 +563,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache", default=None, metavar="DIR|memory",
         help="content-addressed result cache: 'memory' or a directory path",
+    )
+    p.add_argument(
+        "--store", default=None, metavar="KIND",
+        help="graph arena for worker processes: 'heap' (pickle, default), "
+        "'shm', or 'mmap'/'mmap:<dir>' — workers attach zero-copy "
+        "instead of unpickling private graph copies",
     )
     p.add_argument(
         "--observe", default=None, choices=("trace", "profile", "rounds"),

@@ -63,6 +63,11 @@ class ExecutionOptions:
                                 "(default: inferred from workers=)")
     cache: Any = _opt(None, "content-addressed result cache: 'memory', a "
                             "directory path, or a ResultCache")
+    store: Any = _opt(None, "graph arena for worker processes: 'heap' "
+                            "(pickle, default), 'shm' (shared-memory "
+                            "segments), 'mmap'/'mmap:<dir>' (on-disk "
+                            "containers), or a GraphStore instance "
+                            "(see docs/STORAGE.md)")
     mex: Any = _opt(None, "forbidden-color kernel strategy: 'bitmask', "
                           "'bitmask:N' (word limit), or 'sort' "
                           "(results are identical; speed differs)")

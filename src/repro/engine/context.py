@@ -267,6 +267,7 @@ def color_many(
     workers=None,
     scheduler=None,
     cache=None,
+    store=None,
     faults=None,
     health=None,
     validate: bool = True,
@@ -290,6 +291,10 @@ def color_many(
     * ``cache=`` consults a content-addressed result cache before
       executing each job (``"memory"``, a directory path, or a
       :class:`~repro.parallel.ResultCache`).
+    * ``store=`` selects the graph arena workers read from (see
+      :mod:`repro.graph.store` and docs/STORAGE.md): ``'shm'`` /
+      ``'mmap'`` publish each unique topology once and ship zero-copy
+      handles instead of pickled graphs; default ``'heap'`` pickles.
 
     Entries of ``graphs`` may also be ``(graph, method[, options])``
     tuples or :class:`~repro.parallel.ColorJob` instances for
@@ -316,6 +321,7 @@ def color_many(
         and workers in (None, 0, 1)
         and scheduler is None
         and cache is None
+        and store is None
         and faults is None
         and health is None
     ):
@@ -332,6 +338,7 @@ def color_many(
         backend=backend,
         observe=observe,
         cache=cache,
+        store=store,
         validate=validate,
         faults=faults,
         health=health,

@@ -24,11 +24,27 @@ from .traversal import (
     num_connected_components,
 )
 from .stats import GraphStats, compute_stats, degree_histogram
+from .store import (
+    GraphHandle,
+    GraphStore,
+    HeapStore,
+    MmapStore,
+    SharedMemoryStore,
+    attach,
+    resolve_store,
+)
 
 __all__ = [
     "CSRGraph",
+    "GraphHandle",
     "GraphStats",
+    "GraphStore",
+    "HeapStore",
+    "MmapStore",
     "Partition",
+    "SharedMemoryStore",
+    "attach",
+    "resolve_store",
     "bandwidth",
     "bfs_order",
     "block_partition",

@@ -28,6 +28,12 @@ __all__ = ["CSRGraph"]
 VERTEX_DTYPE = np.int32
 OFFSET_DTYPE = np.int64  # row offsets can exceed 2^31 for large graphs
 
+#: Window size for the chunked content-digest scan (see
+#: :meth:`CSRGraph.content_digest`): big enough to amortize the hashlib
+#: call, small enough that digesting an out-of-core graph never allocates
+#: more than one window.
+_DIGEST_CHUNK_BYTES = 1 << 24
+
 
 @dataclass(frozen=True)
 class CSRGraph:
@@ -54,6 +60,56 @@ class CSRGraph:
     row_offsets: np.ndarray
     col_indices: np.ndarray
     name: str = field(default="graph", compare=False)
+
+    @classmethod
+    def from_validated_arrays(
+        cls,
+        row_offsets: np.ndarray,
+        col_indices: np.ndarray,
+        *,
+        name: str = "graph",
+        content_digest: str | None = None,
+        arena=None,
+    ) -> "CSRGraph":
+        """Wrap already-validated CSR arrays without copying or re-scanning.
+
+        The zero-copy attach path (:mod:`repro.graph.store`): a worker that
+        maps a shared-memory arena or an mmap'd file receives arrays that
+        were validated when the graph was first built, so repeating the
+        O(n + m) structural scan — and worse, letting
+        ``np.ascontiguousarray`` silently *copy* a dtype-mismatched view —
+        would defeat the point.  The arrays must already be 1-D,
+        C-contiguous and of the canonical dtypes; anything else raises
+        instead of copying.
+
+        ``content_digest`` seeds the digest memo so attached multi-gigabyte
+        graphs are never re-hashed (the digest traveled in the
+        :class:`~repro.graph.store.GraphHandle`).  ``arena`` ties the
+        lifetime of the backing storage object (a ``SharedMemory`` segment
+        or an open memmap) to this graph, so the buffer outlives every view.
+        """
+        R, C = np.asarray(row_offsets), np.asarray(col_indices)
+        if R.dtype != OFFSET_DTYPE or C.dtype != VERTEX_DTYPE:
+            raise ValueError(
+                f"from_validated_arrays requires canonical dtypes "
+                f"({OFFSET_DTYPE.__name__}/{VERTEX_DTYPE.__name__}); got "
+                f"{R.dtype}/{C.dtype} — a cast here would copy"
+            )
+        if R.ndim != 1 or C.ndim != 1 or not R.flags.c_contiguous or not C.flags.c_contiguous:
+            raise ValueError("from_validated_arrays requires 1-D contiguous arrays")
+        if R.flags.writeable:
+            R.setflags(write=False)
+        if C.flags.writeable:
+            C.setflags(write=False)
+        g = object.__new__(cls)
+        object.__setattr__(g, "row_offsets", R)
+        object.__setattr__(g, "col_indices", C)
+        object.__setattr__(g, "name", name)
+        if content_digest is not None:
+            object.__setattr__(g, "_content_digest", content_digest)
+        if arena is not None:
+            object.__setattr__(g, "_arena", arena)
+        return g
 
     def __post_init__(self) -> None:
         R = np.ascontiguousarray(self.row_offsets, dtype=OFFSET_DTYPE)
@@ -252,11 +308,52 @@ class CSRGraph:
 
             h = hashlib.sha256()
             h.update(np.int64(self.num_vertices).tobytes())
-            h.update(self.row_offsets.tobytes())
-            h.update(self.col_indices.tobytes())
+            # Feed the arrays in bounded windows: ``tobytes()`` would
+            # materialize a full private copy, which for an mmap-backed
+            # out-of-core graph is exactly the O(m) allocation the storage
+            # layer exists to avoid.  The digest bytes are identical.
+            for arr in (self.row_offsets, self.col_indices):
+                view = memoryview(arr).cast("B")
+                for lo in range(0, len(view), _DIGEST_CHUNK_BYTES):
+                    h.update(view[lo : lo + _DIGEST_CHUNK_BYTES])
             cached = h.hexdigest()
             object.__setattr__(self, "_content_digest", cached)
         return cached
+
+    # ------------------------------------------------------------------
+    # Pickling: ship the topology plus the digest memo, never re-validate.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Fields plus the memoized content digest (when computed).
+
+        The digest rides along so a worker that unpickles a graph it was
+        handed *by* digest — or the result cache keying on it — never
+        re-hashes multi-gigabyte CSR arrays.  Derived caches that are
+        cheap to rebuild (``_degrees``) and process-local resources
+        (``_arena``: a SharedMemory segment or open memmap must never be
+        serialized as bytes) are deliberately dropped.
+        """
+        state = {
+            "row_offsets": self.row_offsets,
+            "col_indices": self.col_indices,
+            "name": self.name,
+        }
+        digest = self.__dict__.get("_content_digest")
+        if digest is not None:
+            state["_content_digest"] = digest
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        R = np.asarray(state["row_offsets"])
+        C = np.asarray(state["col_indices"])
+        R.setflags(write=False)
+        C.setflags(write=False)
+        object.__setattr__(self, "row_offsets", R)
+        object.__setattr__(self, "col_indices", C)
+        object.__setattr__(self, "name", state["name"])
+        digest = state.get("_content_digest")
+        if digest is not None:
+            object.__setattr__(self, "_content_digest", digest)
 
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

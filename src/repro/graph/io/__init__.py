@@ -1,16 +1,26 @@
-"""Graph I/O: MatrixMarket (SuiteSparse), edge lists, binary caches."""
+"""Graph I/O: MatrixMarket (SuiteSparse), edge lists, binary caches.
+
+:mod:`~repro.graph.io.stream` adds the out-of-core path: a mmap-able
+``.csrbin`` container plus streaming edge-chunk builders that construct
+graphs bigger than RAM.
+"""
 
 from .binary import cached, load_npz, save_npz
 from .edgelist import read_edgelist, write_edgelist
 from .matrix_market import MatrixMarketError, read_matrix_market, write_matrix_market
+from .stream import edges_to_csr_bin, er_edge_stream, read_csr_bin, write_csr_bin
 
 __all__ = [
     "MatrixMarketError",
     "cached",
+    "edges_to_csr_bin",
+    "er_edge_stream",
     "load_npz",
+    "read_csr_bin",
     "read_edgelist",
     "read_matrix_market",
     "save_npz",
+    "write_csr_bin",
     "write_edgelist",
     "write_matrix_market",
 ]

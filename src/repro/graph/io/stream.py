@@ -1,0 +1,324 @@
+"""Out-of-core CSR: a mmap-able binary container and streaming builders.
+
+The compressed ``.npz`` cache (:mod:`repro.graph.io.binary`) must be
+decompressed into private heap memory before use, which caps graph size
+at RAM.  This module adds a raw binary container (``.csrbin``) whose
+``R``/``C`` arrays live at fixed, 64-byte-aligned offsets so they can be
+``mmap``'d read-only and paged in on demand:
+
+``[header 64B][R: (n+1) int64][pad][C: m int32]``
+
+plus two streaming builders that never hold ``O(m)`` in memory:
+
+- :func:`edges_to_csr_bin` — converts a re-iterable stream of edge
+  chunks into a ``.csrbin`` with three bounded passes (degree count,
+  raw scatter to a spill file, per-block sort/dedup compaction).
+- :func:`er_edge_stream` — a deterministic Erdős–Rényi edge-chunk
+  generator (each chunk seeded independently) for building test graphs
+  of arbitrary size.
+
+Peak memory for the builders is ``O(n)`` (the degree/offset arrays)
+plus one chunk/block window — the edges themselves only ever exist on
+disk, which is what lets a 100M+ edge graph be built and colored on a
+machine whose RAM holds neither.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+
+__all__ = [
+    "write_csr_bin",
+    "read_csr_bin",
+    "edges_to_csr_bin",
+    "er_edge_stream",
+]
+
+_MAGIC = b"REPROCSR"
+_VERSION = 1
+_HEADER_SIZE = 64  # magic + version + dtype codes + n + m, zero-padded
+_ALIGN = 64
+_HEADER_FMT = "<8sIIIIqq"  # magic, version, r_code, c_code, reserved, n, m
+
+#: dtype codes recorded in the header (read side verifies, never casts).
+_DTYPE_CODES = {np.dtype(np.int32): 1, np.dtype(np.int64): 2}
+
+#: Default window for streaming passes: ~1M entries keeps every scratch
+#: array in the tens of megabytes regardless of total graph size.
+_CHUNK = 1 << 20
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _pack_header(n: int, m: int) -> bytes:
+    header = struct.pack(
+        _HEADER_FMT,
+        _MAGIC,
+        _VERSION,
+        _DTYPE_CODES[np.dtype(OFFSET_DTYPE)],
+        _DTYPE_CODES[np.dtype(VERTEX_DTYPE)],
+        0,
+        n,
+        m,
+    )
+    return header.ljust(_HEADER_SIZE, b"\0")
+
+
+def _read_header(path: Path) -> tuple[int, int]:
+    with open(path, "rb") as f:
+        raw = f.read(_HEADER_SIZE)
+    if len(raw) < _HEADER_SIZE:
+        raise ValueError(f"{path}: truncated csrbin header")
+    magic, version, r_code, c_code, _, n, m = struct.unpack(
+        _HEADER_FMT, raw[: struct.calcsize(_HEADER_FMT)]
+    )
+    if magic != _MAGIC:
+        raise ValueError(f"{path}: not a csrbin file (bad magic {magic!r})")
+    if version != _VERSION:
+        raise ValueError(f"{path}: unsupported csrbin version {version}")
+    if r_code != _DTYPE_CODES[np.dtype(OFFSET_DTYPE)] or c_code != _DTYPE_CODES[
+        np.dtype(VERTEX_DTYPE)
+    ]:
+        raise ValueError(
+            f"{path}: dtype codes ({r_code}, {c_code}) do not match the "
+            f"canonical CSR dtypes — refusing to cast an out-of-core file"
+        )
+    if n < 0 or m < 0:
+        raise ValueError(f"{path}: negative dimensions in header")
+    return int(n), int(m)
+
+
+def _c_offset(n: int) -> int:
+    return _HEADER_SIZE + _aligned((n + 1) * np.dtype(OFFSET_DTYPE).itemsize)
+
+
+def write_csr_bin(graph: CSRGraph, path) -> Path:
+    """Serialize ``graph`` to a mmap-able ``.csrbin`` container.
+
+    Arrays are written straight from their buffers (no ``tobytes()``
+    copy), so writing an already-mmap'd graph streams disk-to-disk.
+    """
+    path = Path(path)
+    n, m = graph.num_vertices, graph.num_edges
+    with open(path, "wb") as f:
+        f.write(_pack_header(n, m))
+        f.write(memoryview(graph.row_offsets).cast("B"))
+        f.write(b"\0" * (_c_offset(n) - _HEADER_SIZE - graph.row_offsets.nbytes))
+        f.write(memoryview(graph.col_indices).cast("B"))
+        # Flush through the page cache: readers mmap this file immediately,
+        # and un-synced pages would count against *their* dirty footprint.
+        f.flush()
+        os.fsync(f.fileno())
+    return path
+
+
+def read_csr_bin(
+    path,
+    *,
+    mmap: bool = True,
+    validate: bool = True,
+    name: str | None = None,
+    content_digest: str | None = None,
+) -> CSRGraph:
+    """Load a ``.csrbin`` container, mmap'd read-only by default.
+
+    With ``mmap=True`` the returned graph's arrays are demand-paged views
+    of the file — opening a 10 GB graph allocates kilobytes.  Set
+    ``validate=False`` to skip the ``O(n + m)`` structural re-scan (the
+    attach path does: the file was validated when written); ``validate``
+    defaults to True for untrusted files.  ``content_digest`` seeds the
+    digest memo when the caller already knows it (e.g. it traveled in a
+    :class:`~repro.graph.store.GraphHandle`).
+    """
+    path = Path(path)
+    n, m = _read_header(path)
+    if name is None:
+        name = path.stem
+    if mmap:
+        R = np.memmap(path, dtype=OFFSET_DTYPE, mode="r", offset=_HEADER_SIZE, shape=(n + 1,))
+        if m:
+            C = np.memmap(path, dtype=VERTEX_DTYPE, mode="r", offset=_c_offset(n), shape=(m,))
+        else:
+            C = np.empty(0, dtype=VERTEX_DTYPE)
+    else:
+        with open(path, "rb") as f:
+            f.seek(_HEADER_SIZE)
+            R = np.fromfile(f, dtype=OFFSET_DTYPE, count=n + 1)
+            f.seek(_c_offset(n))
+            C = np.fromfile(f, dtype=VERTEX_DTYPE, count=m)
+        if R.size != n + 1 or C.size != m:
+            raise ValueError(f"{path}: truncated csrbin payload")
+    if validate:
+        return CSRGraph(R, C, name=name)
+    return CSRGraph.from_validated_arrays(
+        np.asarray(R), np.asarray(C), name=name, content_digest=content_digest
+    )
+
+
+def er_edge_stream(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    seed: int = 0,
+    chunk_edges: int = _CHUNK,
+):
+    """Yield deterministic Erdős–Rényi edge chunks ``(u, v)``.
+
+    Each chunk is an independent ``default_rng((seed, chunk_index))``
+    draw, so the stream is re-iterable — the out-of-core converter makes
+    two passes and both see identical edges.  The same ``(seed,
+    chunk_edges)`` pair always produces the same stream; changing
+    ``chunk_edges`` re-cuts the chunk grid and draws different edges.
+    Self-loops and duplicates may appear; :func:`edges_to_csr_bin`
+    removes both.  Endpoints are ``int64``; ``num_edges`` counts raw
+    *undirected* samples before dedup.
+    """
+    if num_vertices <= 0:
+        return
+    produced = 0
+    index = 0
+    while produced < num_edges:
+        take = min(chunk_edges, num_edges - produced)
+        rng = np.random.default_rng((seed, index))
+        u = rng.integers(0, num_vertices, size=take, dtype=np.int64)
+        v = rng.integers(0, num_vertices, size=take, dtype=np.int64)
+        yield u, v
+        produced += take
+        index += 1
+
+
+def edges_to_csr_bin(
+    chunks,
+    num_vertices: int,
+    path,
+    *,
+    symmetrize: bool = True,
+    chunk_edges: int = _CHUNK,
+) -> dict:
+    """Build a ``.csrbin`` from streamed edge chunks without ``O(m)`` RAM.
+
+    ``chunks`` is either a zero-argument callable returning an iterable of
+    ``(u, v)`` int arrays, or an iterable that can safely be iterated
+    twice (e.g. a list of chunks, or a generator *factory* result such as
+    :func:`er_edge_stream` re-created by a callable).  Three passes:
+
+    1. **Count** — accumulate per-vertex degrees (self-loops dropped;
+       both directions when ``symmetrize``).
+    2. **Scatter** — write every adjacency entry into a raw spill file at
+       its final row's region via running cursors (duplicates included).
+    3. **Compact** — walk the spill file in bounded row blocks, sort and
+       de-duplicate each adjacency list, and append the survivors to the
+       final container; offsets are patched in once true degrees are
+       known.
+
+    Peak memory is ``O(n)`` plus one chunk/block window.  Returns
+    ``{"path", "num_vertices", "num_edges", "raw_entries"}``.
+    """
+    path = Path(path)
+    n = int(num_vertices)
+    if n < 0:
+        raise ValueError("num_vertices must be non-negative")
+
+    def _iter_chunks():
+        source = chunks() if callable(chunks) else chunks
+        for u, v in source:
+            u = np.asarray(u, dtype=np.int64).ravel()
+            v = np.asarray(v, dtype=np.int64).ravel()
+            if u.size != v.size:
+                raise ValueError("edge chunk endpoint arrays differ in length")
+            if u.size and (
+                min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= max(n, 1)
+            ):
+                raise ValueError("edge chunk contains out-of-range vertex ids")
+            keep = u != v  # self-loops never enter the container
+            yield u[keep], v[keep]
+
+    # Pass 1: degrees.
+    degrees = np.zeros(n, dtype=np.int64)
+    for u, v in _iter_chunks():
+        degrees += np.bincount(u, minlength=n)
+        if symmetrize:
+            degrees += np.bincount(v, minlength=n)
+    raw_R = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=raw_R[1:])
+    raw_m = int(raw_R[-1])
+
+    # Pass 2: scatter every entry into its row's region of a spill file.
+    spill_path = path.with_suffix(path.suffix + ".spill")
+    cursor = raw_R[:-1].copy()
+    spill = (
+        np.memmap(spill_path, dtype=VERTEX_DTYPE, mode="w+", shape=(raw_m,))
+        if raw_m
+        else None
+    )
+
+    def _scatter(src: np.ndarray, dst: np.ndarray) -> None:
+        # Stable-sort the chunk by source row so same-row entries get
+        # consecutive slots: position = cursor[row] + rank-within-chunk.
+        order = np.argsort(src, kind="stable")
+        src_s, dst_s = src[order], dst[order]
+        starts = np.searchsorted(src_s, src_s)  # first index of each run
+        ranks = np.arange(src_s.size, dtype=np.int64) - starts
+        spill[cursor[src_s] + ranks] = dst_s.astype(VERTEX_DTYPE)
+        rows, counts = np.unique(src_s, return_counts=True)
+        cursor[rows] += counts
+
+    if raw_m:
+        for u, v in _iter_chunks():
+            _scatter(u, v)
+            if symmetrize:
+                _scatter(v, u)
+        spill.flush()
+
+    # Pass 3: per-block sort + dedup, appending survivors to the final C.
+    final_degrees = np.zeros(n, dtype=np.int64)
+    with open(path, "wb") as f:
+        f.write(_pack_header(n, 0))  # placeholder m, patched below
+        f.seek(_c_offset(n))
+        lo = 0
+        while lo < n:
+            # Largest hi with raw_R[hi] - raw_R[lo] <= chunk_edges; a single
+            # row wider than the budget still gets its own block.
+            hi = int(np.searchsorted(raw_R, raw_R[lo] + max(chunk_edges, 1), side="right")) - 1
+            hi = min(max(hi, lo + 1), n)
+            block = np.asarray(spill[raw_R[lo] : raw_R[hi]])
+            rows = np.repeat(
+                np.arange(lo, hi, dtype=np.int64), degrees[lo:hi]
+            )
+            if block.size:
+                order = np.lexsort((block, rows))
+                rows_s, vals_s = rows[order], block[order]
+                keep = np.empty(vals_s.size, dtype=bool)
+                keep[0] = True
+                keep[1:] = (rows_s[1:] != rows_s[:-1]) | (vals_s[1:] != vals_s[:-1])
+                rows_k, vals_k = rows_s[keep], vals_s[keep]
+                final_degrees[lo:hi] = np.bincount(rows_k - lo, minlength=hi - lo)
+                f.write(memoryview(np.ascontiguousarray(vals_k)).cast("B"))
+            lo = hi
+        final_R = np.zeros(n + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(final_degrees, out=final_R[1:])
+        final_m = int(final_R[-1])
+        f.seek(0)
+        f.write(_pack_header(n, final_m))
+        f.seek(_HEADER_SIZE)
+        f.write(memoryview(final_R).cast("B"))
+        f.flush()
+        os.fsync(f.fileno())
+
+    if spill is not None:
+        del spill  # release the mapping before unlinking
+    spill_path.unlink(missing_ok=True)
+    return {
+        "path": str(path),
+        "num_vertices": n,
+        "num_edges": final_m,
+        "raw_entries": raw_m,
+    }

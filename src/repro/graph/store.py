@@ -1,0 +1,459 @@
+"""Zero-copy graph storage arenas: heap, shared memory, and mmap.
+
+Every kernel in this package consumes plain NumPy arrays, so *where*
+those arrays live is a pluggable policy.  A :class:`GraphStore` places a
+:class:`~repro.graph.csr.CSRGraph`'s ``R``/``C`` arrays into an arena and
+hands out a small, picklable :class:`GraphHandle` that any process can
+:func:`attach` to without copying the topology:
+
+=========  ==============================================================
+``heap``   today's behavior: private process memory; handles embed the
+           graph itself (pickled arrays — the compatibility fallback).
+``shm``    one ``multiprocessing.shared_memory`` segment per unique
+           topology (deduplicated by content digest); attaching maps the
+           same physical pages, so N pool workers share ONE copy.
+``mmap``   an on-disk binary CSR container (see
+           :mod:`repro.graph.io.stream`), attached as a read-only memmap;
+           the OS page cache backs every reader, and graphs bigger than
+           RAM stream through the engine window by window.
+=========  ==============================================================
+
+Kernel/engine/cache code is unchanged across stores: an arena-backed
+graph is still a ``CSRGraph`` whose arrays merely view foreign buffers,
+and :meth:`~repro.graph.csr.CSRGraph.content_digest` is byte-identical
+no matter the arena (it hashes values, not addresses).
+
+Lifecycle
+---------
+Stores own their arenas.  ``close()`` releases and (for ``shm``) unlinks
+every segment the store created; every live store is also registered
+with an ``atexit`` hook so an exception that skips the ``finally`` still
+cannot leak ``/dev/shm`` segments from a *cleanly exiting* process.
+Attach-side ``SharedMemory`` objects deliberately bypass Python's
+``resource_tracker`` (a worker that merely maps a segment must not
+unlink it when the worker exits — the creator owns the name), and their
+lifetime is tied to the attached graph via ``CSRGraph._arena`` so the
+buffer outlives every view.  Workers killed mid-job (crash injection,
+pool recycling) release their mappings in the kernel; the coordinator's
+store still owns — and unlinks — the segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+
+__all__ = [
+    "GraphHandle",
+    "GraphStore",
+    "HeapStore",
+    "SharedMemoryStore",
+    "MmapStore",
+    "STORE_KINDS",
+    "attach",
+    "resolve_store",
+]
+
+#: Prefix for shared-memory segment names — lets tests and CI assert that
+#: no ``/dev/shm/reproshm_*`` entries survive a run.
+SHM_PREFIX = "reproshm_"
+
+#: The accepted ``store=`` spellings.
+STORE_KINDS = ("heap", "shm", "mmap")
+
+#: Alignment of the C array inside an arena (cache-line friendly, and it
+#: keeps the int32 view aligned no matter the R array's length).
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """A small, picklable address of a stored graph.
+
+    Workers receive *this* instead of a pickled topology: kind + location
+    + shapes are enough to map the arrays zero-copy, and ``digest`` seeds
+    the graph's content-digest memo so neither the worker nor the result
+    cache ever re-hashes arrays they just received by digest.
+
+    ``graph`` is populated only for ``heap`` handles (the compatibility
+    fallback, where the "handle" really is the pickled graph).
+    """
+
+    kind: str
+    name: str
+    digest: str
+    num_vertices: int
+    num_edges: int
+    location: str = ""
+    graph: CSRGraph | None = field(default=None, compare=False)
+
+    def nbytes(self) -> int:
+        """Topology bytes behind this handle (R + C, unaligned)."""
+        R_item = np.dtype(OFFSET_DTYPE).itemsize
+        C_item = np.dtype(VERTEX_DTYPE).itemsize
+        return (self.num_vertices + 1) * R_item + self.num_edges * C_item
+
+    def attach(self) -> CSRGraph:
+        """Map the stored graph into this process (see :func:`attach`)."""
+        return attach(self)
+
+
+# ---------------------------------------------------------------------------
+# Attach side (runs in any process, typically pool workers).
+# ---------------------------------------------------------------------------
+@contextmanager
+def _untracked_shm_registration():
+    """Suppress resource-tracker registration while *attaching* a segment.
+
+    CPython (< 3.13) registers a ``SharedMemory`` with the resource
+    tracker on attach as well as on create; a worker that then exits
+    prompts the tracker to warn about — and eventually unlink — a segment
+    the coordinator still owns.  Only the creating store may unlink.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def _arrays_from_buffer(buf, num_vertices: int, num_edges: int):
+    """Carve the R/C views out of one arena buffer (layout: R, pad, C)."""
+    R_bytes = (num_vertices + 1) * np.dtype(OFFSET_DTYPE).itemsize
+    R = np.frombuffer(buf, dtype=OFFSET_DTYPE, count=num_vertices + 1)
+    C = np.frombuffer(
+        buf, dtype=VERTEX_DTYPE, count=num_edges, offset=_aligned(R_bytes)
+    )
+    return R, C
+
+
+def attach(handle: GraphHandle) -> CSRGraph:
+    """Materialize a :class:`GraphHandle` as a zero-copy ``CSRGraph``.
+
+    ``heap`` handles return their embedded graph; ``shm`` handles map the
+    named segment; ``mmap`` handles open the binary container read-only.
+    The returned graph's arrays view the arena directly — no O(graph)
+    allocation — and its content digest is pre-seeded from the handle.
+    """
+    if handle.kind == "heap":
+        if handle.graph is None:
+            raise ValueError("heap handle lost its embedded graph")
+        return handle.graph
+    if handle.kind == "shm":
+        from multiprocessing import shared_memory
+
+        with _untracked_shm_registration():
+            segment = shared_memory.SharedMemory(name=handle.location)
+        R, C = _arrays_from_buffer(
+            segment.buf, handle.num_vertices, handle.num_edges
+        )
+        return CSRGraph.from_validated_arrays(
+            R, C, name=handle.name, content_digest=handle.digest, arena=segment
+        )
+    if handle.kind == "mmap":
+        from .io.stream import read_csr_bin
+
+        return read_csr_bin(
+            handle.location,
+            mmap=True,
+            validate=False,
+            name=handle.name,
+            content_digest=handle.digest,
+        )
+    raise ValueError(f"unknown graph-store kind {handle.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Store side (runs in the coordinator).
+# ---------------------------------------------------------------------------
+#: Live stores, closed by the atexit sweep; weak so a collected store
+#: doesn't linger here (its __del__ already closed it).
+_LIVE_STORES: "weakref.WeakSet[GraphStore]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_stores() -> None:  # pragma: no cover - exercised at exit
+    for store in list(_LIVE_STORES):
+        try:
+            store.close()
+        except Exception:
+            pass
+
+
+class GraphStore:
+    """Base class: placement bookkeeping shared by every arena kind.
+
+    Subclasses implement ``_place(graph) -> (placed_graph, location)``;
+    ``place``/``publish`` deduplicate by content digest so a graph placed
+    twice — or two graph objects with identical topology — share one
+    arena no matter how many jobs reference them.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self) -> None:
+        self._placed: dict[str, tuple[CSRGraph, str]] = {}
+        self.placements = 0  # arenas actually allocated
+        self.reuses = 0  # place() calls served by digest dedup
+        self.closed = False
+        _LIVE_STORES.add(self)
+
+    # -- public surface -------------------------------------------------
+    def place(self, graph: CSRGraph) -> CSRGraph:
+        """Return an arena-backed equivalent of ``graph`` (idempotent)."""
+        digest = graph.content_digest()
+        hit = self._placed.get(digest)
+        if hit is not None:
+            self.reuses += 1
+            return hit[0]
+        if self.closed:
+            raise RuntimeError(f"{self.kind} store is closed")
+        placed, location = self._place(graph)
+        self._placed[digest] = (placed, location)
+        self.placements += 1
+        return placed
+
+    def handle(self, graph: CSRGraph) -> GraphHandle:
+        """The :class:`GraphHandle` for a (placed) graph."""
+        digest = graph.content_digest()
+        entry = self._placed.get(digest)
+        if entry is None:
+            raise KeyError(
+                f"graph {graph.name!r} ({digest[:12]}) is not placed in this "
+                f"{self.kind} store"
+            )
+        placed, location = entry
+        return GraphHandle(
+            kind=self.kind,
+            name=placed.name,
+            digest=digest,
+            num_vertices=placed.num_vertices,
+            num_edges=placed.num_edges,
+            location=location,
+        )
+
+    def publish(self, graph: CSRGraph) -> tuple[CSRGraph, GraphHandle]:
+        """``place`` + ``handle`` in one call."""
+        placed = self.place(graph)
+        return placed, self.handle(placed)
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "graphs": len(self._placed),
+            "bytes": sum(g.memory_bytes() for g, _ in self._placed.values()),
+            "placements": self.placements,
+            "reuses": self.reuses,
+        }
+
+    def close(self) -> None:
+        """Release every arena this store created (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        placed, self._placed = self._placed, {}
+        self._release(placed)
+
+    def __enter__(self) -> "GraphStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- subclass hooks --------------------------------------------------
+    def _place(self, graph: CSRGraph) -> tuple[CSRGraph, str]:
+        raise NotImplementedError
+
+    def _release(self, placed: dict) -> None:
+        pass
+
+
+class HeapStore(GraphStore):
+    """The default: graphs stay in private heap memory.
+
+    ``place`` is the identity and handles embed the graph itself, so the
+    scheduler's pickle-the-graph behavior is exactly what it was before
+    the storage layer existed.
+    """
+
+    kind = "heap"
+
+    def place(self, graph: CSRGraph) -> CSRGraph:  # no digest needed
+        return graph
+
+    def handle(self, graph: CSRGraph) -> GraphHandle:
+        return GraphHandle(
+            kind="heap",
+            name=graph.name,
+            digest=graph.content_digest(),
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            graph=graph,
+        )
+
+    def publish(self, graph: CSRGraph) -> tuple[CSRGraph, GraphHandle]:
+        return graph, self.handle(graph)
+
+
+class SharedMemoryStore(GraphStore):
+    """One POSIX shared-memory segment per unique topology.
+
+    The coordinator pays one copy to fill the segment; after that every
+    worker (and the coordinator itself — ``place`` returns views into the
+    arena) reads the same physical pages.  Segment names carry
+    :data:`SHM_PREFIX`, the content digest and the creator pid, so leak
+    checks can grep ``/dev/shm`` and collisions across concurrent
+    coordinators are impossible.
+    """
+
+    kind = "shm"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._segments: list = []
+        self._seq = 0
+
+    def _place(self, graph: CSRGraph) -> tuple[CSRGraph, str]:
+        from multiprocessing import shared_memory
+
+        digest = graph.content_digest()
+        R_bytes = graph.row_offsets.nbytes
+        size = max(1, _aligned(R_bytes) + graph.col_indices.nbytes)
+        name = f"{SHM_PREFIX}{digest[:12]}_{os.getpid()}_{self._seq}"
+        self._seq += 1
+        segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+        self._segments.append(segment)
+        R, C = _arrays_from_buffer(
+            segment.buf, graph.num_vertices, graph.num_edges
+        )
+        R_writable = np.frombuffer(
+            segment.buf, dtype=OFFSET_DTYPE, count=graph.num_vertices + 1
+        )
+        C_writable = np.frombuffer(
+            segment.buf, dtype=VERTEX_DTYPE, count=graph.num_edges,
+            offset=_aligned(R_bytes),
+        )
+        R_writable[:] = graph.row_offsets
+        C_writable[:] = graph.col_indices
+        placed = CSRGraph.from_validated_arrays(
+            R, C, name=graph.name, content_digest=digest, arena=segment
+        )
+        return placed, segment.name
+
+    def _release(self, placed: dict) -> None:
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:
+                # Live views (the placed graph is still referenced) pin
+                # the mapping; unlink below still removes the name, and
+                # the memory is freed when the last view dies.
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class MmapStore(GraphStore):
+    """On-disk binary CSR containers attached as read-only memmaps.
+
+    Placement writes ``<digest>.csrbin`` into the store directory once
+    (idempotent across runs — a pre-existing container is trusted and
+    reused); attaching maps it without reading it eagerly, so the OS page
+    cache is the only RAM the topology costs, shared across every
+    process.  This is also the out-of-core substrate: the converter in
+    :mod:`repro.graph.io.stream` builds these containers without ever
+    materializing the graph in memory, and the streaming scheduler cuts
+    mmap windows straight out of them.
+    """
+
+    kind = "mmap"
+
+    def __init__(self, directory=None) -> None:
+        super().__init__()
+        if directory is None:
+            import tempfile
+
+            directory = tempfile.mkdtemp(prefix="repro-mmap-")
+            self._owns_directory = True
+        else:
+            self._owns_directory = False
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _place(self, graph: CSRGraph) -> tuple[CSRGraph, str]:
+        from .io.stream import read_csr_bin, write_csr_bin
+
+        digest = graph.content_digest()
+        path = self.directory / f"{digest[:24]}.csrbin"
+        if not path.exists():
+            write_csr_bin(graph, path)
+        placed = read_csr_bin(
+            path, mmap=True, validate=False, name=graph.name,
+            content_digest=digest,
+        )
+        return placed, str(path)
+
+    def _release(self, placed: dict) -> None:
+        if not self._owns_directory:
+            return  # caller-provided directory: containers are theirs
+        import shutil
+
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def resolve_store(spec) -> GraphStore:
+    """Normalize any accepted ``store=`` value into a :class:`GraphStore`.
+
+    ``None``/``'heap'`` → a :class:`HeapStore`; ``'shm'`` → a fresh
+    :class:`SharedMemoryStore`; ``'mmap'`` → an :class:`MmapStore` on a
+    private temp directory; ``'mmap:/some/dir'`` → an :class:`MmapStore`
+    on that directory; a store instance passes through (bring your own —
+    anything with ``kind``/``publish``/``close``).
+    """
+    if spec is None or spec == "heap":
+        return HeapStore()
+    if isinstance(spec, GraphStore):
+        return spec
+    if isinstance(spec, str):
+        if spec == "shm":
+            return SharedMemoryStore()
+        if spec == "mmap":
+            return MmapStore()
+        if spec.startswith("mmap:"):
+            return MmapStore(directory=spec[len("mmap:"):])
+        raise ValueError(
+            f"unknown graph store {spec!r}; choose from "
+            f"{'/'.join(STORE_KINDS)} or 'mmap:<dir>' (or pass an instance)"
+        )
+    if hasattr(spec, "publish") and hasattr(spec, "kind"):
+        return spec
+    raise TypeError(f"cannot interpret {spec!r} as a graph store")

@@ -17,9 +17,17 @@ of Rokos et al. and Bogle & Slota:
   (:class:`ResultCache`), keyed by CSR digest + scheme + resolved
   options + device preset, wired into ``color_graph``/``color_many`` as
   ``cache=``.
+* :mod:`~repro.parallel.streaming` — out-of-core coloring
+  (:func:`color_streamed`): cut contiguous windows out of an
+  (mmap-backed) graph and run them through one context sequentially
+  with bounded peak RSS, for graphs bigger than RAM.
+
+The ``store=`` option threads the zero-copy graph arenas
+(:mod:`repro.graph.store`) through the scheduler: workers attach
+shared-memory or mmap arenas instead of unpickling private copies.
 
 See docs/PARALLEL.md for the scheduler model, determinism guarantees
-and cache keying.
+and cache keying, and docs/STORAGE.md for the arena layer.
 """
 
 from .cache import ResultCache, job_cache_key, resolve_cache
@@ -33,6 +41,7 @@ from .scheduler import (
     run_jobs,
 )
 from .sharded import ShardedColoringError, color_sharded
+from .streaming import color_streamed, plan_windows, window_subgraph
 
 __all__ = [
     "BACKOFF_CAP_S",
@@ -44,9 +53,12 @@ __all__ = [
     "ShardedColoringError",
     "backoff_delay",
     "color_sharded",
+    "color_streamed",
     "job_cache_key",
     "normalize_jobs",
+    "plan_windows",
     "resolve_cache",
     "resolve_scheduler",
     "run_jobs",
+    "window_subgraph",
 ]

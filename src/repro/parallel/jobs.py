@@ -27,14 +27,48 @@ class ColorJob:
     ``method=None`` means "use the batch default" (resolved by
     :func:`normalize_jobs`).  Options are scheme keywords only — engine
     keywords (``backend=``, ``observe=``, ...) belong to the batch call.
+
+    ``handle`` is the zero-copy leg (see :mod:`repro.graph.store`): when
+    the coordinator has published the graph to a shared-memory or mmap
+    arena, the job pickles *without* its topology — workers receive the
+    ~200-byte :class:`~repro.graph.store.GraphHandle` and attach in
+    place.  A job that crossed a process boundary this way has
+    ``graph=None`` until the worker resolves it.
     """
 
-    graph: CSRGraph
+    graph: CSRGraph | None
     method: str | None = None
     options: dict = field(default_factory=dict)
+    handle: object | None = field(default=None, compare=False)
 
     def label(self) -> str:
-        return f"{self.method}:{getattr(self.graph, 'name', '?')}"
+        name = getattr(self.graph, "name", None)
+        if name is None and self.handle is not None:
+            name = getattr(self.handle, "name", None)
+        return f"{self.method}:{name or '?'}"
+
+    def graph_name(self) -> str:
+        """Best-effort graph name for failure records and labels."""
+        name = getattr(self.graph, "name", None)
+        if name is None and self.handle is not None:
+            name = getattr(self.handle, "name", None)
+        return name or "?"
+
+    # -- pickling: a handle-bearing job ships its address, not its bytes --
+    def __getstate__(self) -> dict:
+        state = {
+            "graph": self.graph,
+            "method": self.method,
+            "options": self.options,
+            "handle": self.handle,
+        }
+        if self.handle is not None and getattr(self.handle, "kind", "heap") != "heap":
+            state["graph"] = None  # the worker attaches from the handle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
 
 @dataclass(frozen=True)

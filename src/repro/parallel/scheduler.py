@@ -182,16 +182,87 @@ def _run_one(ctx_map: dict, job: ColorJob, backend, backend_opts: dict,
 # Worker-process side of the process pool.
 # ---------------------------------------------------------------------------
 #: Per-worker-process state: the backend spec (from the initializer), the
-#: lazily built ExecutionContext, and unpickled graphs keyed by content
-#: digest so repeat jobs on one graph hit the context's upload cache.
+#: lazily built ExecutionContext, and two bounded graph caches keyed by
+#: content digest so repeat jobs on one graph hit the context's upload
+#: cache without retaining every graph the worker ever saw.
 _WORKER_STATE: dict = {}
+
+#: Cap on *pickled heap* graphs a worker retains across jobs.  These are
+#: full private copies of the topology, so the cap bounds worker RSS at
+#: ``cap × largest-graph`` instead of ``jobs × graph`` (the old dict grew
+#: forever).
+_HEAP_GRAPH_CACHE = 8
+
+#: Cap on *handle-attached* graphs (shm/mmap arenas).  Attached graphs
+#: bypass the heap cache entirely — their arrays are zero-copy views, so
+#: the entries cost only the arena mapping — but the cap still bounds
+#: open segment/file handles, and keeps object identity stable across
+#: jobs so the ExecutionContext upload cache keeps hitting.
+_ATTACHED_GRAPH_CACHE = 8
+
+
+class _GraphLRU:
+    """Tiny digest-keyed LRU; eviction drops the engine's cached buffers.
+
+    ``get_or_add`` returns the retained graph for ``key`` (refreshing
+    recency) or admits ``factory()``.  Evicted graphs are first evicted
+    from the shared ExecutionContext (``ctx.evict`` returns their device
+    buffers to the pool) and then simply dropped — for attached graphs
+    the arena mapping is released when the last view is collected.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        from collections import OrderedDict
+
+        self.capacity = max(1, int(capacity))
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+
+    def get_or_add(self, key: str, factory, ctx_map: dict):
+        graph = self._entries.get(key)
+        if graph is not None:
+            self._entries.move_to_end(key)
+            return graph
+        graph = factory()
+        self._entries[key] = graph
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            ctx = ctx_map.get("ctx")
+            if ctx is not None:
+                ctx.evict(evicted)
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def _worker_init(backend, backend_opts: dict) -> None:
     _WORKER_STATE.clear()
     _WORKER_STATE.update(
         backend=backend, backend_opts=dict(backend_opts or {}),
-        ctx_map={}, graphs={},
+        ctx_map={},
+        graphs=_GraphLRU(_HEAP_GRAPH_CACHE),
+        attached=_GraphLRU(_ATTACHED_GRAPH_CACHE),
+    )
+
+
+def _resolve_job_graph(job: ColorJob):
+    """The worker-side graph for ``job``: attach by handle, or retain.
+
+    Handle-bearing jobs arrive without topology (``graph=None``) and
+    attach zero-copy from the arena; heap jobs arrive with a pickled
+    private copy that the bounded LRU retains for digest-identical
+    repeats.  Either way the digest memo traveled with the job, so no
+    multi-gigabyte array is ever re-hashed here.
+    """
+    ctx_map = _WORKER_STATE["ctx_map"]
+    if job.graph is None:
+        if job.handle is None:
+            raise ValueError("job crossed the pool with neither graph nor handle")
+        return _WORKER_STATE["attached"].get_or_add(
+            job.handle.digest, job.handle.attach, ctx_map
+        )
+    return _WORKER_STATE["graphs"].get_or_add(
+        job.graph.content_digest(), lambda: job.graph, ctx_map
     )
 
 
@@ -224,7 +295,7 @@ def _worker_run(payload):
                     f"injected transient job error (job={index}, "
                     f"attempt={attempt})"
                 )
-        graph = _WORKER_STATE["graphs"].setdefault(job.graph.content_digest(), job.graph)
+        graph = _resolve_job_graph(job)
         canonical = ColorJob(graph, job.method, job.options)
         result, roots, rounds = _run_one(
             _WORKER_STATE["ctx_map"], canonical,
@@ -301,7 +372,7 @@ class SerialScheduler:
                 except Exception as exc:
                     if attempt > self.retries:
                         outcomes.append(JobFailure(
-                            index=i, graph=getattr(job.graph, "name", "?"),
+                            index=i, graph=job.graph_name(),
                             method=job.method, attempts=attempt,
                             error=repr(exc), traceback=traceback.format_exc(),
                         ))
@@ -464,7 +535,7 @@ class ProcessPoolScheduler:
                     if attempts[i] > self.retries:
                         err, tb = last_error[i]
                         outcomes[i] = JobFailure(
-                            index=i, graph=getattr(jobs[i].graph, "name", "?"),
+                            index=i, graph=jobs[i].graph_name(),
                             method=jobs[i].method, attempts=attempts[i],
                             error=err, traceback=tb,
                         )
@@ -510,7 +581,7 @@ def resolve_scheduler(spec=None, workers=None):
 # ---------------------------------------------------------------------------
 def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
              backend_opts=None, observe=None, cache=None, validate=True,
-             faults=None, health=None) -> list:
+             faults=None, health=None, store=None) -> list:
     """Run a normalized job list through cache + scheduler + observation.
 
     Returns one entry per job, in submission order: a
@@ -519,6 +590,16 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
     the coordinator and never reach a worker; worker subtraces merge into
     the batch tracer as ``worker`` spans; worker round records replay
     into the batch recorder.
+
+    ``store=`` selects the graph arena (see :mod:`repro.graph.store`):
+    with ``'shm'`` or ``'mmap'`` the coordinator publishes each unique
+    topology once and ships workers a :class:`~repro.graph.store
+    .GraphHandle` instead of a pickled graph, so workers attach
+    zero-copy.  ``None``/``'heap'`` keeps today's pickle path.  A store
+    the coordinator created for this batch is closed — its shm segments
+    unlinked — when the batch returns, even on error; pass a
+    :class:`~repro.graph.store.GraphStore` *instance* to manage the
+    lifetime yourself (e.g. keep arenas warm across batches).
 
     ``faults=`` / ``health=`` attach the robustness layer (see
     :mod:`repro.faults`).  When the health policy permits degradation,
@@ -535,6 +616,30 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
     robustness = resolve_robustness(faults, health)
     if robustness is not None and robustness.log.tracer is None:
         robustness.log.tracer = tracer
+
+    from ..graph.store import GraphStore, resolve_store
+
+    store_obj = resolve_store(store) if store is not None else None
+    # A store we built from a spec string is batch-scoped; an instance the
+    # caller passed is theirs to close.
+    own_store = store_obj is not None and not isinstance(store, GraphStore)
+    crossing_processes = getattr(sched, "name", None) == "process"
+    if store_obj is not None and store_obj.kind != "heap":
+        published = {}  # digest -> (placed graph, handle)
+        shipped = []
+        for job in jobs:
+            digest = job.graph.content_digest()
+            entry = published.get(digest)
+            if entry is None:
+                entry = published[digest] = store_obj.publish(job.graph)
+            placed, handle = entry
+            shipped.append(ColorJob(placed, job.method, job.options, handle=handle))
+        jobs = shipped
+    elif crossing_processes:
+        # Heap path: memoize each unique digest *before* the jobs pickle,
+        # so the memo travels and no worker re-hashes the arrays.
+        for job in jobs:
+            job.graph.content_digest()
 
     results: list = [None] * len(jobs)
     keys: list = [None] * len(jobs)
@@ -554,7 +659,7 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
             tracer.merge_subtrace(
                 roots, label=f"job-{index}:{jobs[index].label()}",
                 scheme=jobs[index].method,
-                graph=getattr(jobs[index].graph, "name", "?"),
+                graph=jobs[index].graph_name(),
             )
         if recorder is not None and rounds:
             recorder.rounds.extend(rounds)
@@ -570,61 +675,68 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
 
     # Ambient for the coordinator-side work too, so cache quarantines
     # found during the lookup scan land in the batch degradation log.
-    with _fault_runtime.activate(robustness):
-        to_run: list[int] = []
-        for i, job in enumerate(jobs):
-            if cache_obj is not None:
-                keys[i] = job_cache_key(
-                    job.graph, job.method, job.options, backend, backend_opts
-                )
-                hit = cache_obj.get(keys[i])
-                if tracer is not None:
-                    tracer.event(f"result-cache:{job.label()}", "cache",
-                                 hit=int(hit is not None), miss=int(hit is None))
-                if hit is not None:
-                    if observation.active:
-                        hit.extra.setdefault("observation", observation)
-                    results[i] = hit
-                    continue
-            to_run.append(i)
+    # The finally leg retires a batch-scoped store: shm segments unlink
+    # (crash-safe — the atexit sweep covers even a skipped finally), mmap
+    # temp containers delete.  Worker mappings don't pin the unlink.
+    try:
+        with _fault_runtime.activate(robustness):
+            to_run: list[int] = []
+            for i, job in enumerate(jobs):
+                if cache_obj is not None:
+                    keys[i] = job_cache_key(
+                        job.graph, job.method, job.options, backend, backend_opts
+                    )
+                    hit = cache_obj.get(keys[i])
+                    if tracer is not None:
+                        tracer.event(f"result-cache:{job.label()}", "cache",
+                                     hit=int(hit is not None), miss=int(hit is None))
+                    if hit is not None:
+                        if observation.active:
+                            hit.extra.setdefault("observation", observation)
+                        results[i] = hit
+                        continue
+                to_run.append(i)
 
-        if not to_run:
-            return results
-        execute_kwargs = dict(
-            backend=backend, backend_opts=backend_opts, validate=validate,
-            want_trace=tracer is not None, want_rounds=recorder is not None,
-        )
-        if robustness is not None:
-            execute_kwargs["robustness"] = robustness
-        outcomes = sched.execute([jobs[i] for i in to_run], **execute_kwargs)
-        for i, out in zip(to_run, outcomes):
-            _absorb(i, out)
-
-        # Degradation chain: exhausted-retry failures get one fault-free
-        # serial pass before a JobFailure becomes the final answer.
-        still_failed = [
-            i for i in to_run if isinstance(results[i], JobFailure)
-        ]
-        if (
-            still_failed
-            and robustness is not None
-            and robustness.policy.degrade
-            and getattr(sched, "name", None) != "serial"
-        ):
-            robustness.degrade(
-                "scheduler", getattr(sched, "name", "?"), "serial",
-                "retries-exhausted", f"jobs={still_failed}",
-            )
-            healer = Robustness(
-                injector=None, policy=robustness.policy, log=robustness.log
-            )
-            serial_out = SerialScheduler().execute(
-                [jobs[i] for i in still_failed],
+            if not to_run:
+                return results
+            execute_kwargs = dict(
                 backend=backend, backend_opts=backend_opts, validate=validate,
-                want_trace=tracer is not None,
-                want_rounds=recorder is not None,
-                robustness=healer,
+                want_trace=tracer is not None, want_rounds=recorder is not None,
             )
-            for i, out in zip(still_failed, serial_out):
+            if robustness is not None:
+                execute_kwargs["robustness"] = robustness
+            outcomes = sched.execute([jobs[i] for i in to_run], **execute_kwargs)
+            for i, out in zip(to_run, outcomes):
                 _absorb(i, out)
-    return results
+
+            # Degradation chain: exhausted-retry failures get one fault-free
+            # serial pass before a JobFailure becomes the final answer.
+            still_failed = [
+                i for i in to_run if isinstance(results[i], JobFailure)
+            ]
+            if (
+                still_failed
+                and robustness is not None
+                and robustness.policy.degrade
+                and getattr(sched, "name", None) != "serial"
+            ):
+                robustness.degrade(
+                    "scheduler", getattr(sched, "name", "?"), "serial",
+                    "retries-exhausted", f"jobs={still_failed}",
+                )
+                healer = Robustness(
+                    injector=None, policy=robustness.policy, log=robustness.log
+                )
+                serial_out = SerialScheduler().execute(
+                    [jobs[i] for i in still_failed],
+                    backend=backend, backend_opts=backend_opts, validate=validate,
+                    want_trace=tracer is not None,
+                    want_rounds=recorder is not None,
+                    robustness=healer,
+                )
+                for i, out in zip(still_failed, serial_out):
+                    _absorb(i, out)
+        return results
+    finally:
+        if own_store and store_obj is not None:
+            store_obj.close()

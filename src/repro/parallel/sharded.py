@@ -118,6 +118,9 @@ def color_sharded(
     max_resolution_rounds: int = 16,
     faults=None,
     health=None,
+    store=None,
+    stream: bool = False,
+    memory_budget_mb: float | None = None,
     **options,
 ) -> ColoringResult:
     """Color ``graph`` in ``num_shards`` independent pieces, then repair.
@@ -144,6 +147,21 @@ def color_sharded(
         full graph, not a sharded run) instead of raising; hitting the
         Jacobi round cap is likewise recorded as a ``sharded``
         degradation event.
+    store:
+        Graph arena for shipping shard subgraphs to workers (see
+        :mod:`repro.graph.store`): ``'shm'``/``'mmap'`` publish each
+        shard once and send workers zero-copy handles; default pickles.
+    stream / memory_budget_mb:
+        The bounded-memory path (see
+        :func:`~repro.parallel.streaming.color_streamed`): windows run
+        *sequentially* through one shared context instead of as
+        concurrent jobs, so peak RSS stays ``O(n + window)`` and graphs
+        bigger than RAM complete from an mmap-backed store.
+        ``stream=True`` cuts ``num_shards`` windows (colors are
+        byte-identical to the non-streamed sharded run on the same
+        ``num_shards``); ``memory_budget_mb`` sizes the window count
+        from the budget instead and implies streaming.  ``workers`` /
+        ``scheduler`` / ``store`` are ignored while streaming.
     **options:
         Scheme options, forwarded to every shard job.
 
@@ -160,6 +178,19 @@ def color_sharded(
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
+    if stream or memory_budget_mb is not None:
+        from .streaming import color_streamed
+
+        return color_streamed(
+            graph, method,
+            num_windows=None if memory_budget_mb is not None else num_shards,
+            memory_budget_mb=memory_budget_mb,
+            backend=backend, backend_opts=backend_opts,
+            observe=observe, validate=validate,
+            max_resolution_rounds=max_resolution_rounds,
+            faults=faults, health=health,
+            **options,
+        )
     observation = resolve_observe(observe)
     tracer = observation.tracer
     robustness = resolve_robustness(faults, health)
@@ -196,7 +227,7 @@ def color_sharded(
             jobs, workers=workers, scheduler=scheduler,
             backend=backend, backend_opts=backend_opts,
             observe=observation if observation.active else None,
-            validate=validate, faults=robustness,
+            validate=validate, faults=robustness, store=store,
         )
         failures = [o for o in outcomes if isinstance(o, JobFailure)]
         if failures:

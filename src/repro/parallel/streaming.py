@@ -1,0 +1,281 @@
+"""Out-of-core streaming: color graphs bigger than RAM, window by window.
+
+:func:`color_sharded` holds every shard's induced subgraph alive at once
+(they are one job list), so peak memory is ``O(m)`` no matter the shard
+count.  This module is the bounded-memory sibling: the vertex range is
+cut into contiguous **windows** (the same ``linspace`` bounds as
+:func:`~repro.graph.partition.block_partition`, so a ``num_windows=k``
+stream colors the exact vertex blocks a ``num_shards=k`` sharded run
+does), and each window's induced subgraph is materialized, colored
+through one shared :class:`~repro.engine.context.ExecutionContext`, and
+dropped before the next window is touched.  The backing graph is only
+ever *sliced* — pair it with an mmap-backed store
+(:class:`~repro.graph.store.MmapStore` /
+:func:`~repro.graph.io.stream.read_csr_bin`) and the full topology never
+enters private memory at all: peak RSS is ``O(n + window)``, which is
+what lets a 100M+ edge graph color on a small box.
+
+The repair phase is the same speculate-then-resolve shape as sharded
+coloring (paper Alg. 4), restated to never touch ``O(m)`` at once: each
+Jacobi round scans for conflicted edges window by window, marks the
+higher-id endpoint of every conflict, and recolors the marked vertices
+from a snapshot — byte-identical decisions to the sharded resolver,
+which scans the same edges in one array.  Validation is windowed too
+(``ColoringResult.validate`` would expand all edge endpoints on the
+heap), so the streaming path self-checks with bounded memory.
+
+Timing model: windows run **sequentially on one device** (that is the
+point — one box, bounded memory), so device/transfer times *sum* over
+windows, unlike the sharded makespan maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coloring.base import COLOR_DTYPE, ColoringResult
+from ..graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+from ..obs.observe import resolve_observe
+
+__all__ = ["plan_windows", "window_subgraph", "color_streamed"]
+
+#: Subgraph construction needs a few transient arrays per window (the
+#: slice, its mask, the compacted copy), so a memory budget maps to a
+#: window size of roughly ``budget / _WINDOW_OVERHEAD``.
+_WINDOW_OVERHEAD = 4
+
+
+def plan_windows(
+    graph,
+    *,
+    num_windows: int | None = None,
+    memory_budget_mb: float | None = None,
+) -> np.ndarray:
+    """Contiguous window bounds ``b`` with windows ``[b[i], b[i+1])``.
+
+    With ``num_windows``, bounds replicate
+    :func:`~repro.graph.partition.block_partition` exactly (streaming and
+    sharded runs over ``k`` pieces then color identical vertex blocks).
+    With ``memory_budget_mb``, the window count is chosen so one
+    window's working set — topology slice plus construction scratch —
+    fits the budget.  At least one of the two must be given; both raises.
+    """
+    n = graph.num_vertices
+    if (num_windows is None) == (memory_budget_mb is None):
+        raise ValueError("give exactly one of num_windows / memory_budget_mb")
+    if num_windows is None:
+        budget = float(memory_budget_mb) * (1 << 20)
+        if budget <= 0:
+            raise ValueError("memory_budget_mb must be positive")
+        window_bytes = max(1.0, budget / _WINDOW_OVERHEAD)
+        num_windows = max(1, int(np.ceil(graph.memory_bytes() / window_bytes)))
+    num_windows = max(1, min(int(num_windows), max(n, 1)))
+    return np.linspace(0, n, num_windows + 1).astype(np.int64)
+
+
+def window_subgraph(graph, lo: int, hi: int) -> CSRGraph:
+    """Induced subgraph on the contiguous vertex range ``[lo, hi)``.
+
+    Equivalent to ``graph.subgraph_mask`` on that block (for the
+    canonical row-sorted adjacency our builders produce) but computed
+    from one CSR slice: only ``O(window)`` bytes are ever materialized,
+    and the backing arrays are merely indexed — an mmap graph pages in
+    just this range.
+    """
+    R, C = graph.row_offsets, graph.col_indices
+    base = int(R[lo])
+    sub_R_raw = np.asarray(R[lo : hi + 1], dtype=np.int64) - base
+    window = np.asarray(C[base : int(R[hi])])
+    internal = (window >= lo) & (window < hi)
+    kept_prefix = np.zeros(window.size + 1, dtype=np.int64)
+    np.cumsum(internal, out=kept_prefix[1:])
+    sub_R = kept_prefix[sub_R_raw].astype(OFFSET_DTYPE)
+    sub_C = (window[internal] - lo).astype(VERTEX_DTYPE)
+    return CSRGraph.from_validated_arrays(
+        sub_R, sub_C, name=f"{graph.name}[{lo}:{hi}]"
+    )
+
+
+def _window_edges(graph, lo: int, hi: int):
+    """``(sources, targets)`` of the adjacency entries rowed in ``[lo, hi)``."""
+    R, C = graph.row_offsets, graph.col_indices
+    degrees = np.asarray(R[lo : hi + 1], dtype=np.int64)
+    degrees = degrees[1:] - degrees[:-1]
+    sources = np.repeat(np.arange(lo, hi, dtype=np.int64), degrees)
+    targets = np.asarray(C[int(R[lo]) : int(R[hi])], dtype=np.int64)
+    return sources, targets
+
+
+def _mark_conflict_losers(graph, colors, bounds, losers_mask) -> int:
+    """Flag the higher-id endpoint of every conflicted edge; count edges.
+
+    One window at a time — every (symmetric) edge is seen from both
+    endpoint rows, so scanning all windows covers the whole edge set
+    without ever expanding it at once.  Each *undirected* conflict is
+    counted twice, matching ``count_conflicts``'s directed convention.
+    """
+    conflicted_entries = 0
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        u, v = _window_edges(graph, int(lo), int(hi))
+        bad = colors[u] == colors[v]
+        if bad.any():
+            conflicted_entries += int(bad.sum())
+            losers_mask[np.maximum(u[bad], v[bad])] = True
+    return conflicted_entries
+
+
+def color_streamed(
+    graph,
+    method: str = "data-ldg",
+    *,
+    num_windows: int | None = None,
+    memory_budget_mb: float | None = None,
+    backend=None,
+    backend_opts=None,
+    observe=None,
+    validate: bool = True,
+    max_resolution_rounds: int = 16,
+    faults=None,
+    health=None,
+    **options,
+) -> ColoringResult:
+    """Color ``graph`` window by window with bounded peak memory.
+
+    Each contiguous window's induced subgraph is colored through one
+    shared context and evicted before the next is built; boundary
+    conflicts are repaired with the windowed Jacobi resolver (sequential
+    sweep after ``max_resolution_rounds``, same as sharded coloring).
+    ``validate=True`` runs the *windowed* conflict check — the standard
+    checker would materialize every edge endpoint on the heap.
+
+    Returns a checker-valid coloring whose ``shard_stats`` mirrors the
+    sharded layout with ``mode="stream"`` plus the peak window footprint.
+    """
+    from ..engine.context import ExecutionContext
+
+    bounds = plan_windows(
+        graph, num_windows=num_windows, memory_budget_mb=memory_budget_mb
+    )
+    observation = resolve_observe(observe)
+    tracer = observation.tracer
+    name = getattr(graph, "name", "?")
+    num_win = len(bounds) - 1
+
+    run_span = None
+    if tracer is not None:
+        run_span = tracer.begin(
+            f"streamed:{name}", "run",
+            scheme=f"streamed({method})", graph=name,
+            vertices=graph.num_vertices, edges=graph.num_edges,
+            windows=num_win,
+        )
+    try:
+        ctx = ExecutionContext(
+            backend=backend,
+            observe=observation if observation.active else None,
+            faults=faults, health=health,
+            **dict(backend_opts or {}),
+        )
+        colors = np.zeros(graph.num_vertices, dtype=COLOR_DTYPE)
+        window_rows = []
+        peak_window_bytes = 0
+        gpu_us = cpu_us = xfer_us = 0.0
+        launches = 0
+        max_iterations = 0
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            lo, hi = int(lo), int(hi)
+            if hi <= lo:
+                continue
+            sub = window_subgraph(graph, lo, hi)
+            peak_window_bytes = max(peak_window_bytes, sub.memory_bytes())
+            res = ctx.run(sub, method, validate=False, **options)
+            colors[lo:hi] = res.colors
+            gpu_us += res.gpu_time_us
+            cpu_us += res.cpu_time_us
+            xfer_us += res.transfer_time_us
+            launches += res.num_kernel_launches
+            max_iterations = max(max_iterations, res.iterations)
+            window_rows.append({
+                "window": [lo, hi],
+                "vertices": sub.num_vertices,
+                "edges": sub.num_edges,
+                "num_colors": res.num_colors,
+                "iterations": res.iterations,
+                "total_time_us": res.total_time_us,
+            })
+            ctx.evict(sub)  # the window's device buffers return to the pool
+            del sub
+
+        # -- boundary repair: windowed Jacobi, then a sequential sweep --
+        from .sharded import _mex
+
+        rounds = 0
+        recolored = 0
+        fallback = False
+        losers_mask = np.zeros(graph.num_vertices, dtype=bool)
+        while True:
+            losers_mask[:] = False
+            conflicted = _mark_conflict_losers(graph, colors, bounds, losers_mask)
+            if not conflicted:
+                break
+            losers = np.nonzero(losers_mask)[0]
+            if rounds >= max_resolution_rounds:
+                fallback = True
+                for w in losers:
+                    colors[w] = _mex(colors[graph.neighbors(w)])
+                recolored += int(losers.size)
+                break
+            snapshot = colors.copy()
+            for w in losers:
+                colors[w] = _mex(snapshot[graph.neighbors(w)])
+            recolored += int(losers.size)
+            rounds += 1
+
+        if validate:
+            losers_mask[:] = False
+            remaining = _mark_conflict_losers(graph, colors, bounds, losers_mask)
+            if remaining:
+                raise AssertionError(
+                    f"streamed coloring left {remaining} conflicted edges"
+                )
+            if graph.num_vertices and int(colors.min()) < 1:
+                raise AssertionError("streamed coloring left uncolored vertices")
+        if tracer is not None:
+            tracer.event(
+                "boundary-resolution", "resolve",
+                rounds=rounds, recolored=recolored, fallback=int(fallback),
+            )
+
+        result = ColoringResult(
+            colors=colors,
+            scheme=f"streamed({method})x{num_win}",
+            iterations=max_iterations + rounds,
+            gpu_time_us=gpu_us,
+            cpu_time_us=cpu_us,
+            transfer_time_us=xfer_us,
+            num_kernel_launches=launches,
+        )
+        result.extra["shard_stats"] = {
+            "num_shards": num_win,
+            "method": method,
+            "mode": "stream",
+            "shards": window_rows,
+            "resolution_rounds": rounds,
+            "recolored": recolored,
+            "fallback": fallback,
+            "peak_window_bytes": peak_window_bytes,
+        }
+        if observation.active:
+            result.extra.setdefault("observation", observation)
+        if run_span is not None:
+            tracer.end(
+                run_span,
+                colors=result.num_colors,
+                iterations=result.iterations,
+                resolution_rounds=rounds,
+            )
+            run_span = None
+        return result
+    finally:
+        if run_span is not None and tracer is not None:
+            tracer.end(run_span)

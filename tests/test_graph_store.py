@@ -1,0 +1,226 @@
+"""Graph storage arenas: placement, handles, attach, lifecycle.
+
+The contract under test (see ``src/repro/graph/store.py``): a stored
+graph is byte-identical to its source no matter the arena, handles are
+small and picklable, and closing a store releases every arena it created
+(no leaked ``/dev/shm`` segments, no leaked temp directories).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.store import (
+    SHM_PREFIX,
+    GraphHandle,
+    HeapStore,
+    MmapStore,
+    SharedMemoryStore,
+    attach,
+    resolve_store,
+)
+from repro.parallel.jobs import ColorJob
+
+
+@pytest.fixture
+def sample():
+    return erdos_renyi(150, 6.0, seed=11, name="store-sample")
+
+
+def _shm_entries():
+    import os
+
+    try:
+        return {e for e in os.listdir("/dev/shm") if e.startswith(SHM_PREFIX)}
+    except FileNotFoundError:  # non-Linux: nothing to leak-check
+        return set()
+
+
+def _assert_same_topology(a, b):
+    assert np.array_equal(a.row_offsets, b.row_offsets)
+    assert np.array_equal(a.col_indices, b.col_indices)
+    assert a.row_offsets.dtype == b.row_offsets.dtype
+    assert a.col_indices.dtype == b.col_indices.dtype
+
+
+# ----------------------------------------------------------------- arenas
+@pytest.mark.parametrize("kind", ["heap", "shm", "mmap"])
+def test_publish_attach_roundtrip(sample, kind):
+    with resolve_store(kind) as store:
+        placed, handle = store.publish(sample)
+        _assert_same_topology(placed, sample)
+        assert placed.content_digest() == sample.content_digest()
+
+        attached = handle.attach()
+        _assert_same_topology(attached, sample)
+        # The digest memo travels: attaching never re-hashes.
+        assert attached._content_digest == sample.content_digest()
+        assert handle.kind == kind
+        assert handle.num_vertices == sample.num_vertices
+        assert handle.num_edges == sample.num_edges
+
+
+@pytest.mark.parametrize("kind", ["shm", "mmap"])
+def test_placed_graph_views_arena_not_copy(sample, kind):
+    with resolve_store(kind) as store:
+        placed = store.place(sample)
+        assert not placed.row_offsets.flags.owndata
+        assert placed.row_offsets is not sample.row_offsets
+        # Arena-backed graphs are still frozen CSRGraphs.
+        assert isinstance(placed, CSRGraph)
+        with pytest.raises(ValueError):
+            placed.col_indices[0] = 99
+
+
+@pytest.mark.parametrize("kind", ["shm", "mmap"])
+def test_place_deduplicates_by_digest(sample, kind):
+    clone = from_edges(
+        *sample.edge_endpoints(), num_vertices=sample.num_vertices,
+        name="same-topology-different-object",
+    )
+    assert clone.content_digest() == sample.content_digest()
+    with resolve_store(kind) as store:
+        first = store.place(sample)
+        second = store.place(clone)
+        assert second is first
+        assert store.placements == 1
+        assert store.reuses == 1
+        assert store.stats()["graphs"] == 1
+
+
+@pytest.mark.parametrize("kind", ["shm", "mmap"])
+def test_handles_are_small_and_picklable(sample, kind):
+    with resolve_store(kind) as store:
+        _, handle = store.publish(sample)
+        blob = pickle.dumps(handle)
+        # The whole point: a handle ships in bytes, not O(graph).
+        assert len(blob) < 1024
+        back = pickle.loads(blob)
+        assert back == handle
+        _assert_same_topology(back.attach(), sample)
+        assert handle.nbytes() == sample.memory_bytes()
+
+
+def test_heap_handle_embeds_graph(sample):
+    store = HeapStore()
+    placed, handle = store.publish(sample)
+    assert placed is sample
+    assert handle.graph is sample
+    assert attach(handle) is sample
+    store.close()
+
+
+@pytest.mark.parametrize("kind", ["shm", "mmap"])
+def test_empty_graph_roundtrip(kind):
+    empty = from_edges(
+        np.empty(0, np.int64), np.empty(0, np.int64), num_vertices=5,
+        name="empty",
+    )
+    with resolve_store(kind) as store:
+        _, handle = store.publish(empty)
+        attached = handle.attach()
+        assert attached.num_vertices == 5
+        assert attached.num_edges == 0
+        assert attached.content_digest() == empty.content_digest()
+
+
+# -------------------------------------------------------------- lifecycle
+def test_shm_store_unlinks_segments_on_close(sample):
+    before = _shm_entries()
+    store = SharedMemoryStore()
+    placed, handle = store.publish(sample)
+    assert _shm_entries() - before, "publish should create a reproshm_ segment"
+    store.close()
+    assert _shm_entries() == before, "close() must unlink every segment"
+    # Idempotent.
+    store.close()
+    with pytest.raises(RuntimeError):
+        store.place(erdos_renyi(10, 2.0, seed=1))
+
+
+def test_mmap_store_removes_owned_directory(sample):
+    store = MmapStore()
+    directory = store.directory
+    _, handle = store.publish(sample)
+    assert directory.exists()
+    store.close()
+    assert not directory.exists()
+
+
+def test_mmap_store_keeps_caller_directory(sample, tmp_path):
+    store = MmapStore(directory=tmp_path)
+    _, handle = store.publish(sample)
+    container = tmp_path / f"{sample.content_digest()[:24]}.csrbin"
+    assert container.exists()
+    store.close()
+    assert container.exists(), "caller-provided directories are theirs"
+
+    # A second store on the same directory trusts the existing container.
+    with MmapStore(directory=tmp_path) as again:
+        placed = again.place(sample)
+        _assert_same_topology(placed, sample)
+
+
+def test_store_context_manager_closes(sample):
+    before = _shm_entries()
+    with SharedMemoryStore() as store:
+        store.publish(sample)
+        assert _shm_entries() - before
+    assert _shm_entries() == before
+
+
+def test_handle_requires_placement(sample):
+    with SharedMemoryStore() as store:
+        with pytest.raises(KeyError):
+            store.handle(sample)
+
+
+# ------------------------------------------------------------- resolution
+def test_resolve_store_spellings(tmp_path):
+    assert isinstance(resolve_store(None), HeapStore)
+    assert isinstance(resolve_store("heap"), HeapStore)
+    with resolve_store("shm") as s:
+        assert isinstance(s, SharedMemoryStore)
+    with resolve_store("mmap") as m:
+        assert isinstance(m, MmapStore)
+    with resolve_store(f"mmap:{tmp_path}") as md:
+        assert md.directory == tmp_path
+    inst = HeapStore()
+    assert resolve_store(inst) is inst
+    with pytest.raises(ValueError):
+        resolve_store("ramdisk")
+    with pytest.raises(TypeError):
+        resolve_store(42)
+
+
+def test_attach_rejects_bad_handles(sample):
+    with pytest.raises(ValueError):
+        attach(GraphHandle(
+            kind="tape", name="x", digest="d", num_vertices=1, num_edges=0,
+        ))
+    with pytest.raises(ValueError):
+        attach(GraphHandle(
+            kind="heap", name="x", digest="d", num_vertices=1, num_edges=0,
+        ))
+
+
+# ------------------------------------------------------- job integration
+def test_color_job_pickling_drops_graph_for_arena_handles(sample):
+    with SharedMemoryStore() as store:
+        placed, handle = store.publish(sample)
+        job = ColorJob(placed, "data-ldg", {}, handle=handle)
+        blob = pickle.dumps(job)
+        assert len(blob) < 2048, "arena-backed jobs must not pickle topology"
+        back = pickle.loads(blob)
+        assert back.graph is None
+        assert back.handle == handle
+        assert back.graph_name() == sample.name
+
+        heap_job = ColorJob(sample, "data-ldg", {})
+        heap_back = pickle.loads(pickle.dumps(heap_job))
+        assert heap_back.graph is not None
+        _assert_same_topology(heap_back.graph, sample)

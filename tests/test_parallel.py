@@ -257,3 +257,86 @@ def test_workers_with_named_backend():
     serial = color_graph(g, "data-ldg", backend="cpusim")
     [parallel] = color_many([g], "data-ldg", backend="cpusim", workers=2)
     assert np.array_equal(serial.colors, parallel.colors)
+
+
+# ------------------------------------------------------------ graph stores
+def _shm_entries():
+    from repro.graph.store import SHM_PREFIX
+
+    try:
+        return {e for e in os.listdir("/dev/shm") if e.startswith(SHM_PREFIX)}
+    except FileNotFoundError:
+        return set()
+
+
+@pytest.mark.parametrize("store", ["shm", "mmap"])
+def test_workers_with_store_match_golden_suite(store):
+    """Arena-backed workers reproduce every golden cell, and leak nothing."""
+    before = _shm_entries()
+    cases, jobs = _golden_jobs()
+    results = color_many(jobs, workers=2, store=store)
+    for case, result in zip(cases, results):
+        assert result, f"{case} failed: {result}"
+        digest = hashlib.sha256(result.colors.tobytes()).hexdigest()[:16]
+        assert (digest, result.iterations, result.num_colors) == GOLDEN[case], case
+    assert _shm_entries() == before, "run_jobs leaked shared-memory segments"
+
+
+def test_store_with_serial_scheduler():
+    g = _graph("rmat-er")
+    serial = color_many([g, g], "data-ldg")
+    arena = color_many([g, g], "data-ldg", scheduler="serial", store="shm")
+    for a, b in zip(serial, arena):
+        assert np.array_equal(a.colors, b.colors)
+        assert a.iterations == b.iterations
+
+
+def test_store_instance_deduplicates_across_jobs():
+    from repro.graph.store import SharedMemoryStore
+
+    g = _graph("rmat-er")
+    with SharedMemoryStore() as store:
+        results = color_many(
+            [(g, "data-ldg"), (g, "topo-ldg"), (g, "csrcolor")],
+            workers=2, store=store,
+        )
+        assert all(results)
+        # Three jobs, one unique topology: one segment, not three.
+        assert store.placements == 1
+        assert store.stats()["graphs"] == 1
+
+
+def test_worker_graph_lru_bounds_retention():
+    from repro.parallel.scheduler import _GraphLRU
+
+    evicted = []
+
+    class _Ctx:
+        def evict(self, graph):
+            evicted.append(graph)
+
+    lru = _GraphLRU(2)
+    ctx_map = {"ctx": _Ctx()}
+    a, b, c = object(), object(), object()
+    assert lru.get_or_add("a", lambda: a, ctx_map) is a
+    assert lru.get_or_add("b", lambda: b, ctx_map) is b
+    # Refresh "a" so "b" is now the LRU entry.
+    assert lru.get_or_add("a", lambda: object(), ctx_map) is a
+    assert lru.get_or_add("c", lambda: c, ctx_map) is c
+    assert evicted == [b], "LRU must evict the least-recent graph via ctx"
+    assert len(lru) == 2
+
+
+def test_store_cache_keying_is_arena_invariant(tmp_path):
+    """ResultCache hits across stores: the digest hashes bytes, not pages."""
+    from repro.parallel import ResultCache
+
+    g = _graph("rmat-er")
+    cache = ResultCache(directory=tmp_path / "cache")
+    first = color_many([g], "data-ldg", cache=cache, store="shm", workers=2)
+    second = color_many([g], "data-ldg", cache=cache, store="mmap")
+    third = color_many([g], "data-ldg", cache=cache)
+    assert np.array_equal(first[0].colors, second[0].colors)
+    assert np.array_equal(first[0].colors, third[0].colors)
+    stats = cache.stats()
+    assert stats["hits"] >= 2, f"arena change must not miss the cache: {stats}"
