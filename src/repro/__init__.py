@@ -20,7 +20,7 @@ from .coloring import (
     color_graph,
     scheme_options,
 )
-from .engine import ExecutionContext, color_many
+from .engine import ExecutionContext, RunConfig, color_many
 from .graph import CSRGraph, from_edges
 from .graph.generators import load_graph, load_suite, rmat_er, rmat_g, rmat_graph
 from .obs import Observation, Tracer
@@ -37,6 +37,7 @@ __all__ = [
     "JobFailure",
     "Observation",
     "ResultCache",
+    "RunConfig",
     "SCHEMES",
     "Tracer",
     "__version__",

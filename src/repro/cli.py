@@ -455,6 +455,30 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _method_arg(value: str) -> str:
+    """Canonicalize a --method argument through the registry aliases.
+
+    The same resolver backs color_graph/color_sharded, so the CLI accepts
+    and rejects exactly the spellings the API does, with the same
+    did-you-mean message.
+    """
+    from .coloring.registry import resolve_method
+
+    try:
+        return resolve_method(value, METHODS, entry_point="repro-color")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _engine_method_arg(value: str) -> str:
+    from .coloring.registry import resolve_method
+
+    try:
+        return resolve_method(value, ENGINE_RECIPES, entry_point="repro-color")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-color",
@@ -471,10 +495,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("color", parents=[common], help="color one graph with one scheme")
     p.add_argument("--graph", required=True)
-    p.add_argument("--method", default="data-ldg", choices=sorted(METHODS))
+    p.add_argument("--method", default="data-ldg", type=_method_arg, metavar="METHOD")
     p.add_argument("--block-size", type=int, default=128)
     p.add_argument(
-        "--backend", default="gpusim", choices=("gpusim", "cpusim"),
+        "--backend", default="gpusim", choices=("gpusim", "cpusim", "compiled"),
         help="execution substrate for device schemes (default: gpusim)",
     )
     p.add_argument(
@@ -536,12 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="span-trace one run and export a Chrome trace (chrome://tracing)",
     )
     p.add_argument("graph", help="suite name or graph file")
-    p.add_argument("method", nargs="?", default="data-ldg", choices=sorted(METHODS))
+    p.add_argument("method", nargs="?", default="data-ldg", type=_method_arg, metavar="METHOD")
     p.add_argument("--out", default=None, help="Chrome trace path "
                    "(default: <graph>-<method>-trace.json)")
     p.add_argument("--jsonl", default=None, help="also write a flat JSONL event log")
     p.add_argument("--block-size", type=int, default=128)
-    p.add_argument("--backend", default="gpusim", choices=("gpusim", "cpusim"))
+    p.add_argument("--backend", default="gpusim", choices=("gpusim", "cpusim", "compiled"))
     p.add_argument("--top", type=int, default=None,
                    help="show only the N hottest rows in the flame summary")
     p.set_defaults(fn=_cmd_trace)
@@ -552,9 +576,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(uploads cached, buffers pooled)",
     )
     p.add_argument("--graphs", required=True, nargs="+")
-    p.add_argument("--method", default="data-ldg", choices=sorted(ENGINE_RECIPES))
+    p.add_argument("--method", default="data-ldg", type=_engine_method_arg, metavar="METHOD")
     p.add_argument("--block-size", type=int, default=128)
-    p.add_argument("--backend", default="gpusim", choices=("gpusim", "cpusim"))
+    p.add_argument("--backend", default="gpusim", choices=("gpusim", "cpusim", "compiled"))
     p.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="shard the batch across N worker processes "
@@ -609,7 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", parents=[common], help="block-size sweep (Fig. 8)")
     p.add_argument("--graph", required=True)
-    p.add_argument("--method", default="data-base", choices=sorted(METHODS))
+    p.add_argument("--method", default="data-base", type=_method_arg, metavar="METHOD")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
@@ -625,7 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="nvprof-style per-kernel profile of one scheme (Fig. 3 data)",
     )
     p.add_argument("--graph", required=True)
-    p.add_argument("--method", default="data-ldg", choices=sorted(METHODS))
+    p.add_argument("--method", default="data-ldg", type=_method_arg, metavar="METHOD")
     p.add_argument("--top", type=int, default=None, help="show only the N slowest kernels")
     p.set_defaults(fn=_cmd_profile)
 

@@ -25,7 +25,13 @@ from typing import Callable
 from ..engine.runner import SchemeRecipe
 from ..graph.csr import CSRGraph
 from ..obs.observe import resolve_observe, warn_recorder_deprecated
-from .registry import SCHEMES, unknown_method_error, validate_options
+from .registry import (
+    METHOD_ALIASES,
+    SCHEMES,
+    resolve_method,
+    unknown_method_error,
+    validate_options,
+)
 from .balance import balanced_greedy
 from .base import ColoringResult
 from .csrcolor import CsrColorRecipe, color_csrcolor
@@ -97,14 +103,22 @@ ENGINE_RECIPES: dict[str, Callable[..., SchemeRecipe]] = {
 }
 
 
-def make_recipe(method: str, **kwargs) -> SchemeRecipe:
-    """Build the engine recipe for a device-backed method name."""
+def make_recipe(
+    method: str, *, entry_point: str | None = None, **kwargs
+) -> SchemeRecipe:
+    """Build the engine recipe for a device-backed method name.
+
+    ``entry_point`` names the calling surface in validation errors
+    (``"color_graph"``, ``"ExecutionContext.run"``, the CLI, ...).
+    """
+    method = METHOD_ALIASES.get(method, method)
     if method not in ENGINE_RECIPES:
+        where = f"{entry_point}(): " if entry_point else ""
         raise ValueError(
-            f"method {method!r} is not a device scheme recipe; "
+            f"{where}method {method!r} is not a device scheme recipe; "
             f"choose from {sorted(ENGINE_RECIPES)}"
         )
-    validate_options(method, kwargs)
+    validate_options(method, kwargs, entry_point=entry_point)
     return ENGINE_RECIPES[method](**kwargs)
 
 
@@ -114,7 +128,9 @@ def color_graph(
     *,
     validate: bool = True,
     backend=None,
+    backend_opts=None,
     context=None,
+    config=None,
     observe=None,
     recorder=None,
     cache=None,
@@ -138,11 +154,21 @@ def color_graph(
         only in tight benchmark loops that verify separately).
     backend:
         Execution substrate for device schemes: ``"gpusim"`` (default),
-        ``"cpusim"``, or a backend/device instance.  Host-side methods
-        (``sequential``, ``jp``, ...) reject it.
+        ``"cpusim"``, ``"compiled"`` (gpusim with JIT-compiled host
+        kernels — byte-identical results, faster wall-clock), or a
+        backend/device instance.  Host-side methods (``sequential``,
+        ``jp``, ...) reject it.
+    backend_opts:
+        Constructor keywords for a string ``backend=`` spec, e.g.
+        ``{"jit": "cc"}`` or ``{"cache_model": "hit_rate"}``.
     context:
         A shared :class:`~repro.engine.context.ExecutionContext` — reuses
         cached graph uploads and pooled buffers across calls.
+    config:
+        A :class:`~repro.engine.config.RunConfig` (or mapping of its
+        fields) bundling the execution options; fields this entry point
+        supports merge with the explicit keywords (setting one both ways
+        is an error).
     observe:
         The unified observation surface (:mod:`repro.obs`): ``None``
         (default, zero overhead), ``"trace"`` / ``"profile"`` /
@@ -192,13 +218,33 @@ def color_graph(
     ColoringResult
         Colors, color count, iteration count and simulated timing.
     """
-    if method not in METHODS:
-        raise unknown_method_error(method, METHODS)
+    method = resolve_method(method, METHODS, entry_point="color_graph")
     if recorder is not None:
         warn_recorder_deprecated("color_graph")
         if observe is None:
             observe = recorder
-    validate_options(method, kwargs)
+    if config is not None:
+        from ..engine.config import normalize_config
+
+        merged = normalize_config(
+            "color_graph",
+            config,
+            {
+                "backend": backend, "backend_opts": backend_opts,
+                "cache": cache, "mex": mex, "faults": faults,
+                "health": health, "observe": observe,
+            },
+        )
+        backend, backend_opts = merged["backend"], merged["backend_opts"]
+        cache, mex = merged["cache"], merged["mex"]
+        faults, health = merged["faults"], merged["health"]
+        observe = merged["observe"]
+    if backend_opts and not isinstance(backend, (str, type(None))):
+        raise TypeError(
+            "backend_opts= configures a string backend= spec; pass a "
+            "ready-constructed instance without opts instead"
+        )
+    validate_options(method, kwargs, entry_point="color_graph")
     if context is not None and observe is not None:
         raise ValueError(
             "pass observe= to the ExecutionContext, not alongside context="
@@ -206,6 +252,11 @@ def color_graph(
     if context is not None and (faults is not None or health is not None):
         raise ValueError(
             "pass faults=/health= to the ExecutionContext, not alongside "
+            "context="
+        )
+    if context is not None and backend_opts:
+        raise ValueError(
+            "pass backend_opts= to the ExecutionContext, not alongside "
             "context="
         )
     from ..faults import resolve_robustness
@@ -224,7 +275,7 @@ def color_graph(
 
         cache_obj = resolve_cache(cache)
         spec = backend if backend is not None else kwargs.get("device")
-        cache_key = job_cache_key(graph, method, kwargs, spec)
+        cache_key = job_cache_key(graph, method, kwargs, spec, backend_opts)
         hit = cache_obj.get(cache_key)
         # (`or` would drop an empty tracer: Tracer defines __len__.)
         tracer = observation.tracer
@@ -260,11 +311,18 @@ def color_graph(
 
             spec = backend if backend is not None else kwargs.pop("device", None)
             ctx = ExecutionContext(
-                backend=spec, observe=observation, faults=robustness
+                backend=spec, observe=observation, faults=robustness,
+                **dict(backend_opts or {}),
             )
             result = ctx.run(graph, method, validate=validate, **kwargs)
         else:
-            if backend is not None:
+            if backend_opts:
+                from ..engine.backend import resolve_backend
+
+                kwargs["backend"] = resolve_backend(
+                    backend, **dict(backend_opts)
+                )
+            elif backend is not None:
                 kwargs["backend"] = backend
             if robustness is not None:
                 # Host schemes have no round loop to guard, but the

@@ -8,7 +8,6 @@ algorithms are exactly the kind that can silently leave conflicts behind.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,28 +34,25 @@ class ColoringError(RuntimeError):
     """Raised when a produced coloring fails verification."""
 
 
-_extra_read_warned = False
-
-
 def _warn_extra_read() -> None:
-    global _extra_read_warned
-    if _extra_read_warned:
-        return
-    _extra_read_warned = True
-    warnings.warn(
-        "reading ColoringResult.extra[...] is deprecated; use the typed "
-        "surface instead — result.observation / result.cache_hit / "
-        "result.shard_stats, or result.to_dict(schema_version=1) for the "
-        "full documented mapping",
-        DeprecationWarning,
-        stacklevel=3,
+    from ..deprecation import warn_once
+
+    warn_once(
+        "result-extra-read",
+        "reading ColoringResult.extra[...] is deprecated and will be "
+        "removed in the release after next; use the typed surface instead "
+        "— result.observation / result.cache_hit / result.shard_stats, or "
+        "result.to_dict(schema_version=1) for the full documented mapping",
+        stage="pending-removal",
+        stacklevel=4,
     )
 
 
 def _reset_extra_deprecation() -> None:
     """Test hook: re-arm the once-per-process ``extra`` read warning."""
-    global _extra_read_warned
-    _extra_read_warned = False
+    from ..deprecation import _reset_for_tests
+
+    _reset_for_tests("result-extra-read")
 
 
 class _ExtraBag(dict):

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compiledsim import dispatch as _compiled
 from ..faults.runtime import note_degradation
 from ..gpusim.device import DeviceArray
 from ..gpusim.trace import TraceBuilder
@@ -443,6 +444,13 @@ def min_excluded_colors(
     """
     if num_segments == 0:
         return np.zeros(0, dtype=COLOR_DTYPE)
+    if assume_sorted:
+        # Compiled engine active: one stamp-array pass, exact for any
+        # color range (no word-budget overflow, hence no mex degradation
+        # chain). Declines (None) on dtype mismatch or inactive scope.
+        compiled = _compiled.mex_sorted(seg_ids, nbr_colors, num_segments)
+        if compiled is not None:
+            return compiled
     mode, words = _MEX_STRATEGY
     if mode == "bitmask":
         return _mex_bitmask(
@@ -531,6 +539,14 @@ def speculative_color_waved(
     seg = expansion.seg
     nbr = expansion.nbr32(graph)
     epos = np.searchsorted(seg, bounds)
+    if _compiled.active():
+        # Fused wave loop: same two-phase (snapshot reads, then commit)
+        # visibility per wave, one compiled pass for the whole round.
+        fused = _compiled.waved_color(
+            active_ids, seg, nbr, colors, bounds, epos
+        )
+        if fused is not None:
+            return fused
     out = np.empty(active_ids.size, dtype=COLOR_DTYPE)
     for i in range(bounds.size - 1):
         lo = int(bounds[i])
@@ -572,6 +588,13 @@ def detect_conflicts(
     seg = expansion.seg
     if expansion.edge_idx.size == 0:
         return np.empty(0, dtype=np.int64)
+    if _compiled.active():
+        loser8 = _compiled.detect_conflicts(
+            seg, expansion.nbr32(graph), colors,
+            None if expansion._full else scope_ids, scope_ids.size,
+        )
+        if loser8 is not None:
+            return scope_ids[loser8.view(bool)]
     v = seg if expansion._full else scope_ids[seg]
     w = expansion.nbr64(graph)
     clash = (colors[v] == colors[w]) & (colors[v] > 0) & (v < w)

@@ -24,7 +24,9 @@ __all__ = [
     "SCHEMES",
     "ExecutionOptions",
     "ENGINE_KEYWORDS",
+    "METHOD_ALIASES",
     "scheme_options",
+    "resolve_method",
     "validate_options",
     "unknown_method_error",
     "scheme_table_markdown",
@@ -51,7 +53,16 @@ class ExecutionOptions:
     """
 
     backend: Any = _opt(None, "execution substrate for device schemes: "
-                              "'gpusim' (default), 'cpusim', or an instance")
+                              "'gpusim' (default), 'cpusim', 'compiled' "
+                              "(JIT-accelerated gpusim, identical results), "
+                              "or an instance")
+    backend_opts: Any = _opt(None, "constructor kwargs for a string "
+                                   "backend= spec (e.g. jit=, seed=, "
+                                   "cache_model=); rejected alongside a "
+                                   "backend *instance*")
+    config: Any = _opt(None, "a RunConfig bundling the options on this "
+                             "table; merged with explicit keywords, "
+                             "setting one both ways is an error")
     device: Any = _opt(None, "legacy spelling: a Device wrapped in a GpuSimBackend")
     context: Any = _opt(None, "shared ExecutionContext (cached uploads, pooled buffers)")
     observe: Any = _opt(None, "observation surface: 'trace'/'profile'/'rounds', "
@@ -241,22 +252,69 @@ def scheme_options(method: str):
     return SCHEMES[method].options
 
 
-def unknown_method_error(method: str, known) -> ValueError:
+#: Accepted spellings for method keys beyond the canonical hyphenated
+#: names: underscore twins (shell-completion and keyword-argument
+#: friendly) plus historic names.  Every entry point resolves through
+#: :func:`resolve_method`, so ``color_graph``, ``color_sharded`` and the
+#: CLI accept (and reject) identical spellings with identical errors.
+METHOD_ALIASES: dict[str, str] = {
+    "data_base": "data-base",
+    "data_lb": "data-lb",
+    "data_ldg": "data-ldg",
+    "data_ldg_lb": "data-ldg-lb",
+    "topo_base": "topo-base",
+    "topo_ldg": "topo-ldg",
+    "jp_gpu": "jp-gpu",
+    "jp_lf": "jp-lf",
+    "3step_gm": "3step-gm",
+    "balanced_greedy": "balanced-greedy",
+    "iterated_greedy": "iterated-greedy",
+    "csr-color": "csrcolor",
+}
+
+
+def resolve_method(method: str, known, *, entry_point: str | None = None) -> str:
+    """Canonicalize ``method`` through :data:`METHOD_ALIASES`.
+
+    Returns the canonical key; raises :func:`unknown_method_error` (with
+    ``entry_point`` named) when neither the spelling nor its alias is in
+    ``known``.
+    """
+    candidate = METHOD_ALIASES.get(method, method)
+    if candidate in known:
+        return candidate
+    raise unknown_method_error(method, known, entry_point=entry_point)
+
+
+def unknown_method_error(
+    method: str, known, *, entry_point: str | None = None
+) -> ValueError:
     """Build the unknown-method error, with a did-you-mean when close."""
-    msg = f"unknown method {method!r}; choose from {sorted(known)}"
-    close = difflib.get_close_matches(method, list(known), n=2)
+    where = f"{entry_point}(): " if entry_point else ""
+    msg = f"{where}unknown method {method!r}; choose from {sorted(known)}"
+    close = difflib.get_close_matches(
+        method, list(known) + sorted(METHOD_ALIASES), n=2
+    )
     if close:
-        msg += f" (did you mean {' or '.join(repr(c) for c in close)}?)"
+        canon = []
+        for c in close:
+            c = METHOD_ALIASES.get(c, c)
+            if c not in canon:
+                canon.append(c)
+        msg += f" (did you mean {' or '.join(repr(c) for c in canon)}?)"
     return ValueError(msg)
 
 
-def validate_options(method: str, kwargs: dict) -> None:
+def validate_options(
+    method: str, kwargs: dict, *, entry_point: str | None = None
+) -> None:
     """Reject unknown/misspelled scheme keywords for ``method``.
 
     Engine-level keywords (``device``/``backend``/``context``/...) are the
     execution layer's business and are ignored here.  Raises
     :class:`TypeError` listing the offending keys, close matches, and the
-    scheme's valid options with defaults.
+    scheme's valid options with defaults — prefixed with the originating
+    ``entry_point`` when given.
     """
     info = SCHEMES.get(method)
     if info is None:  # non-registry method key: nothing to validate against
@@ -276,8 +334,9 @@ def validate_options(method: str, kwargs: dict) -> None:
         f"{name}={default!r}" for name, default, _ in info.option_rows()
     ) or "(none)"
     hint = (" " + " ".join(suggestions)) if suggestions else ""
+    where = f"{entry_point}(): " if entry_point else ""
     raise TypeError(
-        f"{method!r} got unknown option(s) {sorted(unknown)}.{hint} "
+        f"{where}{method!r} got unknown option(s) {sorted(unknown)}.{hint} "
         f"Valid options for {method!r}: {option_list}"
     )
 

@@ -1,0 +1,556 @@
+"""numba tier: ``@njit(cache=True)`` mirrors of the C kernels.
+
+Importing this module raises ``ImportError`` when numba is absent; the
+tier probe in :mod:`repro.compiledsim.runtime` catches that and falls
+through to the C tier (then pure NumPy).  Every function here is the
+same integer algorithm as its C twin in :mod:`repro.compiledsim.csrc`
+— exclusively int comparisons, adds and shifts — so the two compiled
+tiers and the NumPy reference are bit-exact interchangeable.
+
+The array-level calling convention matches what
+:func:`repro.compiledsim.runtime.get_kernels` hands to the dispatch
+layer: caller-allocated scratch, generation-counter stamp arrays, and
+``int64`` return counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import numba  # noqa: F401  (probe: ImportError here aborts the tier)
+from numba import njit
+
+__all__ = ["load_kernels"]
+
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+@njit(cache=True)
+def _max_seg_run(seg):
+    n = seg.shape[0]
+    best = 0
+    e = 0
+    while e < n:
+        s = seg[e]
+        lo = e
+        while e < n and seg[e] == s:
+            e += 1
+        if e - lo > best:
+            best = e - lo
+    return best
+
+
+@njit(cache=True)
+def _mex_sorted(seg, nbr_colors, num_segments, out, stamp, gen_io):
+    n = seg.shape[0]
+    out[:num_segments] = 1
+    gen = gen_io[0]
+    e = 0
+    while e < n:
+        s = seg[e]
+        lo = e
+        while e < n and seg[e] == s:
+            e += 1
+        gen += 1
+        d = e - lo
+        cap = d + 1
+        if cap >= stamp.shape[0]:
+            cap = stamp.shape[0] - 1
+        for k in range(lo, e):
+            c = nbr_colors[k]
+            if 1 <= c <= cap:
+                stamp[c] = gen
+        mex = cap + 1
+        for c in range(1, cap + 1):
+            if stamp[c] != gen:
+                mex = c
+                break
+        out[s] = mex
+    gen_io[0] = gen
+
+
+@njit(cache=True)
+def _waved_color(active_ids, seg, nbr, bounds, epos, colors, out, stamp, gen_io):
+    gen = gen_io[0]
+    for w in range(bounds.shape[0] - 1):
+        lo = bounds[w]
+        hi = bounds[w + 1]
+        if hi <= lo:
+            continue
+        e = epos[w]
+        ehi = epos[w + 1]
+        for pos in range(lo, hi):
+            elo = e
+            while e < ehi and seg[e] == pos:
+                e += 1
+            if e == elo:
+                out[pos] = 1
+                continue
+            gen += 1
+            d = e - elo
+            cap = d + 1
+            if cap >= stamp.shape[0]:
+                cap = stamp.shape[0] - 1
+            for k in range(elo, e):
+                c = colors[nbr[k]]
+                if 1 <= c <= cap:
+                    stamp[c] = gen
+            mex = cap + 1
+            for c in range(1, cap + 1):
+                if stamp[c] != gen:
+                    mex = c
+                    break
+            out[pos] = mex
+        for pos in range(lo, hi):
+            colors[active_ids[pos]] = out[pos]
+    gen_io[0] = gen
+
+
+@njit(cache=True)
+def _detect_conflicts_full(seg, nbr, colors, loser):
+    for e in range(seg.shape[0]):
+        v = seg[e]
+        w = nbr[e]
+        cv = colors[v]
+        if cv > 0 and cv == colors[w] and v < w:
+            loser[v] = 1
+
+
+@njit(cache=True)
+def _detect_conflicts_subset(seg, scope_ids, nbr, colors, loser):
+    for e in range(seg.shape[0]):
+        s = seg[e]
+        v = scope_ids[s]
+        w = nbr[e]
+        cv = colors[v]
+        if cv > 0 and cv == colors[w] and v < w:
+            loser[s] = 1
+
+
+@njit(cache=True)
+def _table_shift(size):
+    shift = 64
+    while size > 1:
+        size >>= 1
+        shift -= 1
+    return shift
+
+
+@njit(cache=True)
+def _reuse_prev(line, idx_out, prev_out, table_key, table_val, table_gen,
+                epoch):
+    size = table_key.shape[0]
+    mask = size - 1
+    shift = _table_shift(size)
+    k = 0
+    for i in range(line.shape[0]):
+        key = np.int64(line[i])
+        h = np.int64((np.uint64(key) * np.uint64(_HASH_MULT)) >> shift)
+        while True:
+            if table_gen[h] != epoch:
+                table_gen[h] = epoch
+                table_key[h] = key
+                table_val[h] = i
+                break
+            if table_key[h] == key:
+                idx_out[k] = i
+                prev_out[k] = table_val[h]
+                table_val[h] = i
+                k += 1
+                break
+            h = (h + 1) & mask
+    return k
+
+
+@njit(cache=True)
+def _radix_argsort(key, n, perm, tmp_perm, key_buf, tmp_key):
+    max_key = 0
+    for i in range(n):
+        perm[i] = i
+        key_buf[i] = key[i]
+        if key[i] > max_key:
+            max_key = key[i]
+    passes = 0
+    while max_key > 0:
+        passes += 1
+        max_key >>= 8
+    if passes == 0:
+        return
+    count = np.zeros(256, dtype=np.int64)
+    flip = False
+    for p in range(passes):
+        count[:] = 0
+        shift = p * 8
+        if not flip:
+            kin, kout, pin, pout = key_buf, tmp_key, perm, tmp_perm
+        else:
+            kin, kout, pin, pout = tmp_key, key_buf, tmp_perm, perm
+        for i in range(n):
+            count[(kin[i] >> shift) & 0xFF] += 1
+        total = 0
+        for b in range(256):
+            c = count[b]
+            count[b] = total
+            total += c
+        for i in range(n):
+            b = (kin[i] >> shift) & 0xFF
+            slot = count[b]
+            count[b] = slot + 1
+            kout[slot] = kin[i]
+            pout[slot] = pin[i]
+        flip = not flip
+    if flip:
+        perm[:n] = tmp_perm[:n]
+
+
+@njit(cache=True)
+def _issue_order(key, perm, tmp_perm, key_buf, tmp_key):
+    _radix_argsort(key, key.shape[0], perm, tmp_perm, key_buf, tmp_key)
+
+
+@njit(cache=True)
+def _first_occurrences(
+    key, out_pos, ukey, upos, table_key, table_gen, epoch, perm, tmp_perm,
+    key_buf, tmp_key,
+):
+    size = table_key.shape[0]
+    mask = size - 1
+    shift = _table_shift(size)
+    k = 0
+    prev = np.int64(-1)
+    for i in range(key.shape[0]):
+        kv = key[i]
+        if i > 0 and kv == prev:
+            continue
+        prev = kv
+        h = np.int64((np.uint64(kv) * np.uint64(_HASH_MULT)) >> shift)
+        while True:
+            if table_gen[h] != epoch:
+                table_gen[h] = epoch
+                table_key[h] = kv
+                ukey[k] = kv
+                upos[k] = i
+                k += 1
+                break
+            if table_key[h] == kv:
+                break
+            h = (h + 1) & mask
+    _radix_argsort(ukey, k, perm, tmp_perm, key_buf, tmp_key)
+    for i in range(k):
+        out_pos[i] = upos[perm[i]]
+    return k
+
+
+@njit(cache=True)
+def _first_occ3_impl(warp, step, has_step, line, wb, sb, lb, sel_out, perm,
+                     tmp_perm, key_buf, tmp_key, count):
+    n = line.shape[0]
+    for i in range(n):
+        k = (np.int64(warp[i]) << (sb + lb)) | line[i]
+        if has_step:
+            k |= step[i] << lb
+        key_buf[i] = k
+        perm[i] = i
+    flip = _lsd_pairs(key_buf, tmp_key, perm, tmp_perm, n, wb + sb + lb,
+                      count)
+    if not flip:
+        kin, pin = key_buf, perm
+    else:
+        kin, pin = tmp_key, tmp_perm
+    m = np.int64(0)
+    for i in range(n):
+        if i == 0 or kin[i] != kin[i - 1]:
+            sel_out[m] = pin[i]
+            m += 1
+    return m
+
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _first_occ3(warp, step, line, wb, sb, lb, sel_out, perm, tmp_perm,
+                key_buf, tmp_key, count):
+    if step is None:
+        return _first_occ3_impl(warp, _EMPTY_I64, False, line, wb, sb, lb,
+                                sel_out, perm, tmp_perm, key_buf, tmp_key,
+                                count)
+    return _first_occ3_impl(warp, step, True, line, wb, sb, lb, sel_out,
+                            perm, tmp_perm, key_buf, tmp_key, count)
+
+
+@njit(cache=True)
+def _walk_stats(kind, sm, line, num_sms, ldg_code, atomic_code,
+                ldg_per_sm, out3):
+    atomics = np.int64(0)
+    max_line = np.int64(-1)
+    max_sm = np.int64(-1)
+    for i in range(kind.shape[0]):
+        s = np.int64(sm[i])
+        if s > max_sm:
+            max_sm = s
+        if kind[i] == ldg_code and 0 <= s < num_sms:
+            ldg_per_sm[s] += 1
+        if kind[i] == atomic_code:
+            atomics += 1
+        if np.int64(line[i]) > max_line:
+            max_line = np.int64(line[i])
+    out3[0] = atomics
+    out3[1] = max_line
+    out3[2] = max_sm
+
+
+@njit(cache=True)
+def _walk_ro(order, kind, line, sm, ldg_code, rep_sm, gap_out, tval, tgen,
+             epoch):
+    j = np.int64(0)
+    for i in range(order.shape[0]):
+        o = order[i]
+        if kind[o] != ldg_code or np.int64(sm[o]) != rep_sm:
+            continue
+        lid = np.int64(line[o])
+        if tgen[lid] == epoch:
+            gap_out[j] = j - tval[lid]
+        else:
+            gap_out[j] = -1
+        tval[lid] = j
+        tgen[lid] = epoch
+        j += 1
+    return j
+
+
+@njit(cache=True)
+def _walk_l2(order, kind, line, sm, ldg_code, store_code, rep_sm, rep_hits,
+             draws, rate, l2_gap, l2_stall, tval, tgen, epoch, out2):
+    rj = np.int64(0)
+    oj = np.int64(0)
+    l2n = np.int64(0)
+    ro_hits = np.int64(0)
+    for i in range(order.shape[0]):
+        o = order[i]
+        k = np.int64(kind[o])
+        if k == ldg_code:
+            if np.int64(sm[o]) == rep_sm:
+                hit = rep_hits[rj] != 0
+                rj += 1
+            else:
+                hit = draws[oj] < rate
+                oj += 1
+            if hit:
+                ro_hits += 1
+                continue
+        lid = np.int64(line[o])
+        if tgen[lid] == epoch:
+            l2_gap[l2n] = l2n - tval[lid]
+        else:
+            l2_gap[l2n] = -1
+        tval[lid] = l2n
+        tgen[lid] = epoch
+        l2_stall[l2n] = np.uint8(1) if k != store_code else np.uint8(0)
+        l2n += 1
+    out2[0] = l2n
+    out2[1] = ro_hits
+
+
+@njit(cache=True)
+def _lsd_pairs(key_buf, tmp_key, perm, tmp_perm, n, nbits, count):
+    flip = False
+    if nbits <= 0 or n <= 0:
+        return flip
+    cap = np.int64(16)
+    while cap < 19 and (n >> (cap - 2)) > 0:
+        cap += 1
+    if cap > nbits:
+        cap = np.int64(nbits)
+    npass = (nbits + cap - 1) // cap
+    d = (nbits + npass - 1) // npass
+    for p in range(npass):
+        sh = p * d
+        w = nbits - sh
+        if w > d:
+            w = d
+        nb = np.int64(1) << w
+        msk = nb - 1
+        if not flip:
+            kin, kout, pin, pout = key_buf, tmp_key, perm, tmp_perm
+        else:
+            kin, kout, pin, pout = tmp_key, key_buf, tmp_perm, perm
+        for b in range(nb):
+            count[b] = 0
+        for i in range(n):
+            count[(kin[i] >> sh) & msk] += 1
+        total = np.int64(0)
+        for b in range(nb):
+            c = count[b]
+            count[b] = total
+            total += c
+        for i in range(n):
+            b = (kin[i] >> sh) & msk
+            slot = count[b]
+            count[b] = slot + 1
+            kout[slot] = kin[i]
+            pout[slot] = pin[i]
+        flip = not flip
+    return flip
+
+
+@njit(cache=True)
+def _order3(wave, warp, step, vb, wb, sb, perm, tmp_perm, key_buf, tmp_key,
+            count):
+    n = wave.shape[0]
+    for i in range(n):
+        key_buf[i] = ((np.int64(wave[i]) << (wb + sb))
+                      | (np.int64(warp[i]) << sb) | np.int64(step[i]))
+        perm[i] = i
+    flip = _lsd_pairs(key_buf, tmp_key, perm, tmp_perm, n, vb + wb + sb,
+                      count)
+    if flip:
+        for i in range(n):
+            perm[i] = tmp_perm[i]
+
+
+@njit(cache=True)
+def _emit_coalesced_impl(warp, step, has_step, cstep, line, sm, wave,
+                         wb, sb, lb, kind, seq_off, perm, tmp_perm,
+                         key_buf, tmp_key, count, out_kind, out_line,
+                         out_sm, out_warp, out_wave, out_step):
+    n = line.shape[0]
+    for i in range(n):
+        k = (np.int64(warp[i]) << (sb + lb)) | line[i]
+        if has_step:
+            k |= step[i] << lb
+        key_buf[i] = k
+        perm[i] = i
+    flip = _lsd_pairs(key_buf, tmp_key, perm, tmp_perm, n, wb + sb + lb,
+                      count)
+    if not flip:
+        kin, pin = key_buf, perm
+    else:
+        kin, pin = tmp_key, tmp_perm
+    m = np.int64(0)
+    for i in range(n):
+        if i == 0 or kin[i] != kin[i - 1]:
+            p = pin[i]
+            out_kind[m] = np.uint8(kind)
+            out_line[m] = np.int32(line[p])
+            out_sm[m] = sm[p]
+            out_warp[m] = warp[p]
+            out_wave[m] = wave[p]
+            sv = step[p] if has_step else cstep
+            out_step[m] = np.int32(sv * 1024 + seq_off)
+            m += 1
+    return m
+
+
+def _emit_coalesced(warp, step, cstep, line, sm, wave, wb, sb, lb, kind,
+                    seq_off, perm, tmp_perm, key_buf, tmp_key, count,
+                    out_kind, out_line, out_sm, out_warp, out_wave,
+                    out_step):
+    if step is None:
+        step, has_step = _EMPTY_I64, False
+    else:
+        has_step = True
+    return _emit_coalesced_impl(
+        warp, step, has_step, cstep, line, sm, wave, wb, sb, lb, kind,
+        seq_off, perm, tmp_perm, key_buf, tmp_key, count, out_kind,
+        out_line, out_sm, out_warp, out_wave, out_step,
+    )
+
+
+@njit(cache=True)
+def _merge_order(wave, warp, step, seg_off, wb, sb, heap_key, heap_seg,
+                 pos, perm):
+    nseg = seg_off.shape[0] - 1
+    hn = np.int64(0)
+    for s in range(nseg):
+        pos[s] = seg_off[s]
+        if seg_off[s] >= seg_off[s + 1]:
+            continue
+        i = seg_off[s]
+        k = ((np.int64(wave[i]) << (wb + sb))
+             | (np.int64(warp[i]) << sb) | np.int64(step[i]))
+        c = hn
+        hn += 1
+        while c > 0:
+            par = (c - 1) >> 1
+            if heap_key[par] <= k:
+                break
+            heap_key[c] = heap_key[par]
+            heap_seg[c] = heap_seg[par]
+            c = par
+        heap_key[c] = k
+        heap_seg[c] = s
+    o = np.int64(0)
+    while hn > 0:
+        s = heap_seg[0]
+        kprev = heap_key[0]
+        i = pos[s]
+        pos[s] = i + 1
+        perm[o] = i
+        o += 1
+        if pos[s] < seg_off[s + 1]:
+            j = pos[s]
+            k = ((np.int64(wave[j]) << (wb + sb))
+                 | (np.int64(warp[j]) << sb) | np.int64(step[j]))
+            if k < kprev:
+                return np.int64(-1)
+            seg2 = s
+        else:
+            hn -= 1
+            if hn == 0:
+                break
+            k = heap_key[hn]
+            seg2 = heap_seg[hn]
+        c = np.int64(0)
+        while True:
+            l = 2 * c + 1
+            if l >= hn:
+                break
+            r = l + 1
+            best = l
+            if r < hn and (heap_key[r] < heap_key[l]
+                           or (heap_key[r] == heap_key[l]
+                               and heap_seg[r] < heap_seg[l])):
+                best = r
+            if (heap_key[best] < k
+                    or (heap_key[best] == k and heap_seg[best] < seg2)):
+                heap_key[c] = heap_key[best]
+                heap_seg[c] = heap_seg[best]
+                c = best
+            else:
+                break
+        heap_key[c] = k
+        heap_seg[c] = seg2
+    return np.int64(0)
+
+
+@njit(cache=True)
+def _pack_mask(mask_arr, out):
+    k = 0
+    for i in range(mask_arr.shape[0]):
+        if mask_arr[i]:
+            out[k] = i
+            k += 1
+    return k
+
+
+def load_kernels() -> dict:
+    """Array-level kernel table (same keys as the C tier adapter)."""
+    return {
+        "max_seg_run": _max_seg_run,
+        "mex_sorted": _mex_sorted,
+        "waved_color": _waved_color,
+        "detect_conflicts_full": _detect_conflicts_full,
+        "detect_conflicts_subset": _detect_conflicts_subset,
+        "reuse_prev_i32": _reuse_prev,
+        "reuse_prev_i64": _reuse_prev,
+        "issue_order": _issue_order,
+        "first_occurrences": _first_occurrences,
+        "first_occ3": _first_occ3,
+        "pack_mask": _pack_mask,
+        "walk_stats": _walk_stats,
+        "walk_ro": _walk_ro,
+        "walk_l2": _walk_l2,
+        "order3": _order3,
+        "emit_coalesced": _emit_coalesced,
+        "merge_order": _merge_order,
+    }

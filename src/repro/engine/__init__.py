@@ -20,12 +20,14 @@ See the "Execution engine" section of docs/API.md for the plug-in guide.
 from .backend import (
     BACKENDS,
     Backend,
+    CompiledSimBackend,
     CpuSimBackend,
     GpuSimBackend,
     Mark,
     TimingDelta,
     resolve_backend,
 )
+from .config import RunConfig
 from .context import ExecutionContext, color_many
 from .errors import AuditError, ConvergenceError, InvariantViolation
 from .runner import (
@@ -41,6 +43,7 @@ __all__ = [
     "AuditError",
     "BACKENDS",
     "Backend",
+    "CompiledSimBackend",
     "ConvergenceError",
     "InvariantViolation",
     "CpuSimBackend",
@@ -50,6 +53,7 @@ __all__ = [
     "Mark",
     "RoundLoop",
     "RoundStatus",
+    "RunConfig",
     "SchemeOutcome",
     "SchemeRecipe",
     "TimingDelta",

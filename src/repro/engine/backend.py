@@ -39,6 +39,7 @@ __all__ = [
     "Backend",
     "GpuSimBackend",
     "CpuSimBackend",
+    "CompiledSimBackend",
     "resolve_backend",
     "BACKENDS",
 ]
@@ -405,10 +406,62 @@ class CpuSimBackend:
         )
 
 
+class CompiledSimBackend(GpuSimBackend):
+    """``gpusim`` with the hot functional loops routed through JIT kernels.
+
+    Identical device model, identical pricing, identical results — the
+    difference is *host* wall-clock: while a run is active, the kernel
+    and pricing modules route their hot loop bodies (mex, the fused wave
+    loop, conflict detection, worklist compaction, reuse-distance and
+    trace-coalescing scans) through :mod:`repro.compiledsim`, which uses
+    numba ``@njit(cache=True)`` kernels when numba is importable, a
+    ctypes-bound C build otherwise, and falls back to the unchanged
+    NumPy paths (one-time warning) when neither toolchain exists.
+
+    Parameters are :class:`GpuSimBackend`'s plus ``jit=``:
+    ``'auto'`` (default tiering), ``'numba'`` / ``'cc'`` (require that
+    tier, raise :class:`~repro.compiledsim.CompiledTierError` if
+    missing), ``'numpy'`` (explicit silent fallback).
+    """
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        *,
+        config: DeviceConfig | None = None,
+        cache_model: str = "reuse_distance",
+        seed: int = 0,
+        jit: str = "auto",
+    ) -> None:
+        super().__init__(
+            device, config=config, cache_model=cache_model, seed=seed
+        )
+        from .. import compiledsim
+
+        self.jit = jit
+        # Resolve (and warn, if falling back) at construction so a
+        # misconfigured explicit tier fails fast, not mid-run.
+        self.tier = compiledsim.get_kernels(jit)[0]
+
+    def functional_scope(self):
+        """Context manager activating compiled dispatch for one run.
+
+        The round loop wraps each run's whole dynamic extent in this, so
+        every kernel and pricing call the run makes sees the compiled
+        engine flag (the ``_MEX_STRATEGY`` scoping idiom).
+        """
+        from ..compiledsim import dispatch
+
+        return dispatch.scope(self.jit)
+
+
 #: Registry of constructible backends, keyed by their ``name``.
 BACKENDS: dict[str, type] = {
     GpuSimBackend.name: GpuSimBackend,
     CpuSimBackend.name: CpuSimBackend,
+    CompiledSimBackend.name: CompiledSimBackend,
 }
 
 

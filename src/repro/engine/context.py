@@ -70,6 +70,7 @@ class ExecutionContext:
         self,
         backend=None,
         *,
+        config=None,
         observe=None,
         recorder=None,
         faults=None,
@@ -81,6 +82,21 @@ class ExecutionContext:
             warn_recorder_deprecated("ExecutionContext")
             if observe is None:
                 observe = recorder
+        if config is not None:
+            from .config import normalize_config
+
+            merged = normalize_config(
+                "ExecutionContext",
+                config,
+                {
+                    "backend": backend,
+                    "backend_opts": backend_opts or None,
+                    "observe": observe, "faults": faults, "health": health,
+                },
+            )
+            backend, observe = merged["backend"], merged["observe"]
+            faults, health = merged["faults"], merged["health"]
+            backend_opts = dict(merged["backend_opts"] or {})
         self.observation = resolve_observe(observe)
         self.backend = resolve_backend(backend, **backend_opts)
         if self.observation.tracer is not None:
@@ -219,7 +235,9 @@ class ExecutionContext:
             rb.policy.max_reruns if rb is not None and rb.policy.degrade else 0
         )
         while True:
-            recipe = make_recipe(method, **kwargs)
+            recipe = make_recipe(
+                method, entry_point="ExecutionContext.run", **kwargs
+            )
             try:
                 if mex is None:
                     result = self.run_recipe(graph, recipe)
@@ -262,6 +280,8 @@ def color_many(
     method: str = "data-ldg",
     *,
     backend=None,
+    backend_opts=None,
+    config=None,
     observe=None,
     recorder=None,
     workers=None,
@@ -312,6 +332,29 @@ def color_many(
         warn_recorder_deprecated("color_many")
         if observe is None:
             observe = recorder
+    if config is not None:
+        from .config import normalize_config
+
+        merged = normalize_config(
+            "color_many",
+            config,
+            {
+                "backend": backend, "backend_opts": backend_opts,
+                "store": store, "workers": workers, "scheduler": scheduler,
+                "cache": cache, "faults": faults, "health": health,
+                "observe": observe,
+            },
+        )
+        backend, backend_opts = merged["backend"], merged["backend_opts"]
+        store, workers = merged["store"], merged["workers"]
+        scheduler, cache = merged["scheduler"], merged["cache"]
+        faults, health = merged["faults"], merged["health"]
+        observe = merged["observe"]
+    from ..coloring.registry import resolve_method
+
+    from ..coloring.api import METHODS
+
+    method = resolve_method(method, METHODS, entry_point="color_many")
     graphs = list(graphs)
     from ..graph.csr import CSRGraph
 
@@ -325,7 +368,9 @@ def color_many(
         and faults is None
         and health is None
     ):
-        ctx = ExecutionContext(backend=backend, observe=observe)
+        ctx = ExecutionContext(
+            backend=backend, observe=observe, **dict(backend_opts or {})
+        )
         return ctx.color_many(graphs, method, validate=validate, **kwargs)
     from ..parallel.jobs import normalize_jobs
     from ..parallel.scheduler import run_jobs
@@ -336,6 +381,7 @@ def color_many(
         workers=workers,
         scheduler=scheduler,
         backend=backend,
+        backend_opts=backend_opts,
         observe=observe,
         cache=cache,
         store=store,

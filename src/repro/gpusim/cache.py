@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compiledsim import dispatch as _compiled
+
 __all__ = [
     "CacheConfig",
     "SetAssociativeCache",
@@ -126,20 +128,27 @@ def reuse_distance_hits(line_ids: np.ndarray, capacity_lines: int) -> np.ndarray
     if capacity_lines <= 0:
         return np.zeros(n, dtype=bool)
 
-    order = np.argsort(line_ids, kind="stable")
-    sorted_ids = line_ids[order]
-    same_as_prev = np.empty(n, dtype=bool)
-    same_as_prev[0] = False
-    np.equal(sorted_ids[1:], sorted_ids[:-1], out=same_as_prev[1:])
+    scanned = _compiled.reuse_prev(line_ids)
+    if scanned is not None:
+        # Compiled engine: one O(n) last-seen hash scan. The (idx, prev)
+        # pair set is exactly the argsort formulation's — the uses below
+        # are a scatter and an elementwise gap test, both order-free.
+        idx, prev, num_unique = scanned
+    else:
+        order = np.argsort(line_ids, kind="stable")
+        sorted_ids = line_ids[order]
+        same_as_prev = np.empty(n, dtype=bool)
+        same_as_prev[0] = False
+        np.equal(sorted_ids[1:], sorted_ids[:-1], out=same_as_prev[1:])
 
-    # Work on the re-touch subset only: first touches are compulsory
-    # misses, so there is no need to materialize full-size prev-index and
-    # gap arrays just to mask them out again.
-    repeat_pos = np.flatnonzero(same_as_prev)
-    idx = order[repeat_pos]  # stream position of each re-touch
-    prev = order[repeat_pos - 1]  # previous touch of the same line
+        # Work on the re-touch subset only: first touches are compulsory
+        # misses, so there is no need to materialize full-size prev-index
+        # and gap arrays just to mask them out again.
+        repeat_pos = np.flatnonzero(same_as_prev)
+        idx = order[repeat_pos]  # stream position of each re-touch
+        prev = order[repeat_pos - 1]  # previous touch of the same line
+        num_unique = n - repeat_pos.size
 
-    num_unique = n - repeat_pos.size
     threshold = _stack_distance_threshold(num_unique, capacity_lines)
 
     hits = np.zeros(n, dtype=bool)

@@ -20,11 +20,19 @@ atomic-vs-prefix-sum gap (Fig. 5) without any per-figure tuning.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .cache import analytic_hits, reuse_distance_hits, SetAssociativeCache, CacheConfig
+from ..compiledsim import dispatch as _compiled
+from .cache import (
+    analytic_hits,
+    reuse_distance_hits,
+    SetAssociativeCache,
+    CacheConfig,
+    _stack_distance_threshold,
+)
 from .config import DeviceConfig
 from .occupancy import Occupancy, compute_occupancy
 from .trace import AccessKind, KernelTrace
@@ -98,6 +106,11 @@ def _walk_hierarchy(
     stats = MemoryStats(transactions=len(mem))
     if len(mem) == 0:
         return stats, 0.0
+
+    if cache_model == "reuse_distance":
+        fused = _compiled_hierarchy(mem, device, rng)
+        if fused is not None:
+            return fused
 
     order = mem.issue_order()
     kind = mem.kind[order]
@@ -176,6 +189,86 @@ def _walk_hierarchy(
         + int(np.count_nonzero(l2_hit & stalls)) * device.l2_hit_latency
         + int(np.count_nonzero(dram & stalls)) * device.dram_latency
         + int(np.count_nonzero(is_atomic)) * device.atomic_op_cycles
+    )
+    stats.total_latency_cycles = float(total)
+    return stats, stats.total_latency_cycles
+
+
+def _reuse_gap_hits(gap: np.ndarray, capacity_lines: int) -> np.ndarray:
+    """Hit mask from substream reuse gaps (-1 = first touch).
+
+    Exactly :func:`~repro.gpusim.cache.reuse_distance_hits` on the same
+    substream: first touches are compulsory misses, re-touches hit when
+    their gap clears the expected-stack-distance threshold.
+    """
+    if capacity_lines <= 0:
+        return np.zeros(gap.size, dtype=bool)
+    num_unique = int(np.count_nonzero(gap < 0))
+    threshold = _stack_distance_threshold(num_unique, capacity_lines)
+    if math.isinf(threshold):
+        return gap >= 0
+    return (gap >= 0) & (gap <= threshold)
+
+
+def _compiled_hierarchy(
+    mem, device: DeviceConfig, rng: np.random.Generator
+) -> tuple[MemoryStats, float] | None:
+    """Fused compiled-tier hierarchy walk; ``None`` declines.
+
+    Two C passes over the transaction stream in issue order replace the
+    vectorized path's permutation gathers, mask algebra, substream
+    compactions and argsort-based reuse scans.  Every decision the
+    vectorized path makes is reproduced bit-for-bit: the same
+    representative-SM choice, the same substream reuse gaps against the
+    same thresholds, and the same Bernoulli draws consumed in the same
+    order — so this path must decline *before* the first RNG draw or
+    not at all.
+    """
+    order = mem.issue_order()
+    if not _compiled.walk_supported(order, mem.kind, mem.line_id, mem.sm_id):
+        return None
+    ldg = int(AccessKind.LDG)
+    ldg_per_sm, num_atomics, max_line, max_sm = _compiled.walk_stats(
+        mem.kind, mem.sm_id, mem.line_id, device.num_sms, ldg,
+        int(AccessKind.ATOMIC),
+    )
+    if max_sm >= device.num_sms or max_line >= _compiled.WALK_LINE_CAP:
+        return None
+
+    stats = MemoryStats(transactions=len(mem))
+    stats.ldg_accesses = int(ldg_per_sm.sum())
+    if stats.ldg_accesses:
+        rep_sm = int(np.argmax(ldg_per_sm))
+        rep_gap = _compiled.walk_ro(
+            order, mem.kind, mem.line_id, mem.sm_id, ldg, rep_sm,
+            int(ldg_per_sm[rep_sm]), max_line,
+        )
+        rep_hits = _reuse_gap_hits(rep_gap, device.readonly_cache_lines)
+        rate = float(rep_hits.mean()) if rep_hits.size else 0.0
+        draws = rng.random(stats.ldg_accesses - rep_gap.size)
+    else:
+        rep_sm = -1
+        rep_hits = np.zeros(0, dtype=bool)
+        draws = np.zeros(0)
+        rate = 0.0
+
+    l2_gap, l2_stall, ro_hits = _compiled.walk_l2(
+        order, mem.kind, mem.line_id, mem.sm_id, ldg,
+        int(AccessKind.STORE), rep_sm, rep_hits, draws, rate, max_line,
+    )
+    stats.ro_hits = ro_hits
+    stats.l2_accesses = int(l2_gap.size)
+    l2_hit_sub = _reuse_gap_hits(l2_gap, device.l2_cache_lines)
+    stats.l2_hits = int(np.count_nonzero(l2_hit_sub))
+    stats.dram_transactions = stats.l2_accesses - stats.l2_hits
+    stats.dram_bytes = stats.dram_transactions * device.cache_line_bytes
+
+    stall_sub = l2_stall.view(bool)
+    total = (
+        stats.ro_hits * device.readonly_hit_latency
+        + int(np.count_nonzero(l2_hit_sub & stall_sub)) * device.l2_hit_latency
+        + int(np.count_nonzero(~l2_hit_sub & stall_sub)) * device.dram_latency
+        + num_atomics * device.atomic_op_cycles
     )
     stats.total_latency_cycles = float(total)
     return stats, stats.total_latency_cycles

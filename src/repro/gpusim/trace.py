@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..compiledsim import dispatch as _compiled
 from .config import DeviceConfig, LaunchConfig
 
 __all__ = ["AccessKind", "MemoryTrace", "ComputeStats", "KernelTrace", "TraceBuilder"]
@@ -49,6 +50,12 @@ def _first_occurrences(key: np.ndarray) -> np.ndarray:
     """
     if key.size == 1:
         return np.zeros(1, dtype=np.intp)
+    compiled = _compiled.first_occurrences(key)
+    if compiled is not None:
+        # Compiled engine: hash first-touch scan + radix sort of the
+        # unique subset — same key-sorted first indices, O(n) not
+        # O(n log n).
+        return compiled
     heads = np.empty(key.size, dtype=bool)
     heads[0] = True
     np.not_equal(key[1:], key[:-1], out=heads[1:])
@@ -98,6 +105,11 @@ class MemoryTrace:
     warp_id: np.ndarray  # device-wide warp index (int32 when it fits)
     wave: np.ndarray  # int32 launch wave of the issuing block
     step: np.ndarray  # issue-order key within the wave (int32 when it fits)
+    #: Segment boundaries (int64 offsets, len nseg+1) when the columns
+    #: were arena-emitted one key-sorted segment per access call; lets
+    #: issue_order() use a k-way merge instead of a sort.  None when the
+    #: provenance is unknown (legacy concatenation, select()).
+    seg_offsets: np.ndarray | None = None
 
     def __len__(self) -> int:
         return self.kind.size
@@ -120,12 +132,36 @@ class MemoryTrace:
         max_step = int(self.step.max()) + 1
         max_warp = int(self.warp_id.max()) + 1
         max_wave = int(self.wave.max()) + 1
+        if self.seg_offsets is not None:
+            # Arena segments are key-sorted with segment-unique keys, so
+            # the stable argsort is a k-way merge (verified on the fly;
+            # None falls through to the sorts below).
+            merged = _compiled.merge_order(
+                self.wave, self.warp_id, self.step, self.seg_offsets,
+                max_wave, max_warp, max_step,
+            )
+            if merged is not None:
+                return merged
         if max_wave * max_warp * max_step < (1 << 62):
+            # Compiled engine: 3-key LSD counting sort — three passes
+            # regardless of key width, the identical permutation to the
+            # packed-key stable argsort below.
+            compiled3 = _compiled.issue_order3(
+                self.wave, self.warp_id, self.step,
+                max_wave, max_warp, max_step,
+            )
+            if compiled3 is not None:
+                return compiled3
             # Build the key in place: one int64 buffer, no binary-op temps.
             key = np.multiply(self.wave, max_warp, dtype=np.int64)
             key += self.warp_id
             key *= max_step
             key += self.step
+            compiled = _compiled.issue_order(key)
+            if compiled is not None:
+                # Stable LSD radix argsort: the identical permutation
+                # (ties broken by position, same as kind='stable').
+                return compiled
             return np.argsort(key, kind="stable")
         return np.lexsort((self.step, self.warp_id, self.wave))  # pragma: no cover
 
@@ -211,7 +247,15 @@ class TraceBuilder:
         self.name = name
         self.num_blocks = launch.grid_size(self.num_threads)
         self._line_shift = int(device.cache_line_bytes).bit_length() - 1
-        self._streams: list[MemoryTrace] = []
+        #: Chronological append log: ("a", start, end) spans of the arena
+        #: or ("s", MemoryTrace) legacy streams.  All-arena builds skip
+        #: the final concatenate entirely.
+        self._chunks: list[tuple] = []
+        #: Arena columns (kind u8, line i32, sm i32, warp i32, wave i32,
+        #: step i32), grown amortized; compiled emit appends here.
+        self._arena: tuple[np.ndarray, ...] | None = None
+        self._arena_len = 0
+        self._seg_ends: list[int] = []
         self._atomic_addrs: list[np.ndarray] = []
         self._compute = ComputeStats(num_threads=self.num_threads)
         self._seq = 0  # per-call sequence distinguishing issue slots
@@ -226,6 +270,37 @@ class TraceBuilder:
         # the derived geometry per distinct array object.  Holding the
         # reference keeps identity checks sound for the builder's lifetime.
         self._geom_cache: list[tuple[np.ndarray, tuple]] = []
+
+    _ARENA_DTYPES = (np.uint8, np.int32, np.int32, np.int32, np.int32, np.int32)
+
+    def _arena_reserve(self, n: int) -> tuple[np.ndarray, ...]:
+        """Views of ``n`` free arena slots per column (growing as needed)."""
+        if self._arena is None:
+            # A kernel's later streams rarely dwarf its first (the input
+            # is pre-dedup, so n already overshoots the emitted size);
+            # 4x the first reservation almost always avoids grow-copies.
+            cap = max(4 * n, 1 << 16)
+            self._arena = tuple(np.empty(cap, dtype=d) for d in self._ARENA_DTYPES)
+        elif self._arena_len + n > self._arena[0].shape[0]:
+            # Grow with the same slack policy as the initial sizing: the
+            # committed prefix being copied is usually tiny (the first
+            # streams of a kernel are small), and 4x the triggering
+            # reservation absorbs the rest of the builder's lifetime —
+            # without it, a large commit followed by any reservation
+            # forces a full-arena copy.
+            new_cap = max(4 * n, 2 * (self._arena_len + n))
+            old = self._arena
+            self._arena = tuple(np.empty(new_cap, dtype=a.dtype) for a in old)
+            for src, dst in zip(old, self._arena):
+                dst[: self._arena_len] = src[: self._arena_len]
+        o = self._arena_len
+        return tuple(a[o : o + n] for a in self._arena)
+
+    def _commit_arena(self, m: int) -> None:
+        start = self._arena_len
+        self._arena_len += m
+        self._chunks.append(("a", start, self._arena_len))
+        self._seg_ends.append(self._arena_len)
 
     def set_residency(self, blocks_per_sm: int) -> None:
         """Record occupancy so wave boundaries match resident block count."""
@@ -310,17 +385,7 @@ class TraceBuilder:
             )
             hit = memo.get(mkey)
             if hit is not None:
-                line_sel, sm_sel, warp_sel, wave_sel, step1024, _refs = hit
-                self._streams.append(
-                    MemoryTrace(
-                        kind=np.full(line_sel.size, kind, dtype=np.uint8),
-                        line_id=line_sel,
-                        sm_id=sm_sel,
-                        warp_id=warp_sel,
-                        wave=wave_sel,
-                        step=step1024 + step1024.dtype.type(self._seq % 1024),
-                    )
-                )
+                self._append_memo_hit(kind, hit)
                 self._seq += 1
                 return
         raw_threads, raw_addresses = thread_ids, addresses
@@ -346,13 +411,41 @@ class TraceBuilder:
         max_step = int(step_arr.max()) + 1
         max_warp = int(warp.max()) + 1
         if max_warp * max_step * max_line < (1 << 62):
-            # Build the key in place (geometry's warp array stays intact);
-            # dtype= forces the first product into int64 straight away.
-            key = np.multiply(warp, max_step, dtype=np.int64)
-            key += step_arr
-            key *= max_line
-            key += line
-            sel = _first_occurrences(key)
+            # Compiled engine, fully fused: dedup + narrowing gathers
+            # straight into the arena columns (same emitted order and
+            # values as the unfused path below).
+            if _compiled.active():
+                out = self._arena_reserve(line.shape[0])
+                m = _compiled.emit_coalesced(
+                    kind, warp, step_arr, line, sm, wave,
+                    max_warp, max_step, max_line, self._seq % 1024, out,
+                )
+                if m is not None:
+                    self._commit_arena(m)
+                    if kind == AccessKind.ATOMIC:
+                        self._atomic_addrs.append(addresses)
+                    elif mkey is not None:
+                        memo[mkey] = (
+                            "A", *(a[:m] for a in out[1:]),
+                            self._seq % 1024,
+                            (raw_threads, raw_addresses, step),
+                        )
+                    self._seq += 1
+                    return
+            # Compiled engine: component-wise radix unique — the same
+            # selection the packed-key path below produces.
+            sel = _compiled.coalesce_first(
+                warp, step_arr, line, max_warp, max_step, max_line
+            )
+            if sel is None:
+                # Build the key in place (geometry's warp array stays
+                # intact); dtype= forces the first product into int64
+                # straight away.
+                key = np.multiply(warp, max_step, dtype=np.int64)
+                key += step_arr
+                key *= max_line
+                key += line
+                sel = _first_occurrences(key)
         else:  # pragma: no cover - would need a >4 EB address space
             order = np.lexsort((line, step_arr, warp))
             w_s, s_s, l_s = warp[order], step_arr[order], line[order]
@@ -382,16 +475,14 @@ class TraceBuilder:
             line_sel = line_sel.astype(np.int32)
         sm_sel = sm[sel]
         wave_sel = wave[sel]
-        self._streams.append(
-            MemoryTrace(
-                kind=np.full(sel.size, kind, dtype=np.uint8),
-                line_id=line_sel,
-                sm_id=sm_sel,
-                warp_id=warp_sel,
-                wave=wave_sel,
-                step=step1024 + step1024.dtype.type(self._seq % 1024),
-            )
-        )
+        self._chunks.append(("s", MemoryTrace(
+            kind=np.full(sel.size, kind, dtype=np.uint8),
+            line_id=line_sel,
+            sm_id=sm_sel,
+            warp_id=warp_sel,
+            wave=wave_sel,
+            step=step1024 + step1024.dtype.type(self._seq % 1024),
+        )))
         if kind == AccessKind.ATOMIC:
             self._atomic_addrs.append(addresses)
         elif mkey is not None:
@@ -400,6 +491,47 @@ class TraceBuilder:
                 (raw_threads, raw_addresses, step),
             )
         self._seq += 1
+
+    def _append_memo_hit(self, kind: int, hit: tuple) -> None:
+        """Replay a memoized coalesced stream under a fresh issue slot.
+
+        Entries come in two forms: legacy 6-tuples of narrowed columns
+        (step stored *without* its issue-slot offset) and arena-tagged
+        8-tuples (``"A"`` + columns with the *originating* offset baked
+        in).  Either replays into the arena when the compiled emit path
+        is active and the columns are narrow, else into a legacy stream.
+        """
+        if isinstance(hit[0], str):
+            line_sel, sm_sel, warp_sel, wave_sel, step_v = hit[1:6]
+            old_off = hit[6]
+        else:
+            line_sel, sm_sel, warp_sel, wave_sel, step_v = hit[:5]
+            old_off = 0
+        new_off = self._seq % 1024
+        m = line_sel.shape[0]
+        if (
+            _compiled.active()
+            and line_sel.dtype == np.int32
+            and warp_sel.dtype == np.int32
+            and step_v.dtype == np.int32
+        ):
+            out = self._arena_reserve(m)
+            out[0].fill(kind)
+            out[1][:] = line_sel
+            out[2][:] = sm_sel
+            out[3][:] = warp_sel
+            out[4][:] = wave_sel
+            np.add(step_v, np.int32(new_off - old_off), out=out[5])
+            self._commit_arena(m)
+            return
+        self._chunks.append(("s", MemoryTrace(
+            kind=np.full(m, kind, dtype=np.uint8),
+            line_id=line_sel,
+            sm_id=sm_sel,
+            warp_id=warp_sel,
+            wave=wave_sel,
+            step=step_v + step_v.dtype.type(new_off - old_off),
+        )))
 
     def load(self, thread_ids, addresses, *, ldg: bool = False, step=0, memo=None) -> None:
         """Global load; ``ldg=True`` routes through the read-only cache."""
@@ -475,9 +607,29 @@ class TraceBuilder:
         )
         return KernelTrace(
             name=self.name,
-            memory=MemoryTrace.concatenate(self._streams),
+            memory=self._finalize_memory(),
             compute=self._compute,
             num_blocks=self.num_blocks,
             launch=self.launch,
             atomic_addresses=atomic_addrs,
         )
+
+    def _finalize_memory(self) -> MemoryTrace:
+        if not self._chunks:
+            return MemoryTrace.concatenate([])
+        if self._arena is not None and all(c[0] == "a" for c in self._chunks):
+            n = self._arena_len
+            offs = np.empty(len(self._seg_ends) + 1, dtype=np.int64)
+            offs[0] = 0
+            offs[1:] = self._seg_ends
+            cols = tuple(a[:n] for a in self._arena)
+            return MemoryTrace(*cols, seg_offsets=offs)
+        parts = []
+        for c in self._chunks:
+            if c[0] == "a":
+                parts.append(
+                    MemoryTrace(*(a[c[1]:c[2]] for a in self._arena))
+                )
+            else:
+                parts.append(c[1])
+        return MemoryTrace.concatenate(parts)

@@ -19,12 +19,13 @@ All forms resolve to an :class:`Observation` — the handle the caller
 reads afterwards (it is also attached to ``result.extra["observation"]``
 so shorthand users can reach the data they asked for).  The legacy
 ``recorder=`` keyword still works everywhere it used to, via a
-once-per-process :class:`DeprecationWarning` shim.
+once-per-process shim — now in the *pending-removal* stage
+(:class:`FutureWarning`; see :mod:`repro.deprecation` and the
+"Deprecations" section of docs/API.md).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from ..metrics.recorder import Recorder
@@ -36,27 +37,25 @@ __all__ = ["Observation", "resolve_observe", "warn_recorder_deprecated"]
 #: Accepted string shorthands (kept in one place for error messages).
 SHORTHANDS = ("trace", "profile", "rounds")
 
-_recorder_warned = False
-
-
 def warn_recorder_deprecated(where: str) -> None:
-    """Emit the ``recorder=`` deprecation warning (once per process)."""
-    global _recorder_warned
-    if _recorder_warned:
-        return
-    _recorder_warned = True
-    warnings.warn(
-        f"{where}(recorder=...) is deprecated; pass observe=<Recorder> "
-        f"(or observe='rounds') instead",
-        DeprecationWarning,
-        stacklevel=3,
+    """Emit the ``recorder=`` removal warning (once per process)."""
+    from ..deprecation import warn_once
+
+    warn_once(
+        "recorder-keyword",
+        f"{where}(recorder=...) is deprecated and will be removed in the "
+        f"release after next; pass observe=<Recorder> (or observe='rounds') "
+        f"instead",
+        stage="pending-removal",
+        stacklevel=4,
     )
 
 
 def _reset_deprecation_warnings() -> None:
     """Test hook: re-arm the once-per-process shims."""
-    global _recorder_warned
-    _recorder_warned = False
+    from ..deprecation import _reset_for_tests
+
+    _reset_for_tests("recorder-keyword")
 
 
 @dataclass

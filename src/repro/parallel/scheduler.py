@@ -243,6 +243,16 @@ def _worker_init(backend, backend_opts: dict) -> None:
         graphs=_GraphLRU(_HEAP_GRAPH_CACHE),
         attached=_GraphLRU(_ATTACHED_GRAPH_CACHE),
     )
+    if getattr(backend, "name", backend) == "compiled":
+        # Pay the one-time JIT load/compile during pool spin-up instead
+        # of inside the first job; the disk-cached build makes this a
+        # few ms for every worker after the first ever.
+        try:
+            from .. import compiledsim
+
+            compiledsim.warmup()
+        except Exception:
+            pass  # tier probing degrades on its own; jobs still run
 
 
 def _resolve_job_graph(job: ColorJob):
@@ -580,8 +590,8 @@ def resolve_scheduler(spec=None, workers=None):
 # The orchestrator color_many calls.
 # ---------------------------------------------------------------------------
 def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
-             backend_opts=None, observe=None, cache=None, validate=True,
-             faults=None, health=None, store=None) -> list:
+             backend_opts=None, config=None, observe=None, cache=None,
+             validate=True, faults=None, health=None, store=None) -> list:
     """Run a normalized job list through cache + scheduler + observation.
 
     Returns one entry per job, in submission order: a
@@ -608,6 +618,24 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
     recorded as a ``scheduler`` degradation event — before a
     :class:`JobFailure` is accepted as final.
     """
+    if config is not None:
+        from ..engine.config import normalize_config
+
+        merged = normalize_config(
+            "run_jobs",
+            config,
+            {
+                "backend": backend, "backend_opts": backend_opts,
+                "store": store, "workers": workers, "scheduler": scheduler,
+                "cache": cache, "faults": faults, "health": health,
+                "observe": observe,
+            },
+        )
+        backend, backend_opts = merged["backend"], merged["backend_opts"]
+        store, workers = merged["store"], merged["workers"]
+        scheduler, cache = merged["scheduler"], merged["cache"]
+        faults, health = merged["faults"], merged["health"]
+        observe = merged["observe"]
     jobs = list(jobs)
     observation = resolve_observe(observe)
     tracer, recorder = observation.tracer, observation.recorder

@@ -113,6 +113,7 @@ def color_sharded(
     scheduler=None,
     backend=None,
     backend_opts=None,
+    config=None,
     observe=None,
     validate: bool = True,
     max_resolution_rounds: int = 16,
@@ -178,6 +179,27 @@ def color_sharded(
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
+    if config is not None:
+        from ..engine.config import normalize_config
+
+        merged = normalize_config(
+            "color_sharded",
+            config,
+            {
+                "backend": backend, "backend_opts": backend_opts,
+                "store": store, "workers": workers, "scheduler": scheduler,
+                "faults": faults, "health": health, "observe": observe,
+            },
+        )
+        backend, backend_opts = merged["backend"], merged["backend_opts"]
+        store, workers = merged["store"], merged["workers"]
+        scheduler = merged["scheduler"]
+        faults, health = merged["faults"], merged["health"]
+        observe = merged["observe"]
+    from ..coloring.api import METHODS
+    from ..coloring.registry import resolve_method
+
+    method = resolve_method(method, METHODS, entry_point="color_sharded")
     if stream or memory_budget_mb is not None:
         from .streaming import color_streamed
 

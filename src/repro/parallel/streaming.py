@@ -132,6 +132,7 @@ def color_streamed(
     memory_budget_mb: float | None = None,
     backend=None,
     backend_opts=None,
+    config=None,
     observe=None,
     validate: bool = True,
     max_resolution_rounds: int = 16,
@@ -153,6 +154,24 @@ def color_streamed(
     """
     from ..engine.context import ExecutionContext
 
+    if config is not None:
+        from ..engine.config import normalize_config
+
+        merged = normalize_config(
+            "color_streamed",
+            config,
+            {
+                "backend": backend, "backend_opts": backend_opts,
+                "faults": faults, "health": health, "observe": observe,
+            },
+        )
+        backend, backend_opts = merged["backend"], merged["backend_opts"]
+        faults, health = merged["faults"], merged["health"]
+        observe = merged["observe"]
+    from ..coloring.api import METHODS
+    from ..coloring.registry import resolve_method
+
+    method = resolve_method(method, METHODS, entry_point="color_streamed")
     bounds = plan_windows(
         graph, num_windows=num_windows, memory_budget_mb=memory_budget_mb
     )

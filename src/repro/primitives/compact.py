@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..compiledsim import dispatch as _compiled
 from .scan import blelloch_cost, exclusive_scan
 
 __all__ = ["compact_indices", "charge_compaction"]
@@ -28,7 +29,11 @@ __all__ = ["compact_indices", "charge_compaction"]
 
 def compact_indices(flags: np.ndarray) -> np.ndarray:
     """Indices ``i`` with ``flags[i]`` true, in increasing order."""
-    return np.flatnonzero(np.asarray(flags)).astype(np.int64)
+    flags = np.asarray(flags)
+    packed = _compiled.pack_mask(flags)
+    if packed is not None:
+        return packed
+    return np.flatnonzero(flags).astype(np.int64)
 
 
 def charge_compaction(
@@ -57,7 +62,7 @@ def charge_compaction(
     Returns the compacted index array (functional result).
     """
     flags = np.asarray(flags, dtype=bool)
-    selected = np.flatnonzero(flags).astype(np.int64)
+    selected = compact_indices(flags)
     if thread_ids is None:
         thread_ids = np.arange(flags.size, dtype=np.int64)
     sel_threads = thread_ids[selected]

@@ -91,3 +91,19 @@ def test_engine_matches_pre_refactor_driver(gname, method, kwargs):
     assert (digest, result.iterations, result.num_colors) == GOLDEN[
         (gname, method, kwargs)
     ]
+
+
+@pytest.mark.parametrize(
+    ("gname", "method", "kwargs"),
+    sorted(GOLDEN),
+    ids=lambda v: str(v).replace(" ", ""),
+)
+def test_compiled_backend_matches_goldens(gname, method, kwargs):
+    """The JIT backend reproduces every golden cell byte-for-byte."""
+    result = color_graph(
+        _graph(gname), method, backend="compiled", **dict(kwargs)
+    )
+    digest = hashlib.sha256(result.colors.tobytes()).hexdigest()[:16]
+    assert (digest, result.iterations, result.num_colors) == GOLDEN[
+        (gname, method, kwargs)
+    ]

@@ -244,14 +244,14 @@ def test_observation_without_tracer_refuses_trace_views():
 def test_recorder_keyword_warns_once(small_er):
     _reset_deprecation_warnings()
     rec = Recorder()
-    with pytest.warns(DeprecationWarning, match="observe="):
+    with pytest.warns(FutureWarning, match="observe="):
         ctx = ExecutionContext(recorder=rec)
     assert ctx.recorder is rec
     with warnings.catch_warnings():
         warnings.simplefilter("error")  # a second warning would raise
         ExecutionContext(recorder=Recorder())
     _reset_deprecation_warnings()
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(FutureWarning):
         result = color_graph(small_er, "data-base", recorder=rec)
     assert result.extra["observation"].recorder is rec
     assert len(rec.rounds) == result.iterations

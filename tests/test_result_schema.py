@@ -60,7 +60,7 @@ def test_typed_properties(g):
 
 def test_extra_reads_warn_once_per_process(g):
     result = color_graph(g, "data-ldg", observe="trace")
-    with pytest.warns(DeprecationWarning, match="typed surface"):
+    with pytest.warns(FutureWarning, match="typed surface"):
         obs = result.extra["observation"]
     assert obs is result.observation
     with warnings.catch_warnings():

@@ -84,14 +84,16 @@ def test_fallback_sweep_guarantees_termination(medium):
     assert result.shard_stats["fallback"] is True
 
 
-def test_shard_failure_raises_structured_error(medium):
-    with pytest.raises(ShardedColoringError, match="shard job\\(s\\) failed"):
+def test_unknown_method_fails_fast_with_shared_error(medium):
+    # The registry resolver runs before any shard job is built, so a bad
+    # method surfaces the same fail-fast error (with did-you-mean) as
+    # color_graph and the CLI — not as per-shard JobFailures.  The
+    # structured ShardedColoringError path is covered by
+    # test_degradation.py with genuinely failing jobs.
+    with pytest.raises(ValueError, match=r"color_sharded\(\): unknown method"):
         color_sharded(medium, "no-such-method", num_shards=2)
-    try:
-        color_sharded(medium, "no-such-method", num_shards=2)
-    except ShardedColoringError as exc:
-        assert len(exc.failures) == 2
-        assert all("unknown method" in f.error for f in exc.failures)
+    with pytest.raises(ValueError, match=r"did you mean 'data-ldg'"):
+        color_sharded(medium, "data-lgd", num_shards=2)
 
 
 def test_num_shards_validation(medium):
