@@ -455,6 +455,119 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Drive the async coloring service with a concurrent request storm.
+
+    Submits ``--requests`` concurrent requests for the same graph (the
+    duplicate-heavy shape the coalescer exists for), optionally runs a
+    dynamic session of random edits, and prints the admission /
+    coalescing / batching counters.  ``--check`` turns the run into a
+    smoke gate: nonzero exit unless the storm coalesced onto exactly one
+    engine computation, every returned coloring is byte-identical to a
+    direct ``color_graph`` run, and the service shut down cleanly.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from .engine.config import RunConfig
+    from .service import ColoringService, ServiceClient
+
+    graph = resolve_graph(args.graph, scale_div=args.scale_div)
+    config = RunConfig(
+        workers=args.workers,
+        store=args.store,
+        cache=args.cache,
+        observe="trace" if args.trace_out else None,
+    )
+    service = ColoringService(
+        args.method,
+        config=config,
+        max_queue=args.max_queue,
+        batch_max=args.batch_max,
+    )
+
+    async def drive():
+        async with service:
+            client = ServiceClient(service)
+            results = await client.color_many(
+                [graph] * args.requests, priority="normal"
+            )
+            session_report = None
+            if args.session_edits:
+                rng = np.random.default_rng(7)
+                n = graph.num_vertices
+                sess = await service.session(graph, max_drift=args.max_drift)
+                for _ in range(args.session_edits):
+                    u, v = (int(x) for x in rng.integers(0, n, size=2))
+                    if u == v:
+                        continue
+                    g_now = sess._dyn
+                    if g_now.has_edge(u, v):
+                        await sess.delete(u, v)
+                    else:
+                        await sess.insert(u, v)
+                final = await sess.close()
+                g_now.validate()
+                session_report = final.extra.peek("dynamic")
+            return results, session_report
+
+    results, session_report = asyncio.run(drive())
+    stats = service.stats
+    direct = color_graph(graph, args.method, validate=False)
+    identical = all(
+        r is not None and np.array_equal(r.colors, direct.colors)
+        for r in results
+    )
+
+    rows = [
+        ("requests", stats["submitted"]),
+        ("completed", stats["completed"]),
+        ("coalesced", stats["coalesced"]),
+        ("cache hits", stats["cache_hits"]),
+        ("engine runs", stats["engine_runs"]),
+        ("batches", stats["batches"]),
+        ("rejected", stats["rejected"]),
+        ("failed", stats["failed"]),
+        ("digest-identical", "yes" if identical else "NO"),
+    ]
+    if session_report is not None:
+        rows += [
+            ("session version", session_report["version"]),
+            ("session colors", session_report["num_colors"]),
+            ("session repaired", session_report["repaired"]),
+            ("session improved", session_report["improved"]),
+            ("compactions", stats["compactions"]),
+        ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"{label:<{width}}  {value}")
+
+    if args.trace_out and service.observation.tracer is not None:
+        from .obs import write_chrome_trace
+
+        write_chrome_trace(service.observation.tracer, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+
+    if args.check:
+        problems = []
+        if stats["coalesced"] <= 0:
+            problems.append("no requests coalesced")
+        if stats["engine_runs"] != 1:
+            problems.append(f"expected 1 engine run, saw {stats['engine_runs']}")
+        if not identical:
+            problems.append("service colors differ from direct color_graph")
+        if stats["failed"] or stats["rejected"]:
+            problems.append("requests failed or were rejected")
+        if stats["queue_depth"] or stats["inflight"]:
+            problems.append("service did not drain cleanly")
+        if problems:
+            print("CHECK FAILED: " + "; ".join(problems))
+            return 1
+        print("CHECK OK")
+    return 0
+
+
 def _method_arg(value: str) -> str:
     """Canonicalize a --method argument through the registry aliases.
 
@@ -652,6 +765,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="data-ldg", type=_method_arg, metavar="METHOD")
     p.add_argument("--top", type=int, default=None, help="show only the N slowest kernels")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "serve", parents=[common],
+        help="drive the async coloring service: concurrent duplicate "
+        "requests, coalescing/admission counters, optional session edits",
+    )
+    p.add_argument("--graph", required=True)
+    p.add_argument("--method", default="data-ldg", type=_method_arg, metavar="METHOD")
+    p.add_argument(
+        "--requests", type=int, default=50, metavar="N",
+        help="concurrent duplicate requests to storm the service with",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="engine worker-pool size for batches (default serial)",
+    )
+    p.add_argument(
+        "--store", default=None, choices=("heap", "shm", "mmap"),
+        help="graph arena workers attach to (service-owned, closed on exit)",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="DIR|memory",
+        help="shared result cache (default: fresh in-memory LRU)",
+    )
+    p.add_argument("--max-queue", type=int, default=64, metavar="N")
+    p.add_argument("--batch-max", type=int, default=8, metavar="N")
+    p.add_argument(
+        "--session-edits", type=int, default=0, metavar="N",
+        help="also run a dynamic session applying N random edits",
+    )
+    p.add_argument(
+        "--max-drift", type=int, default=None, metavar="K",
+        help="session compaction threshold (colors above baseline)",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the service-level Chrome trace here",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless coalescing collapsed the storm to one "
+        "engine run with byte-identical colors and a clean shutdown",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     return parser
 

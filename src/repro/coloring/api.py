@@ -24,7 +24,7 @@ from typing import Callable
 
 from ..engine.runner import SchemeRecipe
 from ..graph.csr import CSRGraph
-from ..obs.observe import resolve_observe, warn_recorder_deprecated
+from ..obs.observe import reject_recorder_keyword, resolve_observe
 from .registry import (
     METHOD_ALIASES,
     SCHEMES,
@@ -132,7 +132,6 @@ def color_graph(
     context=None,
     config=None,
     observe=None,
-    recorder=None,
     cache=None,
     mex=None,
     faults=None,
@@ -175,9 +174,7 @@ def color_graph(
         ``"rounds"``, a :class:`~repro.obs.tracer.Tracer`, a
         :class:`~repro.metrics.recorder.Recorder`, or an
         :class:`~repro.obs.observe.Observation`.  The resolved bundle is
-        attached to ``result.extra["observation"]``.
-    recorder:
-        Deprecated spelling of ``observe=<Recorder>``.
+        attached to ``result.observation``.
     cache:
         A content-addressed result cache (see :mod:`repro.parallel.cache`):
         ``None`` (default, no caching), ``"memory"``, a directory path, or
@@ -219,10 +216,7 @@ def color_graph(
         Colors, color count, iteration count and simulated timing.
     """
     method = resolve_method(method, METHODS, entry_point="color_graph")
-    if recorder is not None:
-        warn_recorder_deprecated("color_graph")
-        if observe is None:
-            observe = recorder
+    reject_recorder_keyword("color_graph", kwargs)
     if config is not None:
         from ..engine.config import normalize_config
 

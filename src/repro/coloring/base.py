@@ -34,45 +34,49 @@ class ColoringError(RuntimeError):
     """Raised when a produced coloring fails verification."""
 
 
-def _warn_extra_read() -> None:
-    from ..deprecation import warn_once
+#: ``extra`` keys migrated to the typed result surface.  Reading them
+#: through the bag was deprecated (DeprecationWarning), escalated
+#: (FutureWarning), and is now removed: the typed properties are the only
+#: supported spelling.
+_MIGRATED_EXTRA = {
+    "observation": "result.observation",
+    "cache_hit": "result.cache_hit",
+    "shard_stats": "result.shard_stats",
+    "robustness": "result.robustness",
+}
 
-    warn_once(
-        "result-extra-read",
-        "reading ColoringResult.extra[...] is deprecated and will be "
-        "removed in the release after next; use the typed surface instead "
-        "— result.observation / result.cache_hit / result.shard_stats, or "
-        "result.to_dict(schema_version=1) for the full documented mapping",
-        stage="pending-removal",
-        stacklevel=4,
+
+def _removed_extra_message(key: str) -> str:
+    return (
+        f"result.extra[{key!r}] was removed; read {_MIGRATED_EXTRA[key]} "
+        f"instead (or result.to_dict(schema_version=1) for the documented "
+        f"mapping — see docs/API.md, 'Deprecations')"
     )
 
 
-def _reset_extra_deprecation() -> None:
-    """Test hook: re-arm the once-per-process ``extra`` read warning."""
-    from ..deprecation import _reset_for_tests
-
-    _reset_for_tests("result-extra-read")
-
-
 class _ExtraBag(dict):
-    """The legacy untyped result bag: reads warn once per process.
+    """Scheme-specific result outputs (``block_size``, ``fraction``, ...).
 
-    Writes (``[...] =``, ``setdefault``, ``update``) stay silent — the
-    engine and the schemes still populate the bag; it is *keying into* it
-    downstream that the typed surface replaces.
+    The typed keys that used to live here — ``observation``,
+    ``cache_hit``, ``shard_stats``, ``robustness`` — completed their
+    deprecation cycle: reading them through the bag now raises with a
+    pointer at the same-named :class:`ColoringResult` property.  Writes
+    stay open (the engine still populates the bag), and scheme-specific
+    keys read normally.
     """
 
     def __getitem__(self, key):
-        _warn_extra_read()
+        if key in _MIGRATED_EXTRA:
+            raise KeyError(_removed_extra_message(key))
         return dict.__getitem__(self, key)
 
     def get(self, key, default=None):
-        _warn_extra_read()
+        if key in _MIGRATED_EXTRA:
+            raise KeyError(_removed_extra_message(key))
         return dict.get(self, key, default)
 
     def peek(self, key, default=None):
-        """Warning-free read, for the typed accessors themselves."""
+        """Direct read, for the typed accessors themselves."""
         return dict.get(self, key, default)
 
 
@@ -185,9 +189,9 @@ class ColoringResult:
         ``shard_stats``      sharded-run statistics dict or ``None``
         ==================== ==============================================
 
-        Downstream consumers should read this (or the same-named typed
-        properties) instead of keying into ``result.extra``, which is
-        deprecated.
+        Downstream consumers read this (or the same-named typed
+        properties); ``result.extra`` holds only scheme-specific outputs
+        — the migrated keys above raise when keyed from the bag.
         """
         if schema_version != RESULT_SCHEMA_VERSION:
             raise ValueError(

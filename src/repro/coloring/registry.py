@@ -67,7 +67,6 @@ class ExecutionOptions:
     context: Any = _opt(None, "shared ExecutionContext (cached uploads, pooled buffers)")
     observe: Any = _opt(None, "observation surface: 'trace'/'profile'/'rounds', "
                               "a Tracer, a Recorder, or an Observation")
-    recorder: Any = _opt(None, "deprecated spelling of observe=<Recorder>")
     workers: Any = _opt(None, "process-pool size for color_many "
                               "(None/0/1 = serial in-process)")
     scheduler: Any = _opt(None, "'serial', 'process', or a Scheduler instance "

@@ -8,10 +8,13 @@ moves through the cycle::
     stage="pending-removal"   -> FutureWarning        (shown by default)
     (next release)            -> removed
 
-The ``recorder=`` keyword and ``ColoringResult.extra[...]`` reads are in
-the *pending-removal* stage: they warn loudly (``FutureWarning``) and
-disappear in the release after next.  The migration targets are
-documented in ``docs/API.md`` ("Deprecations").
+The ``recorder=`` keyword and typed-key ``ColoringResult.extra[...]``
+reads completed the full cycle and are now *removed* (a ``TypeError`` /
+``KeyError`` naming the migration target).  The current occupant of the
+*deprecated* stage is the bare-array ``DynamicColoring`` constructor
+shape (pass a :class:`~repro.coloring.base.ColoringResult` instead).
+The migration targets are documented in ``docs/API.md``
+("Deprecations").
 
 Warnings fire once per process per ``key`` so hot loops stay quiet;
 tests re-arm with :func:`_reset_for_tests`.

@@ -20,7 +20,7 @@ from contextlib import contextmanager
 
 from ..faults import FaultInjected, resolve_robustness
 from ..faults import runtime as fault_runtime
-from ..obs.observe import resolve_observe, warn_recorder_deprecated
+from ..obs.observe import reject_recorder_keyword, resolve_observe
 from .backend import resolve_backend
 from .errors import AuditError, ConvergenceError, InvariantViolation
 from .runner import MAX_ITERATIONS, RoundLoop, SchemeRecipe
@@ -50,9 +50,6 @@ class ExecutionContext:
         :class:`~repro.obs.observe.Observation`.  Accessible afterwards
         as :attr:`observation` (with :attr:`tracer` / :attr:`recorder`
         shortcuts).
-    recorder:
-        Deprecated spelling of ``observe=<Recorder>`` (kept working via a
-        once-per-process :class:`DeprecationWarning`).
     faults:
         Fault-injection plan (see :mod:`repro.faults`): ``None``, a
         :class:`~repro.faults.FaultPlan`, a plan spec string, or a ready
@@ -72,16 +69,12 @@ class ExecutionContext:
         *,
         config=None,
         observe=None,
-        recorder=None,
         faults=None,
         health=None,
         max_iterations: int = MAX_ITERATIONS,
         **backend_opts,
     ) -> None:
-        if recorder is not None:
-            warn_recorder_deprecated("ExecutionContext")
-            if observe is None:
-                observe = recorder
+        reject_recorder_keyword("ExecutionContext", backend_opts)
         if config is not None:
             from .config import normalize_config
 
@@ -283,7 +276,6 @@ def color_many(
     backend_opts=None,
     config=None,
     observe=None,
-    recorder=None,
     workers=None,
     scheduler=None,
     cache=None,
@@ -299,7 +291,7 @@ def color_many(
     explicit context to interleave batches with other runs or to read the
     reuse counters afterwards.  ``observe=`` attaches the unified
     observation surface to the whole batch (every run becomes one root
-    span of the same tracer); ``recorder=`` is the deprecated spelling.
+    span of the same tracer).
 
     Parallel/cached batches (see :mod:`repro.parallel`):
 
@@ -328,10 +320,7 @@ def color_many(
     round loop, and exhausted process-pool retries degrade to a serial
     healing pass instead of surfacing failures.
     """
-    if recorder is not None:
-        warn_recorder_deprecated("color_many")
-        if observe is None:
-            observe = recorder
+    reject_recorder_keyword("color_many", kwargs)
     if config is not None:
         from .config import normalize_config
 

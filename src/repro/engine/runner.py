@@ -355,7 +355,6 @@ def run_scheme(
     backend=None,
     context=None,
     observe=None,
-    recorder=None,
     faults=None,
     health=None,
 ):
@@ -367,19 +366,13 @@ def run_scheme(
     uploads, pooled buffers); otherwise an ephemeral context is built
     from ``backend`` (default: a fresh simulated K20c).  ``observe=``
     takes the unified observation surface (see :mod:`repro.obs`);
-    ``recorder=`` is the deprecated spelling of ``observe=<Recorder>``;
     ``faults=`` / ``health=`` attach the robustness layer (see
     :mod:`repro.faults`) — note the degradation *rerun* chain needs a
     recipe factory, so it lives on ``color_graph`` / ``ExecutionContext.run``,
     not here; guard failures raise from this entry point.
     """
-    from ..obs.observe import warn_recorder_deprecated
     from .context import ExecutionContext
 
-    if recorder is not None:
-        warn_recorder_deprecated("run_scheme")
-        if observe is None:
-            observe = recorder
     if context is None:
         spec = backend if backend is not None else device
         context = ExecutionContext(

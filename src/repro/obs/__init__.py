@@ -10,7 +10,7 @@ Quickstart::
 
     from repro import color_graph, rmat_er
     result = color_graph(rmat_er(scale=12), "data-ldg", observe="trace")
-    obs = result.extra["observation"]
+    obs = result.observation
     print(obs.flame_summary())
     obs.write_chrome_trace("trace.json")   # open in chrome://tracing
 

@@ -16,11 +16,10 @@ Every entry point that executes schemes — ``color_graph``,
 =====================  ====================================================
 
 All forms resolve to an :class:`Observation` — the handle the caller
-reads afterwards (it is also attached to ``result.extra["observation"]``
-so shorthand users can reach the data they asked for).  The legacy
-``recorder=`` keyword still works everywhere it used to, via a
-once-per-process shim — now in the *pending-removal* stage
-(:class:`FutureWarning`; see :mod:`repro.deprecation` and the
+reads afterwards (it is also attached to ``result.observation`` so
+shorthand users can reach the data they asked for).  The legacy
+``recorder=`` keyword completed its deprecation cycle and was removed:
+entry points raise a :class:`TypeError` naming the replacement (see the
 "Deprecations" section of docs/API.md).
 """
 
@@ -32,30 +31,26 @@ from ..metrics.recorder import Recorder
 from .export import chrome_trace, flame_summary, write_chrome_trace, write_jsonl
 from .tracer import Tracer
 
-__all__ = ["Observation", "resolve_observe", "warn_recorder_deprecated"]
+__all__ = ["Observation", "resolve_observe", "reject_recorder_keyword"]
 
 #: Accepted string shorthands (kept in one place for error messages).
 SHORTHANDS = ("trace", "profile", "rounds")
 
-def warn_recorder_deprecated(where: str) -> None:
-    """Emit the ``recorder=`` removal warning (once per process)."""
-    from ..deprecation import warn_once
 
-    warn_once(
-        "recorder-keyword",
-        f"{where}(recorder=...) is deprecated and will be removed in the "
-        f"release after next; pass observe=<Recorder> (or observe='rounds') "
-        f"instead",
-        stage="pending-removal",
-        stacklevel=4,
-    )
+def reject_recorder_keyword(where: str, kwargs: dict) -> None:
+    """Raise the removal error if the retired ``recorder=`` spelling shows up.
 
-
-def _reset_deprecation_warnings() -> None:
-    """Test hook: re-arm the once-per-process shims."""
-    from ..deprecation import _reset_for_tests
-
-    _reset_for_tests("recorder-keyword")
+    The keyword went through the full deprecation cycle (DeprecationWarning
+    → FutureWarning → removed); entry points with a ``**kwargs`` surface
+    call this so ex-users get the migration target instead of an
+    unknown-option error.
+    """
+    if "recorder" in kwargs:
+        raise TypeError(
+            f"{where}(recorder=...) was removed; pass observe=<Recorder> "
+            f"(or observe='rounds') instead — see docs/API.md, "
+            f"'Deprecations'"
+        )
 
 
 @dataclass

@@ -30,7 +30,7 @@ See docs/PARALLEL.md for the scheduler model, determinism guarantees
 and cache keying, and docs/STORAGE.md for the arena layer.
 """
 
-from .cache import ResultCache, job_cache_key, resolve_cache
+from .cache import ResultCache, clone_result, job_cache_key, resolve_cache
 from .jobs import ColorJob, JobFailure, normalize_jobs
 from .scheduler import (
     BACKOFF_CAP_S,
@@ -52,6 +52,7 @@ __all__ = [
     "SerialScheduler",
     "ShardedColoringError",
     "backoff_delay",
+    "clone_result",
     "color_sharded",
     "color_streamed",
     "job_cache_key",

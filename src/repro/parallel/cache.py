@@ -36,7 +36,13 @@ from ..coloring.base import COLOR_DTYPE, ColoringResult
 from ..coloring.registry import ENGINE_KEYWORDS, SCHEMES
 from ..faults.runtime import note_degradation
 
-__all__ = ["ResultCache", "job_cache_key", "resolve_cache", "backend_fingerprint"]
+__all__ = [
+    "ResultCache",
+    "clone_result",
+    "job_cache_key",
+    "resolve_cache",
+    "backend_fingerprint",
+]
 
 #: Backends whose *results* are byte-identical to another's by contract
 #: (the golden equivalence suite gates this), mapped to the canonical
@@ -105,6 +111,29 @@ _EPHEMERAL_EXTRA = ("observation", "cache_hit", "robustness")
 
 def _strip_extra(extra: dict) -> dict:
     return {k: v for k, v in dict(extra).items() if k not in _EPHEMERAL_EXTRA}
+
+
+def clone_result(result: ColoringResult, **extra_updates) -> ColoringResult:
+    """An independent copy of ``result`` (fresh colors, stripped extras).
+
+    Run-local handles (:data:`_EPHEMERAL_EXTRA`) are dropped and
+    ``extra_updates`` merged in — the defensive-copy discipline the cache
+    uses for hits, exposed for other sharers of one computed result (the
+    service's request coalescing hands each follower a clone).
+    """
+    extra = _strip_extra(result.extra)
+    extra.update(extra_updates)
+    return ColoringResult(
+        colors=result.colors.copy(),
+        scheme=result.scheme,
+        iterations=result.iterations,
+        gpu_time_us=result.gpu_time_us,
+        cpu_time_us=result.cpu_time_us,
+        transfer_time_us=result.transfer_time_us,
+        num_kernel_launches=result.num_kernel_launches,
+        profiles=list(result.profiles),
+        extra=extra,
+    )
 
 
 class ResultCache:
@@ -188,20 +217,9 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def _copy(self, result: ColoringResult, *, cache_hit: bool = False) -> ColoringResult:
-        extra = _strip_extra(result.extra)
         if cache_hit:
-            extra["cache_hit"] = True
-        return ColoringResult(
-            colors=result.colors.copy(),
-            scheme=result.scheme,
-            iterations=result.iterations,
-            gpu_time_us=result.gpu_time_us,
-            cpu_time_us=result.cpu_time_us,
-            transfer_time_us=result.transfer_time_us,
-            num_kernel_launches=result.num_kernel_launches,
-            profiles=list(result.profiles),
-            extra=extra,
-        )
+            return clone_result(result, cache_hit=True)
+        return clone_result(result)
 
     def _memory_put(self, key: str, entry: ColoringResult) -> None:
         self._memory[key] = entry

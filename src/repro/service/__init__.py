@@ -1,0 +1,51 @@
+"""repro.service: coloring-as-a-service.
+
+An asyncio front end over the batch engine for long-lived, concurrent
+callers (see docs/SERVICE.md):
+
+* :class:`ColoringService` — bounded admission with priority classes,
+  micro-batching into ``color_many`` on the worker pool, and
+  digest-based request coalescing (identical in-flight graphs share one
+  computation; completed ones hit the shared result cache).
+* :class:`ColoringSession` — a dynamic graph's edit stream: incremental
+  repair via :class:`~repro.coloring.dynamic.DynamicColoring`, with
+  drift-triggered full-recolor compaction routed back through the
+  service.
+* :class:`ServiceClient` — the in-process async caller surface.
+
+Quickstart::
+
+    import asyncio
+    from repro import rmat_er
+    from repro.engine import RunConfig
+    from repro.service import ColoringService, ServiceClient
+
+    async def main():
+        cfg = RunConfig(workers=2, store="shm", observe="trace")
+        async with ColoringService("data-ldg", config=cfg) as svc:
+            client = ServiceClient(svc)
+            g = rmat_er(scale=12)
+            results = await client.color_many([g] * 50)  # 1 engine run
+            print(svc.stats["coalesced"], svc.stats["engine_runs"])
+
+    asyncio.run(main())
+
+The CLI speaks the same surface: ``repro-color serve`` drives a
+concurrent request storm (with duplicates) and prints the admission /
+coalescing / batching counters.
+"""
+
+from .client import ServiceClient
+from .requests import PRIORITIES, PRIORITY_SHARES, AdmissionError, RequestFailed
+from .service import ColoringService
+from .session import ColoringSession
+
+__all__ = [
+    "PRIORITIES",
+    "PRIORITY_SHARES",
+    "AdmissionError",
+    "ColoringService",
+    "ColoringSession",
+    "RequestFailed",
+    "ServiceClient",
+]

@@ -1,0 +1,77 @@
+"""In-process async client for the coloring service.
+
+:class:`ServiceClient` is the supported caller-facing surface: it owns
+no queue internals, just the submit/session verbs plus a gather-based
+``color_many`` — the seam where a wire protocol would slot in without
+touching :class:`~repro.service.service.ColoringService` itself.
+
+Usage::
+
+    async with ColoringService(config=cfg) as svc:
+        client = ServiceClient(svc)
+        result = await client.color(graph)                 # one graph
+        results = await client.color_many(graphs)          # concurrent
+        async with await client.session(graph) as sess:    # dynamic
+            await sess.insert(0, 1)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Thin async facade over one :class:`ColoringService`."""
+
+    def __init__(self, service) -> None:
+        self._service = service
+
+    async def color(
+        self,
+        graph,
+        method: str | None = None,
+        *,
+        options: dict | None = None,
+        priority: str = "normal",
+        validate: bool | None = None,
+    ):
+        """Color one graph through the service (see ``submit``)."""
+        return await self._service.submit(
+            graph, method, options=options, priority=priority,
+            validate=validate,
+        )
+
+    async def color_many(
+        self,
+        graphs,
+        method: str | None = None,
+        *,
+        options: dict | None = None,
+        priority: str = "batch",
+        return_exceptions: bool = False,
+    ) -> list:
+        """Submit a batch concurrently; results in submission order.
+
+        Duplicates coalesce service-side.  With
+        ``return_exceptions=True`` admission/engine failures come back
+        in-position instead of raising (mirrors ``asyncio.gather``).
+        """
+        return await asyncio.gather(
+            *(
+                self._service.submit(
+                    g, method, options=options, priority=priority
+                )
+                for g in graphs
+            ),
+            return_exceptions=return_exceptions,
+        )
+
+    async def session(self, graph, **kwargs):
+        """Open a dynamic-graph session (see ``ColoringService.session``)."""
+        return await self._service.session(graph, **kwargs)
+
+    @property
+    def stats(self) -> dict:
+        return self._service.stats

@@ -1,0 +1,89 @@
+"""Request/admission vocabulary of the coloring service.
+
+Admission control is *structured*: an overloaded or stopped service
+raises :class:`AdmissionError` carrying the machine-readable reason and
+the queue numbers the client needs for backoff decisions, never a bare
+``RuntimeError``.  Engine-side job failures surface as
+:class:`RequestFailed` wrapping the scheduler's
+:class:`~repro.parallel.jobs.JobFailure` report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "PRIORITIES",
+    "PRIORITY_SHARES",
+    "AdmissionError",
+    "RequestFailed",
+    "ColorRequest",
+]
+
+#: Admission classes, most to least urgent.  Dispatch drains in this
+#: order, and each class may only occupy its *share* of the queue, so
+#: under pressure ``batch`` work is shed first and ``interactive``
+#: requests still land.
+PRIORITIES = ("interactive", "normal", "batch")
+
+#: Fraction of ``max_queue`` each priority class may fill.
+PRIORITY_SHARES = {"interactive": 1.0, "normal": 0.75, "batch": 0.5}
+
+
+class AdmissionError(RuntimeError):
+    """A request the service refused to enqueue.
+
+    Attributes
+    ----------
+    reason:
+        ``"not-running"`` (service never started / already closed),
+        ``"draining"`` (shutdown in progress, finishing queued work), or
+        ``"queue-full"`` (this priority's share of the queue is
+        exhausted).
+    priority / queue_depth / limit:
+        The admission numbers at rejection time, for client backoff.
+    """
+
+    def __init__(self, reason: str, *, priority: str = "normal",
+                 queue_depth: int = 0, limit: int = 0) -> None:
+        self.reason = reason
+        self.priority = priority
+        self.queue_depth = queue_depth
+        self.limit = limit
+        detail = {
+            "not-running": "service is not running (call start())",
+            "draining": "service is draining for shutdown",
+            "queue-full": (
+                f"admission queue full for priority {priority!r} "
+                f"(depth {queue_depth} >= limit {limit})"
+            ),
+        }.get(reason, reason)
+        super().__init__(f"request rejected [{reason}]: {detail}")
+
+
+class RequestFailed(RuntimeError):
+    """The engine failed a request after the scheduler's retries.
+
+    ``failure`` is the scheduler's :class:`~repro.parallel.jobs.JobFailure`
+    (error type, message, attempts) when the job ran and failed.
+    """
+
+    def __init__(self, message: str, failure=None) -> None:
+        super().__init__(message)
+        self.failure = failure
+
+
+@dataclass
+class ColorRequest:
+    """One admitted coloring request, queued for micro-batching."""
+
+    graph: Any
+    method: str
+    options: dict
+    priority: str
+    key: str  #: content address (:func:`~repro.parallel.cache.job_cache_key`)
+    validate: bool
+    future: asyncio.Future = field(repr=False)
+    submitted_at: float = 0.0

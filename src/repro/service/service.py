@@ -1,0 +1,434 @@
+"""The asyncio coloring service: admission, batching, coalescing.
+
+:class:`ColoringService` turns the batch engine into a long-lived
+front end for concurrent callers:
+
+* **Admission control** — a bounded queue with per-priority shares
+  (:data:`~repro.service.requests.PRIORITY_SHARES`); refusals are
+  structured :class:`~repro.service.requests.AdmissionError`\\ s, never
+  silent drops or bare exceptions.
+* **Micro-batching** — one dispatcher task drains the queue in priority
+  order into ``color_many`` batches (up to ``batch_max`` requests, an
+  optional ``batch_window_ms`` accumulation window), executed on a
+  worker thread so the event loop stays responsive; the engine batch
+  itself fans out across ``config.workers`` processes.
+* **Request coalescing** — requests are content-addressed with
+  :func:`~repro.parallel.cache.job_cache_key` (graph digest + method +
+  resolved options + backend preset).  A request whose key is already
+  *in flight* never enqueues: it awaits the leader's future and gets an
+  independent clone marked ``extra["coalesced"]=True``.  Completed keys
+  are served straight from the shared
+  :class:`~repro.parallel.ResultCache` at submit time.  Either way the
+  engine computes each distinct job exactly once.
+
+Everything threads through the existing seams: a single
+:class:`~repro.engine.config.RunConfig` carries ``backend`` /
+``workers`` / ``scheduler`` / ``cache`` / ``store`` / ``mex`` /
+``faults`` / ``health`` / ``observe``.  A string ``store=`` spec is
+resolved once at :meth:`start` into a service-owned arena kept warm
+across batches (workers attach zero-copy handles); :meth:`close`
+releases it — no leaked ``/dev/shm`` segments.  ``observe=`` attaches a
+service-level trace: one ``service.request`` leaf per request (with its
+wall-clock latency and coalesced/cache-hit markers) and one
+``service.batch`` leaf per engine batch, recorded only from the event
+loop thread (the tracer is not thread-safe).
+
+Threading model: every public coroutine must run on the service's event
+loop; the engine work happens in ``asyncio.to_thread`` and only the
+dispatcher touches it, so at most one engine batch is in flight at a
+time (parallelism comes from the worker pool inside the batch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..engine.config import RunConfig, resolve_run_config
+from ..obs.observe import resolve_observe
+from ..parallel.cache import clone_result, job_cache_key, resolve_cache
+from ..parallel.jobs import JobFailure
+from .requests import (
+    PRIORITIES,
+    PRIORITY_SHARES,
+    AdmissionError,
+    ColorRequest,
+    RequestFailed,
+)
+
+__all__ = ["ColoringService"]
+
+
+class ColoringService:
+    """Async coloring front end over the batch engine (module docstring).
+
+    Parameters
+    ----------
+    method:
+        Default scheme for requests that don't name one.
+    config:
+        A :class:`~repro.engine.config.RunConfig` (or mapping) supplying
+        the execution seams.  ``cache`` defaults to a fresh in-memory
+        :class:`~repro.parallel.ResultCache` (coalescing needs one);
+        ``store`` strings resolve to a service-owned arena.
+    max_queue:
+        Total admission-queue capacity; each priority class may fill
+        only its :data:`~repro.service.requests.PRIORITY_SHARES`
+        fraction.
+    batch_max:
+        Most requests folded into one engine batch.
+    batch_window_ms:
+        Accumulation window before a batch is cut — trade latency for
+        batching opportunity (default 0: dispatch as soon as scheduled).
+    validate:
+        Default engine-side validation flag for requests.
+    """
+
+    def __init__(
+        self,
+        method: str = "data-ldg",
+        *,
+        config=None,
+        max_queue: int = 64,
+        batch_max: int = 8,
+        batch_window_ms: float = 0.0,
+        validate: bool = True,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.method = method
+        self.config: RunConfig = resolve_run_config(config) or RunConfig()
+        self.max_queue = max_queue
+        self.batch_max = batch_max
+        self.batch_window_s = batch_window_ms / 1000.0
+        self.validate = validate
+        self.observation = resolve_observe(self.config.observe)
+        self._cache = resolve_cache(self.config.cache) or resolve_cache("memory")
+        self._store = None  # resolved at start()
+        self._owns_store = False
+        self._queues: dict[str, list[ColorRequest]] = {p: [] for p in PRIORITIES}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._wake: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._running = False
+        self._draining = False
+        # -- counters (see :attr:`stats`) --
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._cache_hits = 0
+        self._coalesced = 0
+        self._engine_runs = 0
+        self._batches = 0
+        self._sessions = 0
+        self._session_ops = 0
+        self._compactions = 0
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "ColoringService":
+        """Bring the service up (idempotent): arena + dispatcher task."""
+        if self._running:
+            return self
+        spec = self.config.store
+        if isinstance(spec, str):
+            from ..graph.store import resolve_store
+
+            self._store = resolve_store(spec)
+            self._owns_store = True
+        else:
+            self._store = spec  # instance or None: caller owns lifetime
+        self._wake = asyncio.Event()
+        self._running = True
+        self._draining = False
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-color-dispatch"
+        )
+        self._trace("service.start", "service")
+        return self
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Shut down: optionally drain queued work, release the arena.
+
+        With ``drain=True`` (default) admission stops (``"draining"``
+        rejections) but every already-admitted request completes; with
+        ``drain=False`` queued requests fail with
+        :class:`AdmissionError("not-running")`.
+        """
+        if not self._running:
+            return
+        self._draining = True
+        if not drain:
+            for queue in self._queues.values():
+                for req in queue:
+                    if not req.future.done():
+                        req.future.set_exception(AdmissionError("not-running"))
+                    self._inflight.pop(req.key, None)
+                queue.clear()
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        self._running = False
+        if self._owns_store and self._store is not None:
+            self._store.close()
+            self._store = None
+            self._owns_store = False
+        self._trace("service.close", "service")
+
+    async def __aenter__(self) -> "ColoringService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    @property
+    def running(self) -> bool:
+        return self._running and not self._draining
+
+    # -- submission ------------------------------------------------------
+    async def submit(
+        self,
+        graph,
+        method: str | None = None,
+        *,
+        options: dict | None = None,
+        priority: str = "normal",
+        validate: bool | None = None,
+    ):
+        """Color ``graph``; resolves to the engine's ``ColoringResult``.
+
+        Raises :class:`AdmissionError` when refused and
+        :class:`RequestFailed` when the engine exhausts its retries.
+        Coalesced/cached completions are marked in ``result.extra``
+        (``coalesced`` / ``cache_hit``).
+        """
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; choose from {PRIORITIES}"
+            )
+        method = method or self.method
+        options = dict(options or {})
+        validate = self.validate if validate is None else validate
+        self._submitted += 1
+        if not self._running:
+            self._rejected += 1
+            raise AdmissionError("not-running", priority=priority)
+        if self._draining:
+            self._rejected += 1
+            raise AdmissionError("draining", priority=priority)
+        key = job_cache_key(
+            graph, method, options,
+            self.config.backend, self.config.backend_opts,
+        )
+        started = time.monotonic()
+        # Coalesce onto an identical in-flight computation.
+        leader = self._inflight.get(key)
+        if leader is not None:
+            self._coalesced += 1
+            result = await asyncio.shield(leader)
+            self._completed += 1
+            self._trace(
+                "service.request", "service", coalesced=1,
+                latency_us=_us_since(started),
+            )
+            return clone_result(result, coalesced=True)
+        # Serve completed keys straight from the shared result cache.
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._completed += 1
+            self._trace(
+                "service.request", "service", cache_hit=1,
+                latency_us=_us_since(started),
+            )
+            return cached
+        depth = self._depth()
+        limit = int(self.max_queue * PRIORITY_SHARES[priority])
+        if depth >= limit:
+            self._rejected += 1
+            raise AdmissionError(
+                "queue-full", priority=priority, queue_depth=depth, limit=limit
+            )
+        future = asyncio.get_running_loop().create_future()
+        request = ColorRequest(
+            graph=graph, method=method, options=options, priority=priority,
+            key=key, validate=validate, future=future, submitted_at=started,
+        )
+        self._queues[priority].append(request)
+        self._inflight[key] = future
+        self._wake.set()
+        # shield: a cancelled caller must not kill the computation its
+        # coalesced followers are awaiting.
+        result = await asyncio.shield(future)
+        self._completed += 1
+        self._trace(
+            "service.request", "service", latency_us=_us_since(started)
+        )
+        return result
+
+    def _depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # -- dispatch --------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._depth():
+                if self.batch_window_s > 0:
+                    await asyncio.sleep(self.batch_window_s)
+                batch = self._next_batch()
+                if batch:
+                    await self._run_batch(batch)
+            if self._draining and not self._depth():
+                return
+
+    def _next_batch(self) -> list[ColorRequest]:
+        """Up to ``batch_max`` requests, urgent classes first."""
+        batch: list[ColorRequest] = []
+        for priority in PRIORITIES:
+            queue = self._queues[priority]
+            while queue and len(batch) < self.batch_max:
+                batch.append(queue.pop(0))
+            if len(batch) >= self.batch_max:
+                break
+        return batch
+
+    async def _run_batch(self, batch: list[ColorRequest]) -> None:
+        started = time.monotonic()
+        # One engine call per validate flavor (usually exactly one).
+        groups: dict[bool, list[ColorRequest]] = {}
+        for req in batch:
+            groups.setdefault(req.validate, []).append(req)
+        fresh_runs = 0
+        for validate, group in groups.items():
+            jobs = [(r.graph, r.method, r.options) for r in group]
+            try:
+                results = await asyncio.to_thread(
+                    self._execute, jobs, validate
+                )
+            except BaseException as exc:  # engine blew up wholesale
+                for req in group:
+                    self._inflight.pop(req.key, None)
+                    self._failed += 1
+                    if not req.future.done():
+                        req.future.set_exception(
+                            RequestFailed(f"batch execution failed: {exc}")
+                        )
+                continue
+            for req, result in zip(group, results):
+                self._inflight.pop(req.key, None)
+                if req.future.done():
+                    continue
+                if isinstance(result, JobFailure) or not result:
+                    self._failed += 1
+                    req.future.set_exception(
+                        RequestFailed(str(result), failure=result)
+                    )
+                    continue
+                if not result.cache_hit:
+                    fresh_runs += 1
+                req.future.set_result(result)
+        self._batches += 1
+        self._engine_runs += fresh_runs
+        self._trace(
+            "service.batch", "service", requests=len(batch),
+            engine_runs=fresh_runs, duration_us=_us_since(started),
+        )
+
+    def _execute(self, jobs, validate: bool):
+        """The engine batch (worker thread; the only engine entry point)."""
+        from ..coloring.kernels import mex_strategy
+        from ..engine.context import color_many
+
+        cfg = self.config
+
+        def run():
+            return color_many(
+                jobs,
+                self.method,
+                backend=cfg.backend,
+                backend_opts=cfg.backend_opts,
+                workers=cfg.workers,
+                scheduler=cfg.scheduler,
+                cache=self._cache,
+                store=self._store,
+                faults=cfg.faults,
+                health=cfg.health,
+                validate=validate,
+            )
+
+        if cfg.mex is not None:
+            with mex_strategy(cfg.mex):
+                return run()
+        return run()
+
+    # -- sessions --------------------------------------------------------
+    async def session(
+        self,
+        graph,
+        *,
+        method: str | None = None,
+        max_drift: int | None = None,
+        priority: str = "interactive",
+    ):
+        """Open a dynamic-graph session seeded by one service coloring.
+
+        The initial coloring goes through the normal admission/coalescing
+        path; edits then repair incrementally in a worker thread, and
+        (``max_drift=``) compaction recolors route back through the
+        service.  See :class:`~repro.service.session.ColoringSession`.
+        """
+        from ..coloring.dynamic import DynamicColoring
+        from .session import ColoringSession
+
+        result = await self.submit(graph, method, priority=priority)
+        dyn = await asyncio.to_thread(
+            DynamicColoring, graph, result, method=method or self.method
+        )
+        self._sessions += 1
+        self._trace("service.session", "service", vertices=graph.num_vertices)
+        return ColoringSession(self, dyn, max_drift=max_drift)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot (all monotone except the depth gauges)."""
+        return {
+            "running": self.running,
+            "submitted": self._submitted,
+            "completed": self._completed,
+            "rejected": self._rejected,
+            "failed": self._failed,
+            "cache_hits": self._cache_hits,
+            "coalesced": self._coalesced,
+            "engine_runs": self._engine_runs,
+            "batches": self._batches,
+            "queue_depth": self._depth(),
+            "inflight": len(self._inflight),
+            "sessions": self._sessions,
+            "session_ops": self._session_ops,
+            "compactions": self._compactions,
+            "cache": self._cache.stats(),
+        }
+
+    @property
+    def cache(self):
+        """The shared result cache (coalescing + dedup live here)."""
+        return self._cache
+
+    @property
+    def tracer(self):
+        return self.observation.tracer
+
+    def _trace(self, name: str, category: str, **counters) -> None:
+        # Event-loop thread only: the tracer is not thread-safe.
+        if self.observation.tracer is not None:
+            self.observation.tracer.event(name, category, **counters)
+
+
+def _us_since(started: float) -> float:
+    return (time.monotonic() - started) * 1e6

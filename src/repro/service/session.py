@@ -1,0 +1,128 @@
+"""Dynamic-graph sessions over the coloring service.
+
+A :class:`ColoringSession` pairs one
+:class:`~repro.coloring.dynamic.DynamicColoring` with the service that
+seeded it.  Edits (insert / delete / add_vertex / batched
+:meth:`apply`) run the incremental repair in a worker thread — the
+event loop never blocks on an O(degree) rescan — and every op resolves
+to the same versioned typed :class:`~repro.coloring.base.ColoringResult`
+surface ``color_graph`` returns.
+
+Quality drift: local repair only ever grows the palette.  With
+``max_drift=k`` armed, any op that leaves the palette more than ``k``
+colors above the last full coloring triggers *compaction*: the current
+topology snapshot goes back through the service (``priority="batch"``,
+so interactive traffic is not displaced — and an identical concurrent
+compaction coalesces), and the session adopts the fresh coloring as its
+new baseline.
+
+Ops serialize through an ``asyncio.Lock`` — a session is a single
+logical edit stream; open several sessions for independent graphs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["ColoringSession"]
+
+
+class ColoringSession:
+    """One dynamic graph's edit stream (see module docstring).
+
+    Construct via :meth:`ColoringService.session`; the service counts
+    ops/compactions and funnels compaction recolors through admission.
+    """
+
+    def __init__(self, service, dyn, *, max_drift: int | None = None) -> None:
+        self._service = service
+        self._dyn = dyn
+        self.max_drift = max_drift
+        self._lock = asyncio.Lock()
+        self.closed = False
+
+    # -- edits -----------------------------------------------------------
+    async def apply(self, edits, *, improve: bool = True):
+        """Apply an edit batch; resolves to the typed result snapshot."""
+        async with self._lock:
+            self._check_open()
+            result = await asyncio.to_thread(
+                self._dyn.apply, edits, improve=improve
+            )
+            self._service._session_ops += 1
+            return await self._maybe_compact(result)
+
+    async def insert(self, u: int, v: int):
+        """Insert edge (u, v); typed result (repair report in extra)."""
+        return await self.apply([("insert", u, v)])
+
+    async def delete(self, u: int, v: int, *, improve: bool = True):
+        """Delete edge (u, v), optionally improving nearby colors."""
+        return await self.apply([("delete", u, v)], improve=improve)
+
+    async def add_vertex(self):
+        """Append an isolated vertex; its id is in
+        ``result.extra["dynamic"]["added"][-1]``."""
+        return await self.apply([("add_vertex",)])
+
+    # -- reads -----------------------------------------------------------
+    async def result(self):
+        """The current typed snapshot (no edit, no version bump)."""
+        async with self._lock:
+            self._check_open()
+            return self._dyn.result()
+
+    @property
+    def version(self) -> int:
+        return self._dyn.version
+
+    @property
+    def num_colors(self) -> int:
+        return self._dyn.num_colors
+
+    @property
+    def num_vertices(self) -> int:
+        return self._dyn.num_vertices
+
+    # -- compaction ------------------------------------------------------
+    async def compact(self):
+        """Force a full service recolor + adopt (resets the baseline)."""
+        async with self._lock:
+            self._check_open()
+            return await self._compact()
+
+    async def _maybe_compact(self, result):
+        if self.max_drift is None:
+            return result
+        dyn = self._dyn
+        if dyn.num_colors <= dyn.baseline_colors + self.max_drift:
+            return result
+        return await self._compact()
+
+    async def _compact(self):
+        dyn = self._dyn
+        graph = await asyncio.to_thread(dyn.to_graph)
+        fresh = await self._service.submit(graph, priority="batch")
+        await asyncio.to_thread(dyn.adopt, fresh)
+        self._service._compactions += 1
+        self._service._trace(
+            "service.compact", "service", num_colors=dyn.num_colors
+        )
+        return dyn.result(op="compact")
+
+    # -- lifecycle -------------------------------------------------------
+    async def close(self):
+        """End the session; the final typed snapshot is returned."""
+        async with self._lock:
+            self.closed = True
+            return self._dyn.result()
+
+    async def __aenter__(self) -> "ColoringSession":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("session is closed")

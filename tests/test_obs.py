@@ -1,7 +1,6 @@
 """Observability: span tracing, exporters, and the observe= surface."""
 
 import json
-import warnings
 
 import numpy as np
 import pytest
@@ -23,7 +22,6 @@ from repro.obs import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.observe import _reset_deprecation_warnings
 
 
 @pytest.fixture(scope="module")
@@ -34,7 +32,7 @@ def small_er():
 @pytest.fixture()
 def traced_topo(small_er):
     result = color_graph(small_er, "topo-base", observe="trace")
-    return result, result.extra["observation"]
+    return result, result.observation
 
 
 # ---------------------------------------------------------------- tracer core
@@ -98,7 +96,7 @@ def test_topo_span_tree_shape_and_counters(small_er, traced_topo):
 
 def test_datadriven_span_counters_track_worklist(small_er):
     result = color_graph(small_er, "data-ldg", observe="trace")
-    run = result.extra["observation"].tracer.runs()[0]
+    run = result.observation.tracer.runs()[0]
     rounds = [c for c in run.children if c.category == "round"]
     assert len(rounds) == result.iterations
     # first round processes the full vertex set; actives shrink monotonically
@@ -113,7 +111,7 @@ def test_datadriven_span_counters_track_worklist(small_er):
 
 def test_cpusim_backend_traces_kernels(small_er):
     result = color_graph(small_er, "data-base", backend="cpusim", observe="trace")
-    tracer = result.extra["observation"].tracer
+    tracer = result.observation.tracer
     kernels = tracer.spans("kernel")
     assert len(kernels) == result.num_kernel_launches
     assert all(k.counters["instructions"] > 0 for k in kernels)
@@ -124,7 +122,7 @@ def test_cpusim_backend_traces_kernels(small_er):
 
 def test_host_scheme_gets_synthetic_run_span(small_er):
     result = color_graph(small_er, "sequential", observe="trace")
-    run = result.extra["observation"].tracer.runs()[0]
+    run = result.observation.tracer.runs()[0]
     assert run.counters["backend"] == "host"
     assert run.duration_us == pytest.approx(result.total_time_us)
     assert run.counters["colors"] == result.num_colors
@@ -214,7 +212,7 @@ def test_resolve_observe_forms():
 
 def test_observe_recorder_collects_rounds(small_er):
     result = color_graph(small_er, "data-base", observe="rounds")
-    rec = result.extra["observation"].recorder
+    rec = result.observation.recorder
     assert len(rec.rounds) == result.iterations
     assert rec.rounds[0].active == small_er.num_vertices
 
@@ -240,22 +238,23 @@ def test_observation_without_tracer_refuses_trace_views():
         obs.chrome_trace()
 
 
-# ----------------------------------------------------------- deprecation shim
-def test_recorder_keyword_warns_once(small_er):
-    _reset_deprecation_warnings()
+# ------------------------------------------------- retired recorder= keyword
+def test_recorder_keyword_removed(small_er):
+    """The PR 2 shim completed its cycle: recorder= now raises with the
+    migration target instead of warning."""
     rec = Recorder()
-    with pytest.warns(FutureWarning, match="observe="):
-        ctx = ExecutionContext(recorder=rec)
-    assert ctx.recorder is rec
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")  # a second warning would raise
-        ExecutionContext(recorder=Recorder())
-    _reset_deprecation_warnings()
-    with pytest.warns(FutureWarning):
-        result = color_graph(small_er, "data-base", recorder=rec)
-    assert result.extra["observation"].recorder is rec
+    with pytest.raises(TypeError, match="observe="):
+        ExecutionContext(recorder=rec)
+    with pytest.raises(TypeError, match="removed"):
+        color_graph(small_er, "data-base", recorder=rec)
+    from repro.engine import color_many
+
+    with pytest.raises(TypeError, match="observe="):
+        color_many([small_er], "data-base", recorder=rec)
+    # The supported spelling still routes rounds into the recorder.
+    result = color_graph(small_er, "data-base", observe=rec)
+    assert result.observation.recorder is rec
     assert len(rec.rounds) == result.iterations
-    _reset_deprecation_warnings()
 
 
 # ------------------------------------------------------------------- CLI
@@ -301,7 +300,7 @@ def test_cli_color_observe_flags(tmp_path, capsys):
 def test_empty_graph_traces_cleanly():
     g = from_edges([], [], num_vertices=0, name="empty")
     result = color_graph(g, "data-ldg", observe="trace")
-    run = result.extra["observation"].tracer.runs()[0]
+    run = result.observation.tracer.runs()[0]
     assert run.counters["iterations"] == 0
     assert result.num_kernel_launches == 0
 

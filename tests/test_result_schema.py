@@ -1,28 +1,15 @@
-"""The versioned typed result surface and the ``extra`` deprecation shim."""
-
-import warnings
+"""The versioned typed result surface and the retired ``extra`` reads."""
 
 import numpy as np
 import pytest
 
 from repro import color_graph, rmat_er
-from repro.coloring.base import (
-    RESULT_SCHEMA_VERSION,
-    ColoringResult,
-    _reset_extra_deprecation,
-)
+from repro.coloring.base import RESULT_SCHEMA_VERSION, ColoringResult
 
 
 @pytest.fixture(scope="module")
 def g():
     return rmat_er(scale=7, seed=5)
-
-
-@pytest.fixture(autouse=True)
-def rearm_warning():
-    _reset_extra_deprecation()
-    yield
-    _reset_extra_deprecation()
 
 
 def test_to_dict_schema_v1_keys(g):
@@ -58,24 +45,33 @@ def test_typed_properties(g):
     assert observed.observation.recorder is not None
 
 
-def test_extra_reads_warn_once_per_process(g):
+def test_migrated_extra_reads_raise(g):
+    """The PR 3 deprecation cycle completed: keying a migrated key out of
+    ``extra`` raises with a pointer at the typed surface."""
     result = color_graph(g, "data-ldg", observe="trace")
-    with pytest.warns(FutureWarning, match="typed surface"):
-        obs = result.extra["observation"]
-    assert obs is result.observation
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")  # second read: shim already fired
-        assert result.extra.get("observation") is obs
+    for key in ("observation", "cache_hit", "shard_stats", "robustness"):
+        with pytest.raises(KeyError, match="removed"):
+            result.extra[key]
+        with pytest.raises(KeyError, match="removed"):
+            result.extra.get(key)
+    assert result.observation is not None  # the typed spelling still works
 
 
-def test_extra_writes_stay_silent(g):
+def test_scheme_specific_extra_reads_stay_open(g):
+    """Only the migrated typed keys were retired; scheme outputs (e.g.
+    ``backend``, ``block_size``) still read normally from the bag."""
     result = color_graph(g, "data-ldg")
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        result.extra["marker"] = 1
-        result.extra.setdefault("other", 2)
-        result.extra.update(third=3)
-        result.extra.pop("third", None)
+    assert result.extra["backend"] == "gpusim"
+    assert result.extra.get("block_size") == 128
+    assert result.extra.get("no-such-key", "fallback") == "fallback"
+
+
+def test_extra_writes_stay_open(g):
+    result = color_graph(g, "data-ldg")
+    result.extra["marker"] = 1
+    result.extra.setdefault("other", 2)
+    result.extra.update(third=3)
+    result.extra.pop("third", None)
     assert result.extra.peek("marker") == 1
 
 
