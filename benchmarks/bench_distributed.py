@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Weak-scaling benchmark for multi-device distributed coloring.
+
+The distributed layer's claim (see docs/DISTRIBUTED.md): speculative
+boundary coloring cuts both the number of pair synchronizations and the
+modeled halo traffic versus the lockstep full-exchange loop, while
+returning **byte-identical** colors — to the lockstep run, and to
+``color_sharded`` at the same shard count.
+
+This suite measures that claim under *weak scaling*: the per-device
+shard size is held fixed while the device count doubles
+(``rmat_er(scale=10+log2(D))`` for ``D`` devices), which is how a real
+multi-GPU fleet grows.  For each device count it runs the speculative
+and lockstep modes on the PCIe topology and records:
+
+* ``sync_rounds``       — pair synchronizations (one per linked device
+                          pair per round it exchanged);
+* ``halo_bytes_modeled``— bytes the interconnect model priced;
+* ``speculation_hits``  — pair-rounds where speculation skipped a sync;
+* colors digest         — and the matching ``color_sharded`` digest.
+
+Every gated quantity is *functional* (derived from the deterministic
+coloring sequence, not the host clock), so the committed
+``BENCH_distributed.json`` is compared **exactly** — any drift means the
+protocol changed, intentionally or not.
+
+Usage::
+
+    python benchmarks/bench_distributed.py            # measure + check
+    python benchmarks/bench_distributed.py --check    # gate (exit 1)
+    python benchmarks/bench_distributed.py --update   # rewrite the record
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import color_distributed, color_sharded, rmat_er  # noqa: E402
+
+RECORD_PATH = Path(__file__).parent / "BENCH_distributed.json"
+
+#: Weak-scaling ladder: devices -> rmat_er scale (fixed shard size of
+#: 2**10 vertices per device).
+DEVICE_COUNTS = (1, 2, 4, 8)
+BASE_SCALE = 10
+SEED = 5
+METHOD = "data-ldg"
+TOPOLOGY = "pcie"
+
+#: The acceptance threshold: speculation must show a strict reduction
+#: from this device count up (tiny clusters have too few links to skip).
+REDUCTION_FROM_DEVICES = 4
+
+#: Functional fields compared exactly against the committed record.
+GATED_FIELDS = (
+    "links", "resolution_rounds", "sync_rounds",
+    "halo_bytes_modeled", "speculation_hits", "digest",
+)
+
+
+def _digest(result) -> str:
+    return hashlib.sha256(result.colors.tobytes()).hexdigest()[:16]
+
+
+def _mode_row(result) -> dict:
+    stats = result.shard_stats
+    return {
+        "links": stats["links"],
+        "resolution_rounds": stats["resolution_rounds"],
+        "sync_rounds": stats["sync_rounds"],
+        "halo_bytes_modeled": stats["halo_bytes_modeled"],
+        "speculation_hits": stats["speculation_hits"],
+        "comm_time_us": round(stats["comm_time_us"], 3),
+        "digest": _digest(result),
+    }
+
+
+def run_profile() -> dict:
+    rows = []
+    for devices in DEVICE_COUNTS:
+        scale = BASE_SCALE + devices.bit_length() - 1
+        graph = rmat_er(scale=scale, seed=SEED)
+        spec = color_distributed(
+            graph, METHOD, devices=devices, topology=TOPOLOGY, speculate=True
+        )
+        lock = color_distributed(
+            graph, METHOD, devices=devices, topology=TOPOLOGY, speculate=False
+        )
+        sharded = color_sharded(graph, METHOD, num_shards=devices)
+        rows.append({
+            "devices": devices,
+            "graph": {
+                "scale": scale,
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+            },
+            "speculative": _mode_row(spec),
+            "lockstep": _mode_row(lock),
+            "sharded_digest": _digest(sharded),
+        })
+    return {
+        "method": METHOD,
+        "topology": TOPOLOGY,
+        "seed": SEED,
+        "weak_scaling": rows,
+    }
+
+
+def check(profile: dict, record: dict | None) -> int:
+    """Gate the invariants and (when a record exists) exact values."""
+    failures = []
+    print(f"{'D':>2} {'links':>5} {'rounds':>6} "
+          f"{'sync spec/lock':>15} {'halo B spec/lock':>21} {'hits':>5}")
+    for row in profile["weak_scaling"]:
+        d = row["devices"]
+        spec, lock = row["speculative"], row["lockstep"]
+        print(f"{d:>2} {spec['links']:>5} {spec['resolution_rounds']:>6} "
+              f"{spec['sync_rounds']:>7}/{lock['sync_rounds']:<7} "
+              f"{spec['halo_bytes_modeled']:>10}/{lock['halo_bytes_modeled']:<10} "
+              f"{spec['speculation_hits']:>5}")
+
+        # Identity: spec == lock == sharded, byte for byte.
+        if not (spec["digest"] == lock["digest"] == row["sharded_digest"]):
+            failures.append(
+                f"D={d}: colors diverge (spec {spec['digest']}, lock "
+                f"{lock['digest']}, sharded {row['sharded_digest']})"
+            )
+        if spec["resolution_rounds"] != lock["resolution_rounds"]:
+            failures.append(
+                f"D={d}: speculation changed the round count "
+                f"({spec['resolution_rounds']} vs {lock['resolution_rounds']})"
+            )
+        # Accounting identity: every pair-round is either synced or a hit.
+        if (spec["sync_rounds"] + spec["speculation_hits"]
+                != lock["sync_rounds"]):
+            failures.append(
+                f"D={d}: sync accounting broken "
+                f"({spec['sync_rounds']} + {spec['speculation_hits']} != "
+                f"{lock['sync_rounds']})"
+            )
+        # The headline claim: strict reduction at scale.
+        if d >= REDUCTION_FROM_DEVICES:
+            if spec["sync_rounds"] >= lock["sync_rounds"]:
+                failures.append(
+                    f"D={d}: speculation did not reduce pair syncs "
+                    f"({spec['sync_rounds']} vs {lock['sync_rounds']})"
+                )
+            if spec["halo_bytes_modeled"] >= lock["halo_bytes_modeled"]:
+                failures.append(
+                    f"D={d}: speculation did not reduce modeled bytes "
+                    f"({spec['halo_bytes_modeled']} vs "
+                    f"{lock['halo_bytes_modeled']})"
+                )
+
+    if record is not None:
+        recorded = {r["devices"]: r for r in record["weak_scaling"]}
+        for row in profile["weak_scaling"]:
+            base = recorded.get(row["devices"])
+            if base is None:
+                failures.append(f"D={row['devices']}: no committed entry "
+                                f"(run --update)")
+                continue
+            for mode in ("speculative", "lockstep"):
+                for field in GATED_FIELDS:
+                    now, was = row[mode][field], base[mode][field]
+                    if now != was:
+                        failures.append(
+                            f"D={row['devices']} {mode}.{field}: "
+                            f"{was!r} -> {now!r} (functional drift)"
+                        )
+            if row["sharded_digest"] != base["sharded_digest"]:
+                failures.append(
+                    f"D={row['devices']}: sharded digest drifted "
+                    f"({base['sharded_digest']} -> {row['sharded_digest']})"
+                )
+
+    if failures:
+        print(f"\ndistributed gate FAILED ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  {f}")
+        print("\nif the protocol change is intentional, regenerate with "
+              "`python benchmarks/bench_distributed.py --update`")
+        return 1
+    against = "committed record" if record is not None else "invariants only"
+    print(f"\ndistributed gate passed ({against}): byte-identical colors, "
+          f"speculation reduces pair syncs and modeled bytes at "
+          f">= {REDUCTION_FROM_DEVICES} devices")
+    return 0
+
+
+def load_record() -> dict | None:
+    if not RECORD_PATH.exists():
+        return None
+    return json.loads(RECORD_PATH.read_text(encoding="utf-8"))["profile"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_distributed.json from this run")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed record (exit 1)")
+    args = parser.parse_args(argv)
+
+    profile = run_profile()
+    if args.update:
+        record = {
+            "profile": profile,
+            "meta": {
+                "machine": platform.machine(),
+                "python": platform.python_version(),
+                "note": "all gated fields are functional quantities — "
+                        "deterministic across machines",
+            },
+        }
+        RECORD_PATH.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote distributed record -> {RECORD_PATH}")
+        return check(profile, None)
+    return check(profile, load_record() if args.check else None)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--memory", action="store_true",
                         help="also gate per-worker private memory against "
                              "the zero-copy invariant (bench_memory.py)")
+    parser.add_argument("--distributed", action="store_true",
+                        help="also gate the distributed weak-scaling record "
+                             "exactly (bench_distributed.py)")
     args = parser.parse_args(argv)
 
     cells = run_matrix()
@@ -132,7 +135,11 @@ def main(argv: list[str] | None = None) -> int:
         if rc:
             return rc
     if args.memory:
-        return _memory_gate()
+        rc = _memory_gate()
+        if rc:
+            return rc
+    if args.distributed:
+        return _distributed_gate()
     return 0
 
 
@@ -168,6 +175,25 @@ def _memory_gate() -> int:
 
     print("\n[worker memory gate: zero-copy stores]")
     return bench_memory.check(bench_memory.run_profile())
+
+
+def _distributed_gate() -> int:
+    """Gate the distributed weak-scaling record (``bench_distributed.py``).
+
+    Every compared field is a functional quantity of the deterministic
+    coloring sequence — sync-round counts, modeled halo bytes, colors
+    digests — so the committed ``BENCH_distributed.json`` is enforced
+    *exactly*, on any machine.
+    """
+    try:
+        from benchmarks import bench_distributed
+    except ImportError:  # run as a script: sibling module, no package
+        import bench_distributed
+
+    print("\n[distributed gate: weak-scaling halo exchange]")
+    return bench_distributed.check(
+        bench_distributed.run_profile(), bench_distributed.load_record()
+    )
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from .coloring import (
     color_graph,
     scheme_options,
 )
+from .distributed import Topology, color_distributed
 from .engine import ExecutionContext, RunConfig, color_many
 from .graph import CSRGraph, from_edges
 from .graph.generators import load_graph, load_suite, rmat_er, rmat_g, rmat_graph
@@ -39,8 +40,10 @@ __all__ = [
     "ResultCache",
     "RunConfig",
     "SCHEMES",
+    "Topology",
     "Tracer",
     "__version__",
+    "color_distributed",
     "color_graph",
     "color_many",
     "color_sharded",

@@ -44,13 +44,14 @@ def _parse_faults(text):
 
 def _guard_errors():
     """Exceptions a strict health policy raises on purpose."""
+    from .distributed import DistributedColoringError
     from .engine.errors import AuditError, ConvergenceError, InvariantViolation
     from .faults import FaultInjected
     from .parallel import ShardedColoringError
 
     return (
         AuditError, ConvergenceError, InvariantViolation, FaultInjected,
-        ShardedColoringError,
+        ShardedColoringError, DistributedColoringError,
     )
 
 
@@ -112,7 +113,59 @@ def _cmd_color(args) -> int:
     if args.health:
         kwargs["health"] = args.health
     streaming = args.stream or args.stream_mb is not None
-    if args.shards or streaming:
+    if not args.devices:
+        for flag, value in (
+            ("--topology", args.topology),
+            ("--transport", args.transport),
+            ("--lockstep", args.lockstep),
+        ):
+            if value:
+                raise SystemExit(f"{flag} needs --devices")
+    if args.devices:
+        if args.shards or streaming:
+            raise SystemExit("--devices does not combine with --shards/--stream")
+        if args.cache:
+            raise SystemExit("--cache does not combine with --devices")
+        from .distributed import color_distributed
+
+        try:
+            result = color_distributed(
+                graph,
+                args.method,
+                devices=args.devices,
+                topology=args.topology or "pcie",
+                transport=args.transport,
+                speculate=not args.lockstep,
+                workers=args.workers,
+                backend=kwargs.pop("backend", None),
+                observe=kwargs.pop("observe", None),
+                faults=kwargs.pop("faults", None),
+                health=kwargs.pop("health", None),
+                store=args.store,
+                **kwargs,
+            )
+        except _guard_errors() as exc:
+            print(f"FAILED ({type(exc).__name__}): {exc}")
+            return 1
+        stats = result.shard_stats
+        print(result.summary())
+        if stats.get("degraded"):
+            print(
+                f"devices: {stats['num_shards']} failed "
+                f"(devices {stats['failed_devices']}), degraded to one "
+                f"single-device {stats['degraded']} run"
+            )
+        else:
+            print(
+                f"devices: {stats['devices']} @ {stats['topology']} "
+                f"({stats['transport']}, "
+                f"{'speculative' if stats['speculate'] else 'lockstep'}): "
+                f"{stats['resolution_rounds']} resolution rounds, "
+                f"{stats['sync_rounds']} pair syncs, "
+                f"{stats['halo_bytes_modeled']} halo B modeled, "
+                f"{stats['speculation_hits']} speculation hits"
+            )
+    elif args.shards or streaming:
         if args.cache:
             raise SystemExit("--cache does not combine with --shards/--stream")
         if args.store and streaming:
@@ -166,7 +219,7 @@ def _cmd_color(args) -> int:
         if args.store:
             raise SystemExit(
                 "--store needs worker processes: combine with --shards "
-                "(or use the batch subcommand)"
+                "or --devices (or use the batch subcommand)"
             )
         if args.cache:
             kwargs["cache"] = args.cache
@@ -255,10 +308,46 @@ def _cmd_batch(args) -> int:
         or args.health is not None
     )
 
+    if args.topology and not args.devices:
+        raise SystemExit("--topology needs --devices")
+
     cache_obj = None
     ctx = None
     failures = []
-    if parallel:
+    if args.devices:
+        if args.cache:
+            raise SystemExit("--cache does not combine with --devices")
+        from .distributed import color_distributed
+
+        results = []
+        sync_rounds = halo_bytes = 0
+        for g in graphs:
+            try:
+                r = color_distributed(
+                    g,
+                    args.method,
+                    devices=args.devices,
+                    topology=args.topology or "pcie",
+                    workers=args.workers,
+                    backend=args.backend,
+                    store=args.store,
+                    observe=observe,
+                    faults=_parse_faults(args.faults) if args.faults else None,
+                    health=args.health,
+                    block_size=args.block_size,
+                )
+            except _guard_errors() as exc:
+                print(f"FAILED ({type(exc).__name__}): {exc}", file=sys.stderr)
+                return 1
+            results.append(r)
+            sync_rounds += r.shard_stats["sync_rounds"]
+            halo_bytes += r.shard_stats["halo_bytes_modeled"]
+        title = (
+            f"batch: distributed({args.method})x{args.devices}"
+            f"@{args.topology or 'pcie'} on {len(graphs)} graphs "
+            f"({sync_rounds} pair syncs, {halo_bytes} halo B modeled)"
+        )
+    elif parallel:
         from .parallel import resolve_cache
 
         cache_obj = resolve_cache(args.cache)
@@ -583,6 +672,17 @@ def _method_arg(value: str) -> str:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _topology_arg(value: str) -> str:
+    """Validate a --topology preset with the API's own error message."""
+    from .distributed.topology import TOPOLOGIES, unknown_topology_error
+
+    if value not in TOPOLOGIES:
+        raise argparse.ArgumentTypeError(
+            str(unknown_topology_error(value, entry_point="repro-color"))
+        )
+    return value
+
+
 def _engine_method_arg(value: str) -> str:
     from .coloring.registry import resolve_method
 
@@ -640,6 +740,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="graph arena for worker processes: 'heap' (pickle, default), "
         "'shm' (shared-memory segments), or 'mmap'/'mmap:<dir>' "
         "(on-disk containers); combine with --shards --workers",
+    )
+    p.add_argument(
+        "--devices", type=int, default=None, metavar="N",
+        help="multi-device distributed coloring: one contiguous shard "
+        "per simulated device, boundary repair via per-round halo "
+        "exchange priced on the interconnect (colors byte-identical "
+        "to --shards N)",
+    )
+    p.add_argument(
+        "--topology", type=_topology_arg, default=None, metavar="KIND",
+        help="interconnect model for --devices: 'pcie' (default, shared "
+        "bus), 'nvlink' (all-to-all peers), or 'ring' (hop-routed)",
+    )
+    p.add_argument(
+        "--transport", default=None, choices=("local", "pool"),
+        help="how device shards execute with --devices: in-process "
+        "contexts ('local', default) or worker processes ('pool'; "
+        "implied by --workers)",
+    )
+    p.add_argument(
+        "--lockstep", action="store_true",
+        help="disable speculative boundary coloring: full halo exchange "
+        "at every round's global barrier (same colors, more traffic)",
     )
     p.add_argument(
         "--stream", action="store_true",
@@ -706,6 +829,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="graph arena for worker processes: 'heap' (pickle, default), "
         "'shm', or 'mmap'/'mmap:<dir>' — workers attach zero-copy "
         "instead of unpickling private graph copies",
+    )
+    p.add_argument(
+        "--devices", type=int, default=None, metavar="N",
+        help="run each graph as a multi-device distributed coloring "
+        "(colors byte-identical to --shards N on the color subcommand)",
+    )
+    p.add_argument(
+        "--topology", type=_topology_arg, default=None, metavar="KIND",
+        help="interconnect model for --devices: 'pcie' (default), "
+        "'nvlink', or 'ring'",
     )
     p.add_argument(
         "--observe", default=None, choices=("trace", "profile", "rounds"),

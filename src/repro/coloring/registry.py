@@ -87,6 +87,16 @@ class ExecutionOptions:
     health: Any = _opt(None, "guard-rail policy: 'strict', 'off', or a "
                              "HealthPolicy (watchdog, invariants, audit, "
                              "degradation chains)")
+    devices: Any = _opt(None, "simulated device count for "
+                              "color_distributed (one contiguous shard "
+                              "per device; colors are identical across "
+                              "device counts, so this never forks cache "
+                              "keys)")
+    topology: Any = _opt(None, "interconnect model pricing the halo "
+                               "exchange: 'pcie' (shared bus), 'nvlink' "
+                               "(all-to-all), 'ring', or a Topology "
+                               "instance (cost model only; never enters "
+                               "cache keys)")
 
     @classmethod
     def option_rows(cls) -> list[tuple[str, object, str]]:

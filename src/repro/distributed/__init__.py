@@ -1,0 +1,55 @@
+"""repro.distributed: multi-device execution over the shard protocol.
+
+The simulated GPU *cluster* (ROADMAP item 2, after Bogle & Slota):
+:func:`color_distributed` block-partitions a graph onto N simulated
+Kepler devices, colors each shard through its own
+:class:`~repro.engine.context.ExecutionContext` via a pluggable
+:class:`Transport` (in-process :class:`LocalTransport`, process-pool
+:class:`PoolTransport`; the seam is open for sockets), then repairs
+boundary conflicts with **per-round halo exchange** priced by a
+:class:`Topology` (``pcie``/``nvlink``/``ring`` interconnect models on
+the simulated clock) and **speculative boundary coloring** that ships
+only deltas and skips sync barriers on interior-only rounds.
+
+Colors are byte-identical to
+:func:`~repro.parallel.sharded.color_sharded` at equal shard counts —
+the distributed layer changes the protocol's cost model, never its
+decisions.  See docs/DISTRIBUTED.md.
+"""
+
+from .api import DistributedColoringError, color_distributed
+from .halo import HaloPlan, HaloState, build_halo_plan
+from .topology import (
+    TOPOLOGIES,
+    Link,
+    Message,
+    Topology,
+    resolve_topology,
+    unknown_topology_error,
+)
+from .transport import (
+    TRANSPORTS,
+    LocalTransport,
+    PoolTransport,
+    Transport,
+    resolve_transport,
+)
+
+__all__ = [
+    "DistributedColoringError",
+    "color_distributed",
+    "HaloPlan",
+    "HaloState",
+    "build_halo_plan",
+    "Link",
+    "Message",
+    "Topology",
+    "TOPOLOGIES",
+    "resolve_topology",
+    "unknown_topology_error",
+    "Transport",
+    "LocalTransport",
+    "PoolTransport",
+    "TRANSPORTS",
+    "resolve_transport",
+]

@@ -1,0 +1,469 @@
+"""Multi-device distributed coloring with halo exchange.
+
+:func:`color_distributed` lifts :func:`~repro.parallel.sharded
+.color_sharded` onto a modeled device cluster (Bogle & Slota's
+distributed-GPU blueprint): the vertex set block-partitions onto ``N``
+simulated Kepler devices, each device colors its shard through its own
+:class:`~repro.engine.context.ExecutionContext` (via the pluggable
+:class:`~repro.distributed.transport.Transport`), and the boundary
+repair runs as **per-round halo exchange** — devices ship boundary
+colors over the :class:`~repro.distributed.topology.Topology`, whose
+latency/bandwidth costs are charged to the simulated clock.
+
+Byte-identity contract
+----------------------
+The *functional* decision sequence is exactly ``color_sharded``'s: the
+same block partition, the same per-shard jobs, the same Jacobi rule
+(losers = higher-id endpoints of conflicted edges, recolored to the mex
+of a snapshot neighborhood), the same round cap and sequential-sweep
+fallback.  The distributed layer changes only *when data moves and what
+it costs*: the halo protocol delivers every boundary color change to
+every adjacent device the round it happens, so each device's halo is
+provably equal to the global snapshot (``HaloState.verify`` asserts it
+when validation is on) and the local decisions equal the global ones.
+``color_distributed(devices=k)`` therefore returns colors byte-identical
+to ``color_sharded(num_shards=k)`` — the golden-suite leg in
+``tests/test_distributed.py``.
+
+Lockstep vs speculative
+-----------------------
+``speculate=False`` models the classic lockstep loop: every round is a
+global barrier where each device re-ships its **full** boundary color
+vector to every linked neighbor (how the pre-distributed code behaved,
+priced).  ``speculate=True`` models speculative boundary coloring:
+devices recolor tentatively from the halo they already hold and ship
+only **deltas** — the boundary vertices that actually changed — to the
+devices adjacent to them; a linked device pair with no change on its
+cut exchanges nothing and does not synchronize that round.
+
+``sync_rounds`` counts synchronizations at the *link* grain — one per
+linked (unordered) device pair per round it exchanged — because that is
+the quantity lockstep inflates: a barrier forces every linked pair into
+every round (``links × (rounds + 1)``, initial exchange included), while
+speculation synchronizes a pair only in rounds where its cut actually
+changed.  Each pair-round speculation avoided is a *speculation hit*
+(the pair's tentative colors stood without synchronization).  Both the
+sync-round count and the modeled byte volume are deterministic
+functional quantities, so ``benchmarks/BENCH_distributed.json`` gates
+them exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coloring.base import COLOR_DTYPE, ColoringResult, count_conflicts
+from ..faults import Robustness, resolve_robustness
+from ..graph.partition import block_partition, boundary_vertices
+from ..obs.observe import resolve_observe
+from ..parallel.jobs import ColorJob, JobFailure
+from ..parallel.sharded import _mex
+from .halo import COLOR_BYTES, DELTA_BYTES, HaloState, build_halo_plan
+from .topology import Message, resolve_topology
+from .transport import Transport, resolve_transport
+
+__all__ = ["DistributedColoringError", "color_distributed"]
+
+
+class DistributedColoringError(RuntimeError):
+    """A device shard failed after the transport's retries."""
+
+    def __init__(self, failures: list[JobFailure]) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"device {f.index} ({f.method} on {f.graph}): {f.error}"
+            for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} device shard(s) failed: {detail}"
+        )
+
+
+def _degrade_to_sharded(
+    graph, method, options, failures, robustness, *,
+    backend, backend_opts, observation, validate, devices,
+    max_resolution_rounds, transport_name,
+) -> ColoringResult:
+    """The distributed → sharded degradation chain.
+
+    When device shards keep failing, fall back to single-device
+    operation: the proven serial ``color_sharded`` path on the same
+    shard count — colors stay byte-identical to the distributed run by
+    the identity contract, so the degradation is invisible in output.
+    """
+    from ..parallel.sharded import color_sharded
+
+    robustness.degrade(
+        "distributed",
+        f"distributed(x{devices},{transport_name})", "sharded",
+        "device-failures",
+        f"failed_devices={[f.index for f in failures]}",
+    )
+    healer = Robustness(
+        injector=None, policy=robustness.policy, log=robustness.log
+    )
+    result = color_sharded(
+        graph, method, num_shards=devices, scheduler="serial",
+        backend=backend, backend_opts=backend_opts,
+        observe=observation if observation.active else None,
+        validate=validate, max_resolution_rounds=max_resolution_rounds,
+        faults=healer, **options,
+    )
+    stats = dict(result.shard_stats or {})
+    stats["degraded"] = "sharded"
+    stats["failed_devices"] = [f.index for f in failures]
+    result.extra["shard_stats"] = stats
+    return result
+
+
+def color_distributed(
+    graph,
+    method: str = "data-ldg",
+    *,
+    devices: int = 4,
+    topology="pcie",
+    transport=None,
+    speculate: bool = True,
+    workers=None,
+    backend=None,
+    backend_opts=None,
+    config=None,
+    observe=None,
+    validate: bool = True,
+    max_resolution_rounds: int = 16,
+    faults=None,
+    health=None,
+    store=None,
+    **options,
+) -> ColoringResult:
+    """Color ``graph`` across ``devices`` simulated devices.
+
+    Parameters
+    ----------
+    devices:
+        Simulated device count; each device owns one contiguous shard
+        (capped at the vertex count, like ``num_shards``).
+    topology:
+        Interconnect model pricing halo traffic: ``'pcie'`` (default,
+        shared host bus), ``'nvlink'`` (all-to-all peer links),
+        ``'ring'`` (neighbor links, hop-routed), or a
+        :class:`~repro.distributed.topology.Topology` instance.
+    transport:
+        How shards execute and halos ship: ``'local'`` (in-process
+        per-device contexts — the default), ``'pool'`` (worker
+        processes via the process-pool scheduler; default when
+        ``workers`` is set), or a
+        :class:`~repro.distributed.transport.Transport`.
+    speculate:
+        ``True`` (default) ships boundary *deltas* and synchronizes a
+        linked device pair only in rounds where its cut changed;
+        ``False`` models the lockstep full-exchange-every-round loop.
+        Colors are identical either way; ``sync_rounds`` /
+        ``halo_bytes_modeled`` / ``speculation_hits`` differ.
+    workers:
+        Pool size for the ``'pool'`` transport (default: one worker per
+        device); setting it selects the pool transport when
+        ``transport`` is unset.
+    faults / health:
+        The robustness layer.  With a degradation-permitting policy,
+        persistent device failures degrade the run to single-device
+        serial ``color_sharded`` on the same shard count (recorded as a
+        ``distributed`` degradation event) — byte-identical colors —
+        instead of raising.
+    store:
+        Graph arena for shard placement (``'shm'``/``'mmap'`` publish
+        once, devices attach zero-copy).
+
+    Returns
+    -------
+    ColoringResult
+        Colors byte-identical to ``color_sharded(num_shards=devices)``;
+        ``shard_stats`` adds ``sync_rounds``, ``halo_bytes_modeled``,
+        ``speculation_hits``, ``halo_messages`` and ``comm_time_us``,
+        and the interconnect cost lands in ``transfer_time_us``.
+
+    Raises
+    ------
+    DistributedColoringError
+        When a device shard fails after retries and the health policy
+        forbids degradation.
+    """
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    if config is not None:
+        from ..engine.config import normalize_config
+
+        merged = normalize_config(
+            "color_distributed",
+            config,
+            {
+                "backend": backend, "backend_opts": backend_opts,
+                "store": store, "workers": workers,
+                "faults": faults, "health": health, "observe": observe,
+                "devices": None if devices == 4 else devices,
+                "topology": None if topology == "pcie" else topology,
+            },
+        )
+        backend, backend_opts = merged["backend"], merged["backend_opts"]
+        store, workers = merged["store"], merged["workers"]
+        faults, health = merged["faults"], merged["health"]
+        observe = merged["observe"]
+        devices = merged["devices"] if merged["devices"] is not None else devices
+        topology = (
+            merged["topology"] if merged["topology"] is not None else topology
+        )
+    from ..coloring.api import METHODS
+    from ..coloring.registry import resolve_method
+
+    method = resolve_method(method, METHODS, entry_point="color_distributed")
+    observation = resolve_observe(observe)
+    tracer = observation.tracer
+    robustness = resolve_robustness(faults, health)
+    if robustness is not None and robustness.log.tracer is None:
+        robustness.log.tracer = tracer
+    name = getattr(graph, "name", "?")
+
+    partition = block_partition(graph, devices)
+    devices = partition.num_parts
+    topo = resolve_topology(topology, devices, entry_point="color_distributed")
+    xport = resolve_transport(
+        transport, workers=workers, entry_point="color_distributed"
+    )
+    own_transport = not isinstance(transport, Transport)
+    boundary = boundary_vertices(graph, partition)
+    plan = build_halo_plan(graph, partition)
+
+    run_span = None
+    if tracer is not None:
+        run_span = tracer.begin(
+            f"distributed:{name}", "run",
+            scheme=f"distributed({method})", graph=name,
+            vertices=graph.num_vertices, edges=graph.num_edges,
+            devices=devices, topology=topo.name, transport=xport.name,
+            speculate=int(speculate), boundary_vertices=int(boundary.sum()),
+        )
+    try:
+        # -- 1. shard coloring: one job per device, via the transport ---
+        members: list[np.ndarray] = []
+        jobs: list[ColorJob] = []
+        job_device: list[int] = []
+        for d in range(devices):
+            mask = partition.assignment == d
+            verts = np.nonzero(mask)[0]
+            members.append(verts)
+            if verts.size == 0:
+                continue
+            jobs.append(ColorJob(graph.subgraph_mask(mask), method, dict(options)))
+            job_device.append(d)
+        outcomes = xport.run_shards(
+            jobs, backend=backend, backend_opts=backend_opts,
+            validate=validate, want_trace=tracer is not None,
+            robustness=robustness, store=store,
+        )
+        failures = [o for o in outcomes if isinstance(o, JobFailure)]
+        if failures:
+            if robustness is None or not robustness.policy.degrade:
+                raise DistributedColoringError(failures)
+            result = _degrade_to_sharded(
+                graph, method, options, failures, robustness,
+                backend=backend, backend_opts=backend_opts,
+                observation=observation, validate=validate, devices=devices,
+                max_resolution_rounds=max_resolution_rounds,
+                transport_name=xport.name,
+            )
+            result.extra["robustness"] = robustness.report()
+            if run_span is not None:
+                tracer.end(run_span, colors=result.num_colors, degraded=1)
+                run_span = None
+            return result
+
+        colors = np.zeros(graph.num_vertices, dtype=COLOR_DTYPE)
+        shard_rows = []
+        results = []
+        for job, dev, out in zip(jobs, job_device, outcomes):
+            res, roots = out
+            results.append(res)
+            colors[members[dev]] = res.colors
+            if tracer is not None and roots:
+                tracer.merge_subtrace(
+                    roots, label=f"device-{dev}:{method}", category="device",
+                    device=dev, graph=job.graph_name(),
+                )
+            shard_rows.append({
+                "shard": dev,
+                "device": dev,
+                "vertices": job.graph.num_vertices,
+                "edges": job.graph.num_edges,
+                "num_colors": res.num_colors,
+                "iterations": res.iterations,
+                "total_time_us": res.total_time_us,
+            })
+
+        # -- 2. halo-exchange boundary resolution -----------------------
+        halo = HaloState(plan)
+        links = sorted({tuple(sorted(pair)) for pair in plan.send})
+        sync_rounds = 0
+        halo_bytes = 0
+        halo_messages = 0
+        comm_us = 0.0
+        speculation_hits = 0
+
+        def _exchange(payload, label, mode):
+            """Deliver one round's messages; charge the topology.
+
+            Returns the number of linked pairs that synchronized (one
+            unordered pair may carry messages both ways).
+            """
+            nonlocal sync_rounds, halo_bytes, halo_messages, comm_us
+            if not payload:
+                return 0
+            per_color = COLOR_BYTES if mode == "full" else DELTA_BYTES
+            priced = [
+                Message(src, dst, ids.size * per_color)
+                for src, dst, ids, _ in payload
+            ]
+            xport.deliver(payload)
+            for src, dst, ids, cols in payload:
+                halo.apply(dst, ids, cols)
+            cost = topo.exchange_time_us(priced)
+            nbytes = sum(m.nbytes for m in priced)
+            synced = len({tuple(sorted((m.src, m.dst))) for m in priced})
+            sync_rounds += synced
+            halo_bytes += nbytes
+            halo_messages += len(priced)
+            comm_us += cost
+            if tracer is not None:
+                tracer.event(
+                    label, "exchange", duration_us=cost,
+                    bytes=nbytes, messages=len(priced), mode=mode,
+                    pairs_synced=synced,
+                )
+            return synced
+
+        # Initial exchange: every device ships its full boundary color
+        # vector once, so round-1 conflict detection sees true halos.
+        _exchange(
+            [
+                (d, e, ids, colors[ids])
+                for (d, e), ids in sorted(plan.send.items())
+            ],
+            "halo-exchange:initial", "full",
+        )
+
+        u, v = graph.edge_endpoints()
+        rounds = 0
+        recolored = 0
+        fallback = False
+        while True:
+            conflicted = colors[u] == colors[v]
+            if not conflicted.any():
+                break
+            if validate:
+                # Protocol invariant: the halos every device would read
+                # this round equal the ground-truth colors.
+                halo.verify(colors)
+            if rounds >= max_resolution_rounds:
+                fallback = True
+                if robustness is not None:
+                    robustness.degrade(
+                        "distributed", "halo-jacobi", "sequential-sweep",
+                        "round-cap",
+                        f"rounds={rounds} "
+                        f"conflicted_edges={int(conflicted.sum())}",
+                    )
+                losers = np.unique(np.maximum(u[conflicted], v[conflicted]))
+                for w in losers:
+                    colors[w] = _mex(colors[graph.neighbors(w)])
+                recolored += int(losers.size)
+                break
+            losers = np.unique(np.maximum(u[conflicted], v[conflicted]))
+            snapshot = colors.copy()
+            for w in losers:
+                colors[w] = _mex(snapshot[graph.neighbors(w)])
+            recolored += int(losers.size)
+            rounds += 1
+            if speculate:
+                # Ship only the boundary vertices that changed, only to
+                # the devices adjacent to them.  A linked pair whose cut
+                # saw no change exchanges nothing — that skipped
+                # synchronization is a speculation hit.
+                payload = []
+                for (d, e), ids in sorted(plan.send.items()):
+                    changed = ids[np.isin(ids, losers, assume_unique=True)]
+                    if changed.size:
+                        payload.append((d, e, changed, colors[changed]))
+                synced = _exchange(payload, f"halo-exchange:{rounds}", "delta")
+                speculation_hits += len(links) - synced
+            else:
+                _exchange(
+                    [
+                        (d, e, ids, colors[ids])
+                        for (d, e), ids in sorted(plan.send.items())
+                    ],
+                    f"halo-exchange:{rounds}", "full",
+                )
+        if tracer is not None:
+            tracer.event(
+                "boundary-resolution", "resolve",
+                rounds=rounds, recolored=recolored, fallback=int(fallback),
+                sync_rounds=sync_rounds, halo_bytes=halo_bytes,
+                speculation_hits=speculation_hits,
+                remaining_conflicts=count_conflicts(graph, colors),
+            )
+
+        # -- 3. makespan result + interconnect cost ---------------------
+        result = ColoringResult(
+            colors=colors,
+            scheme=(
+                f"distributed({method})x{devices}@{topo.name}"
+                + ("" if speculate else ":lockstep")
+            ),
+            iterations=max((r.iterations for r in results), default=0) + rounds,
+            gpu_time_us=max((r.gpu_time_us for r in results), default=0.0),
+            cpu_time_us=max((r.cpu_time_us for r in results), default=0.0),
+            transfer_time_us=max(
+                (r.transfer_time_us for r in results), default=0.0
+            ) + comm_us,
+            num_kernel_launches=sum(r.num_kernel_launches for r in results),
+        )
+        result.extra["shard_stats"] = {
+            "num_shards": devices,
+            "devices": devices,
+            "method": method,
+            "mode": "distributed",
+            "topology": topo.name,
+            "transport": xport.name,
+            "speculate": speculate,
+            "shards": shard_rows,
+            "boundary_vertices": int(boundary.sum()),
+            "links": len(links),
+            "resolution_rounds": rounds,
+            "recolored": recolored,
+            "fallback": fallback,
+            "sync_rounds": sync_rounds,
+            "halo_bytes_modeled": halo_bytes,
+            "halo_messages": halo_messages,
+            "speculation_hits": speculation_hits,
+            "comm_time_us": comm_us,
+        }
+        if observation.active:
+            result.extra.setdefault("observation", observation)
+        if robustness is not None:
+            result.extra["robustness"] = robustness.report()
+        if run_span is not None:
+            tracer.end(
+                run_span,
+                colors=result.num_colors,
+                iterations=result.iterations,
+                resolution_rounds=rounds,
+                sync_rounds=sync_rounds,
+            )
+            run_span = None
+        if validate:
+            result.validate(graph)
+        return result
+    finally:
+        if own_transport:
+            xport.close()
+        if run_span is not None and tracer is not None:
+            tracer.end(run_span)

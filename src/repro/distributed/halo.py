@@ -1,0 +1,142 @@
+"""Static halo plan: who ships which boundary vertices to whom.
+
+The block partition is static, so the communication pattern of the
+boundary-resolution phase can be compiled once per run: for every
+ordered device pair ``(d, e)`` with at least one cross edge, the sorted
+vertex ids owned by ``d`` that have a neighbor on ``e`` —  exactly the
+colors ``e`` needs in its *halo* (ghost region) to evaluate its own
+cross edges and run mex over remote neighbors.  Because both sides
+derive the plan from the same partition, messages carry **colors only**
+in full-exchange rounds (the id vector is implicit in the plan) and
+``(id, color)`` pairs in delta rounds.
+
+The receive side mirrors the send side: ``recv_ids[e]`` is the sorted
+union of every ``send[d -> e]``, and :class:`HaloState` keeps one color
+array parallel to it per device.  The protocol invariant — delivered
+halo colors equal the ground-truth snapshot the global Jacobi loop
+reads — is what makes the distributed decisions byte-identical to
+:func:`~repro.parallel.sharded.color_sharded`; ``HaloState.verify``
+asserts it (cheaply, per round) when validation is on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coloring.base import COLOR_DTYPE
+
+__all__ = ["HaloPlan", "HaloState", "build_halo_plan"]
+
+#: Modeled wire cost of one color in a full (plan-implicit-ids) message.
+COLOR_BYTES = int(np.dtype(COLOR_DTYPE).itemsize)
+#: Modeled wire cost of one ``(vertex id, color)`` pair in a delta
+#: message (int32 local offset + int32 color).
+DELTA_BYTES = 2 * COLOR_BYTES
+
+
+class HaloPlan:
+    """The compiled communication pattern for one partitioned graph."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        send: dict[tuple[int, int], np.ndarray],
+        recv_ids: list[np.ndarray],
+        owner: np.ndarray,
+    ) -> None:
+        self.num_devices = num_devices
+        #: ``(src, dst) -> sorted vertex ids`` src owns and dst needs.
+        self.send = send
+        #: per device: sorted vertex ids appearing in its halo.
+        self.recv_ids = recv_ids
+        #: per vertex: owning device (the partition assignment).
+        self.owner = owner
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        """Linked ordered device pairs, in deterministic order."""
+        return sorted(self.send)
+
+    def full_exchange_bytes(self) -> int:
+        """Modeled bytes of one full boundary exchange (colors only)."""
+        return sum(ids.size for ids in self.send.values()) * COLOR_BYTES
+
+    def boundary_count(self) -> int:
+        """Vertices that appear in at least one send list."""
+        if not self.send:
+            return 0
+        return int(
+            np.unique(np.concatenate(list(self.send.values()))).size
+        )
+
+
+def build_halo_plan(graph, partition) -> HaloPlan:
+    """Compile the halo plan for ``graph`` under ``partition``.
+
+    Vectorized over the adjacency: every CSR entry ``(src -> dst)``
+    whose endpoints live on different devices contributes ``src`` to
+    ``send[owner(src) -> owner(dst)]``.
+    """
+    assignment = partition.assignment
+    k = partition.num_parts
+    n = graph.num_vertices
+    send: dict[tuple[int, int], np.ndarray] = {}
+    recv_sets: list[list[np.ndarray]] = [[] for _ in range(k)]
+    if n and graph.num_edges:
+        src = graph.edge_sources()
+        dst = graph.col_indices
+        ps = assignment[src].astype(np.int64)
+        pd = assignment[dst].astype(np.int64)
+        cross = ps != pd
+        if cross.any():
+            # One unique pass over (src_dev, dst_dev, vertex) triples.
+            packed = (ps[cross] * k + pd[cross]) * n + src[cross]
+            uniq = np.unique(packed)
+            pair_key = uniq // n
+            verts = (uniq % n).astype(np.int64)
+            cuts = np.nonzero(np.diff(pair_key))[0] + 1
+            starts = np.concatenate(([0], cuts))
+            ends = np.concatenate((cuts, [pair_key.size]))
+            for a, b in zip(starts, ends):
+                d, e = divmod(int(pair_key[a]), k)
+                ids = verts[a:b]  # sorted: packed order is (pair, vertex)
+                send[(d, e)] = ids
+                recv_sets[e].append(ids)
+    recv_ids = [
+        np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64)
+        for parts in recv_sets
+    ]
+    return HaloPlan(k, send, recv_ids, assignment)
+
+
+class HaloState:
+    """Per-device halo color arrays, updated by delivered messages."""
+
+    def __init__(self, plan: HaloPlan) -> None:
+        self.plan = plan
+        self.colors = [
+            np.zeros(ids.size, dtype=COLOR_DTYPE) for ids in plan.recv_ids
+        ]
+
+    def apply(self, dst: int, vertex_ids: np.ndarray, colors: np.ndarray) -> None:
+        """Land a delivered message in device ``dst``'s halo."""
+        if vertex_ids.size == 0:
+            return
+        pos = np.searchsorted(self.plan.recv_ids[dst], vertex_ids)
+        self.colors[dst][pos] = colors
+
+    def verify(self, truth: np.ndarray) -> None:
+        """Assert every device's halo matches the ground-truth colors.
+
+        This is the protocol invariant behind byte-identity: a device
+        recoloring its losers from (own colors + halo) reads exactly
+        what the global Jacobi snapshot would.  Raises AssertionError
+        with the first divergent device.
+        """
+        for d, ids in enumerate(self.plan.recv_ids):
+            if ids.size and not np.array_equal(self.colors[d], truth[ids]):
+                bad = np.nonzero(self.colors[d] != truth[ids])[0]
+                raise AssertionError(
+                    f"halo drift on device {d}: {bad.size} stale "
+                    f"vertices (first: v{int(ids[bad[0]])})"
+                )

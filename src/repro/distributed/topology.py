@@ -1,0 +1,187 @@
+"""Interconnect topology model for the simulated device cluster.
+
+A :class:`Topology` prices the halo-exchange traffic of
+:func:`~repro.distributed.api.color_distributed` on the simulated clock,
+the same way :class:`~repro.gpusim.device.Device` prices kernels and
+PCIe transfers inside one device.  Each directed device pair maps to a
+:class:`Link` (latency + bandwidth + hop count); a round's exchange cost
+is the set of per-message transfer times combined under the topology's
+*contention model*:
+
+``pcie``
+    Kepler-era host topology: every device hangs off one shared PCIe
+    switch, so peer traffic is staged through the host and the bus
+    serializes — a round costs the **sum** of its message times.  This
+    is the 2013 baseline the paper's K20 targets lived on.
+``nvlink``
+    Anachronistic-but-useful upper bound: direct all-to-all peer links,
+    one per device pair, transferring concurrently — a round costs the
+    **max** over pairs (each pair still serializes its own messages).
+``ring``
+    Peer-to-peer ring (device *i* links to *i±1 mod N*): a message
+    routes over ``min(|d-e|, N-|d-e|)`` hops, each hop charged to the
+    physical link it crosses; links move traffic concurrently, so a
+    round costs the **max over physical links** of the bytes they
+    carried (plus per-hop latency).
+
+Presets are deliberately round numbers of the right *era and order of
+magnitude* (see docs/DISTRIBUTED.md) — the benchmark conclusions rest on
+modeled bytes and sync-round counts, which are exact functional
+quantities, not on the absolute microseconds.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "Message",
+    "Topology",
+    "TOPOLOGIES",
+    "resolve_topology",
+    "unknown_topology_error",
+]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed interconnect link: fixed latency plus bandwidth."""
+
+    latency_us: float
+    bandwidth_gbps: float  # GB/s; 1 GB/s moves 1000 bytes per us
+
+    def transfer_us(self, nbytes: int, *, hops: int = 1) -> float:
+        """Simulated time for ``nbytes`` over ``hops`` traversals."""
+        return hops * self.latency_us + nbytes / (self.bandwidth_gbps * 1e3)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One halo payload: ``nbytes`` from device ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    nbytes: int
+
+
+class Topology:
+    """N simulated devices joined by a named interconnect model.
+
+    Subclass-free: the three contention models are small enough to
+    select by ``kind``.  Equality of priced costs across transports is
+    what the parity tests assert — the model is pure arithmetic over
+    :class:`Message` lists, with no wall-clock input.
+    """
+
+    def __init__(self, name: str, kind: str, num_devices: int, link: Link) -> None:
+        if num_devices < 1:
+            raise ValueError("a topology needs at least one device")
+        if kind not in ("shared-bus", "all-to-all", "ring"):
+            raise ValueError(f"unknown topology kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.num_devices = int(num_devices)
+        self.link = link
+
+    def hops(self, src: int, dst: int) -> int:
+        """Physical link traversals for a ``src -> dst`` message."""
+        if src == dst:
+            return 0
+        if self.kind != "ring":
+            return 1
+        around = abs(src - dst)
+        return min(around, self.num_devices - around)
+
+    def exchange_time_us(self, messages: list[Message]) -> float:
+        """Simulated cost of delivering one round's messages."""
+        if not messages:
+            return 0.0
+        if self.kind == "shared-bus":
+            return sum(
+                self.link.transfer_us(m.nbytes, hops=self.hops(m.src, m.dst))
+                for m in messages
+            )
+        if self.kind == "all-to-all":
+            per_pair: dict[tuple[int, int], float] = {}
+            for m in messages:
+                key = (m.src, m.dst)
+                per_pair[key] = per_pair.get(key, 0.0) + self.link.transfer_us(
+                    m.nbytes
+                )
+            return max(per_pair.values())
+        # ring: charge each message's bytes to every physical link it
+        # crosses; concurrent links -> the slowest link bounds the round.
+        per_link: dict[tuple[int, int], float] = {}
+        for m in messages:
+            step = 1 if (m.dst - m.src) % self.num_devices <= self.num_devices // 2 else -1
+            at = m.src
+            for _ in range(self.hops(m.src, m.dst)):
+                nxt = (at + step) % self.num_devices
+                key = (at, nxt)
+                per_link[key] = per_link.get(key, 0.0) + self.link.transfer_us(
+                    m.nbytes
+                )
+                at = nxt
+        return max(per_link.values(), default=0.0)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(x{self.num_devices}, {self.link.bandwidth_gbps} GB/s, "
+            f"{self.link.latency_us} us)"
+        )
+
+    def __repr__(self) -> str:
+        return f"Topology({self.describe()})"
+
+
+#: Preset factories: name -> Topology for ``num_devices`` simulated
+#: Kepler-class devices.  Bandwidths/latencies are era-plausible round
+#: numbers (PCIe 2.0 x16 effective ~6 GB/s; P2P ring ~8 GB/s; an
+#: NVLink-style direct mesh ~20 GB/s) — see the module docstring.
+TOPOLOGIES = {
+    "pcie": lambda n: Topology("pcie", "shared-bus", n, Link(5.0, 6.0)),
+    "nvlink": lambda n: Topology("nvlink", "all-to-all", n, Link(1.3, 20.0)),
+    "ring": lambda n: Topology("ring", "ring", n, Link(2.0, 8.0)),
+}
+
+
+def unknown_topology_error(
+    spec: str, *, entry_point: str | None = None
+) -> ValueError:
+    """The unknown-topology error, in the registry's entry-point style."""
+    where = f"{entry_point}(): " if entry_point else ""
+    msg = f"{where}unknown topology {spec!r}; choose from {sorted(TOPOLOGIES)}"
+    close = difflib.get_close_matches(spec, sorted(TOPOLOGIES), n=1)
+    if close:
+        msg += f" (did you mean {close[0]!r}?)"
+    return ValueError(msg + " (or pass a Topology instance)")
+
+
+def resolve_topology(
+    spec, num_devices: int, *, entry_point: str | None = None
+) -> Topology:
+    """Normalize ``topology=`` into a :class:`Topology` for N devices.
+
+    Strings name the presets in :data:`TOPOLOGIES`; a ready-made
+    :class:`Topology` passes through when its device count matches.
+    """
+    if isinstance(spec, Topology):
+        if spec.num_devices != num_devices:
+            raise ValueError(
+                f"topology {spec.describe()} models {spec.num_devices} "
+                f"device(s) but devices={num_devices} were requested"
+            )
+        return spec
+    if spec is None:
+        spec = "pcie"
+    if isinstance(spec, str):
+        factory = TOPOLOGIES.get(spec)
+        if factory is None:
+            raise unknown_topology_error(spec, entry_point=entry_point)
+        return factory(num_devices)
+    raise TypeError(
+        f"topology= takes a preset name {sorted(TOPOLOGIES)} or a "
+        f"Topology instance, not {type(spec).__name__}"
+    )

@@ -90,6 +90,14 @@ class RunConfig:
         "observation surface: 'trace'/'profile'/'rounds', a Tracer, "
         "a Recorder, or an Observation"
     )
+    devices: Any = _field(
+        "simulated device count for color_distributed (one contiguous "
+        "shard per device; colors identical across counts)"
+    )
+    topology: Any = _field(
+        "interconnect model pricing halo exchange: 'pcie', 'nvlink', "
+        "'ring', or a Topology instance (never enters cache keys)"
+    )
 
     def replace(self, **changes) -> "RunConfig":
         """A copy with ``changes`` applied (``None`` clears a field)."""

@@ -86,6 +86,9 @@ def _degrade_to_unsharded(
         "shards": [],
         "degraded": "unsharded",
         "failed_shards": [f.index for f in failures],
+        "sync_rounds": 0,
+        "halo_bytes_modeled": 0,
+        "speculation_hits": 0,
     }
     if observation.active:
         outcome.extra.setdefault("observation", observation)
@@ -337,6 +340,12 @@ def color_sharded(
             "resolution_rounds": rounds,
             "recolored": recolored,
             "fallback": fallback,
+            # Uniform boundary-resolution keys (see color_distributed):
+            # one address space means every Jacobi round is one global
+            # synchronization and no halo bytes ever move.
+            "sync_rounds": rounds,
+            "halo_bytes_modeled": 0,
+            "speculation_hits": 0,
         }
         if observation.active:
             result.extra.setdefault("observation", observation)

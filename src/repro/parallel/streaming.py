@@ -283,6 +283,12 @@ def color_streamed(
             "recolored": recolored,
             "fallback": fallback,
             "peak_window_bytes": peak_window_bytes,
+            # Uniform boundary-resolution keys (see color_distributed):
+            # windows run in one address space, so rounds are global
+            # synchronizations and no halo bytes move.
+            "sync_rounds": rounds,
+            "halo_bytes_modeled": 0,
+            "speculation_hits": 0,
         }
         if observation.active:
             result.extra.setdefault("observation", observation)
