@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Resilience benchmark: checkpoint overhead and kill/resume identity.
+
+The resilience tier's bargain (see docs/ROBUSTNESS.md): every-round
+checkpointing is cheap enough to leave on — under 5% of wall-clock at
+the default cadence — and a run killed at a round boundary and resumed
+from its checkpoint is **byte-identical** to an uninterrupted run,
+colors and progress stats both.
+
+This suite measures both halves on the streamed and distributed modes:
+
+* ``overhead`` — the Checkpointer's directly-measured save time as a
+  fraction of the rest of the run (``save_ms / (wall - save_ms)``).
+  Measuring the saves themselves rather than differencing two noisy
+  end-to-end timings makes the gate stable on shared CI machines.
+* ``digest`` equality — healthy, checkpointed, and killed+resumed runs
+  must produce the same colors; the kill is the deterministic
+  ``deadline-storm`` fault site, the resume must also reproduce the
+  progress stats (``resolution_rounds``, ``sync_rounds``, ...).
+
+Functional fields (digests, save counts, resume rounds) are compared
+**exactly** against the committed ``BENCH_resilience.json``; the
+overhead bound is re-measured every run, like the memory gate's
+structural invariant.
+
+Usage::
+
+    python benchmarks/bench_resilience.py            # measure + invariants
+    python benchmarks/bench_resilience.py --check    # gate (exit 1)
+    python benchmarks/bench_resilience.py --update   # rewrite the record
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import color_distributed, rmat_er  # noqa: E402
+from repro.parallel.streaming import color_streamed  # noqa: E402
+from repro.resilience import DeadlineExceeded  # noqa: E402
+
+RECORD_PATH = Path(__file__).parent / "BENCH_resilience.json"
+
+SCALE = 15
+SEED = 5
+METHOD = "data-ldg"
+
+#: The headline bound: checkpointing at the default cadence (every
+#: round) must cost less than this fraction of the rest of the run.
+OVERHEAD_LIMIT = 0.05
+
+#: Functional fields compared exactly against the committed record.
+GATED_FIELDS = ("digest", "checkpoint_writes", "kill_where", "resume_round")
+
+#: mode -> (runner kwargs, deadline-storm phase, kill round)
+MODES = {
+    "streamed": ({"num_windows": 4}, "window", 2),
+    "distributed": ({"devices": 4}, "sync", 1),
+}
+
+
+def _digest(result) -> str:
+    return hashlib.sha256(result.colors.tobytes()).hexdigest()[:16]
+
+
+def _runner(mode):
+    return color_streamed if mode == "streamed" else color_distributed
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+def run_profile() -> dict:
+    graph = rmat_er(scale=SCALE, seed=SEED)
+    rows = {}
+    with tempfile.TemporaryDirectory(prefix="bench-resilience-") as tmp:
+        for mode, (kwargs, phase, kill_round) in MODES.items():
+            run = _runner(mode)
+            path = str(Path(tmp) / f"{mode}.ckpt")
+
+            healthy, healthy_ms = _timed(
+                lambda: run(graph, METHOD, **kwargs))
+            ckpt, ckpt_ms = _timed(
+                lambda: run(graph, METHOD, checkpoint=path + ".full",
+                            **kwargs))
+            stats = ckpt.robustness["checkpoint"]
+            save_ms = stats["save_ms"]
+            overhead = save_ms / max(ckpt_ms - save_ms, 1e-9)
+
+            # kill mid-run at a deterministic round, then resume
+            try:
+                run(graph, METHOD, checkpoint=path,
+                    faults=f"seed=1; deadline-storm: round={kill_round}, "
+                           f"phase={phase}", **kwargs)
+                raise AssertionError(f"{mode}: deadline-storm did not fire")
+            except DeadlineExceeded as exc:
+                kill_where = exc.where
+            resumed = run(graph, METHOD, resume=path, **kwargs)
+
+            rows[mode] = {
+                "graph": {"scale": SCALE, "seed": SEED,
+                          "num_vertices": graph.num_vertices,
+                          "num_edges": graph.num_edges},
+                "digest": _digest(healthy),
+                "checkpointed_digest": _digest(ckpt),
+                "resumed_digest": _digest(resumed),
+                "checkpoint_writes": stats["written"],
+                "checkpoint_bytes": stats["bytes_written"],
+                "save_ms": round(save_ms, 3),
+                "healthy_ms": round(healthy_ms, 3),
+                "checkpointed_ms": round(ckpt_ms, 3),
+                "overhead": round(overhead, 5),
+                "kill_where": kill_where,
+                "resume_round": resumed.robustness["resumed"]["round"],
+                "resolution_rounds_match": (
+                    resumed.shard_stats["resolution_rounds"]
+                    == healthy.shard_stats["resolution_rounds"]),
+            }
+    return {"method": METHOD, "scale": SCALE, "seed": SEED, "modes": rows}
+
+
+def check(profile: dict, record: dict | None,
+          limit: float = OVERHEAD_LIMIT) -> int:
+    failures = []
+    print(f"{'mode':<12} {'healthy':>9} {'ckpt':>9} {'save':>8} "
+          f"{'overhead':>9} {'writes':>7} {'digest':>17}")
+    for mode, row in profile["modes"].items():
+        print(f"{mode:<12} {row['healthy_ms']:>7.0f}ms "
+              f"{row['checkpointed_ms']:>7.0f}ms {row['save_ms']:>6.1f}ms "
+              f"{row['overhead']:>8.2%} {row['checkpoint_writes']:>7} "
+              f"{row['digest']:>17}")
+
+        # invariants, re-measured every run
+        if not (row["digest"] == row["checkpointed_digest"]
+                == row["resumed_digest"]):
+            failures.append(
+                f"{mode}: colors diverge (healthy {row['digest']}, "
+                f"checkpointed {row['checkpointed_digest']}, resumed "
+                f"{row['resumed_digest']})")
+        if not row["resolution_rounds_match"]:
+            failures.append(f"{mode}: resumed progress stats diverged "
+                            f"from the uninterrupted run")
+        if not row["kill_where"].endswith(":forced"):
+            failures.append(f"{mode}: kill was not the injected storm "
+                            f"(where={row['kill_where']!r})")
+        if row["overhead"] >= limit:
+            failures.append(
+                f"{mode}: checkpoint overhead {row['overhead']:.2%} "
+                f">= {limit:.0%} of wall-clock at default cadence")
+
+    if record is not None:
+        for mode, row in profile["modes"].items():
+            base = record["modes"].get(mode)
+            if base is None:
+                failures.append(f"{mode}: no committed entry (run --update)")
+                continue
+            for field in GATED_FIELDS:
+                if row[field] != base[field]:
+                    failures.append(
+                        f"{mode}.{field}: {base[field]!r} -> {row[field]!r} "
+                        f"(functional drift)")
+
+    if failures:
+        print(f"\nresilience gate FAILED ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  {f}")
+        print("\nif the protocol change is intentional, regenerate with "
+              "`python benchmarks/bench_resilience.py --update`")
+        return 1
+    against = "committed record" if record is not None else "invariants only"
+    print(f"\nresilience gate passed ({against}): kill+resume "
+          f"byte-identical, checkpoint overhead < {limit:.0%}")
+    return 0
+
+
+def load_record() -> dict | None:
+    if not RECORD_PATH.exists():
+        return None
+    return json.loads(RECORD_PATH.read_text(encoding="utf-8"))["profile"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_resilience.json from this run")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed record (exit 1)")
+    parser.add_argument("--threshold", type=float, default=OVERHEAD_LIMIT,
+                        help=f"checkpoint overhead bound "
+                             f"(default {OVERHEAD_LIMIT})")
+    args = parser.parse_args(argv)
+
+    profile = run_profile()
+    if args.update:
+        record = {
+            "profile": profile,
+            "meta": {
+                "machine": platform.machine(),
+                "python": platform.python_version(),
+                "note": "digests / write counts / resume rounds are "
+                        "functional; timings and overhead are informational "
+                        "and re-measured by the gate",
+            },
+        }
+        RECORD_PATH.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote resilience record -> {RECORD_PATH}")
+        return check(profile, None, args.threshold)
+    return check(profile, load_record() if args.check else None,
+                 args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--distributed", action="store_true",
                         help="also gate the distributed weak-scaling record "
                              "exactly (bench_distributed.py)")
+    parser.add_argument("--resilience", action="store_true",
+                        help="also gate checkpoint overhead and kill+resume "
+                             "byte-identity (bench_resilience.py)")
     args = parser.parse_args(argv)
 
     cells = run_matrix()
@@ -139,7 +142,11 @@ def main(argv: list[str] | None = None) -> int:
         if rc:
             return rc
     if args.distributed:
-        return _distributed_gate()
+        rc = _distributed_gate()
+        if rc:
+            return rc
+    if args.resilience:
+        return _resilience_gate()
     return 0
 
 
@@ -193,6 +200,25 @@ def _distributed_gate() -> int:
     print("\n[distributed gate: weak-scaling halo exchange]")
     return bench_distributed.check(
         bench_distributed.run_profile(), bench_distributed.load_record()
+    )
+
+
+def _resilience_gate() -> int:
+    """Gate the resilience record (``bench_resilience.py``).
+
+    Kill+resume digests and checkpoint write counts are enforced exactly
+    against the committed ``BENCH_resilience.json``; the <5%
+    checkpoint-overhead bound is re-measured fresh, like the memory
+    gate's structural invariant.
+    """
+    try:
+        from benchmarks import bench_resilience
+    except ImportError:  # run as a script: sibling module, no package
+        import bench_resilience
+
+    print("\n[resilience gate: checkpoint overhead + kill/resume identity]")
+    return bench_resilience.check(
+        bench_resilience.run_profile(), bench_resilience.load_record()
     )
 
 

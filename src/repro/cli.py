@@ -48,10 +48,12 @@ def _guard_errors():
     from .engine.errors import AuditError, ConvergenceError, InvariantViolation
     from .faults import FaultInjected
     from .parallel import ShardedColoringError
+    from .resilience import Cancelled, CheckpointError, DeadlineExceeded
 
     return (
         AuditError, ConvergenceError, InvariantViolation, FaultInjected,
         ShardedColoringError, DistributedColoringError,
+        DeadlineExceeded, Cancelled, CheckpointError,
     )
 
 
@@ -112,6 +114,8 @@ def _cmd_color(args) -> int:
         kwargs["faults"] = _parse_faults(args.faults)
     if args.health:
         kwargs["health"] = args.health
+    if args.deadline_ms is not None:
+        kwargs["deadline_ms"] = args.deadline_ms
     streaming = args.stream or args.stream_mb is not None
     if not args.devices:
         for flag, value in (
@@ -306,6 +310,7 @@ def _cmd_batch(args) -> int:
         or observe is not None
         or args.faults is not None
         or args.health is not None
+        or args.deadline_ms is not None
     )
 
     if args.topology and not args.devices:
@@ -334,6 +339,7 @@ def _cmd_batch(args) -> int:
                     observe=observe,
                     faults=_parse_faults(args.faults) if args.faults else None,
                     health=args.health,
+                    deadline_ms=args.deadline_ms,
                     block_size=args.block_size,
                 )
             except _guard_errors() as exc:
@@ -351,18 +357,23 @@ def _cmd_batch(args) -> int:
         from .parallel import resolve_cache
 
         cache_obj = resolve_cache(args.cache)
-        results = color_many(
-            graphs,
-            method=args.method,
-            block_size=args.block_size,
-            backend=args.backend,
-            workers=args.workers,
-            cache=cache_obj,
-            store=args.store,
-            observe=observe,
-            faults=_parse_faults(args.faults) if args.faults else None,
-            health=args.health,
-        )
+        try:
+            results = color_many(
+                graphs,
+                method=args.method,
+                block_size=args.block_size,
+                backend=args.backend,
+                workers=args.workers,
+                cache=cache_obj,
+                store=args.store,
+                observe=observe,
+                faults=_parse_faults(args.faults) if args.faults else None,
+                health=args.health,
+                deadline_ms=args.deadline_ms,
+            )
+        except _guard_errors() as exc:
+            print(f"FAILED ({type(exc).__name__}): {exc}", file=sys.stderr)
+            return 1
         failures = [r for r in results if not r]
         title = (
             f"batch: {args.method} on {len(graphs)} graphs "
@@ -553,13 +564,17 @@ def _cmd_serve(args) -> int:
     coalescing / batching counters.  ``--check`` turns the run into a
     smoke gate: nonzero exit unless the storm coalesced onto exactly one
     engine computation, every returned coloring is byte-identical to a
-    direct ``color_graph`` run, and the service shut down cleanly.
+    direct ``color_graph`` run, a deliberately expired-deadline probe
+    came back as a structured ``DeadlineExceeded`` (not a success, not a
+    bare error), the circuit breaker closed out healthy, and the service
+    shut down cleanly.
     """
     import asyncio
 
     import numpy as np
 
     from .engine.config import RunConfig
+    from .resilience import DeadlineExceeded
     from .service import ColoringService, ServiceClient
 
     graph = resolve_graph(args.graph, scale_div=args.scale_div)
@@ -582,6 +597,17 @@ def _cmd_serve(args) -> int:
             results = await client.color_many(
                 [graph] * args.requests, priority="normal"
             )
+            # Deadline probe: a request admitted with an already-spent
+            # budget must fail *structurally* — the structured error (and
+            # a breaker still closed afterwards) is what --check gates on.
+            deadline_probe = None
+            try:
+                await service.submit(graph, deadline_ms=0.0)
+            except DeadlineExceeded as exc:
+                deadline_probe = exc.to_dict()
+            except Exception as exc:  # wrong shape: recorded, fails --check
+                deadline_probe = {"error": type(exc).__name__,
+                                  "detail": str(exc)}
             session_report = None
             if args.session_edits:
                 rng = np.random.default_rng(7)
@@ -599,9 +625,9 @@ def _cmd_serve(args) -> int:
                 final = await sess.close()
                 g_now.validate()
                 session_report = final.extra.peek("dynamic")
-            return results, session_report
+            return results, session_report, deadline_probe
 
-    results, session_report = asyncio.run(drive())
+    results, session_report, deadline_probe = asyncio.run(drive())
     stats = service.stats
     direct = color_graph(graph, args.method, validate=False)
     identical = all(
@@ -618,6 +644,13 @@ def _cmd_serve(args) -> int:
         ("batches", stats["batches"]),
         ("rejected", stats["rejected"]),
         ("failed", stats["failed"]),
+        ("deadline hits", stats["deadline_hits"]),
+        ("cancelled", stats["cancelled"]),
+        ("dispatcher restarts", stats["dispatcher_restarts"]),
+        ("breaker", f"{stats['breaker']['state']} "
+                    f"(trips {stats['breaker']['trips']}, "
+                    f"rejections {stats['breaker']['rejections']})"),
+        ("deadline probe", (deadline_probe or {}).get("error", "MISSING")),
         ("digest-identical", "yes" if identical else "NO"),
     ]
     if session_report is not None:
@@ -650,6 +683,23 @@ def _cmd_serve(args) -> int:
             problems.append("requests failed or were rejected")
         if stats["queue_depth"] or stats["inflight"]:
             problems.append("service did not drain cleanly")
+        if (deadline_probe or {}).get("error") != "DeadlineExceeded":
+            problems.append(
+                f"expired-deadline probe did not raise DeadlineExceeded "
+                f"(got {deadline_probe!r})"
+            )
+        elif deadline_probe.get("where") != "admission":
+            problems.append(
+                f"deadline probe failed at {deadline_probe.get('where')!r}, "
+                f"expected 'admission'"
+            )
+        if stats["deadline_hits"] < 1:
+            problems.append("service did not count the deadline hit")
+        if stats["breaker"]["state"] != "closed":
+            problems.append(
+                f"circuit breaker is {stats['breaker']['state']!r} after a "
+                f"healthy storm (expected 'closed')"
+            )
         if problems:
             print("CHECK FAILED: " + "; ".join(problems))
             return 1
@@ -789,6 +839,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's robustness report (fired faults, "
         "degradation events) as JSON",
     )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="end-to-end budget: checked cooperatively at round/window/"
+        "sync boundaries; overruns exit 1 with a structured "
+        "DeadlineExceeded instead of running on",
+    )
     p.set_defaults(fn=_cmd_color)
 
     p = sub.add_parser(
@@ -862,6 +918,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--health", default=None, choices=("default", "strict", "off"),
         help="guard-rail policy for every job ('strict' disables "
         "degradation chains)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="end-to-end budget per job (remaining budget ships into "
+        "worker processes); overruns exit 1 with a structured "
+        "DeadlineExceeded",
     )
     p.set_defaults(fn=_cmd_batch)
 
@@ -939,7 +1001,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check", action="store_true",
         help="exit nonzero unless coalescing collapsed the storm to one "
-        "engine run with byte-identical colors and a clean shutdown",
+        "engine run with byte-identical colors, an expired-deadline "
+        "probe failed structurally (DeadlineExceeded at admission, "
+        "breaker still closed), and the service shut down cleanly",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -136,6 +136,7 @@ def color_graph(
     mex=None,
     faults=None,
     health=None,
+    deadline_ms=None,
     **kwargs,
 ) -> ColoringResult:
     """Color ``graph`` with the named scheme.
@@ -203,6 +204,13 @@ def color_graph(
         A cache hit never enters the round loop, so neither layer fires
         on hits.  Not combinable with ``context=`` (configure the context
         instead).
+    deadline_ms:
+        End-to-end budget for this run (or a ready
+        :class:`~repro.resilience.RunControl`).  Device schemes check it
+        cooperatively at every round boundary and raise the structured
+        :class:`~repro.resilience.DeadlineExceeded`; host schemes check
+        once at dispatch.  Not combinable with ``context=`` (pass
+        ``deadline_ms`` to the :class:`ExecutionContext` instead).
     **kwargs:
         Scheme-specific options, e.g. ``block_size=256``,
         ``worklist_strategy='atomic'``, ``num_hashes=4``,
@@ -227,12 +235,14 @@ def color_graph(
                 "backend": backend, "backend_opts": backend_opts,
                 "cache": cache, "mex": mex, "faults": faults,
                 "health": health, "observe": observe,
+                "deadline_ms": deadline_ms,
             },
         )
         backend, backend_opts = merged["backend"], merged["backend_opts"]
         cache, mex = merged["cache"], merged["mex"]
         faults, health = merged["faults"], merged["health"]
         observe = merged["observe"]
+        deadline_ms = merged["deadline_ms"]
     if backend_opts and not isinstance(backend, (str, type(None))):
         raise TypeError(
             "backend_opts= configures a string backend= spec; pass a "
@@ -248,14 +258,21 @@ def color_graph(
             "pass faults=/health= to the ExecutionContext, not alongside "
             "context="
         )
+    if context is not None and deadline_ms is not None:
+        raise ValueError(
+            "pass deadline_ms= to the ExecutionContext, not alongside "
+            "context="
+        )
     if context is not None and backend_opts:
         raise ValueError(
             "pass backend_opts= to the ExecutionContext, not alongside "
             "context="
         )
     from ..faults import resolve_robustness
+    from ..resilience.deadline import resolve_control
 
     robustness = resolve_robustness(faults, health)
+    control = resolve_control(deadline_ms)
     if backend is not None and method not in ENGINE_RECIPES:
         raise ValueError(
             f"method {method!r} runs on the host and takes no backend; "
@@ -296,20 +313,27 @@ def color_graph(
             result = context.run(graph, method, validate=validate, **kwargs)
         elif (
             observation.active or robustness is not None
+            or control is not None
         ) and method in ENGINE_RECIPES:
-            # Observed or fault-guarded device runs route through an
-            # ephemeral context so the tracer sees uploads, kernels and
-            # transfers alike — and so the robustness layer gets the full
-            # engine treatment (injection sites, guards, rerun chain).
+            # Observed, fault-guarded or deadline-bound device runs route
+            # through an ephemeral context so the tracer sees uploads,
+            # kernels and transfers alike — and so the robustness layer
+            # gets the full engine treatment (injection sites, guards,
+            # rerun chain) and the deadline its round-boundary checks.
             from ..engine.context import ExecutionContext
 
             spec = backend if backend is not None else kwargs.pop("device", None)
             ctx = ExecutionContext(
                 backend=spec, observe=observation, faults=robustness,
-                **dict(backend_opts or {}),
+                deadline_ms=control, **dict(backend_opts or {}),
             )
             result = ctx.run(graph, method, validate=validate, **kwargs)
         else:
+            if control is not None:
+                # Host schemes have no round loop; the budget is checked
+                # once at dispatch (an already-expired deadline still
+                # fails structurally instead of running to completion).
+                control.check("dispatch")
             if backend_opts:
                 from ..engine.backend import resolve_backend
 

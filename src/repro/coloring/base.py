@@ -165,9 +165,13 @@ class ColoringResult:
 
     @property
     def robustness(self) -> dict | None:
-        """The fault/degradation report of this run (``faults=`` or
-        ``health=`` was passed — see :mod:`repro.faults`), or ``None``.
-        Keys: ``plan``, ``seed``, ``fired``, ``degradations``."""
+        """The fault/degradation report of this run (``faults=`` /
+        ``health=`` was passed, or a resilience feature — deadline,
+        checkpoint, breaker — was active; see :mod:`repro.faults` and
+        :mod:`repro.resilience`), or ``None``.  Keys: ``plan``,
+        ``seed``, ``fired``, ``degradations``, plus ``breaker`` /
+        ``checkpoint`` / ``deadline`` / ``resumed`` when those features
+        ran."""
         return self.extra.peek("robustness")
 
     def to_dict(self, schema_version: int = RESULT_SCHEMA_VERSION) -> dict:
@@ -187,6 +191,7 @@ class ColoringResult:
         ``observation``      attached ``Observation`` or ``None``
         ``cache_hit``        served from a result cache (bool)
         ``shard_stats``      sharded-run statistics dict or ``None``
+        ``robustness``       fault/degradation/resilience report or ``None``
         ==================== ==============================================
 
         Downstream consumers read this (or the same-named typed
@@ -212,6 +217,7 @@ class ColoringResult:
             "observation": self.observation,
             "cache_hit": self.cache_hit,
             "shard_stats": self.shard_stats,
+            "robustness": self.robustness,
         }
 
     def validate(self, graph: CSRGraph) -> None:

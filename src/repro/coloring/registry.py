@@ -97,6 +97,11 @@ class ExecutionOptions:
                                "(all-to-all), 'ring', or a Topology "
                                "instance (cost model only; never enters "
                                "cache keys)")
+    deadline_ms: Any = _opt(None, "wall-clock budget in milliseconds, "
+                                  "checked cooperatively at round "
+                                  "boundaries; expiry raises a structured "
+                                  "DeadlineExceeded (never enters cache "
+                                  "keys — see docs/ROBUSTNESS.md)")
 
     @classmethod
     def option_rows(cls) -> list[tuple[str, object, str]]:

@@ -58,6 +58,8 @@ from ..graph.partition import block_partition, boundary_vertices
 from ..obs.observe import resolve_observe
 from ..parallel.jobs import ColorJob, JobFailure
 from ..parallel.sharded import _mex
+from ..resilience.checkpoint import Checkpointer, load_resume, run_fingerprint
+from ..resilience.deadline import DeadlineExceeded, resolve_control
 from .halo import COLOR_BYTES, DELTA_BYTES, HaloState, build_halo_plan
 from .topology import Message, resolve_topology
 from .transport import Transport, resolve_transport
@@ -134,6 +136,10 @@ def color_distributed(
     faults=None,
     health=None,
     store=None,
+    deadline_ms=None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume=None,
     **options,
 ) -> ColoringResult:
     """Color ``graph`` across ``devices`` simulated devices.
@@ -173,6 +179,18 @@ def color_distributed(
     store:
         Graph arena for shard placement (``'shm'``/``'mmap'`` publish
         once, devices attach zero-copy).
+    deadline_ms:
+        Wall-clock budget for the whole call (or a ready
+        :class:`~repro.resilience.RunControl`): checked before each
+        shard dispatch and at every sync-round boundary, raising the
+        structured :class:`~repro.resilience.DeadlineExceeded`.
+    checkpoint / checkpoint_every / resume:
+        Round-state checkpointing (see :mod:`repro.resilience`):
+        ``checkpoint=<path>`` atomically snapshots colors + counters
+        after the shard phase and every ``checkpoint_every`` sync
+        rounds; ``resume=<path>`` restores a matching checkpoint and
+        continues — final colors are byte-identical to an uninterrupted
+        run.  A missing resume file is a normal fresh start.
 
     Returns
     -------
@@ -202,12 +220,13 @@ def color_distributed(
                 "faults": faults, "health": health, "observe": observe,
                 "devices": None if devices == 4 else devices,
                 "topology": None if topology == "pcie" else topology,
+                "deadline_ms": deadline_ms,
             },
         )
         backend, backend_opts = merged["backend"], merged["backend_opts"]
         store, workers = merged["store"], merged["workers"]
         faults, health = merged["faults"], merged["health"]
-        observe = merged["observe"]
+        observe, deadline_ms = merged["observe"], merged["deadline_ms"]
         devices = merged["devices"] if merged["devices"] is not None else devices
         topology = (
             merged["topology"] if merged["topology"] is not None else topology
@@ -219,6 +238,14 @@ def color_distributed(
     observation = resolve_observe(observe)
     tracer = observation.tracer
     robustness = resolve_robustness(faults, health)
+    control = resolve_control(deadline_ms)
+    if robustness is None and (
+        checkpoint is not None or resume is not None or control is not None
+    ):
+        # Resilience features report through result.robustness (annex:
+        # checkpoint stats, resume provenance, deadline accounting), so
+        # opting into any of them gets a bundle even with no fault plan.
+        robustness = Robustness()
     if robustness is not None and robustness.log.tracer is None:
         robustness.log.tracer = tracer
     name = getattr(graph, "name", "?")
@@ -233,6 +260,47 @@ def color_distributed(
     boundary = boundary_vertices(graph, partition)
     plan = build_halo_plan(graph, partition)
 
+    # Checkpoint identity: resuming under a different graph/scheme/
+    # option set or device count is a structured error, not garbage.
+    fingerprint = run_fingerprint(
+        graph.content_digest(), "distributed", method,
+        {**options, "speculate": speculate, "topology": topo.name},
+        devices,
+    )
+    ckpt = None
+    if checkpoint is not None:
+        ckpt = Checkpointer(
+            checkpoint, fingerprint=fingerprint, every=checkpoint_every,
+            robustness=robustness,
+        )
+    restored = (
+        load_resume(resume, fingerprint=fingerprint, robustness=robustness)
+        if resume is not None else None
+    )
+
+    # Circuit breaker: a pool transport that keeps losing devices is not
+    # worth re-probing every call — while open, route straight to the
+    # proven serial chain (byte-identical colors by the identity
+    # contract).
+    breaker = robustness.breaker if robustness is not None else None
+    breaker_guarded = breaker is not None and xport.name == "pool"
+    if breaker_guarded and not breaker.allow():
+        robustness.degrade(
+            "breaker", f"distributed(x{devices},{xport.name})", "sharded",
+            "open", "circuit breaker open; skipping pool transport",
+        )
+        result = _degrade_to_sharded(
+            graph, method, options, [], robustness,
+            backend=backend, backend_opts=backend_opts,
+            observation=observation, validate=validate, devices=devices,
+            max_resolution_rounds=max_resolution_rounds,
+            transport_name=xport.name,
+        )
+        result.extra["robustness"] = robustness.report()
+        if own_transport:
+            xport.close()
+        return result
+
     run_span = None
     if tracer is not None:
         run_span = tracer.begin(
@@ -244,62 +312,6 @@ def color_distributed(
         )
     try:
         # -- 1. shard coloring: one job per device, via the transport ---
-        members: list[np.ndarray] = []
-        jobs: list[ColorJob] = []
-        job_device: list[int] = []
-        for d in range(devices):
-            mask = partition.assignment == d
-            verts = np.nonzero(mask)[0]
-            members.append(verts)
-            if verts.size == 0:
-                continue
-            jobs.append(ColorJob(graph.subgraph_mask(mask), method, dict(options)))
-            job_device.append(d)
-        outcomes = xport.run_shards(
-            jobs, backend=backend, backend_opts=backend_opts,
-            validate=validate, want_trace=tracer is not None,
-            robustness=robustness, store=store,
-        )
-        failures = [o for o in outcomes if isinstance(o, JobFailure)]
-        if failures:
-            if robustness is None or not robustness.policy.degrade:
-                raise DistributedColoringError(failures)
-            result = _degrade_to_sharded(
-                graph, method, options, failures, robustness,
-                backend=backend, backend_opts=backend_opts,
-                observation=observation, validate=validate, devices=devices,
-                max_resolution_rounds=max_resolution_rounds,
-                transport_name=xport.name,
-            )
-            result.extra["robustness"] = robustness.report()
-            if run_span is not None:
-                tracer.end(run_span, colors=result.num_colors, degraded=1)
-                run_span = None
-            return result
-
-        colors = np.zeros(graph.num_vertices, dtype=COLOR_DTYPE)
-        shard_rows = []
-        results = []
-        for job, dev, out in zip(jobs, job_device, outcomes):
-            res, roots = out
-            results.append(res)
-            colors[members[dev]] = res.colors
-            if tracer is not None and roots:
-                tracer.merge_subtrace(
-                    roots, label=f"device-{dev}:{method}", category="device",
-                    device=dev, graph=job.graph_name(),
-                )
-            shard_rows.append({
-                "shard": dev,
-                "device": dev,
-                "vertices": job.graph.num_vertices,
-                "edges": job.graph.num_edges,
-                "num_colors": res.num_colors,
-                "iterations": res.iterations,
-                "total_time_us": res.total_time_us,
-            })
-
-        # -- 2. halo-exchange boundary resolution -----------------------
         halo = HaloState(plan)
         links = sorted({tuple(sorted(pair)) for pair in plan.send})
         sync_rounds = 0
@@ -307,14 +319,185 @@ def color_distributed(
         halo_messages = 0
         comm_us = 0.0
         speculation_hits = 0
+        rounds = 0
+        recolored = 0
+        halo_dirty = False
 
-        def _exchange(payload, label, mode):
+        if restored is not None:
+            meta_r, arrays_r = restored
+            colors = arrays_r["colors"].astype(COLOR_DTYPE, copy=True)
+            shard_rows = meta_r["shard_rows"]
+            agg = meta_r["agg"]
+            sync_rounds = int(meta_r["sync_rounds"])
+            halo_bytes = int(meta_r["halo_bytes"])
+            halo_messages = int(meta_r["halo_messages"])
+            comm_us = float(meta_r["comm_us"])
+            speculation_hits = int(meta_r["speculation_hits"])
+            rounds = int(meta_r["rounds"])
+            recolored = int(meta_r["recolored"])
+            # Rebuild every device's halo from the checkpointed truth.
+            # Local reconstruction, not wire traffic: nothing is priced,
+            # so resumed stats match the uninterrupted run's exactly.
+            for (d, e), ids in sorted(plan.send.items()):
+                halo.apply(e, ids, colors[ids])
+            if robustness is not None:
+                robustness.annotate("resumed", {
+                    "path": str(resume), "round": int(meta_r["round"]),
+                })
+        else:
+            members: list[np.ndarray] = []
+            jobs: list[ColorJob] = []
+            job_device: list[int] = []
+            for d in range(devices):
+                mask = partition.assignment == d
+                verts = np.nonzero(mask)[0]
+                members.append(verts)
+                if verts.size == 0:
+                    continue
+                jobs.append(
+                    ColorJob(graph.subgraph_mask(mask), method, dict(options))
+                )
+                job_device.append(d)
+            outcomes = xport.run_shards(
+                jobs, backend=backend, backend_opts=backend_opts,
+                validate=validate, want_trace=tracer is not None,
+                robustness=robustness, store=store, control=control,
+            )
+            failures = [o for o in outcomes if isinstance(o, JobFailure)]
+            if breaker_guarded:
+                if failures:
+                    if breaker.record_failure(
+                        f"{len(failures)} device shard(s) failed"
+                    ):
+                        robustness.degrade(
+                            "breaker", "closed", "open", "tripped",
+                            f"breaker {breaker.name!r} opened after "
+                            f"{breaker.failure_threshold} consecutive "
+                            f"failing calls",
+                        )
+                else:
+                    breaker.record_success()
+            if failures:
+                if robustness is None or not robustness.policy.degrade:
+                    raise DistributedColoringError(failures)
+                result = _degrade_to_sharded(
+                    graph, method, options, failures, robustness,
+                    backend=backend, backend_opts=backend_opts,
+                    observation=observation, validate=validate,
+                    devices=devices,
+                    max_resolution_rounds=max_resolution_rounds,
+                    transport_name=xport.name,
+                )
+                result.extra["robustness"] = robustness.report()
+                if run_span is not None:
+                    tracer.end(run_span, colors=result.num_colors, degraded=1)
+                    run_span = None
+                return result
+
+            colors = np.zeros(graph.num_vertices, dtype=COLOR_DTYPE)
+            shard_rows = []
+            results = []
+            for job, dev, out in zip(jobs, job_device, outcomes):
+                res, roots = out
+                results.append(res)
+                colors[members[dev]] = res.colors
+                if tracer is not None and roots:
+                    tracer.merge_subtrace(
+                        roots, label=f"device-{dev}:{method}",
+                        category="device",
+                        device=dev, graph=job.graph_name(),
+                    )
+                shard_rows.append({
+                    "shard": dev,
+                    "device": dev,
+                    "vertices": job.graph.num_vertices,
+                    "edges": job.graph.num_edges,
+                    "num_colors": res.num_colors,
+                    "iterations": res.iterations,
+                    "total_time_us": res.total_time_us,
+                })
+            # Per-device scalars fold into JSON-safe aggregates up front
+            # so checkpoints can carry them and resumed runs rebuild the
+            # same makespan result without the per-shard objects.
+            agg = {
+                "iterations": int(
+                    max((r.iterations for r in results), default=0)
+                ),
+                "gpu_us": float(
+                    max((r.gpu_time_us for r in results), default=0.0)
+                ),
+                "cpu_us": float(
+                    max((r.cpu_time_us for r in results), default=0.0)
+                ),
+                "xfer_us": float(
+                    max((r.transfer_time_us for r in results), default=0.0)
+                ),
+                "launches": int(sum(r.num_kernel_launches for r in results)),
+            }
+
+        # -- 2. halo-exchange boundary resolution -----------------------
+        def _exchange(payload, label, mode, *, inject=True):
             """Deliver one round's messages; charge the topology.
 
             Returns the number of linked pairs that synchronized (one
-            unordered pair may carry messages both ways).
+            unordered pair may carry messages both ways).  The halo
+            fault sites act here, on the in-flight payload — never on
+            the ground-truth ``colors`` — and set ``halo_dirty`` so the
+            caller heals with a full resync before any halo is read.
             """
             nonlocal sync_rounds, halo_bytes, halo_messages, comm_us
+            nonlocal halo_dirty
+            if inject and robustness is not None and payload:
+                if robustness.fire(
+                    "transport-partition", round=rounds
+                ) is not None:
+                    robustness.degrade(
+                        "halo", f"exchange({mode})", "resync",
+                        "transport-partition",
+                        f"round={rounds}: all {len(payload)} halo "
+                        f"message(s) lost",
+                    )
+                    halo_dirty = True
+                    payload = []
+                else:
+                    if robustness.fire(
+                        "halo-reorder", round=rounds
+                    ) is not None:
+                        # Delivery order must not matter: senders own
+                        # disjoint vertex sets, so this is exercised as
+                        # a commutativity check, not a corruption.
+                        payload = list(reversed(payload))
+                    kept = []
+                    for src, dst, ids, cols in payload:
+                        if robustness.fire(
+                            "halo-drop", round=rounds, src=src, dst=dst
+                        ) is not None:
+                            robustness.degrade(
+                                "halo", f"exchange({mode})", "resync",
+                                "halo-drop",
+                                f"round={rounds}: message {src}->{dst} "
+                                f"dropped",
+                            )
+                            halo_dirty = True
+                            continue
+                        spec = robustness.fire(
+                            "halo-corrupt", round=rounds, src=src, dst=dst
+                        )
+                        if spec is not None:
+                            offset = (
+                                int(spec.param)
+                                if spec.param is not None else 1
+                            )
+                            cols = (cols + offset).astype(cols.dtype)
+                            robustness.degrade(
+                                "halo", f"exchange({mode})", "resync",
+                                "halo-corrupt",
+                                f"round={rounds}: message {src}->{dst} "
+                                f"payload offset by {offset}",
+                            )
+                            halo_dirty = True
+                        kept.append((src, dst, ids, cols))
+                    payload = kept
             if not payload:
                 return 0
             per_color = COLOR_BYTES if mode == "full" else DELTA_BYTES
@@ -340,21 +523,70 @@ def color_distributed(
                 )
             return synced
 
-        # Initial exchange: every device ships its full boundary color
-        # vector once, so round-1 conflict detection sees true halos.
-        _exchange(
-            [
-                (d, e, ids, colors[ids])
-                for (d, e), ids in sorted(plan.send.items())
-            ],
-            "halo-exchange:initial", "full",
-        )
+        def _heal_halo(label):
+            """Full (priced) re-broadcast after a dirty exchange.
+
+            Runs before the next halo read, so verification still holds
+            and colors stay byte-identical; only the traffic/sync stats
+            record that healing cost something.
+            """
+            nonlocal halo_dirty
+            if not halo_dirty:
+                return
+            halo_dirty = False
+            _exchange(
+                [
+                    (d, e, ids, colors[ids])
+                    for (d, e), ids in sorted(plan.send.items())
+                ],
+                label, "full", inject=False,
+            )
+
+        def _ckpt_meta():
+            return {
+                "mode": "distributed", "graph": name,
+                "shard_rows": shard_rows, "agg": agg,
+                "sync_rounds": sync_rounds, "halo_bytes": halo_bytes,
+                "halo_messages": halo_messages, "comm_us": comm_us,
+                "speculation_hits": speculation_hits,
+                "rounds": rounds, "recolored": recolored,
+            }
+
+        if restored is None:
+            # Initial exchange: every device ships its full boundary
+            # color vector once, so round-1 conflict detection sees
+            # true halos.
+            _exchange(
+                [
+                    (d, e, ids, colors[ids])
+                    for (d, e), ids in sorted(plan.send.items())
+                ],
+                "halo-exchange:initial", "full",
+            )
+            _heal_halo("halo-resync:initial")
+            if ckpt is not None:
+                # Round 0 = shard phase done: the expensive part.  Saved
+                # unconditionally so a crash in round 1 never re-colors
+                # the shards.
+                ckpt.save(0, _ckpt_meta(), {"colors": colors}, force=True)
 
         u, v = graph.edge_endpoints()
-        rounds = 0
-        recolored = 0
         fallback = False
         while True:
+            if control is not None:
+                control.check("sync-round")
+            if robustness is not None:
+                if robustness.fire(
+                    "deadline-storm", round=rounds, phase="sync"
+                ) is not None:
+                    if control is not None and control.deadline is not None:
+                        d = control.deadline
+                        raise DeadlineExceeded(
+                            d.deadline_ms, queued_ms=d.queued_ms,
+                            running_ms=d.running_ms(),
+                            where="sync-round:forced",
+                        )
+                    raise DeadlineExceeded(0.0, where="sync-round:forced")
             conflicted = colors[u] == colors[v]
             if not conflicted.any():
                 break
@@ -402,6 +634,9 @@ def color_distributed(
                     ],
                     f"halo-exchange:{rounds}", "full",
                 )
+            _heal_halo(f"halo-resync:{rounds}")
+            if ckpt is not None:
+                ckpt.save(rounds, _ckpt_meta(), {"colors": colors})
         if tracer is not None:
             tracer.event(
                 "boundary-resolution", "resolve",
@@ -418,13 +653,11 @@ def color_distributed(
                 f"distributed({method})x{devices}@{topo.name}"
                 + ("" if speculate else ":lockstep")
             ),
-            iterations=max((r.iterations for r in results), default=0) + rounds,
-            gpu_time_us=max((r.gpu_time_us for r in results), default=0.0),
-            cpu_time_us=max((r.cpu_time_us for r in results), default=0.0),
-            transfer_time_us=max(
-                (r.transfer_time_us for r in results), default=0.0
-            ) + comm_us,
-            num_kernel_launches=sum(r.num_kernel_launches for r in results),
+            iterations=agg["iterations"] + rounds,
+            gpu_time_us=agg["gpu_us"],
+            cpu_time_us=agg["cpu_us"],
+            transfer_time_us=agg["xfer_us"] + comm_us,
+            num_kernel_launches=agg["launches"],
         )
         result.extra["shard_stats"] = {
             "num_shards": devices,
@@ -449,6 +682,15 @@ def color_distributed(
         if observation.active:
             result.extra.setdefault("observation", observation)
         if robustness is not None:
+            if ckpt is not None:
+                robustness.annotate("checkpoint", ckpt.stats())
+            if control is not None and control.deadline is not None:
+                queued, running = control.elapsed_snapshot()
+                robustness.annotate("deadline", {
+                    "deadline_ms": control.deadline.deadline_ms,
+                    "queued_ms": round(queued, 3),
+                    "running_ms": round(running, 3),
+                })
             result.extra["robustness"] = robustness.report()
         if run_span is not None:
             tracer.end(

@@ -83,7 +83,7 @@ class Transport:
 
     def run_shards(self, jobs, *, backend=None, backend_opts=None,
                    validate=True, want_trace=False, robustness=None,
-                   store=None) -> list:
+                   store=None, control=None) -> list:
         raise NotImplementedError
 
     def deliver(self, messages) -> int:
@@ -110,18 +110,21 @@ class LocalTransport(Transport):
 
     def run_shards(self, jobs, *, backend=None, backend_opts=None,
                    validate=True, want_trace=False, robustness=None,
-                   store=None) -> list:
+                   store=None, control=None) -> list:
         from ..coloring.api import ENGINE_RECIPES, color_graph
         from ..engine.context import ExecutionContext
         from ..faults import FaultInjected
         from ..faults import runtime as fault_runtime
         from ..obs.observe import Observation
         from ..obs.tracer import Tracer
+        from ..resilience.deadline import activate_control
 
         jobs, store_obj, own_store = _publish_jobs(list(jobs), store)
         outcomes: list = []
         try:
             for device, job in enumerate(jobs):
+                if control is not None:
+                    control.check("shard")
                 tracer = Tracer() if want_trace else None
                 try:
                     if robustness is not None:
@@ -146,13 +149,17 @@ class LocalTransport(Transport):
                                 ctx = self._contexts[device] = ExecutionContext(
                                     backend=backend, **dict(backend_opts or {})
                                 )
-                        if robustness is not None:
-                            with ctx.robustness_scope(robustness):
-                                result = ctx.run(
-                                    job.graph, job.method,
-                                    validate=validate, **job.options,
-                                )
-                        else:
+                        from contextlib import nullcontext
+
+                        rscope = (
+                            ctx.robustness_scope(robustness)
+                            if robustness is not None else nullcontext()
+                        )
+                        cscope = (
+                            ctx.control_scope(control)
+                            if control is not None else nullcontext()
+                        )
+                        with rscope, cscope:
                             result = ctx.run(
                                 job.graph, job.method,
                                 validate=validate, **job.options,
@@ -162,7 +169,8 @@ class LocalTransport(Transport):
                             Observation(tracer=tracer)
                             if tracer is not None else None
                         )
-                        with fault_runtime.activate(robustness):
+                        with fault_runtime.activate(robustness), \
+                                activate_control(control):
                             result = color_graph(
                                 job.graph, job.method, validate=validate,
                                 observe=observe, **job.options,
@@ -172,6 +180,13 @@ class LocalTransport(Transport):
                         (result, tracer.roots if tracer is not None else None)
                     )
                 except Exception as exc:
+                    from ..resilience.deadline import (
+                        Cancelled,
+                        DeadlineExceeded,
+                    )
+
+                    if isinstance(exc, (DeadlineExceeded, Cancelled)):
+                        raise  # a blown budget fails the protocol, not a shard
                     outcomes.append(JobFailure(
                         index=device, graph=job.graph_name(),
                         method=job.method, attempts=1, error=repr(exc),
@@ -187,23 +202,42 @@ class LocalTransport(Transport):
 
 
 class PoolTransport(Transport):
-    """Devices as worker processes via the PR 3 process-pool scheduler."""
+    """Devices as worker processes via the PR 3 process-pool scheduler.
+
+    The lazily built scheduler persists across :meth:`run_shards` calls
+    (its recycle counters survive, and an explicitly passed scheduler's
+    retry policy applies to every round).  :meth:`close` is idempotent
+    and crash-safe: calling it twice, or after a worker crash recycled
+    the batch pool, is a no-op — but a closed transport refuses new
+    work instead of silently building a fresh pool.
+    """
 
     name = "pool"
 
     def __init__(self, workers: int | None = None, *, scheduler=None) -> None:
         self.workers = workers
         self._scheduler = scheduler
+        self._own_scheduler = None
+        self._closed = False
 
     def run_shards(self, jobs, *, backend=None, backend_opts=None,
                    validate=True, want_trace=False, robustness=None,
-                   store=None) -> list:
+                   store=None, control=None) -> list:
         from ..parallel.scheduler import ProcessPoolScheduler
 
+        if self._closed:
+            raise RuntimeError(
+                "PoolTransport is closed; build a new transport (or a new "
+                "color_distributed call) instead of reusing it"
+            )
         jobs = list(jobs)
         sched = self._scheduler
         if sched is None:
-            sched = ProcessPoolScheduler(self.workers or max(len(jobs), 1))
+            sched = self._own_scheduler
+            if sched is None:
+                sched = self._own_scheduler = ProcessPoolScheduler(
+                    self.workers or max(len(jobs), 1)
+                )
         jobs, store_obj, own_store = _publish_jobs(jobs, store)
         try:
             execute_kwargs = dict(
@@ -212,6 +246,8 @@ class PoolTransport(Transport):
             )
             if robustness is not None:
                 execute_kwargs["robustness"] = robustness
+            if control is not None:
+                execute_kwargs["control"] = control
             raw = sched.execute(jobs, **execute_kwargs)
         finally:
             if own_store and store_obj is not None:
@@ -220,6 +256,13 @@ class PoolTransport(Transport):
             out if isinstance(out, JobFailure) else (out[0], out[1])
             for out in raw
         ]
+
+    def close(self) -> None:
+        # Idempotent by design: the scheduler owns no long-lived pool
+        # (each execute() builds and reaps its own, crash or not), so
+        # closing only drops the reference and latches the closed flag.
+        self._own_scheduler = None
+        self._closed = True
 
     def deliver(self, messages) -> int:
         """Model the process boundary: payloads round-trip the picklers.

@@ -98,6 +98,11 @@ class RunConfig:
         "interconnect model pricing halo exchange: 'pcie', 'nvlink', "
         "'ring', or a Topology instance (never enters cache keys)"
     )
+    deadline_ms: Any = _field(
+        "wall-clock budget for the run in milliseconds, checked at "
+        "round boundaries; a RunControl carries a service-stamped "
+        "deadline + cancel token (never enters cache keys)"
+    )
 
     def replace(self, **changes) -> "RunConfig":
         """A copy with ``changes`` applied (``None`` clears a field)."""

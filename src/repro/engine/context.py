@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from ..faults import FaultInjected, resolve_robustness
 from ..faults import runtime as fault_runtime
 from ..obs.observe import reject_recorder_keyword, resolve_observe
+from ..resilience.deadline import activate_control, resolve_control
 from .backend import resolve_backend
 from .errors import AuditError, ConvergenceError, InvariantViolation
 from .runner import MAX_ITERATIONS, RoundLoop, SchemeRecipe
@@ -71,6 +72,7 @@ class ExecutionContext:
         observe=None,
         faults=None,
         health=None,
+        deadline_ms=None,
         max_iterations: int = MAX_ITERATIONS,
         **backend_opts,
     ) -> None:
@@ -85,10 +87,12 @@ class ExecutionContext:
                     "backend": backend,
                     "backend_opts": backend_opts or None,
                     "observe": observe, "faults": faults, "health": health,
+                    "deadline_ms": deadline_ms,
                 },
             )
             backend, observe = merged["backend"], merged["observe"]
             faults, health = merged["faults"], merged["health"]
+            deadline_ms = merged["deadline_ms"]
             backend_opts = dict(merged["backend_opts"] or {})
         self.observation = resolve_observe(observe)
         self.backend = resolve_backend(backend, **backend_opts)
@@ -100,11 +104,13 @@ class ExecutionContext:
             and self.robustness.log.tracer is None
         ):
             self.robustness.log.tracer = self.observation.tracer
+        self.control = resolve_control(deadline_ms)
         self.loop = RoundLoop(
             max_iterations=max_iterations,
             recorder=self.observation.recorder,
             tracer=self.observation.tracer,
             robustness=self.robustness,
+            control=self.control,
         )
         self._uploads: dict[int, tuple] = {}
         self.uploads = 0  # graphs paying the HtoD burst
@@ -127,6 +133,23 @@ class ExecutionContext:
         finally:
             self.robustness = previous
             self.loop.robustness = previous
+
+    @contextmanager
+    def control_scope(self, control):
+        """Temporarily attach a :class:`RunControl` (deadline + cancel).
+
+        Used by the batch schedulers: worker processes rebuild a fresh
+        control per job from the remaining budget shipped in the payload
+        and pin it on their long-lived shared context for that one run.
+        """
+        previous = self.control
+        self.control = control
+        self.loop.control = control
+        try:
+            yield self
+        finally:
+            self.control = previous
+            self.loop.control = previous
 
     @property
     def recorder(self):
@@ -184,7 +207,8 @@ class ExecutionContext:
         pool_mark = (
             (pool.pool_hits, pool.pool_misses) if pool is not None else None
         )
-        with fault_runtime.activate(self.robustness):
+        with fault_runtime.activate(self.robustness), \
+                activate_control(self.control):
             result = self.loop.run(self.backend, graph, recipe, bufs)
         if self.tracer is not None and pool_mark is not None:
             self.tracer.event(
@@ -282,6 +306,7 @@ def color_many(
     store=None,
     faults=None,
     health=None,
+    deadline_ms=None,
     validate: bool = True,
     **kwargs,
 ) -> list:
@@ -331,14 +356,14 @@ def color_many(
                 "backend": backend, "backend_opts": backend_opts,
                 "store": store, "workers": workers, "scheduler": scheduler,
                 "cache": cache, "faults": faults, "health": health,
-                "observe": observe,
+                "observe": observe, "deadline_ms": deadline_ms,
             },
         )
         backend, backend_opts = merged["backend"], merged["backend_opts"]
         store, workers = merged["store"], merged["workers"]
         scheduler, cache = merged["scheduler"], merged["cache"]
         faults, health = merged["faults"], merged["health"]
-        observe = merged["observe"]
+        observe, deadline_ms = merged["observe"], merged["deadline_ms"]
     from ..coloring.registry import resolve_method
 
     from ..coloring.api import METHODS
@@ -358,7 +383,8 @@ def color_many(
         and health is None
     ):
         ctx = ExecutionContext(
-            backend=backend, observe=observe, **dict(backend_opts or {})
+            backend=backend, observe=observe, deadline_ms=deadline_ms,
+            **dict(backend_opts or {})
         )
         return ctx.color_many(graphs, method, validate=validate, **kwargs)
     from ..parallel.jobs import normalize_jobs
@@ -377,4 +403,5 @@ def color_many(
         validate=validate,
         faults=faults,
         health=health,
+        deadline_ms=deadline_ms,
     )

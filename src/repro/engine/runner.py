@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience.deadline import DeadlineExceeded, active_control
 from .backend import Backend
 from .errors import AuditError, ConvergenceError, InvariantViolation
 
@@ -144,6 +145,7 @@ class RoundLoop:
     recorder: object | None = None  # metrics.Recorder, duck-typed
     tracer: object | None = None  # obs.Tracer, duck-typed
     robustness: object | None = None  # faults.Robustness, duck-typed
+    control: object | None = None  # resilience.RunControl, duck-typed
 
     def run(self, ex: Backend, graph, recipe: SchemeRecipe, bufs):
         """Execute ``recipe`` on ``graph``; returns a ``ColoringResult``.
@@ -190,13 +192,18 @@ class RoundLoop:
             recipe.scratch = KernelScratch()
             last_uncolored: int | None = None
             stalled = 0
+            control = self.control if self.control is not None \
+                else active_control()
             try:
                 while recipe.has_work():
                     if iterations >= max_iterations:
                         raise ConvergenceError(
                             recipe.scheme, iterations, recipe.uncolored()
                         )
+                    if control is not None:
+                        control.check("round")
                     if rb is not None:
+                        self._check_deadline_storm(rb, control, iterations)
                         self._inject_bitflip(rb, recipe, bufs, iterations)
                     profiles_before = len(recipe.profiles)
                     round_span = (
@@ -304,6 +311,24 @@ class RoundLoop:
         conflicts = count_conflicts(graph, colors)
         if uncolored or conflicts:
             raise AuditError(scheme, conflicts, uncolored)
+
+    @staticmethod
+    def _check_deadline_storm(rb, control, iteration) -> None:
+        """``deadline-storm`` site: force the run's budget to expire now.
+
+        Fires a structured :class:`DeadlineExceeded` at a round boundary
+        — exactly what a real expiry raises — so the service/scheduler
+        failure paths can be chaos-tested without real clock pressure.
+        """
+        if rb.fire("deadline-storm", round=iteration) is None:
+            return
+        deadline = control.deadline if control is not None else None
+        if deadline is not None:
+            raise DeadlineExceeded(
+                deadline.deadline_ms, queued_ms=deadline.queued_ms,
+                running_ms=deadline.running_ms(), where="round:forced",
+            )
+        raise DeadlineExceeded(0.0, where="round:forced")
 
     @staticmethod
     def _inject_bitflip(rb, recipe, bufs, iteration) -> None:

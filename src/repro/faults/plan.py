@@ -46,6 +46,27 @@ SITES: dict[str, str] = {
                       "end-of-run audit; param = bit index",
     "cache-corrupt": "overwrite a just-stored result-cache disk entry with "
                      "garbage bytes; keys: job",
+    "halo-drop": "drop one halo message before delivery (distributed); "
+                 "keys: round, src, dst",
+    "halo-corrupt": "flip payload colors of one halo message before "
+                    "delivery (distributed); keys: round, src, dst; "
+                    "param = added offset",
+    "halo-reorder": "deliver one round's halo messages in reversed order "
+                    "(distributed); keys: round",
+    "transport-partition": "partition the interconnect for one sync round — "
+                           "no halo messages delivered (distributed); "
+                           "keys: round",
+    "dispatcher-crash": "kill the service dispatcher task mid-batch "
+                        "(service); keys: batch",
+    "checkpoint-torn": "truncate a checkpoint blob after its checksum is "
+                       "taken (detected as torn at resume); keys: round",
+    "checkpoint-corrupt": "flip a checkpoint blob byte after its checksum "
+                          "is taken (detected as corrupt at resume); "
+                          "keys: round",
+    "deadline-storm": "force the run's deadline to expire at a round "
+                      "boundary; keys: round, phase ('sync' for "
+                      "distributed sync rounds, 'window'/'repair' for "
+                      "streamed runs; engine rounds report no phase)",
 }
 
 #: Spec keys that configure the spec itself rather than filter the site key.

@@ -19,14 +19,28 @@ __all__ = ["Robustness", "resolve_robustness"]
 
 
 class Robustness:
-    """Everything a run needs to inject faults and degrade gracefully."""
+    """Everything a run needs to inject faults and degrade gracefully.
+
+    ``breaker`` (optional, see :mod:`repro.resilience.breaker`) is the
+    circuit breaker the scheduler/transport consult before paying for a
+    primary path that keeps failing; ``annex`` collects resilience
+    accounting (checkpoint stats, deadline attribution) that belongs in
+    the run report but has no structure of its own.
+    """
 
     def __init__(self, *, injector: FaultInjector | None = None,
                  policy: HealthPolicy | None = None,
-                 log: DegradationLog | None = None):
+                 log: DegradationLog | None = None,
+                 breaker=None):
         self.injector = injector
         self.policy = policy if policy is not None else HealthPolicy()
         self.log = log if log is not None else DegradationLog()
+        self.breaker = breaker
+        self.annex: dict = {}
+
+    def annotate(self, key: str, value) -> None:
+        """Attach one resilience-accounting entry to the run report."""
+        self.annex[key] = value
 
     @property
     def plan(self) -> FaultPlan | None:
@@ -43,13 +57,18 @@ class Robustness:
         return self.log.record(chain, from_mode, to_mode, reason, detail)
 
     def report(self) -> dict:
-        """JSON-able run report: plan, fired faults, degradation events."""
-        return {
+        """JSON-able run report: plan, fired faults, degradation events,
+        breaker state, and any resilience annex (checkpoint/deadline)."""
+        out = {
             "plan": self.plan.describe() if self.plan is not None else [],
             "seed": self.plan.seed if self.plan is not None else None,
             "fired": self.injector.report() if self.injector else [],
             "degradations": self.log.report(),
         }
+        if self.breaker is not None:
+            out["breaker"] = self.breaker.snapshot()
+        out.update(self.annex)
+        return out
 
 
 def resolve_robustness(faults=None, health=None) -> Robustness | None:

@@ -53,7 +53,6 @@ when the batch's health policy allows it.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 import traceback
@@ -69,6 +68,14 @@ from ..faults import (
 )
 from ..faults import runtime as _fault_runtime
 from ..obs.observe import resolve_observe
+from ..resilience.breaker import BACKOFF_CAP_S, RetryPolicy
+from ..resilience.deadline import (
+    Cancelled,
+    DeadlineExceeded,
+    RunControl,
+    activate_control,
+    resolve_control,
+)
 from .cache import job_cache_key, resolve_cache
 from .jobs import ColorJob, JobFailure
 
@@ -81,11 +88,6 @@ __all__ = [
     "run_jobs",
 ]
 
-#: Ceiling on a single retry-round backoff sleep.  Exponential growth
-#: from ``backoff_s`` stops here: a batch never waits more than this
-#: between retry rounds no matter how many rounds have failed.
-BACKOFF_CAP_S = 2.0
-
 #: Simulated-wall-clock a ``worker-hang`` fault sleeps when its spec has
 #: no ``param`` (long enough to trip any sane ``timeout_s``).
 _DEFAULT_HANG_S = 3600.0
@@ -95,20 +97,16 @@ def backoff_delay(base: float, round_index: int, *,
                   cap: float = BACKOFF_CAP_S, seed=None) -> float:
     """Jittered exponential backoff for retry round ``round_index``.
 
-    ``base * 2**round_index``, capped at ``cap``, scaled by a jitter
-    factor in ``[0.5, 1.0]`` derived from SHA-256 of ``(seed,
-    round_index)``.  ``seed=None`` uses the process id — distinct
-    processes retrying simultaneously spread out; pass an int for
+    Thin wrapper over :meth:`repro.resilience.RetryPolicy.delay` — the
+    formula (``base * 2**round_index`` capped at ``cap``, jitter in
+    ``[0.5, 1.0]`` from SHA-256 of ``(seed, round_index)``) now lives
+    there so the scheduler and the distributed transport share one
+    policy object.  ``seed=None`` uses the process id; pass an int for
     reproducible delays in tests.
     """
-    if base <= 0:
-        return 0.0
-    raw = min(base * (2 ** round_index), cap)
-    if seed is None:
-        seed = os.getpid()
-    digest = hashlib.sha256(f"{seed}|{round_index}".encode("utf-8")).digest()
-    unit = int.from_bytes(digest[:8], "big") / 2.0**64
-    return raw * (0.5 + 0.5 * unit)
+    return RetryPolicy(
+        retries=0, backoff_s=base, cap_s=cap, jitter_seed=seed
+    ).delay(round_index)
 
 
 # ---------------------------------------------------------------------------
@@ -117,7 +115,7 @@ def backoff_delay(base: float, round_index: int, *,
 # ---------------------------------------------------------------------------
 def _run_one(ctx_map: dict, job: ColorJob, backend, backend_opts: dict,
              validate: bool, want_trace: bool, want_rounds: bool,
-             robustness=None):
+             robustness=None, control=None):
     """Execute one job; returns ``(result, trace_roots, round_records)``.
 
     Untraced device jobs share the ``ctx_map`` ExecutionContext (upload
@@ -156,7 +154,12 @@ def _run_one(ctx_map: dict, job: ColorJob, backend, backend_opts: dict,
             if robustness is not None
             else nullcontext()
         )
-        with scope:
+        cscope = (
+            ctx.control_scope(control)
+            if control is not None
+            else nullcontext()
+        )
+        with scope, cscope:
             result = ctx.run(
                 job.graph, job.method, validate=validate, **job.options
             )
@@ -164,7 +167,7 @@ def _run_one(ctx_map: dict, job: ColorJob, backend, backend_opts: dict,
         # Host-side schemes take no backend; in a batch the backend applies
         # to the device jobs only.
         observe = Observation(tracer=tracer, recorder=recorder) if observed else None
-        with fault_runtime.activate(robustness):
+        with fault_runtime.activate(robustness), activate_control(control):
             result = color_graph(
                 job.graph, job.method, validate=validate, observe=observe,
                 **job.options
@@ -279,25 +282,30 @@ def _resolve_job_graph(job: ColorJob):
 def _worker_run(payload):
     """Run one job in a worker.  Payload:
     ``(index, job, validate, want_trace, want_rounds, attempt, plan,
-    policy, directive)`` — the last four are the fault-injection leg
+    policy, directive, budget)`` — attempt through directive are the
+    fault-injection leg, ``budget`` the shipped deadline snapshot
     (``None``-heavy in normal operation).  Returns ``("ok", index,
-    result, roots, rounds, report)`` or ``("err", index, error, tb,
-    report)`` where ``report`` carries the worker-side fired-fault and
-    degradation records for the coordinator to absorb.
+    result, roots, rounds, report)``, ``("deadline", index, payload,
+    report)`` for a budget expiry (never retried), or ``("err", index,
+    error, tb, report)`` where ``report`` carries the worker-side
+    fired-fault and degradation records for the coordinator to absorb.
     """
     (index, job, validate, want_trace, want_rounds,
-     attempt, plan, policy, directive) = payload
+     attempt, plan, policy, directive, budget) = payload
     rb = None
     if plan is not None or policy is not None:
         rb = Robustness(
             injector=FaultInjector(plan) if plan is not None else None,
             policy=policy,
         )
+    control = RunControl.from_shipped(budget)
     try:
         if directive == "crash":
             os._exit(1)  # simulated worker death: no cleanup, no goodbye
         elif isinstance(directive, tuple) and directive[0] == "hang":
             time.sleep(directive[1])
+        if control is not None:
+            control.check("job-start")
         if rb is not None:
             spec = rb.fire("job-error", job=index, attempt=attempt)
             if spec is not None:
@@ -311,8 +319,12 @@ def _worker_run(payload):
             _WORKER_STATE["ctx_map"], canonical,
             _WORKER_STATE["backend"], _WORKER_STATE["backend_opts"],
             validate, want_trace, want_rounds, robustness=rb,
+            control=control,
         )
         return ("ok", index, result, roots, rounds, _worker_report(rb))
+    except (DeadlineExceeded, Cancelled) as exc:
+        # A blown budget is final — retrying cannot un-spend time.
+        return ("deadline", index, exc.to_dict(), _worker_report(rb))
     except Exception as exc:  # surfaced as a structured per-job error
         return ("err", index, repr(exc), traceback.format_exc(),
                 _worker_report(rb))
@@ -353,15 +365,20 @@ class SerialScheduler:
 
     def __init__(self, *, retries: int = 0, backoff_s: float = 0.0,
                  jitter_seed=None) -> None:
-        self.retries = int(retries)
-        self.backoff_s = float(backoff_s)
+        self.retry = RetryPolicy(retries=retries, backoff_s=backoff_s,
+                                 jitter_seed=jitter_seed)
+        self.retries = self.retry.retries
+        self.backoff_s = self.retry.backoff_s
         self.jitter_seed = jitter_seed
 
     def execute(self, jobs, *, backend=None, backend_opts=None, validate=True,
-                want_trace=False, want_rounds=False, robustness=None):
+                want_trace=False, want_rounds=False, robustness=None,
+                control=None):
         ctx_map: dict = {}
         outcomes = []
         for i, job in enumerate(jobs):
+            if control is not None:
+                control.check("dispatch")
             attempt = 0
             while True:
                 attempt += 1
@@ -376,9 +393,11 @@ class SerialScheduler:
                     outcomes.append(_run_one(
                         ctx_map, job, backend, backend_opts or {},
                         validate, want_trace, want_rounds,
-                        robustness=robustness,
+                        robustness=robustness, control=control,
                     ))
                     break
+                except (DeadlineExceeded, Cancelled):
+                    raise  # a blown budget is final; retries cannot help
                 except Exception as exc:
                     if attempt > self.retries:
                         outcomes.append(JobFailure(
@@ -387,9 +406,7 @@ class SerialScheduler:
                             error=repr(exc), traceback=traceback.format_exc(),
                         ))
                         break
-                    time.sleep(backoff_delay(
-                        self.backoff_s, attempt - 1, seed=self.jitter_seed
-                    ))
+                    time.sleep(self.retry.delay(attempt - 1))
         return outcomes
 
 
@@ -425,8 +442,10 @@ class ProcessPoolScheduler:
                  backoff_s: float = 0.05, timeout_s: float | None = None,
                  mp_context=None, jitter_seed=None) -> None:
         self.workers = max(1, int(workers) if workers else (os.cpu_count() or 1))
-        self.retries = int(retries)
-        self.backoff_s = float(backoff_s)
+        self.retry = RetryPolicy(retries=retries, backoff_s=backoff_s,
+                                 jitter_seed=jitter_seed)
+        self.retries = self.retry.retries
+        self.backoff_s = self.retry.backoff_s
         self.timeout_s = timeout_s
         self.mp_context = mp_context
         self.jitter_seed = jitter_seed
@@ -475,7 +494,8 @@ class ProcessPoolScheduler:
         return None
 
     def execute(self, jobs, *, backend=None, backend_opts=None, validate=True,
-                want_trace=False, want_rounds=False, robustness=None):
+                want_trace=False, want_rounds=False, robustness=None,
+                control=None):
         if backend is not None and not isinstance(backend, str):
             raise TypeError(
                 "the process scheduler needs a picklable backend spec: pass "
@@ -490,16 +510,20 @@ class ProcessPoolScheduler:
         pending = list(range(len(jobs)))
         pool = None
         retry_round = 0
+        deadline_hit: dict | None = None
         try:
             while pending:
+                if control is not None:
+                    control.check("dispatch")
                 if pool is None:
                     pool = self._new_pool(backend, backend_opts)
                 futures = []
                 for i in pending:
                     attempts[i] += 1
                     directive = self._directive(robustness, i, attempts[i])
+                    budget = control.ship() if control is not None else None
                     payload = (i, jobs[i], validate, want_trace, want_rounds,
-                               attempts[i], plan, policy, directive)
+                               attempts[i], plan, policy, directive, budget)
                     futures.append((i, pool.submit(_worker_run, payload)))
                 failed, refunded = [], []
                 rebuild, broken, timed_out = False, False, False
@@ -531,6 +555,12 @@ class ProcessPoolScheduler:
                         _, idx, result, roots, rounds, report = out
                         _absorb_worker_report(robustness, report)
                         outcomes[idx] = (result, roots, rounds)
+                    elif out[0] == "deadline":
+                        _, idx, exc_payload, report = out
+                        _absorb_worker_report(robustness, report)
+                        if deadline_hit is None:
+                            deadline_hit = exc_payload
+                        attempts[idx] = max(attempts[idx], self.retries + 1)
                     else:
                         _, idx, err, tb, report = out
                         _absorb_worker_report(robustness, report)
@@ -549,10 +579,17 @@ class ProcessPoolScheduler:
                             method=jobs[i].method, attempts=attempts[i],
                             error=err, traceback=tb,
                         )
+                if deadline_hit is not None:
+                    # One expired budget expires the whole batch call —
+                    # time is shared; finish harvesting, then surface it.
+                    raise DeadlineExceeded(
+                        deadline_hit["deadline_ms"],
+                        queued_ms=deadline_hit["queued_ms"],
+                        running_ms=deadline_hit["running_ms"],
+                        where=deadline_hit.get("where", "round"),
+                    )
                 if retriable:
-                    time.sleep(backoff_delay(
-                        self.backoff_s, retry_round, seed=self.jitter_seed
-                    ))
+                    time.sleep(self.retry.delay(retry_round))
                     retry_round += 1
         finally:
             if pool is not None:
@@ -591,7 +628,8 @@ def resolve_scheduler(spec=None, workers=None):
 # ---------------------------------------------------------------------------
 def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
              backend_opts=None, config=None, observe=None, cache=None,
-             validate=True, faults=None, health=None, store=None) -> list:
+             validate=True, faults=None, health=None, store=None,
+             deadline_ms=None) -> list:
     """Run a normalized job list through cache + scheduler + observation.
 
     Returns one entry per job, in submission order: a
@@ -628,14 +666,14 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
                 "backend": backend, "backend_opts": backend_opts,
                 "store": store, "workers": workers, "scheduler": scheduler,
                 "cache": cache, "faults": faults, "health": health,
-                "observe": observe,
+                "observe": observe, "deadline_ms": deadline_ms,
             },
         )
         backend, backend_opts = merged["backend"], merged["backend_opts"]
         store, workers = merged["store"], merged["workers"]
         scheduler, cache = merged["scheduler"], merged["cache"]
         faults, health = merged["faults"], merged["health"]
-        observe = merged["observe"]
+        observe, deadline_ms = merged["observe"], merged["deadline_ms"]
     jobs = list(jobs)
     observation = resolve_observe(observe)
     tracer, recorder = observation.tracer, observation.recorder
@@ -644,6 +682,22 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
     robustness = resolve_robustness(faults, health)
     if robustness is not None and robustness.log.tracer is None:
         robustness.log.tracer = tracer
+    control = resolve_control(deadline_ms)
+
+    # Circuit breaker: while open, don't pay for a process pool that has
+    # been failing — route straight to the serial degradation chain.
+    breaker = robustness.breaker if robustness is not None else None
+    breaker_guarded = (
+        breaker is not None and getattr(sched, "name", None) == "process"
+    )
+    if breaker_guarded and not breaker.allow():
+        robustness.degrade(
+            "breaker", "process", "serial", "open",
+            f"breaker {breaker.name!r} open; "
+            f"{breaker.snapshot()['cooldown_left']} cooldown consults left",
+        )
+        sched = SerialScheduler()
+        breaker_guarded = False
 
     from ..graph.store import GraphStore, resolve_store
 
@@ -733,6 +787,8 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
             )
             if robustness is not None:
                 execute_kwargs["robustness"] = robustness
+            if control is not None:
+                execute_kwargs["control"] = control
             outcomes = sched.execute([jobs[i] for i in to_run], **execute_kwargs)
             for i, out in zip(to_run, outcomes):
                 _absorb(i, out)
@@ -742,6 +798,18 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
             still_failed = [
                 i for i in to_run if isinstance(results[i], JobFailure)
             ]
+            if breaker_guarded:
+                if still_failed:
+                    if breaker.record_failure(
+                        f"jobs={still_failed} exhausted retries"
+                    ):
+                        robustness.degrade(
+                            "breaker", "closed", "open", "tripped",
+                            f"{breaker.failure_threshold} consecutive "
+                            f"failed batches",
+                        )
+                else:
+                    breaker.record_success()
             if (
                 still_failed
                 and robustness is not None
@@ -761,6 +829,7 @@ def run_jobs(jobs, *, workers=None, scheduler=None, backend=None,
                     want_trace=tracer is not None,
                     want_rounds=recorder is not None,
                     robustness=healer,
+                    control=control,
                 )
                 for i, out in zip(still_failed, serial_out):
                     _absorb(i, out)

@@ -125,6 +125,10 @@ def color_sharded(
     store=None,
     stream: bool = False,
     memory_budget_mb: float | None = None,
+    deadline_ms=None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume=None,
     **options,
 ) -> ColoringResult:
     """Color ``graph`` in ``num_shards`` independent pieces, then repair.
@@ -166,6 +170,20 @@ def color_sharded(
         ``num_shards``); ``memory_budget_mb`` sizes the window count
         from the budget instead and implies streaming.  ``workers`` /
         ``scheduler`` / ``store`` are ignored while streaming.
+    deadline_ms:
+        End-to-end budget (or a ready
+        :class:`~repro.resilience.RunControl`): shard jobs check it at
+        dispatch and every round boundary (the remaining budget ships
+        into worker processes), the boundary-resolution loop checks it
+        per Jacobi round, and overruns raise the structured
+        :class:`~repro.resilience.DeadlineExceeded`.
+    checkpoint / checkpoint_every / resume:
+        Streamed runs only (forwarded to
+        :func:`~repro.parallel.streaming.color_streamed`): periodic
+        atomic round-state checkpoints and byte-identical resume.  The
+        concurrent sharded path recomputes from scratch by design —
+        pass ``stream=True`` (or use ``color_distributed``) to
+        checkpoint.
     **options:
         Scheme options, forwarded to every shard job.
 
@@ -192,6 +210,7 @@ def color_sharded(
                 "backend": backend, "backend_opts": backend_opts,
                 "store": store, "workers": workers, "scheduler": scheduler,
                 "faults": faults, "health": health, "observe": observe,
+                "deadline_ms": deadline_ms,
             },
         )
         backend, backend_opts = merged["backend"], merged["backend_opts"]
@@ -199,6 +218,7 @@ def color_sharded(
         scheduler = merged["scheduler"]
         faults, health = merged["faults"], merged["health"]
         observe = merged["observe"]
+        deadline_ms = merged["deadline_ms"]
     from ..coloring.api import METHODS
     from ..coloring.registry import resolve_method
 
@@ -214,8 +234,19 @@ def color_sharded(
             observe=observe, validate=validate,
             max_resolution_rounds=max_resolution_rounds,
             faults=faults, health=health,
+            deadline_ms=deadline_ms, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every, resume=resume,
             **options,
         )
+    if checkpoint is not None or resume is not None:
+        raise ValueError(
+            "checkpoint=/resume= apply to streamed runs: pass stream=True "
+            "(or memory_budget_mb=), or use color_distributed — the "
+            "concurrent sharded path holds no resumable round state"
+        )
+    from ..resilience.deadline import resolve_control
+
+    control = resolve_control(deadline_ms)
     observation = resolve_observe(observe)
     tracer = observation.tracer
     robustness = resolve_robustness(faults, health)
@@ -253,6 +284,7 @@ def color_sharded(
             backend=backend, backend_opts=backend_opts,
             observe=observation if observation.active else None,
             validate=validate, faults=robustness, store=store,
+            deadline_ms=control,
         )
         failures = [o for o in outcomes if isinstance(o, JobFailure)]
         if failures:
@@ -289,6 +321,8 @@ def color_sharded(
         recolored = 0
         fallback = False
         while True:
+            if control is not None:
+                control.check("round")
             conflicted = colors[u] == colors[v]
             if not conflicted.any():
                 break

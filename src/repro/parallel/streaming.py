@@ -34,8 +34,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..coloring.base import COLOR_DTYPE, ColoringResult
+from ..faults import Robustness, resolve_robustness
 from ..graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
 from ..obs.observe import resolve_observe
+from ..resilience.checkpoint import Checkpointer, load_resume, run_fingerprint
+from ..resilience.deadline import DeadlineExceeded, resolve_control
 
 __all__ = ["plan_windows", "window_subgraph", "color_streamed"]
 
@@ -138,6 +141,10 @@ def color_streamed(
     max_resolution_rounds: int = 16,
     faults=None,
     health=None,
+    deadline_ms=None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume=None,
     **options,
 ) -> ColoringResult:
     """Color ``graph`` window by window with bounded peak memory.
@@ -148,6 +155,17 @@ def color_streamed(
     sweep after ``max_resolution_rounds``, same as sharded coloring).
     ``validate=True`` runs the *windowed* conflict check — the standard
     checker would materialize every edge endpoint on the heap.
+
+    ``deadline_ms`` (a number or a ready
+    :class:`~repro.resilience.RunControl`) is checked before every
+    window and repair round, raising the structured
+    :class:`~repro.resilience.DeadlineExceeded`.  ``checkpoint=<path>``
+    atomically snapshots colors + accumulators after each completed
+    window (rounds ``1..W``) and repair round (``W+1..``) at the
+    ``checkpoint_every`` cadence; ``resume=<path>`` restores a matching
+    checkpoint — completed windows are skipped and the final colors are
+    byte-identical to an uninterrupted run.  A missing resume file is a
+    normal fresh start.
 
     Returns a checker-valid coloring whose ``shard_stats`` mirrors the
     sharded layout with ``mode="stream"`` plus the peak window footprint.
@@ -163,11 +181,12 @@ def color_streamed(
             {
                 "backend": backend, "backend_opts": backend_opts,
                 "faults": faults, "health": health, "observe": observe,
+                "deadline_ms": deadline_ms,
             },
         )
         backend, backend_opts = merged["backend"], merged["backend_opts"]
         faults, health = merged["faults"], merged["health"]
-        observe = merged["observe"]
+        observe, deadline_ms = merged["observe"], merged["deadline_ms"]
     from ..coloring.api import METHODS
     from ..coloring.registry import resolve_method
 
@@ -179,6 +198,48 @@ def color_streamed(
     tracer = observation.tracer
     name = getattr(graph, "name", "?")
     num_win = len(bounds) - 1
+
+    robustness = resolve_robustness(faults, health)
+    control = resolve_control(deadline_ms)
+    if robustness is None and (
+        checkpoint is not None or resume is not None or control is not None
+    ):
+        # Resilience accounting (checkpoint stats, resume provenance,
+        # deadline attribution) reports through result.robustness, so
+        # opting into any of it gets a bundle even with no fault plan.
+        robustness = Robustness()
+    if robustness is not None and robustness.log.tracer is None:
+        robustness.log.tracer = tracer
+
+    fingerprint = run_fingerprint(
+        graph.content_digest(), "stream", method, dict(options), num_win
+    )
+    ckpt = None
+    if checkpoint is not None:
+        ckpt = Checkpointer(
+            checkpoint, fingerprint=fingerprint, every=checkpoint_every,
+            robustness=robustness,
+        )
+    restored = (
+        load_resume(resume, fingerprint=fingerprint, robustness=robustness)
+        if resume is not None else None
+    )
+
+    def _storm(round_index: int, phase: str, where: str) -> None:
+        """deadline-storm: force the budget to expire at this boundary."""
+        if robustness is None:
+            return
+        if robustness.fire(
+            "deadline-storm", round=round_index, phase=phase
+        ) is None:
+            return
+        if control is not None and control.deadline is not None:
+            d = control.deadline
+            raise DeadlineExceeded(
+                d.deadline_ms, queued_ms=d.queued_ms,
+                running_ms=d.running_ms(), where=f"{where}:forced",
+            )
+        raise DeadlineExceeded(0.0, where=f"{where}:forced")
 
     run_span = None
     if tracer is not None:
@@ -192,7 +253,7 @@ def color_streamed(
         ctx = ExecutionContext(
             backend=backend,
             observe=observation if observation.active else None,
-            faults=faults, health=health,
+            faults=robustness, health=None,
             **dict(backend_opts or {}),
         )
         colors = np.zeros(graph.num_vertices, dtype=COLOR_DTYPE)
@@ -201,9 +262,46 @@ def color_streamed(
         gpu_us = cpu_us = xfer_us = 0.0
         launches = 0
         max_iterations = 0
-        for lo, hi in zip(bounds[:-1], bounds[1:]):
+        rounds = 0
+        recolored = 0
+        windows_done = 0
+        if restored is not None:
+            meta_r, arrays_r = restored
+            colors[:] = arrays_r["colors"].astype(COLOR_DTYPE, copy=False)
+            window_rows = meta_r["window_rows"]
+            peak_window_bytes = int(meta_r["peak_window_bytes"])
+            gpu_us = float(meta_r["gpu_us"])
+            cpu_us = float(meta_r["cpu_us"])
+            xfer_us = float(meta_r["xfer_us"])
+            launches = int(meta_r["launches"])
+            max_iterations = int(meta_r["max_iterations"])
+            rounds = int(meta_r["rounds"])
+            recolored = int(meta_r["recolored"])
+            windows_done = int(meta_r["windows_done"])
+            robustness.annotate("resumed", {
+                "path": str(resume), "round": int(meta_r["round"]),
+                "phase": meta_r.get("phase", "windows"),
+            })
+
+        def _ckpt_meta(phase: str) -> dict:
+            return {
+                "mode": "stream", "graph": name, "phase": phase,
+                "windows_done": windows_done, "window_rows": window_rows,
+                "peak_window_bytes": peak_window_bytes,
+                "gpu_us": gpu_us, "cpu_us": cpu_us, "xfer_us": xfer_us,
+                "launches": launches, "max_iterations": max_iterations,
+                "rounds": rounds, "recolored": recolored,
+            }
+
+        for widx, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            if widx < windows_done:
+                continue  # resume: this window's colors are checkpointed
+            if control is not None:
+                control.check("window")
+            _storm(widx, "window", "window")
             lo, hi = int(lo), int(hi)
             if hi <= lo:
+                windows_done = widx + 1
                 continue
             sub = window_subgraph(graph, lo, hi)
             peak_window_bytes = max(peak_window_bytes, sub.memory_bytes())
@@ -224,15 +322,21 @@ def color_streamed(
             })
             ctx.evict(sub)  # the window's device buffers return to the pool
             del sub
+            windows_done = widx + 1
+            if ckpt is not None:
+                ckpt.save(
+                    windows_done, _ckpt_meta("windows"), {"colors": colors}
+                )
 
         # -- boundary repair: windowed Jacobi, then a sequential sweep --
         from .sharded import _mex
 
-        rounds = 0
-        recolored = 0
         fallback = False
         losers_mask = np.zeros(graph.num_vertices, dtype=bool)
         while True:
+            if control is not None:
+                control.check("round")
+            _storm(rounds, "repair", "round")
             losers_mask[:] = False
             conflicted = _mark_conflict_losers(graph, colors, bounds, losers_mask)
             if not conflicted:
@@ -249,6 +353,10 @@ def color_streamed(
                 colors[w] = _mex(snapshot[graph.neighbors(w)])
             recolored += int(losers.size)
             rounds += 1
+            if ckpt is not None:
+                ckpt.save(
+                    num_win + rounds, _ckpt_meta("repair"), {"colors": colors}
+                )
 
         if validate:
             losers_mask[:] = False
@@ -292,6 +400,17 @@ def color_streamed(
         }
         if observation.active:
             result.extra.setdefault("observation", observation)
+        if robustness is not None:
+            if ckpt is not None:
+                robustness.annotate("checkpoint", ckpt.stats())
+            if control is not None and control.deadline is not None:
+                queued, running = control.elapsed_snapshot()
+                robustness.annotate("deadline", {
+                    "deadline_ms": control.deadline.deadline_ms,
+                    "queued_ms": round(queued, 3),
+                    "running_ms": round(running, 3),
+                })
+            result.extra["robustness"] = robustness.report()
         if run_span is not None:
             tracer.end(
                 run_span,

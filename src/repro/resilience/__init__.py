@@ -1,0 +1,55 @@
+"""Cross-layer resilience: deadlines, checkpoints, circuit breakers.
+
+This package is the SLO tier above :mod:`repro.faults`: where faults
+decide *what breaks*, resilience decides *what the run does about time
+and partial progress* — per-request deadlines with cooperative
+cancellation (:mod:`.deadline`), atomic round-state checkpoints with
+resume (:mod:`.checkpoint`), and a retry/circuit-breaker policy that
+unifies the scheduler's ad-hoc backoff (:mod:`.breaker`).
+
+Like :mod:`repro.faults`, nothing here imports the engine or the
+coloring layers; the dependency arrow points one way (engine ->
+resilience) so deep call sites can consult the ambient
+:class:`RunControl` without cycles.
+"""
+
+from .breaker import CircuitBreaker, RetryPolicy
+from .checkpoint import (
+    Checkpointer,
+    CheckpointError,
+    load_resume,
+    read_checkpoint,
+    run_fingerprint,
+    write_checkpoint,
+)
+from .deadline import (
+    Cancelled,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    RunControl,
+    activate_control,
+    active_control,
+    control_check,
+    resolve_control,
+)
+
+__all__ = [
+    "Cancelled",
+    "CancelToken",
+    "Checkpointer",
+    "CheckpointError",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "load_resume",
+    "RetryPolicy",
+    "RunControl",
+    "activate_control",
+    "active_control",
+    "control_check",
+    "read_checkpoint",
+    "resolve_control",
+    "run_fingerprint",
+    "write_checkpoint",
+]

@@ -1,0 +1,186 @@
+"""Retry policy + circuit breaker for repeated worker/transport failures.
+
+:class:`RetryPolicy` is the declarative form of the scheduler's ad-hoc
+``retries``/``backoff_s``/``jitter_seed`` triple — one object that both
+the process-pool scheduler and the distributed transport consult, with
+the same jittered-exponential delay curve the scheduler has always used
+(so existing timing tests stay byte-identical).
+
+:class:`CircuitBreaker` sits above retries: when a *sequence* of batches
+keeps burning its retry budget, retrying harder is waste — the breaker
+trips **open** and callers route straight to their declared degradation
+chain (pool -> serial scheduler, distributed -> sharded) without paying
+the failure tax again.  After a cooldown measured in *consults* (not
+wall-clock — the simulator must stay deterministic) the breaker goes
+**half-open** and admits a limited number of probe attempts; a probe
+success closes it, a probe failure re-opens it with the cooldown reset.
+
+State transitions are recorded by the owner as ``DegradationEvent``s
+(chain ``"breaker"``) so trips show up in traces and
+``result.robustness`` like every other degradation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+#: Ceiling on a single retry-round backoff sleep (mirrors the
+#: scheduler's historical cap; the scheduler now reads it from here).
+BACKOFF_CAP_S = 2.0
+
+
+class RetryPolicy:
+    """How many times to retry and how long to wait between rounds."""
+
+    def __init__(self, *, retries: int = 2, backoff_s: float = 0.05,
+                 cap_s: float = BACKOFF_CAP_S, jitter_seed=None) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.cap_s = float(cap_s)
+        self.jitter_seed = jitter_seed
+
+    @property
+    def attempts(self) -> int:
+        return self.retries + 1
+
+    def delay(self, round_index: int) -> float:
+        """Jittered exponential backoff for retry round ``round_index``.
+
+        ``backoff_s * 2**round_index``, capped at ``cap_s``, scaled by a
+        jitter factor in ``[0.5, 1.0]`` derived from SHA-256 of
+        ``(jitter_seed, round_index)``.  ``jitter_seed=None`` uses the
+        process id so simultaneous processes spread out; pass an int for
+        reproducible delays in tests.
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        raw = min(self.backoff_s * (2 ** round_index), self.cap_s)
+        seed = self.jitter_seed if self.jitter_seed is not None else os.getpid()
+        digest = hashlib.sha256(
+            f"{seed}|{round_index}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0**64
+        return raw * (0.5 + 0.5 * unit)
+
+    def describe(self) -> dict:
+        return {"retries": self.retries, "backoff_s": self.backoff_s,
+                "cap_s": self.cap_s}
+
+
+class CircuitBreaker:
+    """Trip after repeated failures; heal through half-open probes.
+
+    The cooldown is counted in :meth:`allow` consults while open rather
+    than in seconds: the whole stack is deterministic-by-construction,
+    and a wall-clock cooldown would make healed-run byte-identity
+    flaky.  Every consult while open burns one cooldown tick; when the
+    budget is spent the next consult transitions to half-open.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, name: str = "scheduler", *,
+                 failure_threshold: int = 3, cooldown: int = 2,
+                 half_open_probes: int = 1) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = int(cooldown)
+        self.half_open_probes = int(half_open_probes)
+        self._state = self.CLOSED
+        self._failures = 0          # consecutive failures while closed
+        self._cooldown_left = 0     # open->half-open countdown, in consults
+        self._probes_left = 0       # half-open probe budget
+        self._trips = 0
+        self._recoveries = 0
+        self._rejections = 0        # consults answered "don't even try"
+        self._last_reason = ""
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt its primary path right now?
+
+        Advances the open-state cooldown as a side effect; half-open
+        admits up to ``half_open_probes`` attempts before rejecting
+        again.
+        """
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.OPEN:
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+                self._rejections += 1
+                return False
+            self._state = self.HALF_OPEN
+            self._probes_left = self.half_open_probes
+        # half-open: admit probes while the budget lasts
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True
+        self._rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        """A primary-path attempt succeeded."""
+        if self._state == self.HALF_OPEN:
+            self._recoveries += 1
+        self._state = self.CLOSED
+        self._failures = 0
+        self._probes_left = 0
+
+    def record_failure(self, reason: str = "") -> bool:
+        """A primary-path attempt failed.  Returns True if this tripped."""
+        self._last_reason = reason
+        if self._state == self.HALF_OPEN:
+            # a failed probe re-opens immediately, cooldown reset
+            self._trip()
+            return True
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._trip()
+            return True
+        return False
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._cooldown_left = self.cooldown
+        self._failures = 0
+        self._probes_left = 0
+        self._trips += 1
+
+    def reset(self) -> None:
+        self._state = self.CLOSED
+        self._failures = 0
+        self._cooldown_left = 0
+        self._probes_left = 0
+
+    def snapshot(self) -> dict:
+        """JSON-able state for ``result.robustness`` / service stats."""
+        return {
+            "name": self.name,
+            "state": self._state,
+            "trips": self._trips,
+            "recoveries": self._recoveries,
+            "rejections": self._rejections,
+            "consecutive_failures": self._failures,
+            "cooldown_left": self._cooldown_left,
+            "failure_threshold": self.failure_threshold,
+            "cooldown": self.cooldown,
+            "last_reason": self._last_reason,
+        }

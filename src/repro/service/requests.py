@@ -20,6 +20,7 @@ __all__ = [
     "AdmissionError",
     "RequestFailed",
     "ColorRequest",
+    "InflightEntry",
 ]
 
 #: Admission classes, most to least urgent.  Dispatch drains in this
@@ -77,7 +78,14 @@ class RequestFailed(RuntimeError):
 
 @dataclass
 class ColorRequest:
-    """One admitted coloring request, queued for micro-batching."""
+    """One admitted coloring request, queued for micro-batching.
+
+    ``deadline_ms`` is the request's end-to-end budget (queue wait
+    included — the dispatcher stamps the queued share at dispatch);
+    ``token`` is the shared :class:`~repro.resilience.CancelToken` the
+    engine observes at round boundaries, cancelled when every waiter
+    (leader and coalesced followers alike) has abandoned the request.
+    """
 
     graph: Any
     method: str
@@ -87,3 +95,21 @@ class ColorRequest:
     validate: bool
     future: asyncio.Future = field(repr=False)
     submitted_at: float = 0.0
+    deadline_ms: float | None = None
+    token: Any = None
+
+
+@dataclass
+class InflightEntry:
+    """One in-flight content key: the leader future plus its audience.
+
+    ``waiters`` counts every caller currently awaiting the future (the
+    original submitter and each coalesced follower).  When it drops to
+    zero before completion, the last leaver cancels ``token`` and the
+    engine abandons the run cooperatively — coalesced followers can walk
+    away without killing a computation someone still wants.
+    """
+
+    future: asyncio.Future = field(repr=False)
+    token: Any = None
+    waiters: int = 0

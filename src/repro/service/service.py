@@ -45,14 +45,24 @@ import asyncio
 import time
 
 from ..engine.config import RunConfig, resolve_run_config
+from ..faults import Robustness, resolve_robustness
 from ..obs.observe import resolve_observe
 from ..parallel.cache import clone_result, job_cache_key, resolve_cache
 from ..parallel.jobs import JobFailure
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.deadline import (
+    Cancelled,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    RunControl,
+)
 from .requests import (
     PRIORITIES,
     PRIORITY_SHARES,
     AdmissionError,
     ColorRequest,
+    InflightEntry,
     RequestFailed,
 )
 
@@ -109,11 +119,20 @@ class ColoringService:
         self._store = None  # resolved at start()
         self._owns_store = False
         self._queues: dict[str, list[ColorRequest]] = {p: [] for p in PRIORITIES}
-        self._inflight: dict[str, asyncio.Future] = {}
+        self._inflight: dict[str, InflightEntry] = {}
         self._wake: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
         self._running = False
         self._draining = False
+        # Service-owned robustness bundle: the fault injector / breaker /
+        # degradation log persist across batches, so the circuit breaker
+        # sees the service's whole failure history, not one batch's.
+        robustness = resolve_robustness(self.config.faults, self.config.health)
+        if robustness is None:
+            robustness = Robustness()
+        if robustness.breaker is None:
+            robustness.breaker = CircuitBreaker(name="service")
+        self._robustness = robustness
         # -- counters (see :attr:`stats`) --
         self._submitted = 0
         self._rejected = 0
@@ -126,6 +145,9 @@ class ColoringService:
         self._sessions = 0
         self._session_ops = 0
         self._compactions = 0
+        self._deadline_hits = 0
+        self._cancelled = 0
+        self._dispatcher_restarts = 0
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> "ColoringService":
@@ -156,6 +178,11 @@ class ColoringService:
         rejections) but every already-admitted request completes; with
         ``drain=False`` queued requests fail with
         :class:`AdmissionError("not-running")`.
+
+        Idempotent and crash-safe: a second close (or a close racing a
+        first one) is a no-op, and a dispatcher that died on an
+        unexpected error still gets the arena released before the error
+        resurfaces here — no leaked ``/dev/shm`` segments either way.
         """
         if not self._running:
             return
@@ -168,15 +195,21 @@ class ColoringService:
                     self._inflight.pop(req.key, None)
                 queue.clear()
         self._wake.set()
-        if self._dispatcher is not None:
-            await self._dispatcher
-            self._dispatcher = None
+        dispatcher, self._dispatcher = self._dispatcher, None
+        dispatcher_error = None
+        if dispatcher is not None:
+            try:
+                await dispatcher
+            except Exception as exc:
+                dispatcher_error = exc
         self._running = False
         if self._owns_store and self._store is not None:
             self._store.close()
             self._store = None
             self._owns_store = False
         self._trace("service.close", "service")
+        if dispatcher_error is not None:
+            raise dispatcher_error
 
     async def __aenter__(self) -> "ColoringService":
         return await self.start()
@@ -197,6 +230,7 @@ class ColoringService:
         options: dict | None = None,
         priority: str = "normal",
         validate: bool | None = None,
+        deadline_ms: float | None = None,
     ):
         """Color ``graph``; resolves to the engine's ``ColoringResult``.
 
@@ -204,6 +238,15 @@ class ColoringService:
         :class:`RequestFailed` when the engine exhausts its retries.
         Coalesced/cached completions are marked in ``result.extra``
         (``coalesced`` / ``cache_hit``).
+
+        ``deadline_ms`` (default: ``config.deadline_ms``) is the
+        request's end-to-end budget.  Queue wait counts against it: the
+        dispatcher stamps the queued share at dispatch and the engine
+        checks the rest at round boundaries, so the structured
+        :class:`~repro.resilience.DeadlineExceeded` this raises always
+        separates queued from running time.  A coalesced follower with a
+        budget can abandon its leader without killing it — the run is
+        cancelled only when *every* waiter has walked away.
         """
         if priority not in PRIORITIES:
             raise ValueError(
@@ -212,6 +255,13 @@ class ColoringService:
         method = method or self.method
         options = dict(options or {})
         validate = self.validate if validate is None else validate
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+            if deadline_ms <= 0:
+                self._deadline_hits += 1
+                raise DeadlineExceeded(deadline_ms, where="admission")
         self._submitted += 1
         if not self._running:
             self._rejected += 1
@@ -225,10 +275,12 @@ class ColoringService:
         )
         started = time.monotonic()
         # Coalesce onto an identical in-flight computation.
-        leader = self._inflight.get(key)
-        if leader is not None:
+        entry = self._inflight.get(key)
+        if entry is not None:
             self._coalesced += 1
-            result = await asyncio.shield(leader)
+            result = await self._await_entry(
+                entry, deadline_ms, started, follower=True
+            )
             self._completed += 1
             self._trace(
                 "service.request", "service", coalesced=1,
@@ -253,21 +305,58 @@ class ColoringService:
                 "queue-full", priority=priority, queue_depth=depth, limit=limit
             )
         future = asyncio.get_running_loop().create_future()
+        entry = InflightEntry(future=future, token=CancelToken())
         request = ColorRequest(
             graph=graph, method=method, options=options, priority=priority,
             key=key, validate=validate, future=future, submitted_at=started,
+            deadline_ms=deadline_ms, token=entry.token,
         )
         self._queues[priority].append(request)
-        self._inflight[key] = future
+        self._inflight[key] = entry
         self._wake.set()
-        # shield: a cancelled caller must not kill the computation its
-        # coalesced followers are awaiting.
-        result = await asyncio.shield(future)
+        result = await self._await_entry(
+            entry, deadline_ms, started, follower=False
+        )
         self._completed += 1
         self._trace(
             "service.request", "service", latency_us=_us_since(started)
         )
         return result
+
+    async def _await_entry(
+        self, entry: InflightEntry, deadline_ms, started, *, follower: bool
+    ):
+        """Await an in-flight future as one counted waiter.
+
+        The shield keeps a cancelled/timed-out caller from killing the
+        computation other waiters still want; the refcount makes the
+        *last* leaver cancel it cooperatively via the entry's token.  A
+        follower with its own budget bounds the wait with that budget
+        (its leader may have none).
+        """
+        entry.waiters += 1
+        try:
+            # shield: a cancelled caller must not kill the computation
+            # its coalesced followers are awaiting.
+            wait = asyncio.shield(entry.future)
+            if follower and deadline_ms is not None:
+                elapsed_ms = _us_since(started) / 1e3
+                budget_s = max(0.0, deadline_ms - elapsed_ms) / 1000.0
+                try:
+                    return await asyncio.wait_for(wait, timeout=budget_s)
+                except asyncio.TimeoutError:
+                    self._deadline_hits += 1
+                    raise DeadlineExceeded(
+                        deadline_ms,
+                        queued_ms=(time.monotonic() - started) * 1000.0,
+                        where="coalesced-wait",
+                    ) from None
+            return await wait
+        finally:
+            entry.waiters -= 1
+            if entry.waiters <= 0 and not entry.future.done():
+                self._cancelled += 1
+                entry.token.cancel("all-waiters-abandoned")
 
     def _depth(self) -> int:
         return sum(len(q) for q in self._queues.values())
@@ -282,7 +371,26 @@ class ColoringService:
                     await asyncio.sleep(self.batch_window_s)
                 batch = self._next_batch()
                 if batch:
-                    await self._run_batch(batch)
+                    try:
+                        await self._run_batch(batch)
+                    except Exception as exc:
+                        # Dispatcher crash (injected or real): fail the
+                        # batch's waiters with a structured error and
+                        # keep dispatching — the service restarts its
+                        # dispatcher instead of hanging every later
+                        # request.
+                        self._dispatcher_restarts += 1
+                        self._robustness.degrade(
+                            "service", "dispatcher", "restart", "crash",
+                            repr(exc),
+                        )
+                        for req in batch:
+                            self._inflight.pop(req.key, None)
+                            self._failed += 1
+                            if not req.future.done():
+                                req.future.set_exception(RequestFailed(
+                                    f"dispatcher crashed mid-batch: {exc}"
+                                ))
             if self._draining and not self._depth():
                 return
 
@@ -299,47 +407,110 @@ class ColoringService:
 
     async def _run_batch(self, batch: list[ColorRequest]) -> None:
         started = time.monotonic()
-        # One engine call per validate flavor (usually exactly one).
+        # Claim the batch number up front: a crashed batch consumes its
+        # slot, so a crash keyed batch=N does not re-fire forever.
+        batch_id = self._batches
+        self._batches += 1
+        spec = self._robustness.fire("dispatcher-crash", batch=batch_id)
+        if spec is not None:
+            raise RuntimeError(
+                f"injected dispatcher crash (batch={batch_id})"
+            )
+        # One engine call per validate flavor (usually exactly one);
+        # deadline-carrying requests run as individual engine calls so
+        # each enforces its own budget.
         groups: dict[bool, list[ColorRequest]] = {}
         for req in batch:
             groups.setdefault(req.validate, []).append(req)
         fresh_runs = 0
         for validate, group in groups.items():
-            jobs = [(r.graph, r.method, r.options) for r in group]
-            try:
-                results = await asyncio.to_thread(
-                    self._execute, jobs, validate
-                )
-            except BaseException as exc:  # engine blew up wholesale
-                for req in group:
-                    self._inflight.pop(req.key, None)
-                    self._failed += 1
-                    if not req.future.done():
-                        req.future.set_exception(
-                            RequestFailed(f"batch execution failed: {exc}")
-                        )
-                continue
-            for req, result in zip(group, results):
-                self._inflight.pop(req.key, None)
-                if req.future.done():
-                    continue
-                if isinstance(result, JobFailure) or not result:
-                    self._failed += 1
-                    req.future.set_exception(
-                        RequestFailed(str(result), failure=result)
+            plain = [r for r in group if r.deadline_ms is None]
+            timed = [r for r in group if r.deadline_ms is not None]
+            if plain:
+                jobs = [(r.graph, r.method, r.options) for r in plain]
+                try:
+                    results = await asyncio.to_thread(
+                        self._execute, jobs, validate
                     )
-                    continue
-                if not result.cache_hit:
-                    fresh_runs += 1
-                req.future.set_result(result)
-        self._batches += 1
+                except BaseException as exc:  # engine blew up wholesale
+                    for req in plain:
+                        self._inflight.pop(req.key, None)
+                        self._failed += 1
+                        if not req.future.done():
+                            req.future.set_exception(
+                                RequestFailed(f"batch execution failed: {exc}")
+                            )
+                    results = None
+                if results is not None:
+                    for req, result in zip(plain, results):
+                        self._inflight.pop(req.key, None)
+                        if req.future.done():
+                            continue
+                        if isinstance(result, JobFailure) or not result:
+                            self._failed += 1
+                            req.future.set_exception(
+                                RequestFailed(str(result), failure=result)
+                            )
+                            continue
+                        if not result.cache_hit:
+                            fresh_runs += 1
+                        req.future.set_result(result)
+            for req in timed:
+                fresh_runs += await self._run_timed(req, validate)
         self._engine_runs += fresh_runs
         self._trace(
             "service.batch", "service", requests=len(batch),
             engine_runs=fresh_runs, duration_us=_us_since(started),
         )
 
-    def _execute(self, jobs, validate: bool):
+    async def _run_timed(self, req: ColorRequest, validate: bool) -> int:
+        """One deadline-carrying request: stamp queued time, run, settle.
+
+        Returns the number of fresh engine runs (0 or 1).  A budget
+        blown in the queue fails at ``"dispatch"`` without paying for an
+        engine call; one blown mid-run surfaces the engine's structured
+        :class:`DeadlineExceeded`; a run abandoned by every waiter
+        settles :class:`Cancelled` (consumed here — nobody is listening).
+        """
+        entry = self._inflight.pop(req.key, None)
+        queued_ms = (time.monotonic() - req.submitted_at) * 1000.0
+        control = RunControl(
+            deadline=Deadline(req.deadline_ms, queued_ms=queued_ms),
+            token=req.token,
+        )
+        exc: BaseException | None = None
+        result = None
+        if control.deadline.expired:
+            exc = control.deadline.exceeded("dispatch")
+        else:
+            try:
+                results = await asyncio.to_thread(
+                    self._execute, [(req.graph, req.method, req.options)],
+                    validate, control,
+                )
+                result = results[0] if results else None
+            except (DeadlineExceeded, Cancelled) as e:
+                exc = e
+            except BaseException as e:
+                exc = RequestFailed(f"batch execution failed: {e}")
+        if req.future.done():
+            return 0
+        if exc is not None:
+            if isinstance(exc, DeadlineExceeded):
+                self._deadline_hits += 1
+            self._failed += 1
+            req.future.set_exception(exc)
+            if entry is not None and entry.waiters <= 0:
+                req.future.exception()  # abandoned: mark retrieved
+            return 0
+        if isinstance(result, JobFailure) or not result:
+            self._failed += 1
+            req.future.set_exception(RequestFailed(str(result), failure=result))
+            return 0
+        req.future.set_result(result)
+        return 0 if result.cache_hit else 1
+
+    def _execute(self, jobs, validate: bool, control: RunControl | None = None):
         """The engine batch (worker thread; the only engine entry point)."""
         from ..coloring.kernels import mex_strategy
         from ..engine.context import color_many
@@ -356,9 +527,9 @@ class ColoringService:
                 scheduler=cfg.scheduler,
                 cache=self._cache,
                 store=self._store,
-                faults=cfg.faults,
-                health=cfg.health,
+                faults=self._robustness,
                 validate=validate,
+                deadline_ms=control,
             )
 
         if cfg.mex is not None:
@@ -412,6 +583,10 @@ class ColoringService:
             "sessions": self._sessions,
             "session_ops": self._session_ops,
             "compactions": self._compactions,
+            "deadline_hits": self._deadline_hits,
+            "cancelled": self._cancelled,
+            "dispatcher_restarts": self._dispatcher_restarts,
+            "breaker": self._robustness.breaker.snapshot(),
             "cache": self._cache.stats(),
         }
 

@@ -27,6 +27,7 @@ def test_to_dict_schema_v1_keys(g):
     assert d["observation"] is not None and d["observation"].tracer is not None
     assert d["cache_hit"] is False
     assert d["shard_stats"] is None
+    assert d["robustness"] is None
 
 
 def test_to_dict_rejects_unknown_version(g):
@@ -73,6 +74,30 @@ def test_extra_writes_stay_open(g):
     result.extra.update(third=3)
     result.extra.pop("third", None)
     assert result.extra.peek("marker") == 1
+
+
+def test_to_dict_robustness_round_trips_resilience_annex(g, tmp_path):
+    """``robustness`` in schema v1 carries the full resilience report —
+    fault plan, degradations, and the checkpoint/deadline annexes — and
+    matches the typed property exactly (same object, JSON-able)."""
+    import json
+
+    from repro.parallel.streaming import color_streamed
+
+    result = color_streamed(
+        g, "data-ldg", num_windows=3, deadline_ms=60_000.0,
+        checkpoint=str(tmp_path / "r.ckpt"),
+        faults="seed=3; halo-drop: round=99",  # plan present, never fires
+    )
+    d = result.to_dict(schema_version=1)
+    assert d["robustness"] is result.robustness
+    report = d["robustness"]
+    assert report["seed"] == 3
+    assert report["checkpoint"]["written"] >= 1
+    assert report["deadline"]["deadline_ms"] == 60_000.0
+    assert "queued_ms" in report["deadline"]
+    # the report is a documented JSON surface: it must serialize as-is
+    json.dumps(report)
 
 
 def test_extra_bag_survives_construction_roundtrip():

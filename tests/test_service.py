@@ -269,3 +269,127 @@ def test_cli_serve_check(capsys):
     assert rc == 0
     assert "CHECK OK" in out
     assert "coalesced" in out
+
+
+# ------------------------------------------------- deadlines & breakers
+def test_deadline_zero_rejected_at_admission(g):
+    from repro.resilience import DeadlineExceeded
+
+    async def main():
+        async with ColoringService() as svc:
+            with pytest.raises(DeadlineExceeded) as exc:
+                await svc.submit(g, deadline_ms=0.0)
+            assert exc.value.where == "admission"
+            return svc.stats
+
+    stats = run(main())
+    assert stats["deadline_hits"] == 1
+    assert stats["failed"] == 0  # structural rejection, not a failure
+
+
+def test_deadline_expires_in_queue_attributed_to_dispatch(g):
+    from repro.resilience import DeadlineExceeded
+
+    async def main():
+        async with ColoringService() as svc:
+            svc.batch_window_s = 0.1  # guarantee >= 100 ms queued
+            with pytest.raises(DeadlineExceeded) as exc:
+                await svc.submit(g, deadline_ms=5.0)
+            return exc.value, svc.stats
+
+    err, stats = run(main())
+    assert err.where == "dispatch"
+    assert err.queued_ms > 0.0
+    assert stats["deadline_hits"] == 1
+
+
+def test_config_deadline_is_the_default_budget(g):
+    from repro.resilience import DeadlineExceeded
+
+    async def main():
+        cfg = RunConfig(deadline_ms=5.0)
+        async with ColoringService(config=cfg) as svc:
+            svc.batch_window_s = 0.1
+            with pytest.raises(DeadlineExceeded):
+                await svc.submit(g)  # inherits config.deadline_ms
+            # an explicit budget overrides the config default
+            r = await svc.submit(g, deadline_ms=60_000.0)
+            return r
+
+    assert run(main()).num_colors > 0
+
+
+def test_coalesced_follower_abandons_without_killing_leader(g):
+    from repro.resilience import DeadlineExceeded
+
+    async def main():
+        async with ColoringService() as svc:
+            svc.batch_window_s = 0.2
+            leader = asyncio.create_task(svc.submit(g))
+            await asyncio.sleep(0)  # leader enqueued, entry in flight
+            with pytest.raises(DeadlineExceeded) as exc:
+                await svc.submit(g, deadline_ms=30.0)
+            assert exc.value.where == "coalesced-wait"
+            result = await leader  # the leader still completes
+            return result, svc.stats
+
+    result, stats = run(main())
+    assert result.num_colors > 0
+    assert stats["coalesced"] == 1
+    assert stats["deadline_hits"] == 1
+    assert stats["cancelled"] == 0  # one waiter remained throughout
+
+
+def test_last_waiter_abandoning_cancels_the_run(g):
+    async def main():
+        async with ColoringService() as svc:
+            svc.batch_window_s = 0.3
+            task = asyncio.create_task(svc.submit(g))
+            await asyncio.sleep(0.05)
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            return svc.stats
+
+    stats = run(main())
+    assert stats["cancelled"] == 1
+
+
+def test_dispatcher_crash_restarts_and_serves_next_request(g):
+    async def main():
+        cfg = RunConfig(faults="seed=1; dispatcher-crash: batch=0")
+        async with ColoringService(config=cfg) as svc:
+            with pytest.raises(RequestFailed, match="dispatcher crashed"):
+                await svc.submit(g)
+            result = await svc.submit(g)  # auto-restarted dispatcher
+            return result, svc.stats
+
+    result, stats = run(main())
+    assert result.num_colors > 0
+    assert stats["dispatcher_restarts"] == 1
+    assert stats["completed"] == 1
+
+
+def test_service_stats_expose_breaker_state(g):
+    async def main():
+        async with ColoringService() as svc:
+            await svc.submit(g)
+            return svc.stats
+
+    stats = run(main())
+    assert stats["breaker"]["state"] == "closed"
+    assert stats["breaker"]["name"] == "service"
+    assert stats["breaker"]["trips"] == 0
+
+
+def test_double_close_is_a_no_op(g):
+    async def main():
+        svc = ColoringService()
+        await svc.start()
+        await svc.submit(g)
+        await svc.close()
+        await svc.close()  # second close: no-op, no raise
+        return svc.stats
+
+    stats = run(main())
+    assert not stats["running"]
+    assert stats["queue_depth"] == 0 and stats["inflight"] == 0
